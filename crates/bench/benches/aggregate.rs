@@ -1,0 +1,56 @@
+//! Aggregation microbenchmarks: the server-side cost of intra-tier
+//! averaging and cross-tier weighted aggregation (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedat_core::aggregate::{aggregate_tiers, cross_tier_weights, weighted_client_average};
+use std::hint::black_box;
+
+fn client_updates(clients: usize, dim: usize) -> Vec<(Vec<f32>, usize)> {
+    (0..clients)
+        .map(|c| {
+            let w: Vec<f32> = (0..dim).map(|i| ((c * dim + i) as f32 * 1e-4).sin()).collect();
+            (w, 40 + c)
+        })
+        .collect()
+}
+
+fn bench_client_average(c: &mut Criterion) {
+    let dim = 22_000;
+    let mut group = c.benchmark_group("aggregate/intra-tier");
+    group.sample_size(20);
+    for clients in [5usize, 10, 20] {
+        let updates = client_updates(clients, dim);
+        group.throughput(Throughput::Elements((clients * dim) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &updates, |b, u| {
+            b.iter(|| {
+                let refs: Vec<(&[f32], usize)> =
+                    u.iter().map(|(w, n)| (w.as_slice(), *n)).collect();
+                black_box(weighted_client_average(&refs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_tier(c: &mut Criterion) {
+    let dim = 22_000;
+    let mut group = c.benchmark_group("aggregate/cross-tier");
+    group.sample_size(20);
+    for tiers in [3usize, 5, 10] {
+        let models: Vec<Vec<f32>> = (0..tiers)
+            .map(|t| (0..dim).map(|i| ((t * dim + i) as f32 * 1e-4).cos()).collect())
+            .collect();
+        let counts: Vec<u64> = (1..=tiers as u64).rev().map(|x| x * 7).collect();
+        group.throughput(Throughput::Elements((tiers * dim) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tiers), &models, |b, m| {
+            b.iter(|| {
+                let w = cross_tier_weights(black_box(&counts));
+                black_box(aggregate_tiers(black_box(m), &w))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_client_average, bench_cross_tier);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Codec microbenchmarks: polyline encode/decode throughput per precision,
+//! versus raw and int8 quantization (the transport cost behind Table 2 and
+//! Fig. 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedat_compress::codec::{Codec, NoCompression, PolylineCodec, QuantizeCodec};
+use std::hint::black_box;
+
+fn model_weights(n: usize) -> Vec<f32> {
+    // Kaiming-ish magnitudes: the realistic payload distribution.
+    (0..n).map(|i| ((i as f64 * 0.377).sin() * 0.05) as f32).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let weights = model_weights(22_000); // ≈ the CnnLite parameter count
+    let mut group = c.benchmark_group("codec/encode");
+    group.throughput(Throughput::Elements(weights.len() as u64));
+    group.sample_size(20);
+    for p in [3u8, 4, 5, 6] {
+        let codec = PolylineCodec::new(p);
+        group.bench_with_input(BenchmarkId::new("polyline", p), &weights, |b, w| {
+            b.iter(|| black_box(codec.encode(black_box(w))))
+        });
+    }
+    let raw = NoCompression;
+    group.bench_with_input(BenchmarkId::new("raw", 0), &weights, |b, w| {
+        b.iter(|| black_box(raw.encode(black_box(w))))
+    });
+    let quant = QuantizeCodec;
+    group.bench_with_input(BenchmarkId::new("quantize-i8", 0), &weights, |b, w| {
+        b.iter(|| black_box(quant.encode(black_box(w))))
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let weights = model_weights(22_000);
+    let mut group = c.benchmark_group("codec/decode");
+    group.throughput(Throughput::Elements(weights.len() as u64));
+    group.sample_size(20);
+    for p in [3u8, 4, 6] {
+        let codec = PolylineCodec::new(p);
+        let blob = codec.encode(&weights);
+        group.bench_with_input(BenchmarkId::new("polyline", p), &blob, |b, blob| {
+            b.iter(|| black_box(codec.decode(black_box(blob))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    // End-to-end transport cost: encode + decode (what every simulated
+    // transfer pays).
+    let weights = model_weights(22_000);
+    let codec = PolylineCodec::new(4);
+    let mut group = c.benchmark_group("codec/roundtrip");
+    group.sample_size(20);
+    group.bench_function("polyline-p4", |b| {
+        b.iter(|| {
+            let blob = codec.encode(black_box(&weights));
+            black_box(codec.decode(&blob))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end federated-round benchmarks: the full cost of one global
+//! update for each strategy family on a small federation (local training +
+//! transport + aggregation + evaluation cadence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedat_core::{run_experiment, ExperimentConfig, StrategyKind};
+use fedat_data::suite;
+use std::hint::black_box;
+
+fn bench_strategy_rounds(c: &mut Criterion) {
+    let task = suite::sent140_like(20, 3);
+    let mut group = c.benchmark_group("fl/rounds");
+    group.sample_size(10);
+    for strategy in [StrategyKind::FedAvg, StrategyKind::TiFL, StrategyKind::FedAt] {
+        group.bench_function(BenchmarkId::new("10-updates", strategy.name()), |b| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::builder()
+                    .strategy(strategy)
+                    .rounds(10)
+                    .clients_per_round(4)
+                    .local_epochs(1)
+                    .eval_every(5)
+                    .seed(3)
+                    .build();
+                black_box(run_experiment(&task, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_training(c: &mut Criterion) {
+    use fedat_core::local::train_client;
+    let task = suite::cifar10_like(10, 2, 3);
+    let cfg = ExperimentConfig::builder().seed(3).build();
+    let global = task.model.build(3).weights();
+    let mut group = c.benchmark_group("fl/local-training");
+    group.sample_size(10);
+    group.bench_function("cnn-client-round-3epochs", |b| {
+        b.iter(|| black_box(train_client(&task, 0, &global, &cfg, 3, 0, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy_rounds, bench_local_training);
+criterion_main!(benches);

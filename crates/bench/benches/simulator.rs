@@ -1,0 +1,73 @@
+//! Simulator microbenchmarks: event-queue throughput and end-to-end event
+//! processing rate of the discrete-event runtime (no model math).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedat_sim::event::EventQueue;
+use fedat_sim::fleet::{ClusterConfig, Fleet};
+use fedat_sim::runtime::{run, Completion, EventHandler, RunLimits, SimCtx};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/event-queue");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(((i * 7919) % n) as f64, i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A no-op strategy that keeps `k` clients cycling; measures raw runtime
+/// overhead per completion event.
+struct Cycler {
+    events: u64,
+    budget: u64,
+}
+
+impl EventHandler for Cycler {
+    fn on_start(&mut self, ctx: &mut SimCtx) {
+        for c in ctx.alive_clients().into_iter().take(32) {
+            ctx.dispatch(c, 0, 1);
+        }
+    }
+    fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+        self.events += 1;
+        if !c.dropped && self.events < self.budget && ctx.fleet.is_alive(c.client, ctx.now()) {
+            ctx.dispatch(c.client, 0, 1);
+        }
+    }
+    fn finished(&self) -> bool {
+        self.events >= self.budget
+    }
+}
+
+fn bench_runtime_events(c: &mut Criterion) {
+    let cfg = ClusterConfig::paper_medium(1).without_dropouts();
+    let fleet = Fleet::new(&cfg, vec![48; 100]);
+    let mut group = c.benchmark_group("sim/runtime");
+    group.sample_size(20);
+    let budget = 10_000u64;
+    group.throughput(Throughput::Elements(budget));
+    group.bench_function("events-10k", |b| {
+        b.iter(|| {
+            let mut h = Cycler { events: 0, budget };
+            black_box(run(&mut h, &fleet, 1, RunLimits::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_runtime_events);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Diagnostic probe: one dataset × all Table-1 strategies at full scale,
+//! printed as a single row. Used to sanity-check calibration without
+//! running the whole matrix.
+//!
+//! ```text
+//! probe [cifar2|cifar8|fmnist2|sent140|femnist|reddit] [--seed N]
+//! ```
+
+use fedat_bench::harness::{run_jobs, Job, Scale};
+use fedat_bench::report::fmt_tta;
+use fedat_core::{ExperimentConfig, StrategyKind};
+use fedat_data::suite;
+use fedat_sim::fleet::ClusterConfig;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("cifar2").to_string();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9u64);
+    let scale = Scale::Full;
+    let n = scale.medium_clients();
+    let task = Arc::new(match which.as_str() {
+        "cifar2" => suite::cifar10_like(n, 2, seed),
+        "cifar8" => suite::cifar10_like(n, 8, seed),
+        "fmnist2" => suite::fmnist_like(n, 2, seed),
+        "sent140" => suite::sent140_like(n, seed),
+        "femnist" => suite::femnist_like(scale.large_clients(), seed),
+        "reddit" => suite::reddit_like(scale.large_clients(), seed),
+        other => {
+            eprintln!("unknown task {other}");
+            std::process::exit(2);
+        }
+    });
+    let large = matches!(which.as_str(), "femnist" | "reddit");
+    let cluster = if large {
+        let mut c = ClusterConfig::paper_large(seed).with_clients(task.fed.num_clients());
+        c.n_unstable = c.n_unstable.min(c.n_clients / 10);
+        c
+    } else {
+        ClusterConfig::paper_medium(seed).with_clients(task.fed.num_clients())
+    };
+    let jobs: Vec<Job> = StrategyKind::all()
+        .into_iter()
+        .map(|strategy| {
+            let rounds = match strategy {
+                StrategyKind::FedAt => 1300,
+                _ => 150,
+            };
+            let cfg = ExperimentConfig::builder()
+                .strategy(strategy)
+                .rounds(rounds)
+                .max_time(4500.0)
+                .eval_every(5)
+                .seed(seed)
+                .cluster(cluster.clone())
+                .build();
+            Job { label: strategy.name().to_string(), task: task.clone(), cfg }
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    for r in run_jobs(jobs, 0) {
+        let up = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        println!(
+            "{:9} best {:.4} t→{:.2} {:>8} end {:6.0}s updates {:6} var {:.5} upMB {:7.1}",
+            r.strategy,
+            r.outcome.best_accuracy(),
+            r.target_accuracy,
+            fmt_tta(r.outcome.trace.time_to_accuracy(r.target_accuracy)),
+            r.outcome.report.end_time,
+            r.outcome.global_updates,
+            r.outcome.accuracy_variance,
+            up as f64 / 1e6,
+        );
+    }
+    eprintln!("probe {which} done in {:.0}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,51 @@
+//! Reproduction CLI: regenerates every table and figure of the FedAT paper.
+//!
+//! ```text
+//! repro <experiment-id> [--quick] [--seed N] [--threads N] [--out DIR]
+//! ```
+
+use fedat_bench::experiments::{self, Ctx};
+use fedat_bench::harness::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment-id> [--quick] [--seed N] [--threads N] [--out DIR]");
+        eprintln!("ids: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10");
+        eprintln!("     ablate-mistier ablate-lambda ablate-delta matrix all");
+        std::process::exit(2);
+    }
+    let id = args[0].clone();
+    let mut scale = Scale::Full;
+    let mut seed = 9u64;
+    let mut threads = 0usize;
+    let mut out = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("--threads takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let started = std::time::Instant::now();
+    let ctx = Ctx { scale, out, seed, threads };
+    experiments::run(&id, &ctx);
+    eprintln!("[repro {id}] done in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,749 @@
+//! One function per table/figure of the paper's evaluation section, plus
+//! the DESIGN.md §5 ablations.
+//!
+//! Heavy artifacts share runs: Table 1, Table 2 and Figs. 2–4 all derive
+//! from [`core_matrix`] (strategy × dataset on the 100-client cluster);
+//! `repro all` therefore computes that matrix once.
+
+use crate::harness::{run_jobs, Job, JobResult, Scale};
+use crate::report::{fmt_mb, fmt_tta, out_dir, slug, write_trace, TextReport};
+use fedat_compress::codec::CodecKind;
+use fedat_core::config::{ExperimentConfig, StrategyKind};
+use fedat_data::suite::{self, FedTask};
+use fedat_sim::fleet::ClusterConfig;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Shared experiment context.
+pub struct Ctx {
+    /// Full or quick scale.
+    pub scale: Scale,
+    /// Output directory root (usually `results/`).
+    pub out: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+/// Smoothing window used by the paper's figures ("average-smoothed for
+/// every 40 global rounds"; our eval cadence is every 5 rounds, so 8 points
+/// ≈ 40 rounds).
+const SMOOTH_WINDOW: usize = 8;
+
+/// Round budgets for the medium-cluster matrix. Calibrated so every method
+/// fills (roughly) the same virtual-time horizon: a synchronous round takes
+/// ~30 s (compute + worst sampled delay), a FedAT tier round ~10–35 s
+/// depending on the tier, so FedAT earns proportionally more global updates
+/// within the shared `max_time` — exactly the effect the paper measures.
+fn sync_rounds(scale: Scale) -> u64 {
+    scale.rounds(150)
+}
+fn fedat_rounds(scale: Scale) -> u64 {
+    scale.rounds(1000)
+}
+
+/// Shared virtual-time horizon (seconds) for the medium-cluster matrix.
+const MATRIX_HORIZON: f64 = 4500.0;
+
+impl Ctx {
+    fn medium_cluster(&self) -> ClusterConfig {
+        ClusterConfig::paper_medium(self.seed).with_clients(self.scale.medium_clients())
+    }
+
+    fn large_cluster(&self) -> ClusterConfig {
+        let mut c = ClusterConfig::paper_large(self.seed).with_clients(self.scale.large_clients());
+        c.n_unstable = c.n_unstable.min(c.n_clients / 10);
+        c
+    }
+
+    fn cfg(&self, strategy: StrategyKind) -> ExperimentConfig {
+        let rounds = match strategy {
+            StrategyKind::FedAt => fedat_rounds(self.scale),
+            _ => sync_rounds(self.scale),
+        };
+        ExperimentConfig::builder()
+            .strategy(strategy)
+            .rounds(rounds)
+            .max_time(MATRIX_HORIZON)
+            .eval_every(5)
+            .seed(self.seed)
+            .cluster(self.medium_cluster())
+            .build()
+    }
+
+    fn job(&self, task: &Arc<FedTask>, cfg: ExperimentConfig) -> Job {
+        Job {
+            label: format!("{} @ {}", cfg.strategy.name(), task.name),
+            task: task.clone(),
+            cfg,
+        }
+    }
+}
+
+/// The five Table 1 strategies in paper order.
+fn table1_strategies() -> [StrategyKind; 5] {
+    [
+        StrategyKind::TiFL,
+        StrategyKind::FedAvg,
+        StrategyKind::FedProx,
+        StrategyKind::FedAsync,
+        StrategyKind::FedAt,
+    ]
+}
+
+/// The medium-cluster datasets of Table 1 / Figs. 2–4.
+fn matrix_tasks(ctx: &Ctx) -> Vec<Arc<FedTask>> {
+    let n = ctx.scale.medium_clients();
+    vec![
+        Arc::new(suite::cifar10_like(n, 2, ctx.seed)),
+        Arc::new(suite::cifar10_like(n, 4, ctx.seed)),
+        Arc::new(suite::cifar10_like(n, 6, ctx.seed)),
+        Arc::new(suite::cifar10_like(n, 8, ctx.seed)),
+        Arc::new(suite::cifar10_like(n, 0, ctx.seed)),
+        Arc::new(suite::fmnist_like(n, 2, ctx.seed)),
+        Arc::new(suite::sent140_like(n, ctx.seed)),
+    ]
+}
+
+/// Runs the strategy×dataset matrix behind Table 1/2 and Figs. 2–4.
+pub fn core_matrix(ctx: &Ctx) -> Vec<JobResult> {
+    let tasks = matrix_tasks(ctx);
+    let mut jobs = Vec::new();
+    for task in &tasks {
+        for strategy in table1_strategies() {
+            jobs.push(ctx.job(task, ctx.cfg(strategy)));
+        }
+    }
+    run_jobs(jobs, ctx.threads)
+}
+
+/// Table 1: best accuracy + accuracy variance per dataset and strategy.
+pub fn table1(ctx: &Ctx, matrix: &[JobResult]) {
+    let dir = out_dir(&ctx.out, "table1");
+    let mut rep = TextReport::new("Table 1 — prediction performance and variance");
+    rep.line(format!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "dataset", "TiFL", "FedAvg", "FedProx", "FedAsync", "FedAT"
+    ));
+    let mut csv = String::from("dataset,strategy,best_accuracy,accuracy_variance,norm_variance\n");
+    let datasets: Vec<String> = dedup_keep_order(matrix.iter().map(|r| r.task_name.clone()));
+    for ds in &datasets {
+        let row: Vec<&JobResult> = matrix.iter().filter(|r| &r.task_name == ds).collect();
+        let fedat_var = row
+            .iter()
+            .find(|r| r.strategy == "FedAT")
+            .map(|r| r.outcome.accuracy_variance.max(1e-9))
+            .unwrap_or(1.0);
+        let cell = |name: &str| -> String {
+            row.iter()
+                .find(|r| r.strategy == name)
+                .map(|r| format!("{:.3}", r.outcome.best_accuracy()))
+                .unwrap_or_else(|| "—".into())
+        };
+        rep.line(format!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9}  (acc)",
+            ds,
+            cell("TiFL"),
+            cell("FedAvg"),
+            cell("FedProx"),
+            cell("FedAsync"),
+            cell("FedAT"),
+        ));
+        let var_cell = |name: &str| -> String {
+            row.iter()
+                .find(|r| r.strategy == name)
+                .map(|r| format!("{:.2}", r.outcome.accuracy_variance / fedat_var))
+                .unwrap_or_else(|| "—".into())
+        };
+        rep.line(format!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9}  (norm.var)",
+            "",
+            var_cell("TiFL"),
+            var_cell("FedAvg"),
+            var_cell("FedProx"),
+            var_cell("FedAsync"),
+            var_cell("FedAT"),
+        ));
+        for r in &row {
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.6},{:.3}\n",
+                ds,
+                r.strategy,
+                r.outcome.best_accuracy(),
+                r.outcome.accuracy_variance,
+                r.outcome.accuracy_variance / fedat_var
+            ));
+        }
+    }
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("table1.csv"), csv).ok();
+    rep.emit(&dir, "table1").ok();
+}
+
+/// Table 2: MB transferred (up + down) to reach the target accuracy on the
+/// 2-class non-IID datasets.
+pub fn table2(ctx: &Ctx, matrix: &[JobResult]) {
+    let dir = out_dir(&ctx.out, "table2");
+    let mut rep = TextReport::new("Table 2 — MB transferred to reach target accuracy (2-class non-IID)");
+    let mut csv = String::from("dataset,strategy,target,mb_to_target\n");
+    let wanted = ["cifar10-like(#2)", "fmnist-like(#2)", "sent140-like"];
+    rep.line(format!("{:<10} {:>22} {:>18} {:>14}", "method", "cifar10-like(#2)", "fmnist-like(#2)", "sent140-like"));
+    for strategy in ["FedAvg", "TiFL", "FedProx", "FedAsync", "FedAT"] {
+        let mut cells = Vec::new();
+        for ds in wanted {
+            let r = matrix
+                .iter()
+                .find(|r| r.task_name == ds && r.strategy == strategy);
+            let cell = match r {
+                Some(r) => {
+                    let b = r.outcome.trace.bytes_to_accuracy(r.target_accuracy);
+                    csv.push_str(&format!(
+                        "{},{},{},{}\n",
+                        ds,
+                        strategy,
+                        r.target_accuracy,
+                        b.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+                    ));
+                    fmt_mb(b)
+                }
+                None => "—".into(),
+            };
+            cells.push(cell);
+        }
+        rep.line(format!(
+            "{:<10} {:>22} {:>18} {:>14}",
+            strategy, cells[0], cells[1], cells[2]
+        ));
+    }
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("table2.csv"), csv).ok();
+    rep.emit(&dir, "table2").ok();
+}
+
+/// Fig. 2: accuracy-over-time curves + time-to-target bars for the three
+/// 2-class non-IID datasets.
+pub fn fig2(ctx: &Ctx, matrix: &[JobResult]) {
+    let dir = out_dir(&ctx.out, "fig2");
+    let mut rep = TextReport::new("Fig. 2 — convergence timelines and time-to-target");
+    for ds in ["cifar10-like(#2)", "fmnist-like(#2)", "sent140-like"] {
+        rep.line(format!("[{ds}]"));
+        for r in matrix.iter().filter(|r| r.task_name == ds) {
+            write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+            rep.line(format!(
+                "  {:<9} best {:.3}  time→{:.2}: {}",
+                r.strategy,
+                r.outcome.best_accuracy(),
+                r.target_accuracy,
+                fmt_tta(r.outcome.trace.time_to_accuracy(r.target_accuracy)),
+            ));
+        }
+        rep.blank();
+    }
+    rep.emit(&dir, "fig2").ok();
+}
+
+/// Fig. 3: convergence vs non-IID level on CIFAR-10-like.
+pub fn fig3(ctx: &Ctx, matrix: &[JobResult]) {
+    let dir = out_dir(&ctx.out, "fig3");
+    let mut rep = TextReport::new("Fig. 3 — CIFAR-10-like convergence across non-IID levels");
+    for ds in [
+        "cifar10-like(#4)",
+        "cifar10-like(#6)",
+        "cifar10-like(#8)",
+        "cifar10-like(iid)",
+    ] {
+        rep.line(format!("[{ds}]"));
+        for r in matrix.iter().filter(|r| r.task_name == ds) {
+            write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+            rep.line(format!(
+                "  {:<9} best {:.3}  final {:.3}",
+                r.strategy,
+                r.outcome.best_accuracy(),
+                r.outcome.trace.final_accuracy()
+            ));
+        }
+        rep.blank();
+    }
+    rep.emit(&dir, "fig3").ok();
+}
+
+/// Fig. 4: accuracy vs cumulative uploaded bytes (2-class non-IID).
+pub fn fig4(ctx: &Ctx, matrix: &[JobResult]) {
+    let dir = out_dir(&ctx.out, "fig4");
+    let mut rep = TextReport::new("Fig. 4 — accuracy vs uploaded bytes (2-class non-IID)");
+    for ds in ["cifar10-like(#2)", "fmnist-like(#2)", "sent140-like"] {
+        rep.line(format!("[{ds}]"));
+        for r in matrix.iter().filter(|r| r.task_name == ds) {
+            // The trace CSV already carries up_bytes per point; the figure
+            // is accuracy against that column.
+            write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+            let up = r
+                .outcome
+                .trace
+                .upload_bytes_to_accuracy(r.target_accuracy);
+            rep.line(format!(
+                "  {:<9} upload-MB→{:.2}: {}",
+                r.strategy,
+                r.target_accuracy,
+                fmt_mb(up)
+            ));
+        }
+        rep.blank();
+    }
+    rep.emit(&dir, "fig4").ok();
+}
+
+/// Fig. 5: FedAT compression-precision sweep on CIFAR-10-like 2-class.
+pub fn fig5(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "fig5");
+    let task = Arc::new(suite::cifar10_like(ctx.scale.medium_clients(), 2, ctx.seed));
+    let variants: Vec<(String, Option<CodecKind>)> = vec![
+        ("precision3".into(), Some(CodecKind::Polyline { precision: 3, delta: true })),
+        ("precision4".into(), Some(CodecKind::Polyline { precision: 4, delta: true })),
+        ("precision5".into(), Some(CodecKind::Polyline { precision: 5, delta: true })),
+        ("precision6".into(), Some(CodecKind::Polyline { precision: 6, delta: true })),
+        ("no-compression".into(), Some(CodecKind::Raw)),
+    ];
+    let jobs: Vec<Job> = variants
+        .iter()
+        .map(|(name, codec)| {
+            let mut cfg = ctx.cfg(StrategyKind::FedAt);
+            if let Some(k) = codec {
+                cfg.codec = Some(*k);
+            }
+            Job { label: format!("FedAT-{name}"), task: task.clone(), cfg }
+        })
+        .collect();
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Fig. 5 — accuracy vs compression precision (FedAT, CIFAR-10-like #2)");
+    let mut csv = String::from("variant,best_accuracy,up_mb_total,up_mb_to_target\n");
+    for r in &results {
+        write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        let up_total = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        let up_t = r.outcome.trace.upload_bytes_to_accuracy(r.target_accuracy);
+        rep.line(format!(
+            "  {:<22} best {:.3}  upload total {:.1} MB  upload→{:.2}: {}",
+            r.label,
+            r.outcome.best_accuracy(),
+            up_total as f64 / 1e6,
+            r.target_accuracy,
+            fmt_mb(up_t)
+        ));
+        csv.push_str(&format!(
+            "{},{:.4},{:.2},{}\n",
+            r.label,
+            r.outcome.best_accuracy(),
+            up_total as f64 / 1e6,
+            up_t.map(|b| format!("{:.2}", b as f64 / 1e6)).unwrap_or_else(|| "-".into())
+        ));
+    }
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("fig5.csv"), csv).ok();
+    rep.emit(&dir, "fig5").ok();
+}
+
+/// Fig. 6: weighted vs uniform cross-tier aggregation.
+pub fn fig6(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "fig6");
+    let n = ctx.scale.medium_clients();
+    let tasks = vec![
+        Arc::new(suite::cifar10_like(n, 2, ctx.seed)),
+        Arc::new(suite::fmnist_like(n, 2, ctx.seed)),
+        Arc::new(suite::sent140_like(n, ctx.seed)),
+    ];
+    let mut jobs = Vec::new();
+    for task in &tasks {
+        for uniform in [false, true] {
+            let mut cfg = ctx.cfg(StrategyKind::FedAt);
+            cfg.uniform_tier_weights = uniform;
+            jobs.push(Job {
+                label: format!(
+                    "{} @ {}",
+                    if uniform { "Uniform" } else { "Weighted" },
+                    task.name
+                ),
+                task: task.clone(),
+                cfg,
+            });
+        }
+    }
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Fig. 6 — weighted vs uniform cross-tier aggregation (FedAT)");
+    let mut csv = String::from("dataset,aggregation,best_accuracy\n");
+    for pair in results.chunks(2) {
+        let (w, u) = (&pair[0], &pair[1]);
+        rep.line(format!(
+            "  {:<22} weighted {:.3}  uniform {:.3}  (Δ {:+.3})",
+            w.task_name,
+            w.outcome.best_accuracy(),
+            u.outcome.best_accuracy(),
+            w.outcome.best_accuracy() - u.outcome.best_accuracy()
+        ));
+        csv.push_str(&format!("{},weighted,{:.4}\n", w.task_name, w.outcome.best_accuracy()));
+        csv.push_str(&format!("{},uniform,{:.4}\n", u.task_name, u.outcome.best_accuracy()));
+    }
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("fig6.csv"), csv).ok();
+    rep.emit(&dir, "fig6").ok();
+}
+
+/// Fig. 7: FEMNIST-like at large scale, all six methods (adds ASO-Fed).
+pub fn fig7(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "fig7");
+    let task = Arc::new(suite::femnist_like(ctx.scale.large_clients(), ctx.seed));
+    let mut jobs = Vec::new();
+    for strategy in StrategyKind::all() {
+        // At 500 clients a fully-async method performs hundreds of single-
+        // client updates per virtual minute; its budget is capped lower so
+        // the simulated compute stays tractable (the paper's async curves
+        // plateau early regardless).
+        let rounds = match strategy {
+            StrategyKind::FedAt => ctx.scale.rounds(500),
+            StrategyKind::FedAsync | StrategyKind::AsoFed => ctx.scale.rounds(64),
+            _ => ctx.scale.rounds(200),
+        };
+        let cfg = ExperimentConfig::builder()
+            .strategy(strategy)
+            .rounds(rounds)
+            .max_time(6000.0)
+            .eval_every(5)
+            .seed(ctx.seed)
+            .cluster(ctx.large_cluster())
+            .build();
+        jobs.push(ctx.job(&task, cfg));
+    }
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Fig. 7 — FEMNIST-like, 500 clients, accuracy vs time and bytes");
+    for r in &results {
+        write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        let up_total = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        rep.line(format!(
+            "  {:<9} best {:.3}  t→{:.2}: {:>8}  upload {:.1} MB",
+            r.strategy,
+            r.outcome.best_accuracy(),
+            r.target_accuracy,
+            fmt_tta(r.outcome.trace.time_to_accuracy(r.target_accuracy)),
+            up_total as f64 / 1e6
+        ));
+    }
+    rep.emit(&dir, "fig7").ok();
+}
+
+/// Fig. 8: Reddit-like LSTM, accuracy and loss over time
+/// (FedAT / TiFL / FedProx).
+pub fn fig8(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "fig8");
+    let task = Arc::new(suite::reddit_like(ctx.scale.large_clients(), ctx.seed));
+    let mut jobs = Vec::new();
+    for strategy in [StrategyKind::FedAt, StrategyKind::TiFL, StrategyKind::FedProx] {
+        // FedAT tier updates are ~3–4× faster than full rounds; budgets are
+        // set so both fill the same 4000 s horizon (DESIGN.md §6).
+        let rounds = match strategy {
+            StrategyKind::FedAt => ctx.scale.rounds(1400),
+            _ => ctx.scale.rounds(160),
+        };
+        let cfg = ExperimentConfig::builder()
+            .strategy(strategy)
+            .rounds(rounds)
+            .max_time(4000.0)
+            .eval_every(5)
+            .seed(ctx.seed)
+            .cluster(ctx.large_cluster())
+            .build();
+        jobs.push(ctx.job(&task, cfg));
+    }
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Fig. 8 — Reddit-like LSTM: accuracy and loss over time");
+    for r in &results {
+        write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        let final_loss = r.outcome.trace.points.last().map(|p| p.loss).unwrap_or(f32::NAN);
+        rep.line(format!(
+            "  {:<9} best acc {:.3}  final loss {:.3}",
+            r.strategy,
+            r.outcome.best_accuracy(),
+            final_loss
+        ));
+    }
+    rep.emit(&dir, "fig8").ok();
+}
+
+/// Fig. 9: client-participation sweep (clients per round) on CIFAR-10-like
+/// #2 and Sentiment140-like, for the four synchronous-flavoured methods.
+pub fn fig9(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "fig9");
+    let n = ctx.scale.medium_clients();
+    let tasks = vec![
+        Arc::new(suite::cifar10_like(n, 2, ctx.seed)),
+        Arc::new(suite::sent140_like(n, ctx.seed)),
+    ];
+    let parts = [2usize, 5, 10, 15];
+    let strategies = [
+        StrategyKind::FedAt,
+        StrategyKind::TiFL,
+        StrategyKind::FedAvg,
+        StrategyKind::FedProx,
+    ];
+    let mut jobs = Vec::new();
+    for task in &tasks {
+        for &k in &parts {
+            for strategy in strategies {
+                let mut cfg = ctx.cfg(strategy);
+                cfg.clients_per_round = k;
+                jobs.push(Job {
+                    label: format!("{} k={k} @ {}", strategy.name(), task.name),
+                    task: task.clone(),
+                    cfg,
+                });
+            }
+        }
+    }
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Fig. 9 — accuracy vs clients per round");
+    let mut csv = String::from("dataset,clients_per_round,strategy,best_accuracy\n");
+    for r in &results {
+        csv.push_str(&format!(
+            "{},{},{},{:.4}\n",
+            r.task_name,
+            r.label.split("k=").nth(1).and_then(|s| s.split(' ').next()).unwrap_or("?"),
+            r.strategy,
+            r.outcome.best_accuracy()
+        ));
+    }
+    for task in &tasks {
+        rep.line(format!("[{}]", task.name));
+        for &k in &parts {
+            let row: Vec<String> = strategies
+                .iter()
+                .map(|s| {
+                    results
+                        .iter()
+                        .find(|r| {
+                            r.task_name == task.name
+                                && r.strategy == s.name()
+                                && r.label.contains(&format!("k={k} "))
+                        })
+                        .map(|r| format!("{}={:.3}", s.name(), r.outcome.best_accuracy()))
+                        .unwrap_or_default()
+                })
+                .collect();
+            rep.line(format!("  k={k:<3} {}", row.join("  ")));
+        }
+        rep.blank();
+    }
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("fig9.csv"), csv).ok();
+    rep.emit(&dir, "fig9").ok();
+}
+
+/// Fig. 10: tier-size distributions (Uniform/Slow/Medium/Fast) on the
+/// large FEMNIST-like cluster, FedAT only.
+pub fn fig10(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "fig10");
+    let n = ctx.scale.large_clients();
+    let task = Arc::new(suite::femnist_like(n, ctx.seed));
+    // Scale the paper's 500-client distributions to n.
+    let dist = |fracs: [usize; 5]| -> Vec<usize> {
+        let total: usize = fracs.iter().sum();
+        let mut sizes: Vec<usize> = fracs.iter().map(|f| f * n / total).collect();
+        let mut diff = n as isize - sizes.iter().sum::<usize>() as isize;
+        let mut i = 0usize;
+        while diff > 0 {
+            sizes[i % 5] += 1;
+            diff -= 1;
+            i += 1;
+        }
+        sizes
+    };
+    let configs = vec![
+        ("Uniform", dist([100, 100, 100, 100, 100])),
+        ("Slow", dist([50, 50, 100, 100, 200])),
+        ("Medium", dist([50, 100, 200, 100, 50])),
+        ("Fast", dist([200, 100, 100, 50, 50])),
+    ];
+    let mut jobs = Vec::new();
+    for (name, sizes) in &configs {
+        let cluster = ctx.large_cluster().with_part_sizes(sizes.clone());
+        let cfg = ExperimentConfig::builder()
+            .strategy(StrategyKind::FedAt)
+            .rounds(ctx.scale.rounds(500))
+            .max_time(6000.0)
+            .eval_every(5)
+            .seed(ctx.seed)
+            .cluster(cluster)
+            .build();
+        jobs.push(Job { label: format!("FedAT-{name}"), task: task.clone(), cfg });
+    }
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Fig. 10 — FedAT under different tier-size distributions (FEMNIST-like)");
+    for r in &results {
+        write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        rep.line(format!(
+            "  {:<15} best {:.3}  t→{:.2}: {}",
+            r.label,
+            r.outcome.best_accuracy(),
+            r.target_accuracy,
+            fmt_tta(r.outcome.trace.time_to_accuracy(r.target_accuracy))
+        ));
+    }
+    rep.emit(&dir, "fig10").ok();
+}
+
+/// Ablation: FedAT vs TiFL under mis-tiering (DESIGN.md §5.4).
+pub fn ablate_mistier(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "ablate-mistier");
+    let task = Arc::new(suite::cifar10_like(ctx.scale.medium_clients(), 2, ctx.seed));
+    let mut jobs = Vec::new();
+    for strategy in [StrategyKind::FedAt, StrategyKind::TiFL] {
+        for frac in [0.0, 0.3] {
+            let mut cfg = ctx.cfg(strategy);
+            cfg.mistier_fraction = frac;
+            jobs.push(Job {
+                label: format!("{} mistier={frac}", strategy.name()),
+                task: task.clone(),
+                cfg,
+            });
+        }
+    }
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Ablation — tolerance to mis-tiering (30% of clients mis-assigned)");
+    for pair in results.chunks(2) {
+        let (clean, noisy) = (&pair[0], &pair[1]);
+        rep.line(format!(
+            "  {:<9} clean {:.3} → mis-tiered {:.3}  (drop {:+.3})",
+            clean.strategy,
+            clean.outcome.best_accuracy(),
+            noisy.outcome.best_accuracy(),
+            noisy.outcome.best_accuracy() - clean.outcome.best_accuracy()
+        ));
+    }
+    rep.emit(&dir, "ablate_mistier").ok();
+}
+
+/// Ablation: the proximal coefficient λ (paper fixes 0.4).
+pub fn ablate_lambda(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "ablate-lambda");
+    let task = Arc::new(suite::cifar10_like(ctx.scale.medium_clients(), 2, ctx.seed));
+    let jobs: Vec<Job> = [0.0f32, 0.1, 0.4, 1.0]
+        .into_iter()
+        .map(|lambda| {
+            let mut cfg = ctx.cfg(StrategyKind::FedAt);
+            cfg.lambda = lambda;
+            Job { label: format!("FedAT λ={lambda}"), task: task.clone(), cfg }
+        })
+        .collect();
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Ablation — local constraint λ (FedAT, CIFAR-10-like #2)");
+    for r in &results {
+        rep.line(format!(
+            "  {:<12} best {:.3}  variance {:.5}",
+            r.label,
+            r.outcome.best_accuracy(),
+            r.outcome.accuracy_variance
+        ));
+    }
+    rep.emit(&dir, "ablate_lambda").ok();
+}
+
+/// Ablation: delta vs absolute polyline coding (DESIGN.md §5.2).
+pub fn ablate_delta(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "ablate-delta");
+    let task = Arc::new(suite::cifar10_like(ctx.scale.medium_clients(), 2, ctx.seed));
+    let jobs: Vec<Job> = [true, false]
+        .into_iter()
+        .map(|delta| {
+            let mut cfg = ctx.cfg(StrategyKind::FedAt);
+            cfg.codec = Some(CodecKind::Polyline { precision: 4, delta });
+            Job {
+                label: format!("FedAT polyline-{}", if delta { "delta" } else { "absolute" }),
+                task: task.clone(),
+                cfg,
+            }
+        })
+        .collect();
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("Ablation — delta vs absolute polyline coding (FedAT)");
+    for r in &results {
+        let up = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        rep.line(format!(
+            "  {:<26} best {:.3}  upload {:.1} MB",
+            r.label,
+            r.outcome.best_accuracy(),
+            up as f64 / 1e6
+        ));
+    }
+    rep.emit(&dir, "ablate_delta").ok();
+}
+
+fn dedup_keep_order<I: Iterator<Item = String>>(it: I) -> Vec<String> {
+    let mut seen = Vec::new();
+    for s in it {
+        if !seen.contains(&s) {
+            seen.push(s);
+        }
+    }
+    seen
+}
+
+/// Runs one experiment by id; `all` shares the core matrix across the
+/// artifacts that reuse it.
+pub fn run(id: &str, ctx: &Ctx) {
+    match id {
+        "table1" => {
+            let m = core_matrix(ctx);
+            table1(ctx, &m);
+        }
+        "table2" => {
+            let m = core_matrix(ctx);
+            table2(ctx, &m);
+        }
+        "fig2" => {
+            let m = core_matrix(ctx);
+            fig2(ctx, &m);
+        }
+        "fig3" => {
+            let m = core_matrix(ctx);
+            fig3(ctx, &m);
+        }
+        "fig4" => {
+            let m = core_matrix(ctx);
+            fig4(ctx, &m);
+        }
+        "fig5" => fig5(ctx),
+        "fig6" => fig6(ctx),
+        "fig7" => fig7(ctx),
+        "fig8" => fig8(ctx),
+        "fig9" => fig9(ctx),
+        "fig10" => fig10(ctx),
+        "ablate-mistier" => ablate_mistier(ctx),
+        "ablate-lambda" => ablate_lambda(ctx),
+        "ablate-delta" => ablate_delta(ctx),
+        "matrix" | "all" => {
+            let m = core_matrix(ctx);
+            table1(ctx, &m);
+            table2(ctx, &m);
+            fig2(ctx, &m);
+            fig3(ctx, &m);
+            fig4(ctx, &m);
+            if id == "all" {
+                fig5(ctx);
+                fig6(ctx);
+                fig7(ctx);
+                fig8(ctx);
+                fig9(ctx);
+                fig10(ctx);
+                ablate_mistier(ctx);
+                ablate_lambda(ctx);
+                ablate_delta(ctx);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            eprintln!(
+                "known: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 \
+                 ablate-mistier ablate-lambda ablate-delta matrix all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

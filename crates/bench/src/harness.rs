@@ -1,0 +1,183 @@
+//! Parallel experiment execution.
+//!
+//! Each simulation run is single-threaded and deterministic, so the harness
+//! simply fans independent runs out over a worker pool sized to the host.
+
+use crossbeam::channel::unbounded;
+use fedat_core::{run_experiment, ExperimentConfig, Outcome};
+use fedat_data::suite::FedTask;
+use std::sync::Arc;
+
+/// One experiment to run: a label, the task, and the configuration.
+pub struct Job {
+    /// Row/series label, e.g. `FedAT @ cifar10-like(#2)`.
+    pub label: String,
+    /// The federated task (shared between jobs on the same dataset).
+    pub task: Arc<FedTask>,
+    /// Full configuration.
+    pub cfg: ExperimentConfig,
+}
+
+/// A finished job.
+pub struct JobResult {
+    /// The job's label.
+    pub label: String,
+    /// Name of the task the job ran on.
+    pub task_name: String,
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// The task's time-to-accuracy target.
+    pub target_accuracy: f32,
+    /// The experiment outcome.
+    pub outcome: Outcome,
+}
+
+/// Runs all jobs across `threads` workers (0 = all cores minus two),
+/// returning results in the original job order.
+pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<JobResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|c| c.get().saturating_sub(2).max(1))
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(jobs.len().max(1));
+
+    let (job_tx, job_rx) = unbounded::<(usize, Job)>();
+    let (res_tx, res_rx) = unbounded::<(usize, JobResult)>();
+    let total = jobs.len();
+    for (i, j) in jobs.into_iter().enumerate() {
+        job_tx.send((i, j)).expect("queue open");
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, job)) = job_rx.recv() {
+                    let outcome = run_experiment(&job.task, &job.cfg);
+                    let result = JobResult {
+                        label: job.label,
+                        task_name: job.task.name.clone(),
+                        strategy: job.cfg.strategy.name(),
+                        target_accuracy: job.task.target_accuracy,
+                        outcome,
+                    };
+                    res_tx.send((i, result)).expect("collector open");
+                }
+            });
+        }
+        drop(res_tx);
+    });
+
+    let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+    for (i, r) in res_rx.iter() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job completed"))
+        .collect()
+}
+
+/// Scale selector: full reproduces the paper's setup, quick shrinks it for
+/// smoke tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale clients and budgets.
+    Full,
+    /// ≈8× smaller (harness smoke test).
+    Quick,
+}
+
+impl Scale {
+    /// Clients for the medium (Chameleon-style) experiments.
+    pub fn medium_clients(self) -> usize {
+        match self {
+            Scale::Full => 100,
+            Scale::Quick => 30,
+        }
+    }
+
+    /// Clients for the large (AWS-style) experiments.
+    pub fn large_clients(self) -> usize {
+        match self {
+            Scale::Full => 500,
+            Scale::Quick => 50,
+        }
+    }
+
+    /// Scales a round budget.
+    pub fn rounds(self, full: u64) -> u64 {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 8).max(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_core::StrategyKind;
+    use fedat_data::suite;
+
+    #[test]
+    fn jobs_run_in_parallel_and_keep_order() {
+        let task = Arc::new(suite::sent140_like(10, 3));
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| Job {
+                label: format!("job{i}"),
+                task: task.clone(),
+                cfg: ExperimentConfig::builder()
+                    .strategy(StrategyKind::FedAvg)
+                    .rounds(4)
+                    .clients_per_round(2)
+                    .local_epochs(1)
+                    .seed(i)
+                    .build(),
+            })
+            .collect();
+        let results = run_jobs(jobs, 3);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.label, format!("job{i}"), "order must be preserved");
+            assert!(r.outcome.global_updates > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let task = Arc::new(suite::sent140_like(10, 4));
+        let mk = || Job {
+            label: "x".into(),
+            task: task.clone(),
+            cfg: ExperimentConfig::builder()
+                .strategy(StrategyKind::FedAt)
+                .rounds(6)
+                .clients_per_round(2)
+                .local_epochs(1)
+                .seed(7)
+                .build(),
+        };
+        let serial = run_jobs(vec![mk()], 1);
+        let parallel = run_jobs(vec![mk(), mk(), mk()], 3);
+        for p in &parallel {
+            assert_eq!(
+                p.outcome.final_weights, serial[0].outcome.final_weights,
+                "parallel scheduling must not affect results"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_shrinks() {
+        assert_eq!(Scale::Full.medium_clients(), 100);
+        assert!(Scale::Quick.medium_clients() < 100);
+        assert_eq!(Scale::Full.rounds(600), 600);
+        assert_eq!(Scale::Quick.rounds(600), 75);
+    }
+}

@@ -1,0 +1,21 @@
+//! # fedat-bench — the reproduction harness
+//!
+//! One experiment module per table/figure of the paper's evaluation (§7),
+//! all driven from the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p fedat-bench --bin repro -- <experiment> [--quick] [--out DIR]
+//! ```
+//!
+//! `<experiment>` ∈ {`table1`, `table2`, `fig2`, `fig3`, `fig4`, `fig5`,
+//! `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `ablate-mistier`,
+//! `ablate-lambda`, `ablate-delta`, `all`}. `--quick` shrinks client counts
+//! and round budgets ≈8× for smoke-testing the harness.
+//!
+//! Experiments sharing the same underlying runs (Table 1/2 and Figs. 2–4
+//! all derive from one strategy×dataset matrix) are computed once by
+//! [`experiments::core_matrix`] and post-processed per artifact.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,144 @@
+//! Marshalling and unmarshalling of layered model weights (paper §4.3).
+//!
+//! The paper's pipeline: (1) flatten each layer's weights ("marshalling"),
+//! (2) polyline-encode every value, (3) transmit the per-layer dimensions
+//! alongside so the receiver can decompress and reshape ("unmarshalling").
+//! [`WeightArchive`] reproduces that framing and charges the dimension
+//! sideband to the wire size.
+
+use crate::codec::{Codec, CompressedBlob};
+
+/// Shape metadata of one marshalled layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerDims {
+    /// Layer dimensions (e.g. `[in, out]` for a dense kernel).
+    pub dims: Vec<usize>,
+}
+
+impl LayerDims {
+    /// Element count implied by the dims.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product::<usize>().max(1)
+    }
+
+    /// True when rank is zero (scalar layer).
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+}
+
+/// A compressed, layered weight payload: one blob for the concatenated
+/// values plus the dimension table.
+#[derive(Clone, Debug)]
+pub struct WeightArchive {
+    /// Encoded concatenated weights.
+    pub blob: CompressedBlob,
+    /// Per-layer dimensions, in marshalling order.
+    pub layers: Vec<LayerDims>,
+}
+
+/// Bytes charged per dimension entry on the wire (u32 each).
+const DIM_ENTRY_BYTES: usize = 4;
+
+impl WeightArchive {
+    /// Marshals per-layer weight slices and encodes them with `codec`.
+    ///
+    /// # Panics
+    /// Panics if any layer's slice length disagrees with its dims.
+    pub fn marshal(codec: &dyn Codec, layers: &[(&[f32], Vec<usize>)]) -> WeightArchive {
+        let total: usize = layers.iter().map(|(w, _)| w.len()).sum();
+        let mut flat = Vec::with_capacity(total);
+        let mut dims = Vec::with_capacity(layers.len());
+        for (w, d) in layers {
+            let expect: usize = d.iter().product::<usize>().max(1);
+            assert_eq!(w.len(), expect, "layer data does not match dims {d:?}");
+            flat.extend_from_slice(w);
+            dims.push(LayerDims { dims: d.clone() });
+        }
+        WeightArchive { blob: codec.encode(&flat), layers: dims }
+    }
+
+    /// Unmarshals back into per-layer vectors.
+    ///
+    /// # Panics
+    /// Panics if the blob length disagrees with the dimension table.
+    pub fn unmarshal(&self, codec: &dyn Codec) -> Vec<Vec<f32>> {
+        let flat = codec.decode(&self.blob);
+        let expected: usize = self.layers.iter().map(|l| l.len()).sum();
+        assert_eq!(flat.len(), expected, "archive length mismatch");
+        let mut out = Vec::with_capacity(self.layers.len());
+        let mut off = 0usize;
+        for l in &self.layers {
+            let n = l.len();
+            out.push(flat[off..off + n].to_vec());
+            off += n;
+        }
+        out
+    }
+
+    /// Total wire size: payload + blob header + dimension table.
+    pub fn wire_bytes(&self) -> usize {
+        let dim_entries: usize = self.layers.iter().map(|l| l.dims.len() + 1).sum();
+        self.blob.wire_bytes() + dim_entries * DIM_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{NoCompression, PolylineCodec};
+
+    fn layered() -> Vec<(Vec<f32>, Vec<usize>)> {
+        vec![
+            ((0..12).map(|i| i as f32 * 0.01).collect(), vec![3, 4]),
+            ((0..4).map(|i| -(i as f32) * 0.1).collect(), vec![4]),
+            ((0..24).map(|i| (i as f32 * 0.3).sin()).collect(), vec![2, 3, 4]),
+        ]
+    }
+
+    #[test]
+    fn marshal_unmarshal_roundtrip_raw() {
+        let layers = layered();
+        let refs: Vec<(&[f32], Vec<usize>)> =
+            layers.iter().map(|(w, d)| (w.as_slice(), d.clone())).collect();
+        let codec = NoCompression;
+        let arch = WeightArchive::marshal(&codec, &refs);
+        let out = arch.unmarshal(&codec);
+        assert_eq!(out.len(), 3);
+        for ((orig, _), got) in layers.iter().zip(out.iter()) {
+            assert_eq!(orig, got);
+        }
+    }
+
+    #[test]
+    fn marshal_unmarshal_roundtrip_polyline() {
+        let layers = layered();
+        let refs: Vec<(&[f32], Vec<usize>)> =
+            layers.iter().map(|(w, d)| (w.as_slice(), d.clone())).collect();
+        let codec = PolylineCodec::new(5);
+        let arch = WeightArchive::marshal(&codec, &refs);
+        let out = arch.unmarshal(&codec);
+        for ((orig, _), got) in layers.iter().zip(out.iter()) {
+            for (a, b) in orig.iter().zip(got.iter()) {
+                assert!((a - b).abs() <= 0.5e-5 * 1.01);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_bytes_accounts_for_dim_table() {
+        let layers = layered();
+        let refs: Vec<(&[f32], Vec<usize>)> =
+            layers.iter().map(|(w, d)| (w.as_slice(), d.clone())).collect();
+        let arch = WeightArchive::marshal(&NoCompression, &refs);
+        // dim entries: (2+1) + (1+1) + (3+1) = 9 → 36 bytes beyond the blob.
+        assert_eq!(arch.wire_bytes(), arch.blob.wire_bytes() + 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dims")]
+    fn bad_dims_rejected() {
+        let w = vec![1.0f32; 5];
+        let _ = WeightArchive::marshal(&NoCompression, &[(w.as_slice(), vec![2, 2])]);
+    }
+}

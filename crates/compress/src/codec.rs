@@ -1,0 +1,309 @@
+//! The codec abstraction used by the FL transport.
+
+use crate::polyline::{decode_stream, encode_stream};
+use bytes::Bytes;
+
+/// Identifies how a blob was encoded (carried in the blob header).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecKind {
+    /// Raw little-endian `f32`s.
+    Raw,
+    /// Polyline at a given precision; `delta` selects difference coding.
+    Polyline {
+        /// Decimal precision (1–7).
+        precision: u8,
+        /// Difference coding enabled.
+        delta: bool,
+    },
+    /// Per-blob linear int8 quantization.
+    QuantizeI8,
+}
+
+/// An encoded weight vector plus the header a receiver needs to decode it.
+///
+/// [`CompressedBlob::wire_bytes`] is what the simulator's traffic meter
+/// charges to the network: payload + a small fixed header (codec id,
+/// precision, value count — the "dimensions of the weights" sideband from
+/// paper §4.3 is charged by the archive layer).
+#[derive(Clone, Debug)]
+pub struct CompressedBlob {
+    /// Encoded payload.
+    pub payload: Bytes,
+    /// Number of `f32` values encoded.
+    pub count: usize,
+    /// Codec identification for decode.
+    pub kind: CodecKind,
+    /// Extra decode parameters (quantization range for int8).
+    pub aux: Vec<f32>,
+}
+
+/// Size of the fixed blob header on the wire.
+pub const BLOB_HEADER_BYTES: usize = 16;
+
+impl CompressedBlob {
+    /// Total bytes this blob occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        BLOB_HEADER_BYTES + self.payload.len() + self.aux.len() * 4
+    }
+}
+
+/// A lossy or lossless weight-vector codec.
+pub trait Codec: Send + Sync {
+    /// Encodes a weight vector.
+    fn encode(&self, weights: &[f32]) -> CompressedBlob;
+
+    /// Decodes a blob produced by this codec.
+    ///
+    /// # Panics
+    /// Panics on corrupt input — a decode failure in the simulator is a
+    /// programming error, not a recoverable condition.
+    fn decode(&self, blob: &CompressedBlob) -> Vec<f32>;
+
+    /// Short name for reports (e.g. `polyline-p4`).
+    fn name(&self) -> String;
+}
+
+/// Identity codec: 4 bytes per value on the wire.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCompression;
+
+impl Codec for NoCompression {
+    fn encode(&self, weights: &[f32]) -> CompressedBlob {
+        let mut payload = Vec::with_capacity(weights.len() * 4);
+        for w in weights {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        CompressedBlob {
+            payload: Bytes::from(payload),
+            count: weights.len(),
+            kind: CodecKind::Raw,
+            aux: Vec::new(),
+        }
+    }
+
+    fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
+        assert_eq!(blob.kind, CodecKind::Raw, "blob was not raw-encoded");
+        assert_eq!(blob.payload.len(), blob.count * 4, "raw blob size mismatch");
+        blob.payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+}
+
+/// The FedAT polyline codec (§4.3). The paper's default is precision 4.
+#[derive(Clone, Copy, Debug)]
+pub struct PolylineCodec {
+    precision: u8,
+    delta: bool,
+}
+
+impl PolylineCodec {
+    /// Polyline codec in the paper's configuration (delta coding on).
+    ///
+    /// # Panics
+    /// Panics if `precision` is 0 or exceeds
+    /// [`MAX_PRECISION`](crate::polyline::MAX_PRECISION).
+    pub fn new(precision: u8) -> Self {
+        Self::with_mode(precision, true)
+    }
+
+    /// Polyline codec with explicit delta/absolute mode (the ablation in
+    /// DESIGN.md §5).
+    pub fn with_mode(precision: u8, delta: bool) -> Self {
+        assert!(
+            (1..=crate::polyline::MAX_PRECISION).contains(&precision),
+            "precision {precision} out of range"
+        );
+        PolylineCodec { precision, delta }
+    }
+
+    /// Decimal precision.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+}
+
+impl Codec for PolylineCodec {
+    fn encode(&self, weights: &[f32]) -> CompressedBlob {
+        let payload = encode_stream(weights, self.precision, self.delta);
+        CompressedBlob {
+            payload: Bytes::from(payload),
+            count: weights.len(),
+            kind: CodecKind::Polyline { precision: self.precision, delta: self.delta },
+            aux: Vec::new(),
+        }
+    }
+
+    fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
+        match blob.kind {
+            CodecKind::Polyline { precision, delta } => {
+                decode_stream(&blob.payload, blob.count, precision, delta)
+                    .expect("corrupt polyline blob")
+            }
+            _ => panic!("blob was not polyline-encoded"),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "polyline-p{}{}",
+            self.precision,
+            if self.delta { "" } else { "-abs" }
+        )
+    }
+}
+
+/// Linear int8 quantization over the blob's own min/max range — the classic
+/// quantization baseline the paper's related work discusses (§2.2, §4.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuantizeCodec;
+
+impl Codec for QuantizeCodec {
+    fn encode(&self, weights: &[f32]) -> CompressedBlob {
+        let lo = weights.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = weights.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() && hi > lo {
+            (lo, hi)
+        } else {
+            (0.0, 1.0) // constant or empty input
+        };
+        let scale = 255.0 / (hi - lo);
+        let payload: Vec<u8> = weights
+            .iter()
+            .map(|&w| (((w - lo) * scale).round()).clamp(0.0, 255.0) as u8)
+            .collect();
+        CompressedBlob {
+            payload: Bytes::from(payload),
+            count: weights.len(),
+            kind: CodecKind::QuantizeI8,
+            aux: vec![lo, hi],
+        }
+    }
+
+    fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
+        assert_eq!(blob.kind, CodecKind::QuantizeI8, "blob was not int8-quantized");
+        let (lo, hi) = (blob.aux[0], blob.aux[1]);
+        let inv = (hi - lo) / 255.0;
+        blob.payload.iter().map(|&b| lo + b as f32 * inv).collect()
+    }
+
+    fn name(&self) -> String {
+        "quantize-i8".to_string()
+    }
+}
+
+/// Builds a codec from a kind tag (the reverse of blob headers; useful for
+/// config files and the bench harness).
+pub fn codec_for(kind: CodecKind) -> Box<dyn Codec> {
+    match kind {
+        CodecKind::Raw => Box::new(NoCompression),
+        CodecKind::Polyline { precision, delta } => {
+            Box::new(PolylineCodec::with_mode(precision, delta))
+        }
+        CodecKind::QuantizeI8 => Box::new(QuantizeCodec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiggly(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.31).sin() * 0.2).collect()
+    }
+
+    #[test]
+    fn raw_roundtrip_is_exact() {
+        let w = wiggly(100);
+        let c = NoCompression;
+        let blob = c.encode(&w);
+        assert_eq!(c.decode(&blob), w);
+        assert_eq!(blob.wire_bytes(), BLOB_HEADER_BYTES + 400);
+    }
+
+    #[test]
+    fn polyline_roundtrip_within_half_lattice() {
+        let w = wiggly(1000);
+        for p in 1..=6u8 {
+            let c = PolylineCodec::new(p);
+            let blob = c.encode(&w);
+            let r = c.decode(&blob);
+            let tol = 0.5 * 10f32.powi(-(p as i32)) * 1.01;
+            for (a, b) in w.iter().zip(r.iter()) {
+                assert!((a - b).abs() <= tol, "p{p}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn polyline_beats_raw_for_typical_weights() {
+        // Kaiming-style small weights at precision 4 should compress well
+        // below 4 bytes/value.
+        let w: Vec<f32> = (0..10_000).map(|i| ((i as f32) * 0.017).sin() * 0.05).collect();
+        let c = PolylineCodec::new(4);
+        let blob = c.encode(&w);
+        let raw = NoCompression.encode(&w);
+        let ratio = raw.wire_bytes() as f64 / blob.wire_bytes() as f64;
+        assert!(ratio > 1.5, "compression ratio {ratio} too low");
+    }
+
+    #[test]
+    fn quantize_roundtrip_bounded_by_range_step() {
+        let w = wiggly(500);
+        let c = QuantizeCodec;
+        let blob = c.encode(&w);
+        let r = c.decode(&blob);
+        let range = 0.4f32; // wiggly spans ±0.2
+        let step = range / 255.0;
+        for (a, b) in w.iter().zip(r.iter()) {
+            assert!((a - b).abs() <= step, "{a} vs {b}");
+        }
+        assert_eq!(blob.wire_bytes(), BLOB_HEADER_BYTES + 500 + 8);
+    }
+
+    #[test]
+    fn quantize_handles_constant_input() {
+        let w = vec![0.25f32; 10];
+        let c = QuantizeCodec;
+        let r = c.decode(&c.encode(&w));
+        for v in r {
+            assert!((v - 0.25).abs() < 0.3, "constant input badly recovered: {v}");
+        }
+    }
+
+    #[test]
+    fn codec_names_are_stable() {
+        assert_eq!(NoCompression.name(), "none");
+        assert_eq!(PolylineCodec::new(4).name(), "polyline-p4");
+        assert_eq!(PolylineCodec::with_mode(3, false).name(), "polyline-p3-abs");
+        assert_eq!(QuantizeCodec.name(), "quantize-i8");
+    }
+
+    #[test]
+    fn codec_for_roundtrips_kind() {
+        let w = wiggly(64);
+        for kind in [
+            CodecKind::Raw,
+            CodecKind::Polyline { precision: 4, delta: true },
+            CodecKind::QuantizeI8,
+        ] {
+            let c = codec_for(kind);
+            let blob = c.encode(&w);
+            assert_eq!(blob.kind, kind);
+            let r = c.decode(&blob);
+            assert_eq!(r.len(), w.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not raw-encoded")]
+    fn decoding_with_wrong_codec_panics() {
+        let blob = PolylineCodec::new(4).encode(&[1.0]);
+        let _ = NoCompression.decode(&blob);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fedat-compress — the Encoded Polyline weight codec
+//!
+//! FedAT compresses every uplink and downlink model transfer with the
+//! Encoded Polyline Algorithm (paper §4.3): each weight is rounded to a
+//! configurable decimal precision, zig-zag shifted, split into 5-bit chunks,
+//! and emitted as printable ASCII — exactly Google's polyline format
+//! generalized from lat/lng pairs to arbitrary `f32` streams.
+//!
+//! * [`polyline`] — the wire format: value/stream encode + decode, in both
+//!   *delta* mode (successive differences, as in the original algorithm)
+//!   and *absolute* mode (weights are unordered, so deltas are an ablation —
+//!   see DESIGN.md §5),
+//! * [`codec`] — the [`codec::Codec`] trait with
+//!   [`codec::NoCompression`],
+//!   [`codec::PolylineCodec`] (precision 1–7) and an int8
+//!   [`codec::QuantizeCodec`] baseline,
+//! * [`archive`] — marshalling/unmarshalling of per-layer weight tensors
+//!   with their dimensions (paper §4.3 steps 1–3),
+//! * [`stats`] — compression ratio and reconstruction-error accounting.
+//!
+//! ```
+//! use fedat_compress::codec::{Codec, PolylineCodec};
+//!
+//! let weights = vec![0.12345_f32, -0.5, 0.000071, 2.5];
+//! let codec = PolylineCodec::new(4);
+//! let blob = codec.encode(&weights);
+//! let restored = codec.decode(&blob);
+//! for (w, r) in weights.iter().zip(restored.iter()) {
+//!     assert!((w - r).abs() <= 0.5e-4);
+//! }
+//! ```
+
+pub mod archive;
+pub mod codec;
+pub mod polyline;
+pub mod stats;
+
+pub use codec::{Codec, CodecKind, CompressedBlob, NoCompression, PolylineCodec, QuantizeCodec};

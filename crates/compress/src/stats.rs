@@ -1,0 +1,81 @@
+//! Compression-quality accounting: ratio and reconstruction error.
+
+use crate::codec::Codec;
+
+/// Measured quality of one encode/decode cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompressionReport {
+    /// Uncompressed size (4 bytes per value, no header).
+    pub raw_bytes: usize,
+    /// Wire size of the encoded blob (payload + header).
+    pub wire_bytes: usize,
+    /// `raw_bytes / wire_bytes` — the paper reports "up to 3.5×" for
+    /// polyline on its models.
+    pub ratio: f64,
+    /// Largest absolute reconstruction error.
+    pub max_abs_error: f32,
+    /// Mean absolute reconstruction error.
+    pub mean_abs_error: f32,
+}
+
+/// Runs one encode/decode cycle and reports size and error metrics.
+///
+/// # Panics
+/// Panics if `weights` is empty.
+pub fn measure(codec: &dyn Codec, weights: &[f32]) -> CompressionReport {
+    assert!(!weights.is_empty(), "cannot measure an empty weight vector");
+    let blob = codec.encode(weights);
+    let decoded = codec.decode(&blob);
+    let mut max_err = 0.0f32;
+    let mut sum_err = 0.0f64;
+    for (a, b) in weights.iter().zip(decoded.iter()) {
+        let e = (a - b).abs();
+        max_err = max_err.max(e);
+        sum_err += e as f64;
+    }
+    let raw_bytes = weights.len() * 4;
+    let wire_bytes = blob.wire_bytes();
+    CompressionReport {
+        raw_bytes,
+        wire_bytes,
+        ratio: raw_bytes as f64 / wire_bytes as f64,
+        max_abs_error: max_err,
+        mean_abs_error: (sum_err / weights.len() as f64) as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{NoCompression, PolylineCodec};
+
+    #[test]
+    fn raw_codec_reports_zero_error_and_subunit_ratio() {
+        let w: Vec<f32> = (0..256).map(|i| i as f32 * 0.001).collect();
+        let r = measure(&NoCompression, &w);
+        assert_eq!(r.max_abs_error, 0.0);
+        assert!(r.ratio < 1.0, "raw + header can never beat raw: {}", r.ratio);
+    }
+
+    #[test]
+    fn polyline_ratio_grows_as_precision_drops() {
+        let w: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.01).sin() * 0.08).collect();
+        let r3 = measure(&PolylineCodec::new(3), &w);
+        let r6 = measure(&PolylineCodec::new(6), &w);
+        assert!(r3.ratio > r6.ratio, "p3 ratio {} ≤ p6 ratio {}", r3.ratio, r6.ratio);
+        assert!(r3.max_abs_error > r6.max_abs_error);
+    }
+
+    #[test]
+    fn typical_model_weights_reach_papers_ratio_band() {
+        // Small-magnitude weights (the common case after Kaiming init +
+        // training) at the paper's default precision 4: the paper claims up
+        // to 3.5× — we assert a healthy > 1.8× here.
+        let w: Vec<f32> = (0..50_000)
+            .map(|i| ((i as f64 * 0.37).sin() * 0.03) as f32)
+            .collect();
+        let r = measure(&PolylineCodec::new(4), &w);
+        assert!(r.ratio > 1.8, "ratio {} below expected band", r.ratio);
+        assert!(r.max_abs_error <= 0.5e-4 * 1.01);
+    }
+}

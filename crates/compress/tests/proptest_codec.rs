@@ -1,0 +1,84 @@
+//! Property-based tests for the polyline wire format and codecs.
+
+use fedat_compress::codec::{Codec, NoCompression, PolylineCodec, QuantizeCodec};
+use fedat_compress::polyline::{decode_int, decode_stream, encode_int, encode_stream};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn int_roundtrip(v in -1_000_000_000i64..1_000_000_000) {
+        let mut out = Vec::new();
+        encode_int(v, &mut out);
+        let (d, used) = decode_int(&out).unwrap();
+        prop_assert_eq!(d, v);
+        prop_assert_eq!(used, out.len());
+        prop_assert!(out.iter().all(|&b| (63..=126).contains(&b)));
+    }
+
+    #[test]
+    fn stream_roundtrip_error_bound(
+        values in prop::collection::vec(-100.0f32..100.0, 1..200),
+        precision in 1u8..=6,
+        delta in any::<bool>(),
+    ) {
+        let enc = encode_stream(&values, precision, delta);
+        let dec = decode_stream(&enc, values.len(), precision, delta).unwrap();
+        let tol = 0.5 * 10f32.powi(-(precision as i32)) * 1.02
+            + 100.0 * f32::EPSILON; // f64→f32 rounding slack at large magnitudes
+        for (a, b) in values.iter().zip(dec.iter()) {
+            prop_assert!((a - b).abs() <= tol, "{} vs {} (p{})", a, b, precision);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(values in prop::collection::vec(-10.0f32..10.0, 1..100)) {
+        let a = encode_stream(&values, 4, true);
+        let b = encode_stream(&values, 4, true);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn polyline_idempotent_after_first_loss(
+        values in prop::collection::vec(-5.0f32..5.0, 1..100),
+        precision in 1u8..=5,
+    ) {
+        // Encoding an already-quantized stream must be lossless: the codec's
+        // loss is idempotent.
+        let c = PolylineCodec::new(precision);
+        let once = c.decode(&c.encode(&values));
+        let twice = c.decode(&c.encode(&once));
+        for (a, b) in once.iter().zip(twice.iter()) {
+            prop_assert!((a - b).abs() <= f32::EPSILON * 10.0, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn raw_codec_is_lossless(values in prop::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 1..100)) {
+        let c = NoCompression;
+        prop_assert_eq!(c.decode(&c.encode(&values)), values);
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_dynamic_range(values in prop::collection::vec(-50.0f32..50.0, 2..200)) {
+        let c = QuantizeCodec;
+        let dec = c.decode(&c.encode(&values));
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let step = ((hi - lo) / 255.0).max(f32::EPSILON);
+        for (a, b) in values.iter().zip(dec.iter()) {
+            prop_assert!((a - b).abs() <= step * 0.51 + 1e-5, "{} vs {} step {}", a, b, step);
+        }
+    }
+
+    #[test]
+    fn wire_size_monotone_in_value_count(
+        base in prop::collection::vec(-1.0f32..1.0, 10..50),
+    ) {
+        let c = PolylineCodec::new(4);
+        let small = c.encode(&base).wire_bytes();
+        let mut doubled = base.clone();
+        doubled.extend_from_slice(&base);
+        let large = c.encode(&doubled).wire_bytes();
+        prop_assert!(large > small);
+    }
+}

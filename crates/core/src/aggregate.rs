@@ -1,0 +1,160 @@
+//! Model aggregation: intra-tier `n_k/N_c` averaging (Algorithm 2 inner
+//! loop) and the cross-tier weighted heuristic of Eq. (5).
+
+use fedat_tensor::ops::weighted_sum_into;
+
+/// Sample-count-weighted average of client weight vectors:
+/// `w = Σ_k (n_k / N_c) · w_k` — the FedAvg/TiFL/FedAT intra-tier rule.
+///
+/// # Panics
+/// Panics if `updates` is empty or lengths mismatch.
+pub fn weighted_client_average(updates: &[(&[f32], usize)]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "cannot aggregate zero client updates");
+    let total: usize = updates.iter().map(|(_, n)| *n).sum();
+    assert!(total > 0, "client updates carry zero samples");
+    let dim = updates[0].0.len();
+    let inputs: Vec<&[f32]> = updates.iter().map(|(w, _)| *w).collect();
+    let weights: Vec<f32> = updates.iter().map(|(_, n)| *n as f32 / total as f32).collect();
+    let mut out = vec![0.0f32; dim];
+    weighted_sum_into(&inputs, &weights, &mut out);
+    out
+}
+
+/// The FedAT cross-tier weights of Eq. (5).
+///
+/// With per-tier update counts `T_tier1..T_tierM` (tier 1 = fastest) and
+/// `T = Σ T_tierm`, tier `m` receives weight `T_{tier(M+1−m)} / T`: the
+/// slowest tier inherits the *fastest* tier's (largest) update count, undoing
+/// the frequency bias of asynchronous tier arrivals.
+///
+/// Before any update has happened (`T = 0`) the weights are uniform.
+pub fn cross_tier_weights(update_counts: &[u64]) -> Vec<f32> {
+    assert!(!update_counts.is_empty(), "no tiers");
+    let m = update_counts.len();
+    let total: u64 = update_counts.iter().sum();
+    if total == 0 {
+        return vec![1.0 / m as f32; m];
+    }
+    // weight[m] = counts[M+1-m] reversed, normalized.
+    let mut w: Vec<f32> = (0..m)
+        .map(|i| update_counts[m - 1 - i] as f32 / total as f32)
+        .collect();
+    // Guard against degenerate all-zero-but-total>0 (cannot happen, but keep
+    // the invariant Σw = 1 robust to float error).
+    let sum: f32 = w.iter().sum();
+    if sum > 0.0 {
+        for v in w.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        w = vec![1.0 / m as f32; m];
+    }
+    w
+}
+
+/// Uniform cross-tier weights — the Fig. 6 baseline.
+pub fn uniform_tier_weights(num_tiers: usize) -> Vec<f32> {
+    assert!(num_tiers > 0, "no tiers");
+    vec![1.0 / num_tiers as f32; num_tiers]
+}
+
+/// Combines per-tier server models into the global model
+/// (`WeightedAverage` in Algorithm 2).
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn aggregate_tiers(tier_models: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(tier_models.len(), weights.len(), "one weight per tier model");
+    assert!(!tier_models.is_empty(), "no tier models");
+    let dim = tier_models[0].len();
+    let inputs: Vec<&[f32]> = tier_models.iter().map(|m| m.as_slice()).collect();
+    let mut out = vec![0.0f32; dim];
+    weighted_sum_into(&inputs, weights, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_average_weights_by_samples() {
+        let a = vec![0.0f32; 3];
+        let b = vec![4.0f32; 3];
+        // 1 sample vs 3 samples → (0·1 + 4·3)/4 = 3.
+        let avg = weighted_client_average(&[(&a, 1), (&b, 3)]);
+        for v in avg {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn client_average_of_identical_is_identity() {
+        let w = vec![1.5f32, -2.0, 0.25];
+        let avg = weighted_client_average(&[(&w, 7), (&w, 3), (&w, 90)]);
+        for (x, y) in avg.iter().zip(w.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_tier_weights_reverse_the_counts() {
+        // Fast tier updated 30×, slow tier 10× → slow tier gets 30/40,
+        // fast tier gets 10/40.
+        let w = cross_tier_weights(&[30, 10]);
+        assert!((w[0] - 0.25).abs() < 1e-6, "fast-tier weight {w:?}");
+        assert!((w[1] - 0.75).abs() < 1e-6, "slow-tier weight {w:?}");
+    }
+
+    #[test]
+    fn cross_tier_weights_sum_to_one() {
+        for counts in [vec![1u64, 2, 3, 4, 5], vec![100, 0, 0, 0, 1], vec![7, 7, 7]] {
+            let w = cross_tier_weights(&counts);
+            let s: f32 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "weights {w:?} sum to {s}");
+        }
+    }
+
+    #[test]
+    fn zero_updates_give_uniform() {
+        let w = cross_tier_weights(&[0, 0, 0, 0]);
+        for v in w {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn slower_tiers_get_monotonically_larger_weights() {
+        // Monotone decreasing update counts (typical: fast tiers update
+        // more) must yield monotone increasing weights.
+        let w = cross_tier_weights(&[50, 40, 30, 20, 10]);
+        for pair in w.windows(2) {
+            assert!(pair[0] <= pair[1], "weights not increasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let w = uniform_tier_weights(5);
+        assert_eq!(w, vec![0.2; 5]);
+    }
+
+    #[test]
+    fn tier_aggregation_is_convex_combination() {
+        let t1 = vec![0.0f32; 4];
+        let t2 = vec![1.0f32; 4];
+        let g = aggregate_tiers(&[t1, t2], &[0.25, 0.75]);
+        for v in g {
+            assert!((v - 0.75).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fedat_reduces_to_plain_average_with_equal_counts() {
+        // Equal update counts → uniform weights → same as FedAvg over tiers.
+        let w = cross_tier_weights(&[5, 5, 5, 5, 5]);
+        for v in w {
+            assert!((v - 0.2).abs() < 1e-6);
+        }
+    }
+}

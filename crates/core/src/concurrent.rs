@@ -1,0 +1,130 @@
+//! A real-thread FedAT server.
+//!
+//! The simulator proves the algorithm deterministically; this module proves
+//! the *design* concurrently: tier workers on OS threads race to update a
+//! `parking_lot::Mutex`-guarded server exactly as FedAT's asynchronous
+//! cross-tier protocol prescribes. Used by integration tests and the
+//! `straggler_tolerance` example to demonstrate wait-free fast-tier
+//! progress outside virtual time.
+
+use crate::aggregate::{aggregate_tiers, cross_tier_weights, weighted_client_average};
+use crate::config::ExperimentConfig;
+use crate::local::train_client;
+use fedat_data::suite::FedTask;
+use fedat_sim::threaded::{run_concurrent_tiers, TierSpec};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Shared server state guarded by one lock (the paper's server is a single
+/// aggregator process).
+struct ServerShared {
+    tier_models: Vec<Vec<f32>>,
+    tier_counts: Vec<u64>,
+    global: Vec<f32>,
+}
+
+/// Result of a threaded FedAT run.
+#[derive(Clone, Debug)]
+pub struct ThreadedRun {
+    /// Final global weights.
+    pub global: Vec<f32>,
+    /// Per-tier update counts (fast tiers should dominate).
+    pub tier_counts: Vec<u64>,
+    /// Total server updates observed.
+    pub total_updates: u64,
+}
+
+/// Runs FedAT with one OS thread per tier against real (milli-scaled)
+/// latencies.
+///
+/// `tier_clients[t]` lists the clients of tier `t`; each tier performs
+/// `rounds_per_tier[t]` rounds with `latency_ms[t]` of simulated wall time
+/// per round, training one client per round (round-robin within the tier).
+///
+/// # Panics
+/// Panics on inconsistent argument lengths or empty tiers.
+pub fn run_threaded_fedat(
+    task: &FedTask,
+    cfg: &ExperimentConfig,
+    tier_clients: &[Vec<usize>],
+    latency_ms: &[u64],
+    rounds_per_tier: &[u64],
+) -> ThreadedRun {
+    assert_eq!(tier_clients.len(), latency_ms.len(), "one latency per tier");
+    assert_eq!(tier_clients.len(), rounds_per_tier.len(), "one budget per tier");
+    assert!(tier_clients.iter().all(|t| !t.is_empty()), "tiers must be non-empty");
+    let m = tier_clients.len();
+    let w0 = task.model.build(cfg.seed).weights();
+    let shared = Mutex::new(ServerShared {
+        tier_models: vec![w0.clone(); m],
+        tier_counts: vec![0; m],
+        global: w0,
+    });
+
+    let specs: Vec<TierSpec> = latency_ms
+        .iter()
+        .zip(rounds_per_tier.iter())
+        .map(|(&ms, &rounds)| TierSpec { round_latency: Duration::from_millis(ms), rounds })
+        .collect();
+
+    run_concurrent_tiers(&specs, |tier, round| {
+        // Download outside the critical section: snapshot the global model.
+        let global = shared.lock().global.clone();
+        let client = tier_clients[tier][round as usize % tier_clients[tier].len()];
+        let update = train_client(task, client, &global, cfg, cfg.local_epochs, round, true);
+        // Server-side update inside the lock: tier model, counters, global.
+        let mut s = shared.lock();
+        s.tier_models[tier] =
+            weighted_client_average(&[(update.weights.as_slice(), update.n_samples)]);
+        s.tier_counts[tier] += 1;
+        let weights = cross_tier_weights(&s.tier_counts);
+        s.global = aggregate_tiers(&s.tier_models, &weights);
+    });
+
+    let s = shared.into_inner();
+    ThreadedRun {
+        global: s.global,
+        total_updates: s.tier_counts.iter().sum(),
+        tier_counts: s.tier_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StrategyKind;
+    use fedat_data::suite;
+
+    #[test]
+    fn threaded_fedat_updates_all_tiers() {
+        let task = suite::sent140_like(9, 3);
+        let cfg = ExperimentConfig::builder()
+            .strategy(StrategyKind::FedAt)
+            .rounds(10)
+            .local_epochs(1)
+            .seed(3)
+            .build();
+        let tiers = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
+        let run = run_threaded_fedat(&task, &cfg, &tiers, &[1, 5, 20], &[12, 6, 2]);
+        assert_eq!(run.tier_counts, vec![12, 6, 2]);
+        assert_eq!(run.total_updates, 20);
+        assert!(run.global.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn fast_tier_dominates_update_counts() {
+        let task = suite::sent140_like(6, 4);
+        let cfg = ExperimentConfig::builder()
+            .rounds(10)
+            .local_epochs(1)
+            .seed(4)
+            .build();
+        let tiers = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let run = run_threaded_fedat(&task, &cfg, &tiers, &[1, 30], &[30, 3]);
+        assert!(
+            run.tier_counts[0] > run.tier_counts[1] * 5,
+            "fast tier should update far more often: {:?}",
+            run.tier_counts
+        );
+    }
+}

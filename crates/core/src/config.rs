@@ -1,0 +1,353 @@
+//! Experiment configuration.
+
+use fedat_compress::codec::CodecKind;
+use fedat_sim::fleet::ClusterConfig;
+
+/// Which federated-learning method to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Synchronous FedAvg (McMahan et al.) — Algorithm 1.
+    FedAvg,
+    /// FedProx: FedAvg + proximal term + device-dependent local epochs.
+    FedProx,
+    /// TiFL: synchronous tier-based selection with adaptive, accuracy-driven
+    /// tier probabilities.
+    TiFL,
+    /// FedAsync (Xie et al.): fully asynchronous staleness-weighted mixing.
+    FedAsync,
+    /// ASO-Fed (Chen et al.): asynchronous with per-client server copies
+    /// and local constraints.
+    AsoFed,
+    /// FedAT — this paper.
+    FedAt,
+}
+
+impl StrategyKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::FedAvg => "FedAvg",
+            StrategyKind::FedProx => "FedProx",
+            StrategyKind::TiFL => "TiFL",
+            StrategyKind::FedAsync => "FedAsync",
+            StrategyKind::AsoFed => "ASO-Fed",
+            StrategyKind::FedAt => "FedAT",
+        }
+    }
+
+    /// All strategies, in the paper's table order.
+    pub fn all() -> [StrategyKind; 6] {
+        [
+            StrategyKind::TiFL,
+            StrategyKind::FedAvg,
+            StrategyKind::FedProx,
+            StrategyKind::FedAsync,
+            StrategyKind::AsoFed,
+            StrategyKind::FedAt,
+        ]
+    }
+}
+
+/// Local solver choice. The paper uses Adam (§6 *Hyperparameters*).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OptimizerKind {
+    /// Adam with the given learning rate.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with learning rate and momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient.
+        momentum: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Constructs the optimizer.
+    pub fn build(&self) -> Box<dyn fedat_nn::optim::Optimizer> {
+        match *self {
+            OptimizerKind::Adam { lr } => Box::new(fedat_nn::optim::Adam::new(lr)),
+            OptimizerKind::Sgd { lr, momentum } => {
+                Box::new(fedat_nn::optim::Sgd::new(lr, momentum))
+            }
+        }
+    }
+}
+
+/// Full experiment configuration. Build via [`ExperimentConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// FL method.
+    pub strategy: StrategyKind,
+    /// Budget of *global* model updates (`T` in Algorithm 2).
+    pub rounds: u64,
+    /// Virtual-time horizon in seconds (runs stop at whichever of
+    /// `rounds`/`max_time` hits first).
+    pub max_time: f64,
+    /// Clients sampled per (tier-)round — 10 in the paper.
+    pub clients_per_round: usize,
+    /// Local epochs `E` — 3 in the paper.
+    pub local_epochs: usize,
+    /// Mini-batch size — 10 in the paper.
+    pub batch_size: usize,
+    /// Local solver.
+    pub optimizer: OptimizerKind,
+    /// Proximal coefficient λ (Eq. 3) — 0.4 in the paper. Only strategies
+    /// with a local constraint (FedProx, ASO-Fed, FedAT) use it.
+    pub lambda: f32,
+    /// Transfer codec; `None` picks the strategy default (polyline
+    /// precision 4 for FedAT, raw for the baselines).
+    pub codec: Option<CodecKind>,
+    /// Number of logical tiers `M` — 5 in the paper.
+    pub num_tiers: usize,
+    /// Evaluate the global model every this many global updates.
+    pub eval_every: u64,
+    /// Cap on test samples per evaluation (fixed subset; keeps runs fast).
+    pub eval_subset: usize,
+    /// Mixing weight α for FedAsync.
+    pub fedasync_alpha: f32,
+    /// Staleness attenuation for FedAsync (Xie et al. propose constant,
+    /// polynomial, and hinge families; polynomial `a = 0.5` is the default
+    /// the FedAT paper's baseline uses).
+    pub fedasync_staleness: crate::staleness::StalenessFn,
+    /// Fraction of clients deliberately assigned to a wrong tier
+    /// (mis-tiering robustness ablation; 0 = off).
+    pub mistier_fraction: f64,
+    /// Use uniform cross-tier weights instead of Eq. 5 (Fig. 6 ablation).
+    pub uniform_tier_weights: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Cluster override; `None` builds the paper's medium cluster sized to
+    /// the task's client count.
+    pub cluster: Option<ClusterConfig>,
+}
+
+impl ExperimentConfig {
+    /// Starts a builder with the paper's §6 hyperparameters.
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder { cfg: ExperimentConfig::default() }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            strategy: StrategyKind::FedAt,
+            rounds: 300,
+            max_time: f64::INFINITY,
+            clients_per_round: 10,
+            local_epochs: 3,
+            batch_size: 10,
+            optimizer: OptimizerKind::Adam { lr: 0.003 },
+            lambda: 0.4,
+            codec: None,
+            num_tiers: 5,
+            eval_every: 5,
+            eval_subset: 512,
+            fedasync_alpha: 0.6,
+            fedasync_staleness: crate::staleness::StalenessFn::default_polynomial(),
+            mistier_fraction: 0.0,
+            uniform_tier_weights: false,
+            seed: 0,
+            cluster: None,
+        }
+    }
+}
+
+/// Fluent builder for [`ExperimentConfig`].
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the FL method.
+    pub fn strategy(mut self, s: StrategyKind) -> Self {
+        self.cfg.strategy = s;
+        self
+    }
+
+    /// Sets the global update budget.
+    pub fn rounds(mut self, r: u64) -> Self {
+        self.cfg.rounds = r;
+        self
+    }
+
+    /// Sets the virtual-time horizon (seconds).
+    pub fn max_time(mut self, t: f64) -> Self {
+        self.cfg.max_time = t;
+        self
+    }
+
+    /// Sets clients sampled per round.
+    pub fn clients_per_round(mut self, k: usize) -> Self {
+        self.cfg.clients_per_round = k;
+        self
+    }
+
+    /// Sets local epochs.
+    pub fn local_epochs(mut self, e: usize) -> Self {
+        self.cfg.local_epochs = e;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.cfg.batch_size = b;
+        self
+    }
+
+    /// Sets the local solver.
+    pub fn optimizer(mut self, o: OptimizerKind) -> Self {
+        self.cfg.optimizer = o;
+        self
+    }
+
+    /// Sets the proximal coefficient λ.
+    pub fn lambda(mut self, l: f32) -> Self {
+        self.cfg.lambda = l;
+        self
+    }
+
+    /// Overrides the transfer codec.
+    pub fn codec(mut self, c: CodecKind) -> Self {
+        self.cfg.codec = Some(c);
+        self
+    }
+
+    /// Sets the tier count `M`.
+    pub fn num_tiers(mut self, m: usize) -> Self {
+        self.cfg.num_tiers = m;
+        self
+    }
+
+    /// Sets the evaluation cadence (global updates between evals).
+    pub fn eval_every(mut self, n: u64) -> Self {
+        self.cfg.eval_every = n;
+        self
+    }
+
+    /// Caps test samples per evaluation.
+    pub fn eval_subset(mut self, n: usize) -> Self {
+        self.cfg.eval_subset = n;
+        self
+    }
+
+    /// Sets FedAsync's α.
+    pub fn fedasync_alpha(mut self, a: f32) -> Self {
+        self.cfg.fedasync_alpha = a;
+        self
+    }
+
+    /// Sets FedAsync's staleness attenuation family.
+    pub fn fedasync_staleness(mut self, s: crate::staleness::StalenessFn) -> Self {
+        self.cfg.fedasync_staleness = s;
+        self
+    }
+
+    /// Enables mis-tiering of a client fraction.
+    pub fn mistier_fraction(mut self, f: f64) -> Self {
+        self.cfg.mistier_fraction = f;
+        self
+    }
+
+    /// Switches FedAT to uniform cross-tier weights (Fig. 6 baseline).
+    pub fn uniform_tier_weights(mut self, u: bool) -> Self {
+        self.cfg.uniform_tier_weights = u;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Overrides the simulated cluster.
+    pub fn cluster(mut self, c: ClusterConfig) -> Self {
+        self.cfg.cluster = Some(c);
+        self
+    }
+
+    /// Finalizes the config.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings (zero rounds, zero participation…).
+    pub fn build(self) -> ExperimentConfig {
+        let c = self.cfg;
+        assert!(c.rounds > 0, "rounds must be positive");
+        assert!(c.clients_per_round > 0, "clients_per_round must be positive");
+        assert!(c.local_epochs > 0, "local_epochs must be positive");
+        assert!(c.batch_size > 0, "batch_size must be positive");
+        assert!(c.num_tiers > 0, "num_tiers must be positive");
+        assert!(c.eval_every > 0, "eval_every must be positive");
+        assert!((0.0..=1.0).contains(&c.mistier_fraction), "mistier_fraction out of range");
+        c
+    }
+}
+
+/// The codec a strategy uses when none is overridden: FedAT compresses with
+/// polyline precision 4 (§7, *Implementation and Setup*); the baselines send
+/// raw weights as in their reference implementations.
+pub fn default_codec(strategy: StrategyKind) -> CodecKind {
+    match strategy {
+        StrategyKind::FedAt => CodecKind::Polyline { precision: 4, delta: true },
+        _ => CodecKind::Raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let c = ExperimentConfig::builder().build();
+        assert_eq!(c.clients_per_round, 10);
+        assert_eq!(c.local_epochs, 3);
+        assert_eq!(c.batch_size, 10);
+        assert_eq!(c.num_tiers, 5);
+        assert!((c.lambda - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_overrides_stick() {
+        let c = ExperimentConfig::builder()
+            .strategy(StrategyKind::FedAvg)
+            .rounds(42)
+            .clients_per_round(2)
+            .lambda(0.0)
+            .seed(9)
+            .build();
+        assert_eq!(c.strategy, StrategyKind::FedAvg);
+        assert_eq!(c.rounds, 42);
+        assert_eq!(c.clients_per_round, 2);
+        assert_eq!(c.lambda, 0.0);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn default_codecs() {
+        assert_eq!(
+            default_codec(StrategyKind::FedAt),
+            CodecKind::Polyline { precision: 4, delta: true }
+        );
+        assert_eq!(default_codec(StrategyKind::FedAvg), CodecKind::Raw);
+        assert_eq!(default_codec(StrategyKind::FedAsync), CodecKind::Raw);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(StrategyKind::FedAt.name(), "FedAT");
+        assert_eq!(StrategyKind::AsoFed.name(), "ASO-Fed");
+        assert_eq!(StrategyKind::all().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds must be positive")]
+    fn zero_rounds_rejected() {
+        let _ = ExperimentConfig::builder().rounds(0).build();
+    }
+}

@@ -1,0 +1,114 @@
+//! Global and per-client evaluation, plus the robustness metrics of
+//! Definition 3.1 (convergence speed, accuracy variance, prediction
+//! accuracy).
+
+use fedat_data::dataset::Dataset;
+use fedat_data::suite::FedTask;
+use fedat_nn::metrics::evaluate_batched;
+use fedat_nn::model::{EvalResult, Model};
+
+/// A reusable evaluator holding one model instance and a fixed test subset.
+pub struct Evaluator {
+    model: Box<dyn Model>,
+    test: Dataset,
+    batch: usize,
+}
+
+impl Evaluator {
+    /// Builds an evaluator over (a fixed subset of) the task's pooled test
+    /// set. `subset` caps the number of test rows (0 = use everything); the
+    /// subset is the deterministic prefix — the pooled test set is already
+    /// seed-shuffled per client, and a fixed subset keeps every strategy's
+    /// evaluation identical.
+    pub fn new(task: &FedTask, subset: usize, seed: u64) -> Self {
+        let full = &task.fed.global_test;
+        let test = if subset > 0 && subset < full.len() {
+            full.subset(&(0..subset).collect::<Vec<_>>())
+        } else {
+            full.clone()
+        };
+        Evaluator { model: task.model.build(seed), test, batch: 64 }
+    }
+
+    /// Loss/accuracy of `weights` on the evaluation subset.
+    pub fn evaluate(&mut self, weights: &[f32]) -> EvalResult {
+        self.model.set_weights(weights);
+        evaluate_batched(self.model.as_mut(), &self.test.x, &self.test.y, self.batch)
+    }
+
+    /// Number of evaluation rows.
+    pub fn test_rows(&self) -> usize {
+        self.test.len()
+    }
+}
+
+/// Per-client test accuracies of a single global model — the basis of the
+/// paper's accuracy-variance metric (Table 1 `Norm. Var.` rows).
+pub fn per_client_accuracy(task: &FedTask, weights: &[f32], seed: u64) -> Vec<f32> {
+    let mut model = task.model.build(seed);
+    model.set_weights(weights);
+    task.fed
+        .clients
+        .iter()
+        .map(|c| evaluate_batched(model.as_mut(), &c.test.x, &c.test.y, 64).accuracy)
+        .collect()
+}
+
+/// Population variance of per-client accuracies.
+pub fn accuracy_variance(per_client: &[f32]) -> f32 {
+    if per_client.is_empty() {
+        return 0.0;
+    }
+    let n = per_client.len() as f32;
+    let mean = per_client.iter().sum::<f32>() / n;
+    per_client.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_data::suite;
+
+    #[test]
+    fn evaluator_subset_caps_rows() {
+        let task = suite::sent140_like(10, 1);
+        let full = Evaluator::new(&task, 0, 1);
+        let capped = Evaluator::new(&task, 16, 1);
+        assert!(full.test_rows() > 16);
+        assert_eq!(capped.test_rows(), 16);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_weights() {
+        let task = suite::sent140_like(8, 2);
+        let w = task.model.build(5).weights();
+        let mut e1 = Evaluator::new(&task, 0, 1);
+        let mut e2 = Evaluator::new(&task, 0, 1);
+        let r1 = e1.evaluate(&w);
+        let r2 = e2.evaluate(&w);
+        assert_eq!(r1.loss, r2.loss);
+        assert_eq!(r1.accuracy, r2.accuracy);
+    }
+
+    #[test]
+    fn per_client_accuracy_has_one_entry_per_client() {
+        let task = suite::sent140_like(7, 3);
+        let w = task.model.build(5).weights();
+        let accs = per_client_accuracy(&task, &w, 1);
+        assert_eq!(accs.len(), 7);
+        assert!(accs.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(accuracy_variance(&[0.5, 0.5, 0.5]), 0.0);
+        assert_eq!(accuracy_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_orders_spread() {
+        let tight = accuracy_variance(&[0.5, 0.52, 0.48]);
+        let wide = accuracy_variance(&[0.1, 0.9, 0.5]);
+        assert!(wide > tight * 10.0);
+    }
+}

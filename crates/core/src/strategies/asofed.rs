@@ -1,0 +1,134 @@
+//! ASO-Fed (Chen et al., 2019): asynchronous online federated learning.
+//!
+//! Like FedAsync, every client cycles continuously; unlike FedAsync the
+//! server keeps a *copy of each client's latest weights* and the global
+//! model is the `n_k/N`-weighted average of all copies, so one client's
+//! stale update cannot yank the global model. Clients train with a local
+//! constraint (the same prox form FedAT adopts).
+
+use crate::config::ExperimentConfig;
+use crate::local::train_client;
+use crate::strategies::{Inflight, ServerCore, Strategy};
+use fedat_data::suite::FedTask;
+use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
+use fedat_sim::trace::Trace;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// ASO-Fed server.
+pub struct AsoFedStrategy {
+    core: ServerCore,
+    /// Per-client weight copies on the server.
+    copies: Vec<Vec<f32>>,
+    /// `n_k / N` aggregation weight per client.
+    client_weight: Vec<f32>,
+    inflight: HashMap<usize, Inflight>,
+    live_dispatches: usize,
+}
+
+impl AsoFedStrategy {
+    /// Builds the ASO-Fed server (budget and eval scaling as in FedAsync).
+    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig) -> Self {
+        let k = cfg.clients_per_round as u64;
+        let core = ServerCore::new(
+            task.clone(),
+            cfg,
+            cfg.rounds * k * super::ASYNC_FILL,
+            cfg.eval_every * k,
+        );
+        let n_clients = task.fed.num_clients();
+        let total: usize = task.fed.total_train_samples();
+        let client_weight: Vec<f32> = task
+            .fed
+            .client_sizes()
+            .iter()
+            .map(|&n| n as f32 / total as f32)
+            .collect();
+        let copies = vec![core.global.clone(); n_clients];
+        AsoFedStrategy { core, copies, client_weight, inflight: HashMap::new(), live_dispatches: 0 }
+    }
+
+    fn dispatch_client(&mut self, ctx: &mut SimCtx, client: usize) {
+        let epochs = self.core.cfg.local_epochs;
+        let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
+        let selection_round = ctx.dispatches_of(client);
+        self.inflight.insert(client, Inflight { weights, selection_round, epochs });
+        ctx.dispatch_with_transfer(client, 0, epochs, 2 * down_bytes);
+        self.live_dispatches += 1;
+    }
+
+    /// Replaces client `c`'s copy and incrementally updates the global
+    /// average: `w ← w + (n_c/N)·(w_c_new − w_c_old)`.
+    fn absorb(&mut self, client: usize, new_weights: Vec<f32>) {
+        let wc = self.client_weight[client];
+        for ((g, old), new) in self
+            .core
+            .global
+            .iter_mut()
+            .zip(self.copies[client].iter())
+            .zip(new_weights.iter())
+        {
+            *g += wc * (new - old);
+        }
+        self.copies[client] = new_weights;
+    }
+}
+
+impl EventHandler for AsoFedStrategy {
+    fn on_start(&mut self, ctx: &mut SimCtx) {
+        self.core.eval_now(ctx);
+        for c in ctx.alive_clients() {
+            self.dispatch_client(ctx, c);
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+        self.live_dispatches -= 1;
+        let Some(info) = self.inflight.remove(&c.client) else {
+            return;
+        };
+        if !c.dropped {
+            let update = train_client(
+                &self.core.task,
+                c.client,
+                &info.weights,
+                &self.core.cfg,
+                info.epochs,
+                info.selection_round,
+                true, // ASO-Fed's local constraint
+            );
+            let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
+            self.absorb(c.client, w_up);
+            self.core.bump(ctx);
+            if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
+                self.dispatch_client(ctx, c.client);
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.core.budget_exhausted() || self.live_dispatches == 0 && self.core.updates > 0
+    }
+}
+
+impl Strategy for AsoFedStrategy {
+    fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.core.trace)
+    }
+
+    fn global_weights(&self) -> &[f32] {
+        &self.core.global
+    }
+
+    fn global_updates(&self) -> u64 {
+        self.core.updates
+    }
+
+    fn variance_checkpoints(&self) -> &[f32] {
+        &self.core.variance_checkpoints
+    }
+}

@@ -1,0 +1,129 @@
+//! FedAsync (Xie et al., 2019): fully asynchronous federated optimization.
+//!
+//! Every client trains continuously; each arriving update is mixed into the
+//! global model with a staleness-attenuated weight
+//! `α_t = α · s(staleness)` where `s` is one of the
+//! [`StalenessFn`](crate::staleness::StalenessFn) families from the FedAsync
+//! paper (polynomial `a = 0.5` by default), after which the client
+//! immediately redownloads and retrains. The server talks to *all* clients
+//! all the time — the communication-bottleneck pattern FedAT's §1 argues
+//! against.
+
+use crate::config::ExperimentConfig;
+use crate::local::train_client;
+use crate::strategies::{Inflight, ServerCore, Strategy};
+use fedat_data::suite::FedTask;
+use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
+use fedat_sim::trace::Trace;
+use fedat_tensor::ops::lerp_into;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FedAsync server.
+pub struct FedAsyncStrategy {
+    core: ServerCore,
+    alpha: f32,
+    staleness: crate::staleness::StalenessFn,
+    /// Global version at each in-flight client's dispatch (staleness base).
+    dispatch_version: HashMap<usize, u64>,
+    inflight: HashMap<usize, Inflight>,
+    live_dispatches: usize,
+}
+
+impl FedAsyncStrategy {
+    /// Builds the FedAsync server.
+    ///
+    /// One FedAsync global update ingests a single client, versus
+    /// `clients_per_round` clients per synchronous round, so the update
+    /// budget is scaled by `clients_per_round` — and further by
+    /// [`super::ASYNC_FILL`] because asynchronous updates complete much
+    /// faster in wall time; the shared `max_time` horizon is the effective
+    /// stopping rule, exactly as in the paper's timeline figures. The
+    /// evaluation stride is scaled likewise.
+    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig) -> Self {
+        let k = cfg.clients_per_round as u64;
+        let core =
+            ServerCore::new(task, cfg, cfg.rounds * k * super::ASYNC_FILL, cfg.eval_every * k);
+        FedAsyncStrategy {
+            core,
+            alpha: cfg.fedasync_alpha,
+            staleness: cfg.fedasync_staleness,
+            dispatch_version: HashMap::new(),
+            inflight: HashMap::new(),
+            live_dispatches: 0,
+        }
+    }
+
+    fn dispatch_client(&mut self, ctx: &mut SimCtx, client: usize) {
+        let epochs = self.core.cfg.local_epochs;
+        let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
+        let selection_round = ctx.dispatches_of(client);
+        self.inflight.insert(client, Inflight { weights, selection_round, epochs });
+        self.dispatch_version.insert(client, self.core.updates);
+        ctx.dispatch_with_transfer(client, 0, epochs, 2 * down_bytes);
+        self.live_dispatches += 1;
+    }
+}
+
+impl EventHandler for FedAsyncStrategy {
+    fn on_start(&mut self, ctx: &mut SimCtx) {
+        self.core.eval_now(ctx);
+        for c in ctx.alive_clients() {
+            self.dispatch_client(ctx, c);
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+        self.live_dispatches -= 1;
+        let Some(info) = self.inflight.remove(&c.client) else {
+            return;
+        };
+        let version = self.dispatch_version.remove(&c.client).unwrap_or(0);
+        if !c.dropped {
+            let update = train_client(
+                &self.core.task,
+                c.client,
+                &info.weights,
+                &self.core.cfg,
+                info.epochs,
+                info.selection_round,
+                false,
+            );
+            let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
+            let staleness = self.core.updates - version;
+            let alpha_t = self.alpha * self.staleness.factor(staleness);
+            lerp_into(&mut self.core.global, &w_up, alpha_t);
+            self.core.bump(ctx);
+            if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
+                self.dispatch_client(ctx, c.client);
+            }
+        }
+        // Dropped clients simply leave the pool (wait-free: nobody blocks).
+    }
+
+    fn finished(&self) -> bool {
+        self.core.budget_exhausted() || self.live_dispatches == 0 && self.core.updates > 0
+    }
+}
+
+impl Strategy for FedAsyncStrategy {
+    fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.core.trace)
+    }
+
+    fn global_weights(&self) -> &[f32] {
+        &self.core.global
+    }
+
+    fn global_updates(&self) -> u64 {
+        self.core.updates
+    }
+
+    fn variance_checkpoints(&self) -> &[f32] {
+        &self.core.variance_checkpoints
+    }
+}

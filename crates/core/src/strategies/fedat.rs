@@ -1,0 +1,190 @@
+//! FedAT — the paper's contribution (§4, Algorithm 2).
+//!
+//! Clients are partitioned into `M` latency tiers. Every tier runs its own
+//! *synchronous* FedAvg-style round loop at its natural pace; whenever a
+//! tier finishes a round, the server (1) replaces that tier's model with
+//! the `n_k/N_c`-weighted average of its clients' uploads, (2) recomputes
+//! the global model as the *cross-tier weighted average* of all tier models
+//! using the Eq. (5) heuristic (slower tiers get the larger weights), and
+//! (3) hands the fresh global model to the tier for its next round — an
+//! asynchronous, wait-free cross-tier update.
+//!
+//! Clients minimize the Eq. (3) surrogate `F_k(w) + λ/2‖w − w_global‖²`,
+//! and every transfer is polyline-compressed in both directions (§4.3).
+
+use crate::aggregate::{aggregate_tiers, cross_tier_weights, uniform_tier_weights, weighted_client_average};
+use crate::config::ExperimentConfig;
+use crate::local::train_client;
+use crate::strategies::{Inflight, ServerCore, Strategy};
+use crate::tiering::TierAssignment;
+use fedat_data::suite::FedTask;
+use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
+use fedat_sim::trace::Trace;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FedAT server.
+pub struct FedAtStrategy {
+    core: ServerCore,
+    tiers: TierAssignment,
+    /// Per-tier server models `w_tier_m` (Algorithm 2 state).
+    tier_models: Vec<Vec<f32>>,
+    /// Per-tier update counters `T_tier_m`.
+    tier_counts: Vec<u64>,
+    /// In-flight dispatches per tier.
+    tier_outstanding: Vec<usize>,
+    /// Uploads received in each tier's current round.
+    tier_received: Vec<Vec<(Vec<f32>, usize)>>,
+    inflight: HashMap<usize, Inflight>,
+    /// Tiers still running rounds (a tier goes dormant when every client
+    /// has dropped).
+    active_tiers: usize,
+    /// Fig. 6 ablation: uniform instead of Eq. (5) weights.
+    uniform_weights: bool,
+}
+
+impl FedAtStrategy {
+    /// Builds the FedAT server: profiles tiers, initializes every tier
+    /// model to `w⁰`, and zeroes the update counters.
+    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Self {
+        let mut tiers = TierAssignment::profile(fleet, cfg.num_tiers, cfg.local_epochs);
+        if cfg.mistier_fraction > 0.0 {
+            tiers.mistier(cfg.mistier_fraction, cfg.seed);
+        }
+        let m = tiers.num_tiers();
+        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+        let tier_models = vec![core.global.clone(); m];
+        FedAtStrategy {
+            core,
+            tiers,
+            tier_models,
+            tier_counts: vec![0; m],
+            tier_outstanding: vec![0; m],
+            tier_received: (0..m).map(|_| Vec::new()).collect(),
+            inflight: HashMap::new(),
+            active_tiers: m,
+            uniform_weights: cfg.uniform_tier_weights,
+        }
+    }
+
+    /// Current cross-tier aggregation weights.
+    pub fn tier_weights(&self) -> Vec<f32> {
+        if self.uniform_weights {
+            uniform_tier_weights(self.tier_counts.len())
+        } else {
+            cross_tier_weights(&self.tier_counts)
+        }
+    }
+
+    /// Per-tier update counts (for diagnostics and tests).
+    pub fn tier_update_counts(&self) -> &[u64] {
+        &self.tier_counts
+    }
+
+    fn start_tier_round(&mut self, ctx: &mut SimCtx, tier: usize) {
+        let now = ctx.now();
+        let alive: Vec<usize> = self
+            .tiers
+            .tier(tier)
+            .iter()
+            .copied()
+            .filter(|&c| ctx.fleet.is_alive(c, now))
+            .collect();
+        if alive.is_empty() {
+            // Tier dormant: every member dropped. Other tiers continue —
+            // this is exactly the wait-free property of cross-tier
+            // asynchrony.
+            self.active_tiers -= 1;
+            return;
+        }
+        let picks = self
+            .core
+            .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
+        self.tier_outstanding[tier] = picks.len();
+        self.tier_received[tier].clear();
+        let epochs = self.core.cfg.local_epochs;
+        for c in picks {
+            // Downlink: the tier's clients receive the latest *global*
+            // model (compressed).
+            let (weights, down_bytes) = self.core.transport.download(ctx, c, &self.core.global);
+            let selection_round = ctx.dispatches_of(c);
+            self.inflight.insert(c, Inflight { weights, selection_round, epochs });
+            ctx.dispatch_with_transfer(c, tier as u64, epochs, 2 * down_bytes);
+        }
+    }
+}
+
+impl EventHandler for FedAtStrategy {
+    fn on_start(&mut self, ctx: &mut SimCtx) {
+        self.core.eval_now(ctx);
+        // All tiers start training simultaneously, each at its own pace.
+        for tier in 0..self.tiers.num_tiers() {
+            self.start_tier_round(ctx, tier);
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+        let tier = c.tag as usize;
+        self.tier_outstanding[tier] -= 1;
+        if let Some(info) = self.inflight.remove(&c.client) {
+            if !c.dropped {
+                let update = train_client(
+                    &self.core.task,
+                    c.client,
+                    &info.weights,
+                    &self.core.cfg,
+                    info.epochs,
+                    info.selection_round,
+                    true, // Eq. (3) local constraint
+                );
+                // Uplink: compressed client weights.
+                let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
+                self.tier_received[tier].push((w_up, update.n_samples));
+            }
+        }
+        if self.tier_outstanding[tier] == 0 {
+            if !self.tier_received[tier].is_empty() {
+                // Intra-tier synchronous aggregation (Algorithm 2 inner loop).
+                let refs: Vec<(&[f32], usize)> = self.tier_received[tier]
+                    .iter()
+                    .map(|(w, n)| (w.as_slice(), *n))
+                    .collect();
+                self.tier_models[tier] = weighted_client_average(&refs);
+                self.tier_counts[tier] += 1;
+                // Cross-tier asynchronous aggregation (Eq. 5).
+                let weights = self.tier_weights();
+                self.core.global = aggregate_tiers(&self.tier_models, &weights);
+                self.core.bump(ctx);
+            }
+            if !self.finished() {
+                self.start_tier_round(ctx, tier);
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.core.budget_exhausted() || self.active_tiers == 0
+    }
+}
+
+impl Strategy for FedAtStrategy {
+    fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.core.trace)
+    }
+
+    fn global_weights(&self) -> &[f32] {
+        &self.core.global
+    }
+
+    fn global_updates(&self) -> u64 {
+        self.core.updates
+    }
+
+    fn variance_checkpoints(&self) -> &[f32] {
+        &self.core.variance_checkpoints
+    }
+}

@@ -1,0 +1,171 @@
+//! The six federated-learning methods, all driven by the same
+//! discrete-event runtime.
+//!
+//! | Strategy | Module | Communication pattern |
+//! |---|---|---|
+//! | FedAvg | [`sync`] | synchronous rounds, random subset |
+//! | FedProx | [`sync`] | synchronous + prox term + device-dependent epochs |
+//! | TiFL | [`tifl`] | synchronous, adaptive tier selection |
+//! | FedAsync | [`fedasync`] | fully async, staleness-weighted mixing |
+//! | ASO-Fed | [`asofed`] | fully async, per-client server copies |
+//! | FedAT | [`fedat`] | sync intra-tier + async cross-tier (the paper) |
+
+pub mod asofed;
+pub mod fedasync;
+pub mod fedat;
+pub mod sync;
+pub mod tifl;
+
+use crate::config::{default_codec, ExperimentConfig, StrategyKind};
+use crate::eval::Evaluator;
+use crate::transport::Transport;
+use fedat_data::suite::FedTask;
+use fedat_sim::runtime::{EventHandler, SimCtx};
+use fedat_sim::trace::{Trace, TracePoint};
+use std::sync::Arc;
+
+/// A runnable FL method: the event handler plus result accessors.
+pub trait Strategy: EventHandler + Send {
+    /// The accuracy/loss/bytes trace recorded so far.
+    fn trace(&self) -> &Trace;
+
+    /// Consumes the recorded trace.
+    fn take_trace(&mut self) -> Trace;
+
+    /// Current global model weights.
+    fn global_weights(&self) -> &[f32];
+
+    /// Number of global updates performed (`t` in Algorithm 2).
+    fn global_updates(&self) -> u64;
+
+    /// Per-client accuracy variances sampled along the run (the paper's
+    /// Table 1 `Norm. Var.` metric averages the variance of per-client test
+    /// accuracy over training checkpoints).
+    fn variance_checkpoints(&self) -> &[f32];
+}
+
+/// Server-side state shared by every strategy implementation.
+pub(crate) struct ServerCore {
+    pub task: Arc<FedTask>,
+    pub cfg: ExperimentConfig,
+    pub transport: Transport,
+    pub evaluator: Evaluator,
+    /// Current global weights `w^t`.
+    pub global: Vec<f32>,
+    /// Global update counter `t`.
+    pub updates: u64,
+    /// Global update budget (strategy-scaled).
+    pub budget: u64,
+    /// Evaluate every this many global updates (strategy-scaled).
+    pub eval_stride: u64,
+    pub trace: Trace,
+    /// Per-client accuracy variance, sampled every
+    /// [`VARIANCE_EVAL_STRIDE`]-th evaluation.
+    pub variance_checkpoints: Vec<f32>,
+    evals_done: u64,
+}
+
+/// Per-client variance is sampled every this many global evaluations (a
+/// full per-client sweep costs about one extra global evaluation).
+pub const VARIANCE_EVAL_STRIDE: u64 = 5;
+
+/// Extra update-budget multiplier for the fully asynchronous methods
+/// (FedAsync, ASO-Fed): their single-client updates land continuously, so
+/// within any wall-clock horizon they perform far more global updates than
+/// a synchronous method performs rounds. The budget is scaled up so the
+/// shared `max_time` horizon — the paper's timeline axis — is the binding
+/// stopping rule.
+pub const ASYNC_FILL: u64 = 20;
+
+impl ServerCore {
+    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, budget: u64, eval_stride: u64) -> Self {
+        let codec = cfg.codec.unwrap_or_else(|| default_codec(cfg.strategy));
+        let transport = Transport::new(codec);
+        let evaluator = Evaluator::new(&task, cfg.eval_subset, cfg.seed);
+        let global = task.model.build(cfg.seed).weights();
+        let trace = Trace::new(format!("{} @ {}", cfg.strategy.name(), task.name));
+        ServerCore {
+            task,
+            cfg: cfg.clone(),
+            transport,
+            evaluator,
+            global,
+            updates: 0,
+            budget,
+            eval_stride: eval_stride.max(1),
+            trace,
+            variance_checkpoints: Vec::new(),
+            evals_done: 0,
+        }
+    }
+
+    /// Records one global update; evaluates on the configured cadence.
+    pub fn bump(&mut self, ctx: &mut SimCtx) {
+        self.updates += 1;
+        if self.updates.is_multiple_of(self.eval_stride) {
+            self.eval_now(ctx);
+        }
+    }
+
+    /// Evaluates the current global model and appends a trace point;
+    /// periodically also sweeps per-client accuracies for the variance
+    /// metric.
+    pub fn eval_now(&mut self, ctx: &mut SimCtx) {
+        let r = self.evaluator.evaluate(&self.global);
+        self.trace.push(TracePoint {
+            time: ctx.now(),
+            round: self.updates,
+            accuracy: r.accuracy,
+            loss: r.loss,
+            up_bytes: ctx.traffic.uplink_bytes(),
+            down_bytes: ctx.traffic.downlink_bytes(),
+        });
+        self.evals_done += 1;
+        if self.evals_done.is_multiple_of(VARIANCE_EVAL_STRIDE) {
+            let accs =
+                crate::eval::per_client_accuracy(&self.task, &self.global, self.cfg.seed);
+            self.variance_checkpoints
+                .push(crate::eval::accuracy_variance(&accs));
+        }
+    }
+
+    /// Whether the update budget is exhausted.
+    pub fn budget_exhausted(&self) -> bool {
+        self.updates >= self.budget
+    }
+
+    /// Samples `k` distinct clients from `pool` (all of `pool` if smaller).
+    pub fn sample_clients(&self, ctx: &mut SimCtx, pool: &[usize], k: usize) -> Vec<usize> {
+        if pool.len() <= k {
+            return pool.to_vec();
+        }
+        fedat_tensor::rng::sample_without_replacement(ctx.rng, pool.len(), k)
+            .into_iter()
+            .map(|i| pool[i])
+            .collect()
+    }
+}
+
+/// Weights captured at dispatch time for one in-flight client.
+#[derive(Clone, Debug)]
+pub(crate) struct Inflight {
+    /// The (post-roundtrip) weights the client downloaded.
+    pub weights: Vec<f32>,
+    /// The client's selection counter at dispatch (fixes its batch
+    /// schedule).
+    pub selection_round: u64,
+    /// Local epochs assigned for this dispatch.
+    pub epochs: usize,
+}
+
+/// Builds the strategy object for a config.
+pub fn build_strategy(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Box<dyn Strategy> {
+    match cfg.strategy {
+        StrategyKind::FedAvg => Box::new(sync::SyncStrategy::fedavg(task, cfg)),
+        StrategyKind::FedProx => Box::new(sync::SyncStrategy::fedprox(task, cfg, fleet)),
+        StrategyKind::TiFL => Box::new(tifl::TiflStrategy::new(task, cfg, fleet)),
+        StrategyKind::FedAsync => Box::new(fedasync::FedAsyncStrategy::new(task, cfg)),
+        StrategyKind::AsoFed => Box::new(asofed::AsoFedStrategy::new(task, cfg)),
+        StrategyKind::FedAt => Box::new(fedat::FedAtStrategy::new(task, cfg, fleet)),
+    }
+}

@@ -1,0 +1,157 @@
+//! Synchronous round-based strategies: FedAvg (Algorithm 1) and FedProx.
+//!
+//! FedProx differs from FedAvg in two ways, both from Li et al. (2018):
+//! the proximal term `λ/2‖w − w_global‖²` on the local objective and
+//! device-capability-dependent local work (slower devices run fewer
+//! epochs — the γ-inexactness knob).
+
+use crate::aggregate::weighted_client_average;
+use crate::config::ExperimentConfig;
+use crate::local::train_client;
+use crate::strategies::{Inflight, ServerCore, Strategy};
+use fedat_data::suite::FedTask;
+use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
+use fedat_sim::trace::Trace;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FedAvg / FedProx server.
+pub struct SyncStrategy {
+    core: ServerCore,
+    use_prox: bool,
+    /// Per-client local epochs (`None` = uniform `cfg.local_epochs`).
+    client_epochs: Option<Vec<usize>>,
+    inflight: HashMap<usize, Inflight>,
+    received: Vec<(Vec<f32>, usize)>,
+    outstanding: usize,
+    /// Set when no clients remain alive; terminates the run.
+    starved: bool,
+}
+
+impl SyncStrategy {
+    /// Plain FedAvg: uniform epochs, no proximal term.
+    pub fn fedavg(task: Arc<FedTask>, cfg: &ExperimentConfig) -> Self {
+        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+        SyncStrategy {
+            core,
+            use_prox: false,
+            client_epochs: None,
+            inflight: HashMap::new(),
+            received: Vec::new(),
+            outstanding: 0,
+            starved: false,
+        }
+    }
+
+    /// FedProx: prox term on, slower delay-parts run fewer local epochs.
+    pub fn fedprox(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Self {
+        let epochs: Vec<usize> = (0..fleet.len())
+            .map(|c| {
+                // Part 0 (fastest) runs the full E epochs; each slower part
+                // sheds one, bottoming out at 1.
+                cfg.local_epochs.saturating_sub(fleet.part_of(c)).max(1)
+            })
+            .collect();
+        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+        SyncStrategy {
+            core,
+            use_prox: true,
+            client_epochs: Some(epochs),
+            inflight: HashMap::new(),
+            received: Vec::new(),
+            outstanding: 0,
+            starved: false,
+        }
+    }
+
+    fn epochs_for(&self, client: usize) -> usize {
+        match &self.client_epochs {
+            Some(e) => e[client],
+            None => self.core.cfg.local_epochs,
+        }
+    }
+
+    fn start_round(&mut self, ctx: &mut SimCtx) {
+        let alive = ctx.alive_clients();
+        if alive.is_empty() {
+            self.starved = true;
+            return;
+        }
+        let picks = self
+            .core
+            .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
+        self.outstanding = picks.len();
+        self.received.clear();
+        for c in picks {
+            let epochs = self.epochs_for(c);
+            let (weights, down_bytes) = self.core.transport.download(ctx, c, &self.core.global);
+            let selection_round = ctx.dispatches_of(c);
+            self.inflight.insert(c, Inflight { weights, selection_round, epochs });
+            // Transfer hint: download now + a same-sized upload later.
+            ctx.dispatch_with_transfer(c, 0, epochs, 2 * down_bytes);
+        }
+    }
+}
+
+impl EventHandler for SyncStrategy {
+    fn on_start(&mut self, ctx: &mut SimCtx) {
+        self.core.eval_now(ctx); // round-0 baseline point
+        self.start_round(ctx);
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+        self.outstanding -= 1;
+        if let Some(info) = self.inflight.remove(&c.client) {
+            if !c.dropped {
+                let update = train_client(
+                    &self.core.task,
+                    c.client,
+                    &info.weights,
+                    &self.core.cfg,
+                    info.epochs,
+                    info.selection_round,
+                    self.use_prox,
+                );
+                let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
+                self.received.push((w_up, update.n_samples));
+            }
+        }
+        if self.outstanding == 0 {
+            if !self.received.is_empty() {
+                let refs: Vec<(&[f32], usize)> =
+                    self.received.iter().map(|(w, n)| (w.as_slice(), *n)).collect();
+                self.core.global = weighted_client_average(&refs);
+            }
+            self.core.bump(ctx);
+            if !self.finished() {
+                self.start_round(ctx);
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.starved || self.core.budget_exhausted()
+    }
+}
+
+impl Strategy for SyncStrategy {
+    fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.core.trace)
+    }
+
+    fn global_weights(&self) -> &[f32] {
+        &self.core.global
+    }
+
+    fn global_updates(&self) -> u64 {
+        self.core.updates
+    }
+
+    fn variance_checkpoints(&self) -> &[f32] {
+        &self.core.variance_checkpoints
+    }
+}

@@ -1,0 +1,226 @@
+//! TiFL (Chai et al., HPDC'20): synchronous tier-based federated learning
+//! with adaptive, accuracy-driven tier selection.
+//!
+//! Each round selects *one* tier; clients are sampled within it, so a
+//! fast-tier round is fast. The adaptive policy re-estimates per-tier test
+//! accuracies every `PROB_UPDATE_EVERY` rounds and biases selection towards
+//! lower-accuracy tiers, under per-tier credit budgets (both from the TiFL
+//! paper). This is also the tiering scheme FedAT borrows (§2.1).
+
+use crate::aggregate::weighted_client_average;
+use crate::config::ExperimentConfig;
+use crate::eval::per_client_accuracy;
+use crate::local::train_client;
+use crate::strategies::{Inflight, ServerCore, Strategy};
+use crate::tiering::TierAssignment;
+use fedat_data::suite::FedTask;
+use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
+use fedat_sim::trace::Trace;
+use rand::RngExt;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Rounds between re-estimations of the per-tier accuracies (the interval
+/// the TiFL paper calls the adaptive evaluation interval; the FedAT paper
+/// notes it "requires collecting test accuracies of all clients every
+/// certain rounds").
+const PROB_UPDATE_EVERY: u64 = 20;
+
+/// TiFL server.
+pub struct TiflStrategy {
+    core: ServerCore,
+    tiers: TierAssignment,
+    /// Remaining selections per tier.
+    credits: Vec<u64>,
+    /// Selection probabilities (re-normalized over selectable tiers).
+    probs: Vec<f64>,
+    inflight: HashMap<usize, Inflight>,
+    received: Vec<(Vec<f32>, usize)>,
+    outstanding: usize,
+    starved: bool,
+}
+
+impl TiflStrategy {
+    /// Builds the TiFL server with profiled tiers and equal initial credits.
+    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Self {
+        let mut tiers = TierAssignment::profile(fleet, cfg.num_tiers, cfg.local_epochs);
+        if cfg.mistier_fraction > 0.0 {
+            tiers.mistier(cfg.mistier_fraction, cfg.seed);
+        }
+        let m = tiers.num_tiers();
+        // Credits: rounds split evenly, like TiFL's credit initialization.
+        let credits = vec![cfg.rounds / m as u64 + 1; m];
+        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+        TiflStrategy {
+            core,
+            tiers,
+            credits,
+            probs: vec![1.0 / m as f64; m],
+            inflight: HashMap::new(),
+            received: Vec::new(),
+            outstanding: 0,
+            starved: false,
+        }
+    }
+
+    /// Re-estimates per-tier accuracy of the current global model and
+    /// biases selection toward the weaker tiers (probability ∝ 1 − acc).
+    fn update_probs(&mut self) {
+        let accs = per_client_accuracy(&self.core.task, &self.core.global, self.core.cfg.seed);
+        let m = self.tiers.num_tiers();
+        let mut weights = vec![0.0f64; m];
+        for (t, w) in weights.iter_mut().enumerate() {
+            let clients = self.tiers.tier(t);
+            if clients.is_empty() {
+                continue;
+            }
+            let mean: f64 = clients.iter().map(|&c| accs[c] as f64).sum::<f64>()
+                / clients.len() as f64;
+            *w = (1.0 - mean).max(0.01);
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum > 0.0 {
+            for w in weights.iter_mut() {
+                *w /= sum;
+            }
+            self.probs = weights;
+        }
+    }
+
+    /// Picks the tier for the next round among those with credits and alive
+    /// clients.
+    fn pick_tier(&mut self, ctx: &mut SimCtx) -> Option<usize> {
+        let m = self.tiers.num_tiers();
+        let now = ctx.now();
+        let selectable: Vec<usize> = (0..m)
+            .filter(|&t| {
+                self.credits[t] > 0
+                    && self
+                        .tiers
+                        .tier(t)
+                        .iter()
+                        .any(|&c| ctx.fleet.is_alive(c, now))
+            })
+            .collect();
+        // Credits exhausted everywhere: fall back to any tier with alive
+        // clients (uniform), so training can use the full round budget.
+        let pool: Vec<usize> = if selectable.is_empty() {
+            (0..m)
+                .filter(|&t| {
+                    self.tiers
+                        .tier(t)
+                        .iter()
+                        .any(|&c| ctx.fleet.is_alive(c, now))
+                })
+                .collect()
+        } else {
+            selectable
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        let total: f64 = pool.iter().map(|&t| self.probs[t]).sum();
+        let mut r = ctx.rng.random::<f64>() * total;
+        for &t in &pool {
+            r -= self.probs[t];
+            if r <= 0.0 {
+                return Some(t);
+            }
+        }
+        Some(*pool.last().expect("pool non-empty"))
+    }
+
+    fn start_round(&mut self, ctx: &mut SimCtx) {
+        if self.core.updates > 0 && self.core.updates.is_multiple_of(PROB_UPDATE_EVERY) {
+            self.update_probs();
+        }
+        let Some(tier) = self.pick_tier(ctx) else {
+            self.starved = true;
+            return;
+        };
+        self.credits[tier] = self.credits[tier].saturating_sub(1);
+        let now = ctx.now();
+        let alive: Vec<usize> = self
+            .tiers
+            .tier(tier)
+            .iter()
+            .copied()
+            .filter(|&c| ctx.fleet.is_alive(c, now))
+            .collect();
+        let picks = self
+            .core
+            .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
+        self.outstanding = picks.len();
+        self.received.clear();
+        let epochs = self.core.cfg.local_epochs;
+        for c in picks {
+            let (weights, down_bytes) = self.core.transport.download(ctx, c, &self.core.global);
+            let selection_round = ctx.dispatches_of(c);
+            self.inflight.insert(c, Inflight { weights, selection_round, epochs });
+            ctx.dispatch_with_transfer(c, 0, epochs, 2 * down_bytes);
+        }
+    }
+}
+
+impl EventHandler for TiflStrategy {
+    fn on_start(&mut self, ctx: &mut SimCtx) {
+        self.core.eval_now(ctx);
+        self.start_round(ctx);
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+        self.outstanding -= 1;
+        if let Some(info) = self.inflight.remove(&c.client) {
+            if !c.dropped {
+                let update = train_client(
+                    &self.core.task,
+                    c.client,
+                    &info.weights,
+                    &self.core.cfg,
+                    info.epochs,
+                    info.selection_round,
+                    false,
+                );
+                let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
+                self.received.push((w_up, update.n_samples));
+            }
+        }
+        if self.outstanding == 0 {
+            if !self.received.is_empty() {
+                let refs: Vec<(&[f32], usize)> =
+                    self.received.iter().map(|(w, n)| (w.as_slice(), *n)).collect();
+                self.core.global = weighted_client_average(&refs);
+            }
+            self.core.bump(ctx);
+            if !self.finished() {
+                self.start_round(ctx);
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.starved || self.core.budget_exhausted()
+    }
+}
+
+impl Strategy for TiflStrategy {
+    fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.core.trace)
+    }
+
+    fn global_weights(&self) -> &[f32] {
+        &self.core.global
+    }
+
+    fn global_updates(&self) -> u64 {
+        self.core.updates
+    }
+
+    fn variance_checkpoints(&self) -> &[f32] {
+        &self.core.variance_checkpoints
+    }
+}

@@ -1,0 +1,223 @@
+//! The tiering module: profile clients by response latency and partition
+//! them into `M` logical tiers (paper §4, borrowing TiFL's scheme).
+
+use fedat_sim::fleet::Fleet;
+use fedat_tensor::rng::{rng_for, tags};
+use rand::RngExt;
+
+/// A partition of clients into latency tiers. Tier 0 is the fastest
+/// (`tier 1` in the paper's 1-based notation), tier `M−1` the slowest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierAssignment {
+    tiers: Vec<Vec<usize>>,
+}
+
+impl TierAssignment {
+    /// Profiles every client's expected response latency and splits the
+    /// sorted order into `m` near-equal tiers.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero or exceeds the client count.
+    pub fn profile(fleet: &Fleet, m: usize, epochs: usize) -> Self {
+        assert!(m > 0, "need at least one tier");
+        assert!(m <= fleet.len(), "more tiers than clients");
+        let mut order: Vec<usize> = (0..fleet.len()).collect();
+        order.sort_by(|&a, &b| {
+            fleet
+                .expected_latency(a, epochs)
+                .partial_cmp(&fleet.expected_latency(b, epochs))
+                .expect("latencies are finite")
+                .then(a.cmp(&b)) // stable, deterministic tie-break
+        });
+        let mut tiers = Vec::with_capacity(m);
+        let base = order.len() / m;
+        let extra = order.len() % m;
+        let mut cursor = 0usize;
+        for t in 0..m {
+            let take = base + usize::from(t < extra);
+            tiers.push(order[cursor..cursor + take].to_vec());
+            cursor += take;
+        }
+        TierAssignment { tiers }
+    }
+
+    /// Randomly re-assigns `fraction` of all clients to a uniformly random
+    /// *other* tier — the mis-tiering robustness ablation (§2.1 argues FedAT
+    /// tolerates mis-profiled clients).
+    pub fn mistier(&mut self, fraction: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        if fraction == 0.0 || self.tiers.len() < 2 {
+            return;
+        }
+        let mut rng = rng_for(seed, tags::UNSTABLE ^ 0xA5);
+        let all: Vec<(usize, usize)> = self
+            .tiers
+            .iter()
+            .enumerate()
+            .flat_map(|(t, cs)| cs.iter().map(move |&c| (t, c)))
+            .collect();
+        let n_move = (all.len() as f64 * fraction).round() as usize;
+        let picks = fedat_tensor::rng::sample_without_replacement(&mut rng, all.len(), n_move);
+        for p in picks {
+            let (from, client) = all[p];
+            let mut to = rng.random_range(0..self.tiers.len() - 1);
+            if to >= from {
+                to += 1; // uniform over tiers ≠ from
+            }
+            // Move the client (it may have been moved already; skip if gone).
+            if let Some(pos) = self.tiers[from].iter().position(|&c| c == client) {
+                self.tiers[from].remove(pos);
+                self.tiers[to].push(client);
+            }
+        }
+        // A tier emptied by mis-tiering would deadlock its round loop; pull
+        // one client back from the largest tier.
+        for t in 0..self.tiers.len() {
+            if self.tiers[t].is_empty() {
+                let donor = (0..self.tiers.len())
+                    .max_by_key(|&i| self.tiers[i].len())
+                    .expect("tiers exist");
+                if self.tiers[donor].len() > 1 {
+                    let c = self.tiers[donor].pop().expect("donor non-empty");
+                    self.tiers[t].push(c);
+                }
+            }
+        }
+    }
+
+    /// Number of tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Clients of tier `t` (0 = fastest).
+    pub fn tier(&self, t: usize) -> &[usize] {
+        &self.tiers[t]
+    }
+
+    /// Tier index of `client`.
+    ///
+    /// # Panics
+    /// Panics if the client is in no tier.
+    pub fn tier_of(&self, client: usize) -> usize {
+        self.tiers
+            .iter()
+            .position(|t| t.contains(&client))
+            .unwrap_or_else(|| panic!("client {client} not in any tier"))
+    }
+
+    /// Per-tier client counts.
+    pub fn tier_sizes(&self) -> Vec<usize> {
+        self.tiers.iter().map(|t| t.len()).collect()
+    }
+
+    /// Total clients across tiers.
+    pub fn num_clients(&self) -> usize {
+        self.tiers.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_sim::fleet::ClusterConfig;
+
+    fn fleet(n: usize, seed: u64) -> Fleet {
+        let cfg = ClusterConfig::paper_medium(seed).with_clients(n).without_dropouts();
+        Fleet::new(&cfg, vec![48; n])
+    }
+
+    #[test]
+    fn profile_splits_evenly_and_covers() {
+        let f = fleet(100, 1);
+        let t = TierAssignment::profile(&f, 5, 3);
+        assert_eq!(t.tier_sizes(), vec![20; 5]);
+        assert_eq!(t.num_clients(), 100);
+        let mut all: Vec<usize> = (0..5).flat_map(|i| t.tier(i).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiers_are_latency_ordered() {
+        let f = fleet(100, 2);
+        let t = TierAssignment::profile(&f, 5, 3);
+        let mean = |clients: &[usize]| -> f64 {
+            clients.iter().map(|&c| f.expected_latency(c, 3)).sum::<f64>() / clients.len() as f64
+        };
+        for i in 0..4 {
+            assert!(
+                mean(t.tier(i)) <= mean(t.tier(i + 1)),
+                "tier {i} slower than tier {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn profiled_tiers_recover_ground_truth_parts() {
+        // With equal sample counts, expected latency is a strictly monotone
+        // function of the delay part, so profiling must recover the paper's
+        // 5-part assignment exactly.
+        let f = fleet(100, 3);
+        let t = TierAssignment::profile(&f, 5, 3);
+        for tier in 0..5 {
+            for &c in t.tier(tier) {
+                assert_eq!(f.part_of(c), tier, "client {c} profiled into wrong tier");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_of_inverts_assignment() {
+        let f = fleet(50, 4);
+        let t = TierAssignment::profile(&f, 5, 3);
+        for tier in 0..5 {
+            for &c in t.tier(tier) {
+                assert_eq!(t.tier_of(c), tier);
+            }
+        }
+    }
+
+    #[test]
+    fn mistier_moves_roughly_the_requested_fraction() {
+        let f = fleet(100, 5);
+        let clean = TierAssignment::profile(&f, 5, 3);
+        let mut noisy = clean.clone();
+        noisy.mistier(0.2, 99);
+        assert_eq!(noisy.num_clients(), 100, "mis-tiering must not lose clients");
+        let moved: usize = (0..100)
+            .filter(|&c| clean.tier_of(c) != noisy.tier_of(c))
+            .count();
+        assert!((15..=25).contains(&moved), "moved {moved} clients, expected ≈20");
+    }
+
+    #[test]
+    fn mistier_zero_is_identity() {
+        let f = fleet(40, 6);
+        let clean = TierAssignment::profile(&f, 4, 3);
+        let mut copy = clean.clone();
+        copy.mistier(0.0, 1);
+        assert_eq!(clean, copy);
+    }
+
+    #[test]
+    fn mistier_never_empties_a_tier() {
+        let f = fleet(10, 7);
+        let mut t = TierAssignment::profile(&f, 5, 3);
+        t.mistier(1.0, 3);
+        for i in 0..5 {
+            assert!(!t.tier(i).is_empty(), "tier {i} emptied");
+        }
+        assert_eq!(t.num_clients(), 10);
+    }
+
+    #[test]
+    fn uneven_division_spreads_remainder() {
+        let f = fleet(103, 8);
+        let t = TierAssignment::profile(&f, 5, 3);
+        let sizes = t.tier_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s == 20 || s == 21));
+    }
+}

@@ -1,0 +1,125 @@
+//! Codec-mediated model transfers with traffic accounting.
+//!
+//! Every download (server → client) and upload (client → server) passes
+//! through the configured codec: the byte count is charged to the traffic
+//! meter *and* the weights actually take the lossy roundtrip, so compression
+//! precision genuinely affects training (Fig. 5).
+
+use fedat_compress::codec::{codec_for, Codec, CodecKind};
+use fedat_sim::runtime::SimCtx;
+
+/// The uplink/downlink channel of one experiment.
+pub struct Transport {
+    codec: Box<dyn Codec>,
+    kind: CodecKind,
+}
+
+impl Transport {
+    /// Builds the transport for a codec kind.
+    pub fn new(kind: CodecKind) -> Self {
+        Transport { codec: codec_for(kind), kind }
+    }
+
+    /// The codec kind in use.
+    pub fn kind(&self) -> CodecKind {
+        self.kind
+    }
+
+    /// Codec name for reports.
+    pub fn codec_name(&self) -> String {
+        self.codec.name()
+    }
+
+    /// Wire size of one model transfer.
+    pub fn payload_bytes(&self, weights: &[f32]) -> usize {
+        self.codec.encode(weights).wire_bytes()
+    }
+
+    /// Server → client transfer: charges downlink bytes and returns the
+    /// weights as the client will see them (post lossy roundtrip) together
+    /// with the wire size (so dispatchers can model link transfer time).
+    pub fn download(&self, ctx: &mut SimCtx, client: usize, weights: &[f32]) -> (Vec<f32>, usize) {
+        let blob = self.codec.encode(weights);
+        let bytes = blob.wire_bytes();
+        ctx.traffic.record_download(client, bytes);
+        (self.codec.decode(&blob), bytes)
+    }
+
+    /// Client → server transfer: charges uplink bytes and returns the
+    /// weights as the server will see them.
+    pub fn upload(&self, ctx: &mut SimCtx, client: usize, weights: &[f32]) -> Vec<f32> {
+        let blob = self.codec.encode(weights);
+        ctx.traffic.record_upload(client, blob.wire_bytes());
+        self.codec.decode(&blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_sim::fleet::{ClusterConfig, Fleet};
+    use fedat_sim::runtime::{run, Completion, EventHandler, RunLimits, SimCtx};
+
+    /// Drives one download+upload through a real SimCtx to check accounting.
+    struct OneTransfer {
+        transport: Transport,
+        weights: Vec<f32>,
+        up_result: Option<Vec<f32>>,
+        done: bool,
+    }
+
+    impl EventHandler for OneTransfer {
+        fn on_start(&mut self, ctx: &mut SimCtx) {
+            let (w, bytes) = self.transport.download(ctx, 0, &self.weights);
+            assert_eq!(w.len(), self.weights.len());
+            assert!(bytes > 0);
+            ctx.dispatch(0, 0, 1);
+        }
+        fn on_completion(&mut self, ctx: &mut SimCtx, _c: Completion) {
+            self.up_result = Some(self.transport.upload(ctx, 0, &self.weights));
+            self.done = true;
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn transfers_charge_both_directions() {
+        let cfg = ClusterConfig::paper_medium(1).with_clients(4).without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 4]);
+        let weights: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin() * 0.1).collect();
+        let mut h = OneTransfer {
+            transport: Transport::new(CodecKind::Polyline { precision: 4, delta: true }),
+            weights: weights.clone(),
+            up_result: None,
+            done: false,
+        };
+        let expected = h.transport.payload_bytes(&weights);
+        // Can't reach ctx.traffic after run; assert via handler state +
+        // payload symmetry instead.
+        run(&mut h, &fleet, 1, RunLimits::default());
+        let up = h.up_result.expect("upload happened");
+        for (a, b) in up.iter().zip(weights.iter()) {
+            assert!((a - b).abs() <= 0.5e-4 * 1.01, "lossy roundtrip out of tolerance");
+        }
+        assert!(expected < 4000, "polyline should beat raw 4000 B: {expected}");
+    }
+
+    #[test]
+    fn raw_transport_is_lossless() {
+        let t = Transport::new(CodecKind::Raw);
+        let w: Vec<f32> = (0..64).map(|i| i as f32 * 0.125).collect();
+        assert_eq!(t.payload_bytes(&w), 16 + 64 * 4);
+        assert_eq!(t.codec_name(), "none");
+    }
+
+    #[test]
+    fn polyline_transport_names_and_sizes() {
+        let t = Transport::new(CodecKind::Polyline { precision: 3, delta: true });
+        assert_eq!(t.codec_name(), "polyline-p3");
+        let w = vec![0.001f32; 512];
+        let raw = Transport::new(CodecKind::Raw);
+        assert!(t.payload_bytes(&w) < raw.payload_bytes(&w));
+    }
+}

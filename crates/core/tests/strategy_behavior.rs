@@ -1,0 +1,188 @@
+//! Behavioral tests of the six strategies: the mechanism-level claims the
+//! paper makes about each method, checked on small federations.
+
+use fedat_core::prelude::*;
+use fedat_core::strategies::{build_strategy, Strategy};
+use fedat_sim::fleet::{ClusterConfig, Fleet};
+use fedat_sim::runtime::{run, EventHandler, RunLimits};
+use fedat_data::suite;
+use std::sync::Arc;
+
+fn cfg(strategy: StrategyKind, rounds: u64, seed: u64, cluster: ClusterConfig) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .strategy(strategy)
+        .rounds(rounds)
+        .clients_per_round(3)
+        .local_epochs(1)
+        .eval_every(5)
+        .seed(seed)
+        .cluster(cluster)
+        .build()
+}
+
+/// Runs a strategy and returns it for post-hoc inspection.
+fn run_strategy(
+    strategy: StrategyKind,
+    rounds: u64,
+    seed: u64,
+    n_clients: usize,
+) -> (Box<dyn Strategy>, fedat_data::suite::FedTask) {
+    let task = suite::sent140_like(n_clients, seed);
+    let cluster = ClusterConfig::paper_medium(seed)
+        .with_clients(n_clients)
+        .without_dropouts();
+    let c = cfg(strategy, rounds, seed, cluster.clone());
+    let fleet = Fleet::new(&cluster, task.fed.client_sizes());
+    let mut s = build_strategy(Arc::new(task.clone()), &c, &fleet);
+    {
+        let h: &mut dyn EventHandler = &mut *s;
+        run(h, &fleet, seed, RunLimits::default());
+    }
+    (s, task)
+}
+
+#[test]
+fn fedavg_performs_exactly_the_requested_rounds() {
+    let (s, _) = run_strategy(StrategyKind::FedAvg, 17, 3, 15);
+    assert_eq!(s.global_updates(), 17);
+}
+
+#[test]
+fn fedat_tier_updates_sum_to_global_updates() {
+    let (s, _) = run_strategy(StrategyKind::FedAt, 40, 5, 20);
+    assert_eq!(s.global_updates(), 40);
+    // The trace must be monotone in round number.
+    let t = s.trace();
+    for w in t.points.windows(2) {
+        assert!(w[1].round >= w[0].round);
+    }
+}
+
+#[test]
+fn fedat_time_per_update_beats_fedavg() {
+    // Each FedAT update waits only for one tier's stragglers; FedAvg waits
+    // for the slowest of a cross-tier cohort. Mean virtual time per global
+    // update must therefore be smaller for FedAT.
+    let (avg, _) = run_strategy(StrategyKind::FedAvg, 20, 7, 25);
+    let (fat, _) = run_strategy(StrategyKind::FedAt, 60, 7, 25);
+    let per_update = |s: &dyn Strategy| {
+        let t = s.trace();
+        t.points.last().unwrap().time / s.global_updates() as f64
+    };
+    assert!(
+        per_update(&*fat) < per_update(&*avg),
+        "FedAT {}s/update should beat FedAvg {}s/update",
+        per_update(&*fat),
+        per_update(&*avg)
+    );
+}
+
+#[test]
+fn async_strategies_update_far_more_often_per_virtual_second() {
+    let (asy, _) = run_strategy(StrategyKind::FedAsync, 30, 9, 25);
+    let (avg, _) = run_strategy(StrategyKind::FedAvg, 30, 9, 25);
+    let rate = |s: &dyn Strategy| {
+        s.global_updates() as f64 / s.trace().points.last().unwrap().time.max(1.0)
+    };
+    assert!(
+        rate(&*asy) > rate(&*avg) * 2.0,
+        "FedAsync update rate {} should dwarf FedAvg's {}",
+        rate(&*asy),
+        rate(&*avg)
+    );
+}
+
+#[test]
+fn variance_checkpoints_are_recorded() {
+    let (s, _) = run_strategy(StrategyKind::FedAt, 60, 11, 20);
+    assert!(
+        !s.variance_checkpoints().is_empty(),
+        "long runs must sample the variance metric"
+    );
+    for &v in s.variance_checkpoints() {
+        assert!((0.0..=0.25).contains(&v), "client-accuracy variance {v} out of range");
+    }
+}
+
+#[test]
+fn uniform_and_weighted_fedat_diverge() {
+    // Fig. 6's premise: the aggregation scheme changes the trajectory.
+    let task = suite::sent140_like(20, 13);
+    let cluster = ClusterConfig::paper_medium(13).with_clients(20).without_dropouts();
+    let mut wcfg = cfg(StrategyKind::FedAt, 30, 13, cluster.clone());
+    wcfg.uniform_tier_weights = false;
+    let mut ucfg = cfg(StrategyKind::FedAt, 30, 13, cluster);
+    ucfg.uniform_tier_weights = true;
+    let w = fedat_core::run_experiment(&task, &wcfg);
+    let u = fedat_core::run_experiment(&task, &ucfg);
+    assert_ne!(
+        w.final_weights, u.final_weights,
+        "aggregation scheme must affect the model"
+    );
+}
+
+#[test]
+fn mistiering_changes_fedat_little_more_than_noise() {
+    // §2.1: FedAT tolerates mis-profiled clients. A 30% mis-tiering should
+    // not collapse accuracy.
+    let task = suite::sent140_like(25, 15);
+    let cluster = ClusterConfig::paper_medium(15).with_clients(25).without_dropouts();
+    let clean_cfg = cfg(StrategyKind::FedAt, 50, 15, cluster.clone());
+    let mut noisy_cfg = cfg(StrategyKind::FedAt, 50, 15, cluster);
+    noisy_cfg.mistier_fraction = 0.3;
+    let clean = fedat_core::run_experiment(&task, &clean_cfg);
+    let noisy = fedat_core::run_experiment(&task, &noisy_cfg);
+    assert!(
+        noisy.best_accuracy() > clean.best_accuracy() - 0.1,
+        "mis-tiering collapsed FedAT: {} vs {}",
+        noisy.best_accuracy(),
+        clean.best_accuracy()
+    );
+}
+
+#[test]
+fn compression_codec_flows_into_traffic_totals() {
+    use fedat_compress::codec::CodecKind;
+    let task = suite::sent140_like(15, 17);
+    let cluster = ClusterConfig::paper_medium(17).with_clients(15).without_dropouts();
+    // Note: trained logistic weights reach magnitude ≈2, where precision 6
+    // needs 5 polyline bytes per value and *loses* to raw — so the
+    // comparison uses p4 and p3, which stay below 4 B/value.
+    let sizes: Vec<u64> = [
+        CodecKind::Raw,
+        CodecKind::Polyline { precision: 4, delta: true },
+        CodecKind::Polyline { precision: 3, delta: true },
+    ]
+    .into_iter()
+    .map(|k| {
+        let mut c = cfg(StrategyKind::FedAt, 20, 17, cluster.clone());
+        c.codec = Some(k);
+        let out = fedat_core::run_experiment(&task, &c);
+        out.trace.points.last().unwrap().up_bytes
+    })
+    .collect();
+    assert!(sizes[0] > sizes[1], "p4 must beat raw: {sizes:?}");
+    assert!(sizes[1] > sizes[2], "p3 must beat p4: {sizes:?}");
+}
+
+#[test]
+fn total_dropout_starves_but_terminates() {
+    // Failure injection: every client is unstable and drops within 60 s.
+    // Strategies must terminate (starved or budget) without panicking.
+    let n = 12;
+    let task = suite::sent140_like(n, 19);
+    let mut cluster = ClusterConfig::paper_medium(19).with_clients(n);
+    cluster.n_unstable = n;
+    cluster.dropout_horizon = 60.0;
+    for strategy in StrategyKind::all() {
+        let mut c = cfg(strategy, 1000, 19, cluster.clone());
+        c.max_time = 5000.0;
+        let out = fedat_core::run_experiment(&task, &c);
+        assert!(
+            out.report.end_time <= 5000.0,
+            "{} ran past the horizon",
+            strategy.name()
+        );
+        assert!(out.final_weights.iter().all(|w| w.is_finite()));
+    }
+}

@@ -1,0 +1,164 @@
+//! The federated dataset container: per-client train/test splits plus a
+//! pooled global test set.
+
+use crate::dataset::Dataset;
+use fedat_tensor::rng::{rng_for, tags};
+
+/// One client's local data, already split 80/20 like the paper (§6
+/// *Hyperparameters*: "We randomly split each client's local data into an
+/// 80% training set and a 20% testing set").
+#[derive(Clone, Debug)]
+pub struct ClientData {
+    /// Local training split.
+    pub train: Dataset,
+    /// Local held-out split (used for the per-client accuracy variance
+    /// metric of Definition 3.1).
+    pub test: Dataset,
+}
+
+impl ClientData {
+    /// Number of local training samples (`n_k` in the paper).
+    pub fn num_train(&self) -> usize {
+        self.train.len()
+    }
+}
+
+/// A complete federated learning corpus.
+#[derive(Clone, Debug)]
+pub struct FederatedDataset {
+    /// Per-client data.
+    pub clients: Vec<ClientData>,
+    /// Pooled test set (union of the per-client test splits) used for the
+    /// global accuracy curves.
+    pub global_test: Dataset,
+    /// Number of classes.
+    pub classes: usize,
+    /// Features per row.
+    pub features: usize,
+    /// Targets per row (1 for classification, `seq_len` for LM).
+    pub targets_per_row: usize,
+}
+
+impl FederatedDataset {
+    /// Assembles a federation from per-client datasets, splitting each
+    /// 80/20 into train/test with a seed-derived RNG.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or any client has fewer than 2 samples.
+    pub fn from_partitions(parts: Vec<Dataset>, seed: u64) -> Self {
+        assert!(!parts.is_empty(), "federation needs at least one client");
+        let classes = parts[0].classes;
+        let features = parts[0].features();
+        let targets_per_row = parts[0].targets_per_row;
+        let mut clients = Vec::with_capacity(parts.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            let mut rng = rng_for(seed ^ (i as u64) << 20, tags::PARTITION);
+            let (train, test) = part.split(0.8, &mut rng);
+            clients.push(ClientData { train, test });
+        }
+        let tests: Vec<&Dataset> = clients.iter().map(|c| &c.test).collect();
+        let global_test = Dataset::concat(&tests);
+        FederatedDataset { clients, global_test, classes, features, targets_per_row }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Total training samples across clients (`N` in the paper).
+    pub fn total_train_samples(&self) -> usize {
+        self.clients.iter().map(|c| c.num_train()).sum()
+    }
+
+    /// Per-client training sample counts (`n_k`).
+    pub fn client_sizes(&self) -> Vec<usize> {
+        self.clients.iter().map(|c| c.num_train()).collect()
+    }
+
+    /// Returns a shrunken copy keeping roughly `frac` of every client's
+    /// train/test rows (at least 2 train and 1 test row each). Used to make
+    /// doc examples and smoke tests fast.
+    pub fn scaled(&self, frac: f64) -> FederatedDataset {
+        assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1]");
+        let take = |d: &Dataset, min: usize| -> Dataset {
+            let floor = min.min(d.len());
+            let keep = ((d.len() as f64 * frac) as usize).clamp(floor, d.len());
+            d.subset(&(0..keep).collect::<Vec<_>>())
+        };
+        let clients: Vec<ClientData> = self
+            .clients
+            .iter()
+            .map(|c| ClientData { train: take(&c.train, 2), test: take(&c.test, 1) })
+            .collect();
+        let tests: Vec<&Dataset> = clients.iter().map(|c| &c.test).collect();
+        let global_test = Dataset::concat(&tests);
+        FederatedDataset {
+            clients,
+            global_test,
+            classes: self.classes,
+            features: self.features,
+            targets_per_row: self.targets_per_row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::synth::{synth_features, FeatureSynthSpec};
+    use fedat_tensor::rng::rng_for;
+
+    fn build(n: usize, clients: usize) -> FederatedDataset {
+        let spec = FeatureSynthSpec { features: 6, classes: 4, separation: 1.0, noise: 0.3 };
+        let d = synth_features(&mut rng_for(1, 1), &spec, n);
+        let parts = Partitioner::Iid.partition(&d, clients, &mut rng_for(1, 2));
+        FederatedDataset::from_partitions(parts, 7)
+    }
+
+    #[test]
+    fn split_is_80_20ish_and_total_preserved() {
+        let fed = build(500, 10);
+        assert_eq!(fed.num_clients(), 10);
+        let total: usize = fed
+            .clients
+            .iter()
+            .map(|c| c.train.len() + c.test.len())
+            .sum();
+        assert_eq!(total, 500);
+        for c in &fed.clients {
+            let frac = c.train.len() as f64 / (c.train.len() + c.test.len()) as f64;
+            assert!((0.7..0.9).contains(&frac), "train fraction {frac} not ≈0.8");
+        }
+    }
+
+    #[test]
+    fn global_test_is_union_of_client_tests() {
+        let fed = build(200, 5);
+        let expected: usize = fed.clients.iter().map(|c| c.test.len()).sum();
+        assert_eq!(fed.global_test.len(), expected);
+    }
+
+    #[test]
+    fn from_partitions_is_deterministic() {
+        let a = build(100, 4);
+        let b = build(100, 4);
+        for (ca, cb) in a.clients.iter().zip(b.clients.iter()) {
+            assert_eq!(ca.train.x.data(), cb.train.x.data());
+            assert_eq!(ca.test.y, cb.test.y);
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_every_client() {
+        let fed = build(1000, 10);
+        let small = fed.scaled(0.1);
+        assert_eq!(small.num_clients(), 10);
+        for (orig, shrunk) in fed.clients.iter().zip(small.clients.iter()) {
+            assert!(shrunk.train.len() <= orig.train.len() / 5);
+            assert!(shrunk.train.len() >= 2);
+            assert!(!shrunk.test.is_empty());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # fedat-data — synthetic federated datasets and non-IID partitioners
+//!
+//! The paper evaluates on five federated datasets (CIFAR-10, Fashion-MNIST,
+//! Sentiment140, FEMNIST, Reddit) under the LEAF benchmark. Those corpora
+//! are not redistributable here, so this crate generates *synthetic
+//! equivalents with the same statistical shape* (see DESIGN.md §2):
+//!
+//! * [`synth`] — class-template image generators, separable feature-vector
+//!   tasks, and per-user Markov token streams,
+//! * [`partition`] — IID, shard-based `#classes-per-client` (exactly the
+//!   McMahan et al. scheme the paper uses), and Dirichlet partitioners,
+//! * [`federated`] — the [`federated::FederatedDataset`]
+//!   container with per-client 80/20 train/test splits,
+//! * [`suite`] — one ready-made [`suite::FedTask`] per paper
+//!   dataset, pairing data with the matching
+//!   [`ModelSpec`](fedat_nn::models::ModelSpec).
+//!
+//! Everything is a deterministic function of `(generator, seed)`.
+
+pub mod dataset;
+pub mod federated;
+pub mod partition;
+pub mod suite;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use federated::{ClientData, FederatedDataset};
+pub use partition::Partitioner;
+pub use suite::FedTask;

@@ -1,0 +1,83 @@
+//! Property-based tests for dataset generation and partitioning.
+
+use fedat_data::dataset::Dataset;
+use fedat_data::partition::{label_skew, sample_dirichlet, uneven_budgets, Partitioner};
+use fedat_data::synth::{synth_features, FeatureSynthSpec};
+use fedat_tensor::rng::rng_for;
+use proptest::prelude::*;
+
+fn pool(n: usize, classes: usize, seed: u64) -> Dataset {
+    let spec = FeatureSynthSpec { features: 3, classes, separation: 1.0, noise: 0.2 };
+    synth_features(&mut rng_for(seed, 1), &spec, n)
+}
+
+proptest! {
+    #[test]
+    fn every_partitioner_covers_exactly(
+        n in 40usize..300,
+        clients in 2usize..12,
+        classes in 2usize..8,
+        seed in 0u64..50,
+        which in 0usize..3,
+    ) {
+        prop_assume!(clients * 2 <= n);
+        let d = pool(n, classes, seed);
+        let p = match which {
+            0 => Partitioner::Iid,
+            1 => Partitioner::Shard { classes_per_client: 1 + seed as usize % classes },
+            _ => Partitioner::Dirichlet { alpha: 0.3 },
+        };
+        let parts = p.partition(&d, clients, &mut rng_for(seed, 2));
+        prop_assert_eq!(parts.len(), clients);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, n, "samples lost or duplicated");
+        for part in &parts {
+            prop_assert!(part.len() >= 2, "client starved");
+            prop_assert_eq!(part.classes, classes);
+        }
+    }
+
+    #[test]
+    fn label_skew_bounded(n in 100usize..400, clients in 2usize..10, seed in 0u64..30) {
+        let d = pool(n, 5, seed);
+        let parts = Partitioner::Dirichlet { alpha: 0.2 }.partition(&d, clients, &mut rng_for(seed, 3));
+        let s = label_skew(&parts);
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&s), "skew {} out of range", s);
+    }
+
+    #[test]
+    fn dirichlet_is_a_distribution(alpha in 0.05f64..20.0, k in 2usize..12, seed in 0u64..50) {
+        let s = sample_dirichlet(&mut rng_for(seed, 4), alpha, k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(s.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn budgets_sum_and_floor(total in 50usize..2000, clients in 2usize..40, spread in 0.0f64..0.9, seed in 0u64..50) {
+        prop_assume!(total >= clients * 2);
+        let b = uneven_budgets(&mut rng_for(seed, 5), total, clients, spread);
+        prop_assert_eq!(b.iter().sum::<usize>(), total);
+        prop_assert!(b.iter().all(|&x| x >= 2));
+    }
+
+    #[test]
+    fn subset_then_concat_is_identity_on_rows(n in 4usize..50, seed in 0u64..30) {
+        let d = pool(n, 3, seed);
+        let half = n / 2;
+        let a = d.subset(&(0..half).collect::<Vec<_>>());
+        let b = d.subset(&(half..n).collect::<Vec<_>>());
+        let back = Dataset::concat(&[&a, &b]);
+        prop_assert_eq!(back.x.data(), d.x.data());
+        prop_assert_eq!(back.y, d.y);
+    }
+
+    #[test]
+    fn split_fractions_respected(n in 10usize..200, frac in 0.1f64..0.9, seed in 0u64..30) {
+        let d = pool(n, 3, seed);
+        let (a, b) = d.split(frac, &mut rng_for(seed, 6));
+        prop_assert_eq!(a.len() + b.len(), n);
+        let expect = ((n as f64 * frac) as usize).clamp(1, n - 1);
+        prop_assert_eq!(a.len(), expect);
+    }
+}

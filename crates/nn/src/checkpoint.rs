@@ -1,0 +1,147 @@
+//! Weight checkpointing: save/load flat weight vectors.
+//!
+//! The format is deliberately trivial — a magic tag, a version byte, the
+//! element count, then little-endian `f32`s — so checkpoints stay readable
+//! from any language and diffable by size.
+
+use crate::model::Model;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"FEDATCKP";
+const VERSION: u8 = 1;
+
+/// Serializes a weight vector to a writer.
+pub fn write_weights<W: Write>(mut w: W, weights: &[f32]) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(weights.len() as u64).to_le_bytes())?;
+    for v in weights {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a weight vector from a reader.
+///
+/// Returns `InvalidData` on bad magic, version, or truncation.
+pub fn read_weights<R: Read>(mut r: R) -> std::io::Result<Vec<f32>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a FedAT checkpoint"));
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver)?;
+    if ver[0] != VERSION {
+        return Err(bad("unsupported checkpoint version"));
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let n = u64::from_le_bytes(len_bytes) as usize;
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf)?;
+    // Reject trailing garbage.
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(bad("trailing bytes after checkpoint payload"));
+    }
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Saves a model's weights to `path`.
+pub fn save(model: &dyn Model, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_weights(std::io::BufWriter::new(file), &model.weights())
+}
+
+/// Loads weights from `path` into `model`.
+///
+/// # Errors
+/// I/O and format errors; additionally `InvalidData` if the checkpoint's
+/// parameter count mismatches the model.
+pub fn load(model: &mut dyn Model, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::open(path)?;
+    let weights = read_weights(std::io::BufReader::new(file))?;
+    if weights.len() != model.num_params() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint holds {} weights but the model has {}",
+                weights.len(),
+                model.num_params()
+            ),
+        ));
+    }
+    model.set_weights(&weights);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSpec;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let w: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &w).unwrap();
+        assert_eq!(read_weights(buf.as_slice()).unwrap(), w);
+    }
+
+    #[test]
+    fn roundtrip_through_file_restores_model() {
+        let spec = ModelSpec::Mlp { input: 6, hidden: vec![5], classes: 3 };
+        let a = spec.build(7);
+        let dir = std::env::temp_dir().join("fedat_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save(a.as_ref(), &path).unwrap();
+        let mut b = spec.build(8);
+        assert_ne!(b.weights(), a.weights());
+        load(b.as_mut(), &path).unwrap();
+        assert_eq!(b.weights(), a.weights());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_weights(&b"NOTACKPT\x01"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let w = vec![1.0f32; 10];
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &w).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_weights(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let w = vec![1.0f32; 4];
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &w).unwrap();
+        buf.push(0xFF);
+        assert!(read_weights(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_rejected_on_load() {
+        let small = ModelSpec::Logistic { input: 3, classes: 2 }.build(1);
+        let dir = std::env::temp_dir().join("fedat_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ckpt");
+        save(small.as_ref(), &path).unwrap();
+        let mut big = ModelSpec::Logistic { input: 30, classes: 2 }.build(1);
+        assert!(load(big.as_mut(), &path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! The layer abstraction used by [`crate::model::Sequential`].
+
+use crate::param::Param;
+use fedat_tensor::Tensor;
+
+/// Whether a pass is training (dropout active, batch-norm uses batch stats)
+/// or evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Training pass: stochastic layers are active and caches are kept for
+    /// the subsequent backward pass.
+    Train,
+    /// Inference pass: deterministic, no caches required.
+    Eval,
+}
+
+/// A differentiable layer.
+///
+/// Layers own their parameters and any caches needed to run `backward`
+/// immediately after the matching `forward`. The contract is strictly
+/// `forward(Train)` → `backward` with no interleaving; `Sequential`
+/// enforces this ordering.
+pub trait Layer: Send {
+    /// Computes the layer output. `Train` mode must cache whatever the
+    /// backward pass needs.
+    fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates the loss gradient, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    fn backward(&mut self, grad_out: Tensor) -> Tensor;
+
+    /// Immutable access to the parameters, in a fixed deterministic order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable access to the parameters, in the same order as [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Short human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}

@@ -1,0 +1,779 @@
+//! Concrete layers: Dense, activations, Dropout, BatchNorm1d, Conv2d,
+//! MaxPool2d.
+//!
+//! All layers exchange rank-2 tensors `[batch, features]`; the convolutional
+//! layers carry their own spatial geometry and (un)flatten internally, which
+//! keeps [`crate::model::Sequential`] a simple pipeline of matrices.
+
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use fedat_tensor::conv::{
+    conv2d_backward, conv2d_forward, maxpool2d_backward, maxpool2d_forward, Conv2dSpec,
+};
+use fedat_tensor::rng::rng_for;
+use fedat_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt};
+
+// ----------------------------------------------------------------------
+// Dense
+// ----------------------------------------------------------------------
+
+/// Fully-connected layer: `y = x·W + b` with `W: [in, out]`.
+pub struct Dense {
+    w: Param,
+    b: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Kaiming-initialized dense layer.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
+        Dense {
+            w: Param::new(Tensor::kaiming(rng, &[in_dim, out_dim], in_dim)),
+            b: Param::new(Tensor::zeros(&[out_dim])),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.dims()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.dims()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor {
+        let mut out = input.matmul(&self.w.value);
+        out.add_row_bias(&self.b.value);
+        if mode == Mode::Train {
+            self.cached_input = Some(input);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Dense::backward called without a Train forward");
+        // dW += xᵀ · dY
+        let dw = x.matmul_tn(&grad_out);
+        self.w.grad.axpy_inplace(1.0, &dw);
+        // db += column sums of dY
+        let db = grad_out.sum_rows();
+        self.b.grad.axpy_inplace(1.0, &db);
+        // dX = dY · Wᵀ
+        grad_out.matmul_nt(&self.w.value)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Activations
+// ----------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, mut input: Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+            self.mask = Some(mask);
+        }
+        input.map_inplace(|x| x.max(0.0));
+        input
+    }
+
+    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Relu::backward without Train forward");
+        for (g, keep) in grad_out.data_mut().iter_mut().zip(mask.iter()) {
+            if !keep {
+                *g = 0.0;
+            }
+        }
+        grad_out
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// New tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, mut input: Tensor, mode: Mode) -> Tensor {
+        input.map_inplace(f32::tanh);
+        if mode == Mode::Train {
+            self.cached_output = Some(input.clone());
+        }
+        input
+    }
+
+    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
+        let y = self.cached_output.take().expect("Tanh::backward without Train forward");
+        for (g, &yi) in grad_out.data_mut().iter_mut().zip(y.data().iter()) {
+            *g *= 1.0 - yi * yi;
+        }
+        grad_out
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// New sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Numerically-stable scalar sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, mut input: Tensor, mode: Mode) -> Tensor {
+        input.map_inplace(sigmoid);
+        if mode == Mode::Train {
+            self.cached_output = Some(input.clone());
+        }
+        input
+    }
+
+    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .take()
+            .expect("Sigmoid::backward without Train forward");
+        for (g, &yi) in grad_out.data_mut().iter_mut().zip(y.data().iter()) {
+            *g *= yi * (1.0 - yi);
+        }
+        grad_out
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Dropout
+// ----------------------------------------------------------------------
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is the
+/// identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own
+    /// deterministic RNG stream derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} out of range");
+        Dropout {
+            p,
+            rng: rng_for(seed, fedat_tensor::rng::tags::DROPOUT),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, mut input: Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            return input;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.random::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        for (v, &m) in input.data_mut().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        input
+    }
+
+    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
+        if let Some(mask) = self.mask.take() {
+            for (g, &m) in grad_out.data_mut().iter_mut().zip(mask.iter()) {
+                *g *= m;
+            }
+        }
+        grad_out
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+// ----------------------------------------------------------------------
+// BatchNorm1d
+// ----------------------------------------------------------------------
+
+/// Batch normalization over the feature dimension of `[batch, features]`.
+///
+/// Running statistics (not trainable, not part of the aggregated weight
+/// vector) follow the usual exponential moving average with `momentum`.
+pub struct BatchNorm1d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// New batch-norm layer over `features` columns.
+    pub fn new(features: usize) -> Self {
+        BatchNorm1d {
+            gamma: Param::new(Tensor::ones(&[features])),
+            beta: Param::new(Tensor::zeros(&[features])),
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor {
+        let (n, f) = input.shape().as_matrix();
+        assert_eq!(f, self.gamma.len(), "batchnorm feature mismatch");
+        let mut out = input.clone();
+        match mode {
+            Mode::Train => {
+                assert!(n > 1, "batch norm needs batch size > 1 in training");
+                let mut mean = vec![0.0f32; f];
+                let mut var = vec![0.0f32; f];
+                for r in 0..n {
+                    for (m, &v) in mean.iter_mut().zip(input.row(r)) {
+                        *m += v;
+                    }
+                }
+                for m in mean.iter_mut() {
+                    *m /= n as f32;
+                }
+                for r in 0..n {
+                    for (j, &v) in input.row(r).iter().enumerate() {
+                        let d = v - mean[j];
+                        var[j] += d * d;
+                    }
+                }
+                for v in var.iter_mut() {
+                    *v /= n as f32;
+                }
+                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                for r in 0..n {
+                    let row = out.row_mut(r);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (*v - mean[j]) * inv_std[j];
+                    }
+                }
+                // Running stats update.
+                for j in 0..f {
+                    self.running_mean[j] =
+                        (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean[j];
+                    self.running_var[j] =
+                        (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
+                }
+                self.cache = Some(BnCache { x_hat: out.clone(), inv_std });
+            }
+            Mode::Eval => {
+                for r in 0..n {
+                    let row = out.row_mut(r);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (*v - self.running_mean[j])
+                            / (self.running_var[j] + self.eps).sqrt();
+                    }
+                }
+            }
+        }
+        // Affine: y = γ·x̂ + β
+        for r in 0..n {
+            let row = out.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.gamma.value.data()[j] * *v + self.beta.value.data()[j];
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let BnCache { x_hat, inv_std } = self
+            .cache
+            .take()
+            .expect("BatchNorm1d::backward without Train forward");
+        let (n, f) = grad_out.shape().as_matrix();
+        // dγ, dβ
+        for r in 0..n {
+            for (j, (&g, &xh)) in grad_out.row(r).iter().zip(x_hat.row(r)).enumerate() {
+                self.gamma.grad.data_mut()[j] += g * xh;
+                self.beta.grad.data_mut()[j] += g;
+            }
+        }
+        // Standard batch-norm input gradient:
+        // dx̂ = dy·γ;  dx = (1/n)·inv_std·(n·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂))
+        let mut sum_dxhat = vec![0.0f32; f];
+        let mut sum_dxhat_xhat = vec![0.0f32; f];
+        let gamma = self.gamma.value.data();
+        for r in 0..n {
+            for (j, (&g, &xh)) in grad_out.row(r).iter().zip(x_hat.row(r)).enumerate() {
+                let dxh = g * gamma[j];
+                sum_dxhat[j] += dxh;
+                sum_dxhat_xhat[j] += dxh * xh;
+            }
+        }
+        let mut dx = Tensor::zeros_like(&grad_out);
+        for r in 0..n {
+            let out_row = dx.row_mut(r);
+            for (j, v) in out_row.iter_mut().enumerate() {
+                let dxh = grad_out.row(r)[j] * gamma[j];
+                let xh = x_hat.row(r)[j];
+                *v = inv_std[j] / n as f32
+                    * (n as f32 * dxh - sum_dxhat[j] - xh * sum_dxhat_xhat[j]);
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm1d"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Conv2d + MaxPool2d (flat 2-D interface)
+// ----------------------------------------------------------------------
+
+/// 2-D convolution over inputs given as flattened rows
+/// `[batch, in_channels·h·w]`; emits `[batch, out_channels·oh·ow]`.
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    h: usize,
+    w: usize,
+    weight: Param,
+    bias: Param,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    cols: Vec<Vec<f32>>,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// New convolution layer for `h × w` inputs.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, spec: Conv2dSpec, h: usize, w: usize) -> Self {
+        let fan_in = spec.in_channels * spec.kernel * spec.kernel;
+        Conv2d {
+            spec,
+            h,
+            w,
+            weight: Param::new(Tensor::kaiming(rng, &[spec.out_channels, fan_in], fan_in)),
+            bias: Param::new(Tensor::zeros(&[spec.out_channels])),
+            cache: None,
+        }
+    }
+
+    /// Flattened output feature count (`out_channels · oh · ow`).
+    pub fn out_features(&self) -> usize {
+        let (oh, ow) = self.spec.out_hw(self.h, self.w);
+        self.spec.out_channels * oh * ow
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor {
+        let (n, feat) = input.shape().as_matrix();
+        assert_eq!(
+            feat,
+            self.spec.in_channels * self.h * self.w,
+            "conv2d input features mismatch"
+        );
+        let x = input.reshape(&[n, self.spec.in_channels, self.h, self.w]);
+        let (out, cols) = conv2d_forward(&x, &self.weight.value, &self.bias.value, self.h, self.w, &self.spec);
+        if mode == Mode::Train {
+            self.cache = Some(ConvCache { cols, batch: n });
+        }
+        let of = self.out_features();
+        out.reshape(&[n, of])
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let ConvCache { cols, batch } = self
+            .cache
+            .take()
+            .expect("Conv2d::backward without Train forward");
+        let (oh, ow) = self.spec.out_hw(self.h, self.w);
+        let dy = grad_out.reshape(&[batch, self.spec.out_channels, oh, ow]);
+        let (dx, dw, db) = conv2d_backward(&dy, &self.weight.value, &cols, self.h, self.w, &self.spec);
+        self.weight.grad.axpy_inplace(1.0, &dw);
+        self.bias.grad.axpy_inplace(1.0, &db);
+        dx.reshape(&[batch, self.spec.in_channels * self.h * self.w])
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Non-overlapping `k × k` max pooling over flat `[batch, c·h·w]` rows.
+pub struct MaxPool2d {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    cache: Option<(Vec<u32>, usize)>,
+}
+
+impl MaxPool2d {
+    /// New pooling layer for `c`-channel `h × w` inputs.
+    pub fn new(c: usize, h: usize, w: usize, k: usize) -> Self {
+        assert!(h.is_multiple_of(k) && w.is_multiple_of(k), "pooling window must tile the input");
+        MaxPool2d { c, h, w, k, cache: None }
+    }
+
+    /// Flattened output feature count.
+    pub fn out_features(&self) -> usize {
+        self.c * (self.h / self.k) * (self.w / self.k)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor {
+        let (n, feat) = input.shape().as_matrix();
+        assert_eq!(feat, self.c * self.h * self.w, "maxpool input features mismatch");
+        let x = input.reshape(&[n, self.c, self.h, self.w]);
+        let (out, argmax) = maxpool2d_forward(&x, self.k);
+        if mode == Mode::Train {
+            self.cache = Some((argmax, n * feat));
+        }
+        out.reshape(&[n, self.out_features()])
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let (argmax, input_len) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward without Train forward");
+        let n = grad_out.shape().as_matrix().0;
+        let (oh, ow) = (self.h / self.k, self.w / self.k);
+        let dy = grad_out.reshape(&[n, self.c, oh, ow]);
+        let dx = maxpool2d_backward(&dy, &argmax, input_len);
+        dx.reshape(&[n, self.c * self.h * self.w])
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_tensor::rng::rng_for;
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let mut rng = rng_for(1, 1);
+        let mut d = Dense::new(&mut rng, 3, 2);
+        // Overwrite with known weights.
+        d.params_mut()[0].value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        d.params_mut()[1].value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = d.forward(x, Mode::Eval);
+        // y0 = 1·1 + 2·0 + 3·1 + 0.5 = 4.5 ; y1 = 1·0 + 2·1 + 3·1 − 0.5 = 4.5
+        assert_eq!(y.data(), &[4.5, 4.5]);
+    }
+
+    #[test]
+    fn dense_gradcheck() {
+        let mut rng = rng_for(2, 1);
+        let mut d = Dense::new(&mut rng, 4, 3);
+        let x = Tensor::randn(&mut rng, &[5, 4], 0.0, 1.0);
+        // Loss = sum(dense(x)) → dY = ones.
+        let y = d.forward(x.clone(), Mode::Train);
+        let dx = d.backward(Tensor::ones(y.dims()));
+        let eps = 1e-2f32;
+        // Check dW numerically at a few positions.
+        for wi in [0usize, 5, 11] {
+            let orig = d.w.value.data()[wi];
+            d.w.value.data_mut()[wi] = orig + eps;
+            let lp = d.forward(x.clone(), Mode::Eval).sum();
+            d.w.value.data_mut()[wi] = orig - eps;
+            let lm = d.forward(x.clone(), Mode::Eval).sum();
+            d.w.value.data_mut()[wi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = d.w.grad.data()[wi];
+            assert!((num - ana).abs() < 2e-2, "dW[{wi}] numeric {num} vs analytic {ana}");
+        }
+        // Check dx numerically at one position.
+        let mut x2 = x.clone();
+        let xi = 7;
+        let orig = x2.data()[xi];
+        x2.data_mut()[xi] = orig + eps;
+        let lp = d.forward(x2.clone(), Mode::Eval).sum();
+        x2.data_mut()[xi] = orig - eps;
+        let lm = d.forward(x2.clone(), Mode::Eval).sum();
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((num - dx.data()[xi]).abs() < 2e-2);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[1, 4]);
+        let y = r.forward(x, Mode::Train);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = r.backward(Tensor::ones(&[1, 4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_is_one_minus_y_squared() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let y = t.forward(x, Mode::Train);
+        let g = t.backward(Tensor::ones(&[1, 2]));
+        assert!((g.data()[0] - 1.0).abs() < 1e-6);
+        let expected = 1.0 - y.data()[1] * y.data()[1];
+        assert!((g.data()[1] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_and_train_preserves_mean() {
+        let mut d = Dropout::new(0.5, 77);
+        let x = Tensor::ones(&[1, 10_000]);
+        let y_eval = d.forward(x.clone(), Mode::Eval);
+        assert_eq!(y_eval.data(), x.data());
+        let y = d.forward(x, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.1, "inverted dropout mean {mean} should be ≈1");
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 42);
+        let x = Tensor::ones(&[1, 100]);
+        let y = d.forward(x, Mode::Train);
+        let g = d.backward(Tensor::ones(&[1, 100]));
+        for (yv, gv) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(yv, gv, "gradient mask must match forward mask");
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalizes_batch() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 10.0, 3.0, 20.0, 5.0, 30.0, 7.0, 40.0], &[4, 2]);
+        let y = bn.forward(x, Mode::Train);
+        // Each column should have ≈0 mean and ≈1 variance after normalization.
+        for j in 0..2 {
+            let col: Vec<f32> = (0..4).map(|r| y.row(r)[j]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 4.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradcheck() {
+        let mut rng = rng_for(3, 1);
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::randn(&mut rng, &[6, 3], 1.0, 2.0);
+        // Weighted-sum loss to give a non-uniform upstream gradient.
+        let wvec: Vec<f32> = (0..18).map(|i| 0.1 * (i as f32 - 9.0)).collect();
+        let loss = |bn: &mut BatchNorm1d, x: &Tensor| -> f32 {
+            // Fresh statistics each call: clone to avoid running-stat drift.
+            let mut b2 = BatchNorm1d::new(3);
+            b2.gamma.value = bn.gamma.value.clone();
+            b2.beta.value = bn.beta.value.clone();
+            let y = b2.forward(x.clone(), Mode::Train);
+            y.data().iter().zip(wvec.iter()).map(|(a, b)| a * b).sum()
+        };
+        let y = bn.forward(x.clone(), Mode::Train);
+        let upstream = Tensor::from_vec(wvec.clone(), &[6, 3]);
+        let dx = bn.backward(upstream);
+        let _ = y;
+        let eps = 1e-2f32;
+        for xi in [0usize, 7, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let lp = loss(&mut bn, &xp);
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let lm = loss(&mut bn, &xm);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dx.data()[xi];
+            assert!((num - ana).abs() < 3e-2, "dx[{xi}] numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn conv_layer_shapes_flow() {
+        let mut rng = rng_for(4, 1);
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let mut conv = Conv2d::new(&mut rng, spec, 8, 8);
+        let x = Tensor::randn(&mut rng, &[2, 3 * 64], 0.0, 1.0);
+        let y = conv.forward(x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 8 * 64]);
+        let dx = conv.backward(Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), &[2, 3 * 64]);
+        assert!(conv.weight.grad.norm() > 0.0);
+    }
+
+    #[test]
+    fn maxpool_layer_halves_spatial_dims() {
+        let mut rng = rng_for(5, 1);
+        let mut pool = MaxPool2d::new(4, 8, 8, 2);
+        let x = Tensor::randn(&mut rng, &[3, 4 * 64], 0.0, 1.0);
+        let y = pool.forward(x, Mode::Train);
+        assert_eq!(y.dims(), &[3, 4 * 16]);
+        let dx = pool.backward(Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), &[3, 4 * 64]);
+        // Pool routes each gradient to exactly one input: total mass conserved.
+        assert_eq!(dx.sum(), (3 * 4 * 16) as f32);
+    }
+}

@@ -1,0 +1,141 @@
+//! Loss functions. Each returns the (mean-reduced) loss *and* the gradient
+//! with respect to the model output, ready to feed into `backward`.
+
+use fedat_tensor::Tensor;
+
+/// Softmax cross-entropy over integer class targets.
+///
+/// Returns `(mean loss, d_logits)` where `d_logits = (softmax − onehot) / N`.
+///
+/// # Panics
+/// Panics if `targets.len()` differs from the logit row count or a target is
+/// out of class range.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[u32]) -> (f32, Tensor) {
+    let (n, classes) = logits.shape().as_matrix();
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let mut probs = logits.softmax_rows();
+    let mut loss = 0.0f64;
+    for (r, &t) in targets.iter().enumerate() {
+        let t = t as usize;
+        assert!(t < classes, "target {t} out of range for {classes} classes");
+        let p = probs.row(r)[t].max(1e-12);
+        loss -= (p as f64).ln();
+    }
+    let inv_n = 1.0 / n as f32;
+    for (r, &t) in targets.iter().enumerate() {
+        let row = probs.row_mut(r);
+        row[t as usize] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    ((loss / n as f64) as f32, probs)
+}
+
+/// Classification accuracy of logits against integer targets.
+pub fn accuracy(logits: &Tensor, targets: &[u32]) -> f32 {
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| **p == **t as usize)
+        .count();
+    correct as f32 / targets.len().max(1) as f32
+}
+
+/// Mean squared error. Returns `(mean loss, d_pred)`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.dims(), target.dims(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_tensor::rng::rng_for;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let targets = [0u32, 3, 7, 9];
+        let (loss, _) = softmax_cross_entropy(&logits, &targets);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_logits_give_near_zero_loss() {
+        let mut logits = Tensor::full(&[2, 3], -50.0);
+        *logits.at_mut(&[0, 1]) = 50.0;
+        *logits.at_mut(&[1, 2]) = 50.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!(loss < 1e-5);
+        assert_eq!(accuracy(&logits, &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = rng_for(1, 1);
+        let logits = Tensor::randn(&mut rng, &[5, 4], 0.0, 2.0);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 0]);
+        for r in 0..5 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} gradient sums to {s}");
+        }
+    }
+
+    #[test]
+    fn xent_gradcheck() {
+        let mut rng = rng_for(2, 1);
+        let logits = Tensor::randn(&mut rng, &[3, 5], 0.0, 1.0);
+        let targets = [1u32, 4, 2];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for idx in [0usize, 6, 14] {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &targets);
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm, &targets);
+            let num = (loss_p - loss_m) / (2.0 * eps);
+            let ana = grad.data()[idx];
+            assert!((num - ana).abs() < 1e-3, "idx {idx}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let t = Tensor::ones(&[2, 2]);
+        let (loss, grad) = mse(&t, &t);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_gradcheck() {
+        let mut rng = rng_for(3, 1);
+        let pred = Tensor::randn(&mut rng, &[2, 3], 0.0, 1.0);
+        let target = Tensor::randn(&mut rng, &[2, 3], 0.0, 1.0);
+        let (_, grad) = mse(&pred, &target);
+        let eps = 1e-3f32;
+        let idx = 4;
+        let mut pp = pred.clone();
+        pp.data_mut()[idx] += eps;
+        let (lp, _) = mse(&pp, &target);
+        let mut pm = pred.clone();
+        pm.data_mut()[idx] -= eps;
+        let (lm, _) = mse(&pm, &target);
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((num - grad.data()[idx]).abs() < 1e-3);
+    }
+}

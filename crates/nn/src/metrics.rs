@@ -1,0 +1,64 @@
+//! Batched evaluation helpers.
+
+use crate::layer::Mode;
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::model::{EvalResult, Model};
+use fedat_tensor::Tensor;
+
+/// Evaluates `model` over `(x, y)` in mini-batches of `batch_size` rows,
+/// merging results sample-weighted. Bounds peak memory on large test sets.
+///
+/// For sequence models, a "row" of `x` is one sequence and `y` must hold
+/// `seq_len` targets per row (handled transparently by the target stride).
+pub fn evaluate_batched(model: &mut dyn Model, x: &Tensor, y: &[u32], batch_size: usize) -> EvalResult {
+    let (rows, cols) = x.shape().as_matrix();
+    assert!(batch_size > 0, "batch_size must be positive");
+    assert_eq!(y.len() % rows, 0, "targets must be a whole multiple of rows");
+    let targets_per_row = y.len() / rows;
+    let mut total = EvalResult::default();
+    let mut start = 0usize;
+    while start < rows {
+        let end = (start + batch_size).min(rows);
+        let n = end - start;
+        let xb = Tensor::from_vec(x.data()[start * cols..end * cols].to_vec(), &[n, cols]);
+        let yb = &y[start * targets_per_row..end * targets_per_row];
+        let logits = model.logits(&xb, Mode::Eval);
+        let (loss, _) = softmax_cross_entropy(&logits, yb);
+        let batch = EvalResult { loss, accuracy: accuracy(&logits, yb), count: yb.len() };
+        total = total.merge(batch);
+        start = end;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSpec;
+    use fedat_tensor::rng::rng_for;
+
+    #[test]
+    fn batched_eval_matches_full_eval() {
+        let spec = ModelSpec::Mlp { input: 5, hidden: vec![8], classes: 3 };
+        let mut m = spec.build(1);
+        let mut rng = rng_for(2, 2);
+        let x = Tensor::randn(&mut rng, &[23, 5], 0.0, 1.0);
+        let y: Vec<u32> = (0..23).map(|i| (i % 3) as u32).collect();
+        let full = m.evaluate(&x, &y);
+        let batched = evaluate_batched(m.as_mut(), &x, &y, 7);
+        assert_eq!(full.count, batched.count);
+        assert!((full.loss - batched.loss).abs() < 1e-4);
+        assert!((full.accuracy - batched.accuracy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_eval_handles_sequences() {
+        let spec = ModelSpec::LstmLm { vocab: 8, embed: 4, hidden: 5 };
+        let mut m = spec.build(1);
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], &[2, 4]);
+        let y: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 0];
+        let r = evaluate_batched(m.as_mut(), &x, &y, 1);
+        assert_eq!(r.count, 8);
+        assert!(r.loss > 0.0);
+    }
+}

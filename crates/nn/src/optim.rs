@@ -1,0 +1,266 @@
+//! Optimizers and the FedAT proximal term.
+//!
+//! The paper uses Adam as the local solver (§6, *Hyperparameters*) and adds
+//! the constraint term of Eq. (3), `λ/2‖w − w_global‖²`, whose gradient
+//! `λ(w − w_global)` is applied by [`ProxTerm`] just before the optimizer
+//! step.
+
+use crate::param::Param;
+
+/// A first-order optimizer stepping a fixed parameter list.
+///
+/// State (momentum/Adam moments) is indexed by parameter position, so an
+/// optimizer instance must always be used with the same model. Federated
+/// clients construct a fresh optimizer per local round, matching the paper's
+/// setup where clients are stateless between rounds.
+pub trait Optimizer: Send {
+    /// Applies one update using the gradients accumulated in `params`.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate.
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and momentum coefficient `momentum`
+    /// (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum out of [0,1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.momentum == 0.0 {
+            for p in params.iter_mut() {
+                let g = p.grad.data().to_vec();
+                fedat_tensor::ops::axpy(-self.lr, &g, p.value.data_mut());
+            }
+            return;
+        }
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "optimizer bound to a different model");
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            for ((w, &g), vi) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data().iter())
+                .zip(v.iter_mut())
+            {
+                *vi = self.momentum * *vi + g;
+                *w -= self.lr * *vi;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with standard betas `(0.9, 0.999)` and `eps = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit hyperparameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "optimizer bound to a different model");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            for (((w, &g), mi), vi) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data().iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// The FedAT/FedProx proximal constraint of Eq. (3).
+///
+/// Holds the flattened global model `w_global` and the coefficient `λ`;
+/// [`ProxTerm::apply`] adds `λ(w − w_global)` to each parameter gradient.
+pub struct ProxTerm {
+    /// Constraint coefficient λ (the paper uses 0.4).
+    pub lambda: f32,
+    /// Flattened global weights in canonical parameter order.
+    pub global: Vec<f32>,
+}
+
+impl ProxTerm {
+    /// New proximal term around `global` with coefficient `lambda`.
+    pub fn new(lambda: f32, global: Vec<f32>) -> Self {
+        ProxTerm { lambda, global }
+    }
+
+    /// Adds `λ(w − w_global)` to the accumulated gradients.
+    ///
+    /// # Panics
+    /// Panics if the flattened parameter count differs from `global.len()`.
+    pub fn apply(&self, params: &mut [&mut Param]) {
+        if self.lambda == 0.0 {
+            return;
+        }
+        let total: usize = params.iter().map(|p| p.len()).sum();
+        assert_eq!(total, self.global.len(), "prox term dimension mismatch");
+        let mut off = 0usize;
+        for p in params.iter_mut() {
+            let n = p.len();
+            let g_slice = &self.global[off..off + n];
+            for ((grad, &w), &wg) in p
+                .grad
+                .data_mut()
+                .iter_mut()
+                .zip(p.value.data().iter())
+                .zip(g_slice.iter())
+            {
+                *grad += self.lambda * (w - wg);
+            }
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_tensor::Tensor;
+
+    fn param_with_grad(values: &[f32], grads: &[f32]) -> Param {
+        let mut p = Param::new(Tensor::from_vec(values.to_vec(), &[values.len()]));
+        p.grad = Tensor::from_vec(grads.to_vec(), &[grads.len()]);
+        p
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = param_with_grad(&[1.0, 2.0], &[0.5, -0.5]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+        assert!((p.value.data()[1] - 2.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut p = param_with_grad(&[0.0], &[1.0]);
+        let mut opt = Sgd::new(0.1, 0.9);
+        opt.step(&mut [&mut p]);
+        let first = p.value.data()[0];
+        // Same gradient again: velocity = 0.9·1 + 1 = 1.9 → bigger step.
+        p.grad.data_mut()[0] = 1.0;
+        opt.step(&mut [&mut p]);
+        let second_step = first - p.value.data()[0];
+        assert!(second_step > 0.1 * 1.5, "momentum should amplify the step");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, |Δw| of the first Adam step ≈ lr.
+        let mut p = param_with_grad(&[0.0], &[0.3]);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0].abs() - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(w) = (w − 3)² starting from 0.
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], &[1]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn prox_pulls_towards_global() {
+        let mut p = param_with_grad(&[5.0, 5.0], &[0.0, 0.0]);
+        let prox = ProxTerm::new(0.4, vec![1.0, 9.0]);
+        prox.apply(&mut [&mut p]);
+        // grad = λ(w − w_g) = 0.4·(5−1)=1.6 and 0.4·(5−9)=−1.6
+        assert!((p.grad.data()[0] - 1.6).abs() < 1e-6);
+        assert!((p.grad.data()[1] + 1.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_lambda_prox_is_noop() {
+        let mut p = param_with_grad(&[5.0], &[0.25]);
+        let prox = ProxTerm::new(0.0, vec![0.0]);
+        prox.apply(&mut [&mut p]);
+        assert_eq!(p.grad.data()[0], 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn prox_rejects_wrong_size() {
+        let mut p = param_with_grad(&[1.0, 2.0], &[0.0, 0.0]);
+        let prox = ProxTerm::new(0.4, vec![0.0]);
+        prox.apply(&mut [&mut p]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for layers, losses, and optimizers.
+
+use fedat_nn::layer::Mode;
+use fedat_nn::layers::{Dense, Relu};
+use fedat_nn::loss::softmax_cross_entropy;
+use fedat_nn::model::{Model, Sequential};
+use fedat_nn::models::ModelSpec;
+use fedat_nn::optim::{Adam, Optimizer, ProxTerm, Sgd};
+use fedat_nn::param::Param;
+use fedat_tensor::rng::rng_for;
+use fedat_tensor::Tensor;
+use proptest::prelude::*;
+
+fn logits_and_targets() -> impl Strategy<Value = (Tensor, Vec<u32>)> {
+    (1usize..8, 2usize..6).prop_flat_map(|(rows, classes)| {
+        (
+            prop::collection::vec(-5.0f32..5.0, rows * classes),
+            prop::collection::vec(0u32..classes as u32, rows),
+        )
+            .prop_map(move |(data, y)| (Tensor::from_vec(data, &[rows, classes]), y))
+    })
+}
+
+proptest! {
+    #[test]
+    fn xent_loss_is_nonnegative_and_grad_rows_sum_zero((logits, y) in logits_and_targets()) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &y);
+        prop_assert!(loss >= 0.0);
+        let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+        for r in 0..rows {
+            let s: f32 = grad.data()[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {} sums to {}", r, s);
+        }
+    }
+
+    #[test]
+    fn xent_gradient_magnitude_bounded((logits, y) in logits_and_targets()) {
+        // Each entry of (softmax − onehot)/N lies in [−1/N, 1/N].
+        let (_, grad) = softmax_cross_entropy(&logits, &y);
+        let n = y.len() as f32;
+        for &g in grad.data() {
+            prop_assert!(g.abs() <= 1.0 / n + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dense_is_affine(scale in 0.1f32..3.0, seed in 0u64..500) {
+        // dense(a·x) − dense(0) == a·(dense(x) − dense(0)) for linear part.
+        let mut rng = rng_for(seed, 1);
+        let mut layer = Dense::new(&mut rng, 5, 3);
+        let x = Tensor::randn(&mut rng, &[2, 5], 0.0, 1.0);
+        let zero = Tensor::zeros(&[2, 5]);
+        let f0 = layer.forward_test(&zero);
+        let fx = layer.forward_test(&x);
+        let fsx = layer.forward_test(&x.scale(scale));
+        for i in 0..fx.len() {
+            let lhs = fsx.data()[i] - f0.data()[i];
+            let rhs = scale * (fx.data()[i] - f0.data()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3 + 1e-3 * rhs.abs());
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative(data in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let n = data.len();
+        let mut r = Relu::new();
+        use fedat_nn::layer::Layer;
+        let y = r.forward(Tensor::from_vec(data, &[1, n]), Mode::Eval);
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn model_weight_roundtrip(hidden in 1usize..12, classes in 2usize..6, seed in 0u64..100) {
+        let spec = ModelSpec::Mlp { input: 4, hidden: vec![hidden], classes };
+        let a = spec.build(seed);
+        let w = a.weights();
+        prop_assert_eq!(w.len(), a.num_params());
+        let mut b = spec.build(seed.wrapping_add(1));
+        b.set_weights(&w);
+        prop_assert_eq!(b.weights(), w);
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic(start in -5.0f32..5.0, lr in 0.01f32..0.3) {
+        // f(w) = (w − 1)²: any SGD step from w₀ ≠ 1 with small lr reduces f.
+        let mut p = Param::new(Tensor::from_vec(vec![start], &[1]));
+        let f = |w: f32| (w - 1.0) * (w - 1.0);
+        let before = f(start);
+        p.grad.data_mut()[0] = 2.0 * (start - 1.0);
+        let mut opt = Sgd::new(lr, 0.0);
+        opt.step(&mut [&mut p]);
+        let after = f(p.value.data()[0]);
+        if before > 1e-6 {
+            prop_assert!(after < before, "step went uphill: {} → {}", before, after);
+        }
+    }
+
+    #[test]
+    fn adam_bounded_first_step(lr in 0.001f32..0.1, g in prop::collection::vec(-10.0f32..10.0, 1..16)) {
+        // Adam's first bias-corrected step magnitude is ≈ lr per coordinate.
+        let n = g.len();
+        let mut p = Param::new(Tensor::zeros(&[n]));
+        p.grad = Tensor::from_vec(g.clone(), &[n]);
+        let mut opt = Adam::new(lr);
+        opt.step(&mut [&mut p]);
+        for (i, w) in p.value.data().iter().enumerate() {
+            if g[i].abs() > 1e-3 {
+                prop_assert!(w.abs() <= lr * 1.01, "step {} exceeds lr {}", w, lr);
+            }
+        }
+    }
+
+    #[test]
+    fn prox_gradient_is_linear_in_lambda(lambda in 0.0f32..2.0) {
+        let w = vec![2.0f32, -1.0];
+        let global = vec![0.5f32, 0.5];
+        let mut p = Param::new(Tensor::from_vec(w.clone(), &[2]));
+        ProxTerm::new(lambda, global.clone()).apply(&mut [&mut p]);
+        for i in 0..2 {
+            let expect = lambda * (w[i] - global[i]);
+            prop_assert!((p.grad.data()[i] - expect).abs() < 1e-6);
+        }
+    }
+}
+
+/// Extension trait so the proptest above can run an eval-mode forward
+/// without mutating test ergonomics.
+trait ForwardTest {
+    fn forward_test(&mut self, x: &Tensor) -> Tensor;
+}
+
+impl ForwardTest for Dense {
+    fn forward_test(&mut self, x: &Tensor) -> Tensor {
+        use fedat_nn::layer::Layer;
+        self.forward(x.clone(), Mode::Eval)
+    }
+}
+
+#[test]
+fn sequential_training_is_deterministic() {
+    let run = || {
+        let mut rng = rng_for(5, 5);
+        let mut m = Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, 6, 8)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(&mut rng, 8, 3)),
+        ]);
+        let x = Tensor::randn(&mut rng, &[12, 6], 0.0, 1.0);
+        let y: Vec<u32> = (0..12).map(|i| (i % 3) as u32).collect();
+        let mut opt = Adam::new(0.01);
+        for _ in 0..20 {
+            m.train_batch(&x, &y, &mut opt, None);
+        }
+        m.weights()
+    };
+    assert_eq!(run(), run());
+}

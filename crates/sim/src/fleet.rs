@@ -1,0 +1,307 @@
+//! The simulated client population.
+
+use crate::latency::{paper_delay_parts, DelayPart, LatencyModel};
+use fedat_tensor::rng::{rng_for, sample_without_replacement, tags, uniform};
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated cluster, mirroring the paper's
+/// testbed (§6).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of clients (100 on Chameleon, 500 on AWS in the paper).
+    pub n_clients: usize,
+    /// Injected delay ranges, one per performance part.
+    pub delay_parts: Vec<DelayPart>,
+    /// Clients per part; `None` = split evenly (the default scheme).
+    pub part_sizes: Option<Vec<usize>>,
+    /// Seconds of compute per sample per local epoch.
+    pub per_sample_cost: f64,
+    /// Number of "unstable" clients that permanently drop out (10 in §6).
+    pub n_unstable: usize,
+    /// Dropout times are drawn uniformly from `(0, dropout_horizon)`.
+    pub dropout_horizon: f64,
+    /// Master seed for delay schedules and dropout draws.
+    pub seed: u64,
+    /// Per-client link bandwidth in bytes/second; `None` = infinite (the
+    /// paper's model folds transfer time into the injected delays, so this
+    /// is the default). When set, [`crate::runtime::SimCtx::dispatch_with_transfer`]
+    /// adds `bytes / bandwidth` to each round's latency.
+    #[serde(default)]
+    pub bandwidth_bytes_per_sec: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// The paper's 100-client Chameleon-style configuration.
+    ///
+    /// `per_sample_cost` is calibrated so local compute (≈10 s for a
+    /// typical 48-sample, 3-epoch client round) is comparable to the
+    /// injected delays, matching the paper's CPU testbed where training a
+    /// CNN round takes tens of seconds. If compute were negligible, the
+    /// fast tier would out-update the slow tiers by 20×, which distorts
+    /// every tiered method.
+    pub fn paper_medium(seed: u64) -> Self {
+        ClusterConfig {
+            n_clients: 100,
+            delay_parts: paper_delay_parts(),
+            part_sizes: None,
+            per_sample_cost: 0.07,
+            n_unstable: 10,
+            dropout_horizon: 2000.0,
+            seed,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// The paper's 500-client AWS-style configuration.
+    pub fn paper_large(seed: u64) -> Self {
+        ClusterConfig { n_clients: 500, ..Self::paper_medium(seed) }
+    }
+
+    /// Convenience: same config with a different client count.
+    pub fn with_clients(mut self, n: usize) -> Self {
+        self.n_clients = n;
+        self
+    }
+
+    /// Convenience: explicit part sizes (Fig. 10 experiments).
+    pub fn with_part_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.part_sizes = Some(sizes);
+        self
+    }
+
+    /// Convenience: disable dropouts.
+    pub fn without_dropouts(mut self) -> Self {
+        self.n_unstable = 0;
+        self
+    }
+}
+
+/// The live fleet: latency model + dropout schedule + per-client sizes.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    latency: LatencyModel,
+    /// Training-sample count per client (`n_k`), supplied by the dataset.
+    sample_counts: Vec<usize>,
+    /// `dropout_at[c]` = Some(t) if client `c` permanently leaves at `t`.
+    dropout_at: Vec<Option<f64>>,
+    /// Optional per-client link bandwidth (bytes/second).
+    bandwidth: Option<f64>,
+}
+
+impl Fleet {
+    /// Builds the fleet for a cluster config and per-client dataset sizes.
+    ///
+    /// # Panics
+    /// Panics if `sample_counts.len() != config.n_clients` or more unstable
+    /// clients than clients are requested.
+    pub fn new(config: &ClusterConfig, sample_counts: Vec<usize>) -> Self {
+        assert_eq!(
+            sample_counts.len(),
+            config.n_clients,
+            "sample_counts must cover every client"
+        );
+        assert!(
+            config.n_unstable <= config.n_clients,
+            "more unstable clients than clients"
+        );
+        let latency = match &config.part_sizes {
+            Some(sizes) => LatencyModel::with_sizes(
+                config.n_clients,
+                config.delay_parts.clone(),
+                sizes,
+                config.per_sample_cost,
+                config.seed,
+            ),
+            None => {
+                let k = config.delay_parts.len();
+                let base = config.n_clients / k;
+                let mut sizes = vec![base; k];
+                for s in sizes.iter_mut().take(config.n_clients % k) {
+                    *s += 1;
+                }
+                LatencyModel::with_sizes(
+                    config.n_clients,
+                    config.delay_parts.clone(),
+                    &sizes,
+                    config.per_sample_cost,
+                    config.seed,
+                )
+            }
+        };
+        // Unstable clients: chosen uniformly; each gets a dropout time.
+        let mut dropout_at = vec![None; config.n_clients];
+        if config.n_unstable > 0 {
+            let mut rng = rng_for(config.seed, tags::UNSTABLE);
+            let unstable =
+                sample_without_replacement(&mut rng, config.n_clients, config.n_unstable);
+            for c in unstable {
+                dropout_at[c] = Some(uniform(&mut rng, 0.0, config.dropout_horizon).max(1e-6));
+            }
+        }
+        Fleet {
+            latency,
+            sample_counts,
+            dropout_at,
+            bandwidth: config.bandwidth_bytes_per_sec,
+        }
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.sample_counts.len()
+    }
+
+    /// Fleets are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.sample_counts.is_empty()
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Training samples held by `client`.
+    pub fn samples_of(&self, client: usize) -> usize {
+        self.sample_counts[client]
+    }
+
+    /// Whether `client` is still online at `time`.
+    pub fn is_alive(&self, client: usize, time: f64) -> bool {
+        match self.dropout_at[client] {
+            Some(t) => time < t,
+            None => true,
+        }
+    }
+
+    /// Dropout time of `client`, if it is unstable.
+    pub fn dropout_time(&self, client: usize) -> Option<f64> {
+        self.dropout_at[client]
+    }
+
+    /// Clients alive at `time`.
+    pub fn alive_at(&self, time: f64) -> Vec<usize> {
+        (0..self.len()).filter(|&c| self.is_alive(c, time)).collect()
+    }
+
+    /// Response latency of one training round (compute + injected delay).
+    pub fn response_latency(&self, client: usize, round: u64, epochs: usize) -> f64 {
+        self.latency
+            .response_latency(client, round, self.sample_counts[client], epochs)
+    }
+
+    /// Expected (mean-delay) latency, for profiling-based tiering.
+    pub fn expected_latency(&self, client: usize, epochs: usize) -> f64 {
+        self.latency.expected_latency(client, self.sample_counts[client], epochs)
+    }
+
+    /// Ground-truth delay part of a client.
+    pub fn part_of(&self, client: usize) -> usize {
+        self.latency.part_of(client)
+    }
+
+    /// Time to move `bytes` over one client link (0 with infinite
+    /// bandwidth).
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        match self.bandwidth {
+            Some(bw) if bw > 0.0 => bytes as f64 / bw,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize, unstable: usize, seed: u64) -> Fleet {
+        let cfg = ClusterConfig {
+            n_clients: n,
+            n_unstable: unstable,
+            ..ClusterConfig::paper_medium(seed)
+        };
+        Fleet::new(&cfg, vec![48; n])
+    }
+
+    #[test]
+    fn paper_medium_shape() {
+        let f = fleet(100, 10, 7);
+        assert_eq!(f.len(), 100);
+        let dropouts = (0..100).filter(|&c| f.dropout_time(c).is_some()).count();
+        assert_eq!(dropouts, 10);
+    }
+
+    #[test]
+    fn dropout_is_permanent() {
+        let f = fleet(50, 5, 3);
+        let victim = (0..50).find(|&c| f.dropout_time(c).is_some()).unwrap();
+        let t = f.dropout_time(victim).unwrap();
+        assert!(f.is_alive(victim, t - 0.001));
+        assert!(!f.is_alive(victim, t));
+        assert!(!f.is_alive(victim, t + 1e9));
+    }
+
+    #[test]
+    fn alive_population_shrinks_over_time() {
+        let f = fleet(100, 10, 11);
+        let early = f.alive_at(0.0).len();
+        let late = f.alive_at(1e9).len();
+        assert_eq!(early, 100);
+        assert_eq!(late, 90);
+    }
+
+    #[test]
+    fn zero_unstable_means_everyone_lives() {
+        let f = fleet(30, 0, 5);
+        assert_eq!(f.alive_at(f64::MAX / 2.0).len(), 30);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let a = fleet(60, 6, 9);
+        let b = fleet(60, 6, 9);
+        for c in 0..60 {
+            assert_eq!(a.dropout_time(c), b.dropout_time(c));
+            assert_eq!(a.part_of(c), b.part_of(c));
+            assert_eq!(a.response_latency(c, 3, 2), b.response_latency(c, 3, 2));
+        }
+    }
+
+    #[test]
+    fn latency_reflects_sample_counts() {
+        let cfg = ClusterConfig { n_clients: 2, n_unstable: 0, ..ClusterConfig::paper_medium(1) };
+        let f = Fleet::new(&cfg, vec![10, 100]);
+        // Find round where both have their injected delay fixed; compare
+        // compute-only difference via expected latency.
+        let e0 = f.latency().compute_time(10, 3);
+        let e1 = f.latency().compute_time(100, 3);
+        assert!(e1 > e0 * 9.0);
+    }
+
+    #[test]
+    fn custom_part_sizes_flow_through() {
+        let cfg = ClusterConfig::paper_large(1).with_part_sizes(vec![200, 100, 100, 50, 50]);
+        let f = Fleet::new(&cfg, vec![40; 500]);
+        assert_eq!(f.latency().part_sizes(), vec![200, 100, 100, 50, 50]);
+    }
+
+    #[test]
+    fn infinite_bandwidth_means_free_transfers() {
+        let f = fleet(10, 0, 1);
+        assert_eq!(f.transfer_time(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn finite_bandwidth_charges_linear_time() {
+        let cfg = ClusterConfig {
+            bandwidth_bytes_per_sec: Some(1_000_000.0), // ≈ 1 MB/s edge link
+            n_unstable: 0,
+            ..ClusterConfig::paper_medium(3)
+        }
+        .with_clients(10);
+        let f = Fleet::new(&cfg, vec![10; 10]);
+        assert!((f.transfer_time(500_000) - 0.5).abs() < 1e-9);
+        assert!((f.transfer_time(2_000_000) - 2.0).abs() < 1e-9);
+        assert_eq!(f.transfer_time(0), 0.0);
+    }
+}

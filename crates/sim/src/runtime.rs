@@ -1,0 +1,448 @@
+//! The discrete-event loop driving a federated-learning strategy.
+//!
+//! A strategy implements [`EventHandler`]: it dispatches client training via
+//! [`SimCtx::dispatch`] and reacts to [`Completion`] events (done or
+//! dropped). The runtime advances virtual time, honours dropout schedules,
+//! and enforces safety limits.
+
+use crate::event::EventQueue;
+use crate::fleet::Fleet;
+use crate::network::TrafficMeter;
+use fedat_tensor::rng::{rng_for, tags};
+use rand::rngs::StdRng;
+
+/// A finished (or aborted) client training dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Client id.
+    pub client: usize,
+    /// Caller-defined tag (strategies encode tier/round here).
+    pub tag: u64,
+    /// True if the client dropped out before finishing; no model update is
+    /// available in that case.
+    pub dropped: bool,
+}
+
+/// Mutable simulation state shared with the handler during callbacks.
+pub struct SimCtx<'a> {
+    /// The client population (latency + dropout schedules).
+    pub fleet: &'a Fleet,
+    /// Traffic accounting; strategies charge uploads/downloads here.
+    pub traffic: &'a mut TrafficMeter,
+    /// Seeded RNG for client sampling decisions.
+    pub rng: &'a mut StdRng,
+    now: f64,
+    queue: &'a mut EventQueue<Completion>,
+    dispatch_counts: &'a mut [u64],
+}
+
+impl SimCtx<'_> {
+    /// Current virtual time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Clients alive right now.
+    pub fn alive_clients(&self) -> Vec<usize> {
+        self.fleet.alive_at(self.now)
+    }
+
+    /// Dispatches one local-training round on `client`.
+    ///
+    /// Returns the scheduled completion time. If the client will drop out
+    /// mid-training, a `dropped` completion is delivered at the dropout
+    /// time instead.
+    ///
+    /// # Panics
+    /// Panics if the client is already offline — strategies must select
+    /// among [`SimCtx::alive_clients`].
+    pub fn dispatch(&mut self, client: usize, tag: u64, epochs: usize) -> f64 {
+        self.dispatch_with_transfer(client, tag, epochs, 0)
+    }
+
+    /// Like [`SimCtx::dispatch`], additionally charging the transfer time
+    /// of `transfer_bytes` over the client's link (download + upload
+    /// payloads) when the cluster models finite bandwidth.
+    pub fn dispatch_with_transfer(
+        &mut self,
+        client: usize,
+        tag: u64,
+        epochs: usize,
+        transfer_bytes: usize,
+    ) -> f64 {
+        assert!(
+            self.fleet.is_alive(client, self.now),
+            "dispatch to offline client {client} at t={}",
+            self.now
+        );
+        let round = self.dispatch_counts[client];
+        self.dispatch_counts[client] += 1;
+        let latency =
+            self.fleet.response_latency(client, round, epochs) + self.fleet.transfer_time(transfer_bytes);
+        let done_at = self.now + latency;
+        match self.fleet.dropout_time(client) {
+            Some(t_drop) if t_drop <= done_at => {
+                self.queue.push(t_drop.max(self.now), Completion { client, tag, dropped: true });
+                t_drop
+            }
+            _ => {
+                self.queue.push(done_at, Completion { client, tag, dropped: false });
+                done_at
+            }
+        }
+    }
+
+    /// Number of training rounds this client has been dispatched so far.
+    pub fn dispatches_of(&self, client: usize) -> u64 {
+        self.dispatch_counts[client]
+    }
+}
+
+/// A federated-learning strategy drivable by the event loop.
+pub trait EventHandler {
+    /// Called once at `t = 0`; must dispatch initial work.
+    fn on_start(&mut self, ctx: &mut SimCtx);
+
+    /// Called for every completion, in virtual-time order.
+    fn on_completion(&mut self, ctx: &mut SimCtx, completion: Completion);
+
+    /// When true, the run stops before processing further events.
+    fn finished(&self) -> bool;
+}
+
+/// Safety limits for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Hard cap on virtual seconds.
+    pub max_time: f64,
+    /// Hard cap on processed events.
+    pub max_events: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_time: 1e9, max_events: 50_000_000 }
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The handler reported completion.
+    Finished,
+    /// No events pending but the handler was not finished (usually every
+    /// remaining client dropped out).
+    Starved,
+    /// A [`RunLimits`] cap fired.
+    LimitReached,
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimReport {
+    /// Final virtual time.
+    pub end_time: f64,
+    /// Number of completions processed.
+    pub events: u64,
+    /// Why the loop exited.
+    pub reason: StopReason,
+}
+
+/// Runs `handler` to completion over `fleet`.
+///
+/// `seed` feeds the client-sampling RNG (strategies draw their random
+/// client subsets from `ctx.rng`), independent of the delay/dropout
+/// streams inside the fleet.
+pub fn run(
+    handler: &mut dyn EventHandler,
+    fleet: &Fleet,
+    seed: u64,
+    limits: RunLimits,
+) -> SimReport {
+    let mut queue = EventQueue::new();
+    let mut traffic = TrafficMeter::new(fleet.len());
+    let mut rng = rng_for(seed, tags::SAMPLING);
+    let mut dispatch_counts = vec![0u64; fleet.len()];
+    let mut now = 0.0f64;
+    let mut events = 0u64;
+
+    {
+        let mut ctx = SimCtx {
+            fleet,
+            traffic: &mut traffic,
+            rng: &mut rng,
+            now,
+            queue: &mut queue,
+            dispatch_counts: &mut dispatch_counts,
+        };
+        handler.on_start(&mut ctx);
+    }
+
+    let reason = loop {
+        if handler.finished() {
+            break StopReason::Finished;
+        }
+        let Some((t, completion)) = queue.pop() else {
+            break StopReason::Starved;
+        };
+        if t > limits.max_time || events >= limits.max_events {
+            break StopReason::LimitReached;
+        }
+        now = t;
+        events += 1;
+        let mut ctx = SimCtx {
+            fleet,
+            traffic: &mut traffic,
+            rng: &mut rng,
+            now,
+            queue: &mut queue,
+            dispatch_counts: &mut dispatch_counts,
+        };
+        handler.on_completion(&mut ctx, completion);
+    };
+
+    SimReport { end_time: now, events, reason }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::ClusterConfig;
+
+    /// A toy synchronous strategy: each round select the first `k` alive
+    /// clients, wait for all, count rounds.
+    struct ToySync {
+        k: usize,
+        rounds_done: u64,
+        target_rounds: u64,
+        outstanding: usize,
+        round_start: f64,
+        observed_round_times: Vec<f64>,
+    }
+
+    impl ToySync {
+        fn start_round(&mut self, ctx: &mut SimCtx) {
+            let alive = ctx.alive_clients();
+            let picks: Vec<usize> = alive.into_iter().take(self.k).collect();
+            self.outstanding = picks.len();
+            self.round_start = ctx.now();
+            for c in picks {
+                ctx.traffic.record_download(c, 1000);
+                ctx.dispatch(c, self.rounds_done, 3);
+            }
+        }
+    }
+
+    impl EventHandler for ToySync {
+        fn on_start(&mut self, ctx: &mut SimCtx) {
+            self.start_round(ctx);
+        }
+
+        fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+            if !c.dropped {
+                ctx.traffic.record_upload(c.client, 1000);
+            }
+            self.outstanding -= 1;
+            if self.outstanding == 0 {
+                self.observed_round_times.push(ctx.now() - self.round_start);
+                self.rounds_done += 1;
+                if self.rounds_done < self.target_rounds {
+                    self.start_round(ctx);
+                }
+            }
+        }
+
+        fn finished(&self) -> bool {
+            self.rounds_done >= self.target_rounds
+        }
+    }
+
+    fn toy(k: usize, rounds: u64) -> ToySync {
+        ToySync {
+            k,
+            rounds_done: 0,
+            target_rounds: rounds,
+            outstanding: 0,
+            round_start: 0.0,
+            observed_round_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn synchronous_rounds_advance_time_by_max_latency() {
+        let cfg = ClusterConfig::paper_medium(3).without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![48; 100]);
+        let mut h = toy(100, 2);
+        let report = run(&mut h, &fleet, 1, RunLimits::default());
+        assert_eq!(report.reason, StopReason::Finished);
+        assert_eq!(h.rounds_done, 2);
+        // With all 100 clients, a round takes at least the slowest part's
+        // minimum injected delay (20 s).
+        for &rt in &h.observed_round_times {
+            assert!(rt >= 20.0, "full-participation round took only {rt}s");
+        }
+        assert_eq!(report.events, 200);
+        // Traffic: 100 clients × 2 rounds × 1000 B each way.
+        assert_eq!(h.observed_round_times.len(), 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = ClusterConfig::paper_medium(5);
+        let fleet = Fleet::new(&cfg, vec![48; 100]);
+        let r1 = run(&mut toy(10, 20), &fleet, 9, RunLimits::default());
+        let r2 = run(&mut toy(10, 20), &fleet, 9, RunLimits::default());
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn dropped_clients_deliver_dropped_completions() {
+        // All clients unstable with a tiny horizon: every dispatch that
+        // outlives its client must come back dropped.
+        let cfg = ClusterConfig {
+            n_clients: 10,
+            n_unstable: 10,
+            dropout_horizon: 5.0,
+            ..ClusterConfig::paper_medium(7)
+        };
+        let fleet = Fleet::new(&cfg, vec![200; 10]); // 200 samples → slow compute
+        struct DropCounter {
+            drops: usize,
+            done: usize,
+            started: bool,
+        }
+        impl EventHandler for DropCounter {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                for c in ctx.alive_clients() {
+                    ctx.dispatch(c, 0, 3);
+                }
+                self.started = true;
+            }
+            fn on_completion(&mut self, _ctx: &mut SimCtx, c: Completion) {
+                if c.dropped {
+                    self.drops += 1;
+                } else {
+                    self.done += 1;
+                }
+            }
+            fn finished(&self) -> bool {
+                self.started && self.drops + self.done == 10
+            }
+        }
+        let mut h = DropCounter { drops: 0, done: 0, started: false };
+        let report = run(&mut h, &fleet, 3, RunLimits::default());
+        assert_eq!(report.reason, StopReason::Finished);
+        // Compute time = 200 × 3 × 0.01 = 6 s > horizon 5 s, so every client
+        // drops before finishing.
+        assert_eq!(h.drops, 10);
+        assert_eq!(h.done, 0);
+    }
+
+    #[test]
+    fn starvation_is_reported() {
+        let cfg = ClusterConfig::paper_medium(1).without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 100]);
+        struct Lazy;
+        impl EventHandler for Lazy {
+            fn on_start(&mut self, _ctx: &mut SimCtx) {} // dispatches nothing
+            fn on_completion(&mut self, _ctx: &mut SimCtx, _c: Completion) {}
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let report = run(&mut Lazy, &fleet, 1, RunLimits::default());
+        assert_eq!(report.reason, StopReason::Starved);
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn event_limit_stops_runaway_handlers() {
+        let cfg = ClusterConfig::paper_medium(2).without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 100]);
+        struct Forever;
+        impl EventHandler for Forever {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                ctx.dispatch(0, 0, 1);
+            }
+            fn on_completion(&mut self, ctx: &mut SimCtx, _c: Completion) {
+                ctx.dispatch(0, 0, 1);
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let report = run(
+            &mut Forever,
+            &fleet,
+            1,
+            RunLimits { max_time: 1e12, max_events: 100 },
+        );
+        assert_eq!(report.reason, StopReason::LimitReached);
+        assert_eq!(report.events, 100);
+    }
+
+    #[test]
+    fn bandwidth_extends_completion_time() {
+        let mut cfg = ClusterConfig::paper_medium(21).without_dropouts().with_clients(10);
+        // Zero delays so only compute + transfer remain.
+        cfg.delay_parts = vec![crate::latency::DelayPart { lo: 0.0, hi: 0.0 }];
+        cfg.part_sizes = Some(vec![10]);
+        cfg.bandwidth_bytes_per_sec = Some(1000.0);
+        let fleet = Fleet::new(&cfg, vec![10; 10]);
+        struct OneShot {
+            with_bytes: bool,
+            done_at: f64,
+        }
+        impl EventHandler for OneShot {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                let bytes = if self.with_bytes { 5000 } else { 0 };
+                ctx.dispatch_with_transfer(0, 0, 1, bytes);
+            }
+            fn on_completion(&mut self, ctx: &mut SimCtx, _c: Completion) {
+                self.done_at = ctx.now();
+            }
+            fn finished(&self) -> bool {
+                self.done_at > 0.0
+            }
+        }
+        let mut free = OneShot { with_bytes: false, done_at: 0.0 };
+        run(&mut free, &fleet, 1, RunLimits::default());
+        let mut charged = OneShot { with_bytes: true, done_at: 0.0 };
+        run(&mut charged, &fleet, 1, RunLimits::default());
+        // 5000 B at 1000 B/s = 5 s extra.
+        assert!((charged.done_at - free.done_at - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispatch_counts_feed_per_round_delays() {
+        let cfg = ClusterConfig::paper_medium(11).without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 100]);
+        // Client in the 20–30 s part: two consecutive dispatches should see
+        // different injected delays (the per-round schedule).
+        let slow = (0..100).find(|&c| fleet.part_of(c) == 4).unwrap();
+        struct TwoShots {
+            client: usize,
+            times: Vec<f64>,
+        }
+        impl EventHandler for TwoShots {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                ctx.dispatch(self.client, 0, 1);
+            }
+            fn on_completion(&mut self, ctx: &mut SimCtx, _c: Completion) {
+                self.times.push(ctx.now());
+                if self.times.len() < 2 {
+                    ctx.dispatch(self.client, 0, 1);
+                }
+            }
+            fn finished(&self) -> bool {
+                self.times.len() >= 2
+            }
+        }
+        let mut h = TwoShots { client: slow, times: Vec::new() };
+        run(&mut h, &fleet, 1, RunLimits::default());
+        let d1 = h.times[0];
+        let d2 = h.times[1] - h.times[0];
+        assert_ne!(d1, d2, "per-round delays should differ");
+    }
+}

@@ -1,0 +1,184 @@
+//! Experiment traces: accuracy/loss/bytes over virtual time.
+
+use std::io::Write;
+
+/// One evaluation sample along a training run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Virtual time (seconds).
+    pub time: f64,
+    /// Global round (strategy-defined counter).
+    pub round: u64,
+    /// Global test accuracy.
+    pub accuracy: f32,
+    /// Global test loss.
+    pub loss: f32,
+    /// Cumulative uplink bytes at this time.
+    pub up_bytes: u64,
+    /// Cumulative downlink bytes at this time.
+    pub down_bytes: u64,
+}
+
+/// A named series of [`TracePoint`]s, ordered by time.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Series name, e.g. `FedAT @ cifar10-like(#2)`.
+    pub name: String,
+    /// Points in non-decreasing time order.
+    pub points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point (must not go back in time).
+    ///
+    /// # Panics
+    /// Panics if `point.time` precedes the last recorded time.
+    pub fn push(&mut self, point: TracePoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                point.time >= last.time,
+                "trace must be time-ordered: {} after {}",
+                point.time,
+                last.time
+            );
+        }
+        self.points.push(point);
+    }
+
+    /// Accuracy of the last point (0 if empty).
+    pub fn final_accuracy(&self) -> f32 {
+        self.points.last().map(|p| p.accuracy).unwrap_or(0.0)
+    }
+
+    /// Best accuracy seen (0 if empty) — Table 1's "best prediction
+    /// accuracy after each model converges".
+    pub fn best_accuracy(&self) -> f32 {
+        self.points.iter().map(|p| p.accuracy).fold(0.0, f32::max)
+    }
+
+    /// First virtual time at which `target` accuracy is reached.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.points.iter().find(|p| p.accuracy >= target).map(|p| p.time)
+    }
+
+    /// Cumulative (up + down) bytes when `target` accuracy is first reached
+    /// (the Table 2 metric).
+    pub fn bytes_to_accuracy(&self, target: f32) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.up_bytes + p.down_bytes)
+    }
+
+    /// Uplink-only bytes when `target` is first reached (Fig. 4 x-axis).
+    pub fn upload_bytes_to_accuracy(&self, target: f32) -> Option<u64> {
+        self.points.iter().find(|p| p.accuracy >= target).map(|p| p.up_bytes)
+    }
+
+    /// Moving-average smoothing over `window` consecutive points (the paper
+    /// smooths "for every 40 global rounds"). Window 0 or 1 returns a clone.
+    pub fn smoothed(&self, window: usize) -> Trace {
+        if window <= 1 || self.points.len() <= 1 {
+            return self.clone();
+        }
+        let mut out = Trace::new(self.name.clone());
+        let mut acc_sum = 0.0f64;
+        let mut loss_sum = 0.0f64;
+        let mut buf: std::collections::VecDeque<(f32, f32)> = Default::default();
+        for p in &self.points {
+            buf.push_back((p.accuracy, p.loss));
+            acc_sum += p.accuracy as f64;
+            loss_sum += p.loss as f64;
+            if buf.len() > window {
+                let (a, l) = buf.pop_front().expect("buffer non-empty");
+                acc_sum -= a as f64;
+                loss_sum -= l as f64;
+            }
+            out.points.push(TracePoint {
+                accuracy: (acc_sum / buf.len() as f64) as f32,
+                loss: (loss_sum / buf.len() as f64) as f32,
+                ..*p
+            });
+        }
+        out
+    }
+
+    /// Writes the trace as CSV (`time,round,accuracy,loss,up_bytes,down_bytes`).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "time,round,accuracy,loss,up_bytes,down_bytes")?;
+        for p in &self.points {
+            writeln!(
+                w,
+                "{:.3},{},{:.6},{:.6},{},{}",
+                p.time, p.round, p.accuracy, p.loss, p.up_bytes, p.down_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(time: f64, acc: f32, up: u64) -> TracePoint {
+        TracePoint { time, round: time as u64, accuracy: acc, loss: 1.0 - acc, up_bytes: up, down_bytes: up / 2 }
+    }
+
+    #[test]
+    fn accuracy_queries() {
+        let mut t = Trace::new("x");
+        t.push(pt(1.0, 0.2, 100));
+        t.push(pt(2.0, 0.5, 200));
+        t.push(pt(3.0, 0.4, 300));
+        assert_eq!(t.final_accuracy(), 0.4);
+        assert_eq!(t.best_accuracy(), 0.5);
+        assert_eq!(t.time_to_accuracy(0.45), Some(2.0));
+        assert_eq!(t.time_to_accuracy(0.9), None);
+        assert_eq!(t.bytes_to_accuracy(0.45), Some(300));
+        assert_eq!(t.upload_bytes_to_accuracy(0.45), Some(200));
+    }
+
+    #[test]
+    fn smoothing_averages_window() {
+        let mut t = Trace::new("x");
+        for i in 0..6 {
+            t.push(pt(i as f64, if i % 2 == 0 { 0.0 } else { 1.0 }, 0));
+        }
+        let s = t.smoothed(2);
+        // After the first point every smoothed value is the mean of two
+        // alternating values = 0.5.
+        for p in &s.points[1..] {
+            assert!((p.accuracy - 0.5).abs() < 1e-6);
+        }
+        // Window 1 is identity.
+        let id = t.smoothed(1);
+        assert_eq!(id.points, t.points);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Trace::new("x");
+        t.push(pt(1.0, 0.25, 64));
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("time,round"));
+        assert!(lines[1].starts_with("1.000,1,0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_travel() {
+        let mut t = Trace::new("x");
+        t.push(pt(5.0, 0.1, 0));
+        t.push(pt(4.0, 0.2, 0));
+    }
+}

@@ -1,0 +1,446 @@
+//! Numeric kernels: elementwise ops, matmul variants, row reductions.
+//!
+//! Matrix kernels are parallelized by sharding output rows across scoped
+//! threads ([`crate::parallel`]); the inner loops use the cache-friendly
+//! `ikj` order so each pass streams a full output row.
+
+use crate::parallel;
+use crate::tensor::Tensor;
+
+// ----------------------------------------------------------------------
+// Slice-level primitives (used by higher-level crates directly on weight
+// buffers, without wrapping them in tensors)
+// ----------------------------------------------------------------------
+
+/// `y[i] += alpha * x[i]`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y[i] = alpha * x[i] + beta * y[i]`.
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Dot product with f64 accumulation (deterministic, serial).
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = 0.0f64;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        acc += a as f64 * b as f64;
+    }
+    acc as f32
+}
+
+/// Scales a slice in place.
+pub fn scale(x: &mut [f32], alpha: f32) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Squared Euclidean distance between two slices.
+pub fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dist_sq length mismatch");
+    let mut acc = 0.0f64;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        let d = (a - b) as f64;
+        acc += d * d;
+    }
+    acc as f32
+}
+
+/// Linear interpolation `out[i] = (1 - t) * a[i] + t * b[i]`, written into `a`.
+///
+/// This is the FedAsync server mixing step `w ← (1−α)·w + α·w_client`.
+pub fn lerp_into(a: &mut [f32], b: &[f32], t: f32) {
+    assert_eq!(a.len(), b.len(), "lerp length mismatch");
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        *ai = (1.0 - t) * *ai + t * bi;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Elementwise tensor ops
+// ----------------------------------------------------------------------
+
+impl Tensor {
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| alpha * x)
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy_inplace(&mut self, alpha: f32, other: &Tensor) {
+        self.assert_same_shape(other);
+        axpy(alpha, other.data(), self.data_mut());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Matrix multiplication variants
+// ----------------------------------------------------------------------
+
+/// Checks and returns `(m, k, n)` for `C[m,n] = A[m,k] · B[k,n]`.
+fn mm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    let (m, k) = a.shape().as_matrix();
+    let (k2, n) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul inner-dim mismatch: {:?} · {:?}", a.dims(), b.dims());
+    (m, k, n)
+}
+
+impl Tensor {
+    /// `C = A · B` for matrix-like tensors.
+    pub fn matmul(&self, b: &Tensor) -> Tensor {
+        let (m, k, n) = mm_dims(self, b);
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.data(), b.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `C = Aᵀ · B` where `self` is `[k, m]` and `b` is `[k, n]`.
+    ///
+    /// Used for weight gradients: `dW = Xᵀ · dY`.
+    pub fn matmul_tn(&self, b: &Tensor) -> Tensor {
+        let (k, m) = self.shape().as_matrix();
+        let (k2, n) = b.shape().as_matrix();
+        assert_eq!(k, k2, "matmul_tn inner-dim mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_tn_into(self.data(), b.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `C = A · Bᵀ` where `self` is `[m, k]` and `b` is `[n, k]`.
+    ///
+    /// Used for input gradients: `dX = dY · Wᵀ`.
+    pub fn matmul_nt(&self, b: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_matrix();
+        let (n, k2) = b.shape().as_matrix();
+        assert_eq!(k, k2, "matmul_nt inner-dim mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_nt_into(self.data(), b.data(), out.data_mut(), m, k, n);
+        out
+    }
+}
+
+/// `C[m,n] += A[m,k] · B[k,n]` on raw row-major slices.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    let threads = parallel::plan_threads(m, 2 * k * n);
+    parallel::for_each_row_band(c, n, threads, |first_row, band| {
+        for (r, crow) in band.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let arow = &a[i * k..(i + 1) * k];
+            // ikj order: stream B row-by-row, accumulate into the C row.
+            for (p, &aip) in arow.iter().enumerate() {
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += aip * bj;
+                }
+            }
+        }
+    });
+}
+
+/// `C[m,n] += Aᵀ · B` with `A[k,m]`, `B[k,n]`, on raw slices.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    let threads = parallel::plan_threads(m, 2 * k * n);
+    parallel::for_each_row_band(c, n, threads, |first_row, band| {
+        let rows = band.len() / n;
+        // Each band owns C rows [first_row, first_row+rows); loop over k in a
+        // fixed order so accumulation is deterministic.
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            let arow = &a[p * m..(p + 1) * m];
+            for r in 0..rows {
+                let aip = arow[first_row + r];
+                if aip == 0.0 {
+                    continue;
+                }
+                let crow = &mut band[r * n..(r + 1) * n];
+                for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += aip * bj;
+                }
+            }
+        }
+    });
+}
+
+/// `C[m,n] += A · Bᵀ` with `A[m,k]`, `B[n,k]`, on raw slices.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    let threads = parallel::plan_threads(m, 2 * k * n);
+    parallel::for_each_row_band(c, n, threads, |first_row, band| {
+        for (r, crow) in band.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, cj) in crow.iter_mut().enumerate() {
+                *cj += dot(arow, &b[j * k..(j + 1) * k]);
+            }
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// Row-wise operations (batch dimension first)
+// ----------------------------------------------------------------------
+
+impl Tensor {
+    /// Adds a bias row vector to every row.
+    ///
+    /// # Panics
+    /// Panics if `bias.len()` differs from the column count.
+    pub fn add_row_bias(&mut self, bias: &Tensor) {
+        let (_, cols) = self.shape().as_matrix();
+        assert_eq!(bias.len(), cols, "bias length mismatch");
+        let b = bias.data();
+        for row in self.data_mut().chunks_mut(cols) {
+            for (v, &bv) in row.iter_mut().zip(b.iter()) {
+                *v += bv;
+            }
+        }
+    }
+
+    /// Sums rows into a single row vector (the bias-gradient reduction).
+    pub fn sum_rows(&self) -> Tensor {
+        let (rows, cols) = self.shape().as_matrix();
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Per-row argmax (predicted class per sample).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, cols) = self.shape().as_matrix();
+        (0..rows)
+            .map(|r| {
+                let row = &self.data()[r * cols..(r + 1) * cols];
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Numerically-stable row softmax.
+    pub fn softmax_rows(&self) -> Tensor {
+        let (rows, cols) = self.shape().as_matrix();
+        let mut out = self.clone();
+        for r in 0..rows {
+            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+            softmax_inplace(row);
+        }
+        out
+    }
+}
+
+/// Numerically-stable in-place softmax of one row.
+pub fn softmax_inplace(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Weighted average of several equally-shaped slices into `out`.
+///
+/// `out[i] = Σ_j weights[j] · inputs[j][i]`. This is the FedAvg/FedAT
+/// aggregation primitive; weights need not sum to 1 (callers normalize).
+///
+/// # Panics
+/// Panics if lengths are inconsistent or no inputs are given.
+pub fn weighted_sum_into(inputs: &[&[f32]], weights: &[f32], out: &mut [f32]) {
+    assert!(!inputs.is_empty(), "weighted_sum_into needs at least one input");
+    assert_eq!(inputs.len(), weights.len(), "inputs/weights length mismatch");
+    for input in inputs {
+        assert_eq!(input.len(), out.len(), "input length mismatch");
+    }
+    out.fill(0.0);
+    for (input, &w) in inputs.iter().zip(weights.iter()) {
+        axpy(w, input, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_matrix();
+        let (_, n) = b.shape().as_matrix();
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] as f64 * b.data()[p * n + j] as f64;
+                }
+                *c.at_mut(&[i, j]) = acc as f32;
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = rng_for(2, 2);
+        let a = Tensor::randn(&mut rng, &[13, 7], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, &[7, 11], 0.0, 1.0);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = rng_for(4, 2);
+        let a = Tensor::randn(&mut rng, &[5, 5], 0.0, 1.0);
+        assert_close(&a.matmul(&Tensor::eye(5)), &a, 0.0);
+        assert_close(&Tensor::eye(5).matmul(&a), &a, 0.0);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = rng_for(5, 2);
+        let a = Tensor::randn(&mut rng, &[9, 4], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, &[9, 6], 0.0, 1.0);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = rng_for(6, 2);
+        let a = Tensor::randn(&mut rng, &[9, 4], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, &[6, 4], 0.0, 1.0);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_serial() {
+        let mut rng = rng_for(7, 2);
+        let a = Tensor::randn(&mut rng, &[64, 96], 0.0, 1.0);
+        let b = Tensor::randn(&mut rng, &[96, 80], 0.0, 1.0);
+        parallel::set_max_threads(1);
+        let serial = a.matmul(&b);
+        parallel::set_max_threads(8);
+        let par = a.matmul(&b);
+        parallel::set_max_threads(1);
+        assert_eq!(serial.data(), par.data(), "parallel kernel diverged from serial");
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut rng = rng_for(8, 2);
+        let t = Tensor::randn(&mut rng, &[10, 6], 0.0, 3.0);
+        let s = t.softmax_rows();
+        for r in 0..10 {
+            let row = s.row(r);
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut row = [1000.0f32, 1000.0, 999.0];
+        softmax_inplace(&mut row);
+        assert!(row.iter().all(|v| v.is_finite()));
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(row[0] > row[2]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max_on_ties() {
+        let t = Tensor::from_vec(vec![0.0, 5.0, 5.0, 1.0, 0.0, -1.0], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn bias_ops_roundtrip() {
+        let mut x = Tensor::zeros(&[3, 4]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        x.add_row_bias(&b);
+        let g = x.sum_rows();
+        assert_eq!(g.data(), &[3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn weighted_sum_recovers_average() {
+        let a = vec![2.0f32; 5];
+        let b = vec![4.0f32; 5];
+        let mut out = vec![0.0f32; 5];
+        weighted_sum_into(&[&a, &b], &[0.5, 0.5], &mut out);
+        assert!(out.iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let mut a = vec![1.0f32, 2.0];
+        lerp_into(&mut a, &[5.0, 6.0], 0.0);
+        assert_eq!(a, vec![1.0, 2.0]);
+        lerp_into(&mut a, &[5.0, 6.0], 1.0);
+        assert_eq!(a, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn dot_and_dist() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Scoped data-parallel helpers.
+//!
+//! The kernels in [`crate::ops`] and [`crate::conv`] shard *disjoint output
+//! chunks* across OS threads with [`std::thread::scope`]. Each output element
+//! is written by exactly one thread using a fixed serial inner loop, so
+//! results are bit-identical for any thread count.
+//!
+//! The FedAT simulator parallelizes across *clients*, so by default kernels
+//! run serially to avoid oversubscription; call [`set_max_threads`] to let
+//! individual kernels fan out (useful in the Criterion benches and for large
+//! single-model workloads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global cap on threads used by a single kernel. `1` means serial.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Minimum number of f32 ops a chunk must contain before fanning out.
+/// Below this, thread spawn overhead dominates any speedup.
+pub const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Sets the per-kernel thread cap. `0` is interpreted as "all available".
+pub fn set_max_threads(n: usize) {
+    let n = if n == 0 {
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+    } else {
+        n
+    };
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Current per-kernel thread cap.
+pub fn max_threads() -> usize {
+    MAX_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Decides how many threads to use for `work_items` independent items whose
+/// per-item cost is roughly `cost_per_item` f32 ops.
+pub fn plan_threads(work_items: usize, cost_per_item: usize) -> usize {
+    let cap = max_threads();
+    if cap <= 1 {
+        return 1;
+    }
+    let total = work_items.saturating_mul(cost_per_item);
+    if total < PAR_THRESHOLD {
+        return 1;
+    }
+    cap.min(work_items).max(1)
+}
+
+/// Runs `f(chunk_index, item_range)` over `0..len` split into `threads`
+/// near-equal contiguous ranges, in parallel.
+///
+/// With `threads == 1` this degenerates to a single inline call, so callers
+/// need no serial special-case.
+pub fn for_each_range<F>(len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, len);
+    if threads == 1 {
+        f(0, 0..len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(len);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move || f(t, lo..hi));
+        }
+    });
+}
+
+/// Splits `out` into `threads` near-equal row bands (each `row_len` wide) and
+/// runs `f(first_row, band)` on each band in parallel.
+///
+/// This is the workhorse for matrix kernels: the output rows are disjoint
+/// `&mut` slices, so no synchronization is needed.
+///
+/// # Panics
+/// Panics if `out.len()` is not a multiple of `row_len`.
+pub fn for_each_row_band<F>(out: &mut [f32], row_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len() % row_len, 0, "output not a whole number of rows");
+    let rows = out.len() / row_len;
+    if rows == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, rows);
+    if threads == 1 {
+        f(0, out);
+        return;
+    }
+    let rows_per_band = rows.div_ceil(threads);
+    let band_elems = rows_per_band * row_len;
+    std::thread::scope(|scope| {
+        for (t, band) in out.chunks_mut(band_elems).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(t * rows_per_band, band));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_plan_when_cap_is_one() {
+        set_max_threads(1);
+        assert_eq!(plan_threads(1_000_000, 1_000), 1);
+    }
+
+    #[test]
+    fn small_work_stays_serial_even_with_threads() {
+        set_max_threads(8);
+        assert_eq!(plan_threads(4, 4), 1);
+        set_max_threads(1);
+    }
+
+    #[test]
+    fn for_each_range_covers_everything_once() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 103]);
+        for_each_range(103, 7, |_, range| {
+            let mut h = hits.lock().unwrap();
+            for i in range {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn row_bands_partition_output() {
+        let mut out = vec![0.0f32; 10 * 4];
+        for_each_row_band(&mut out, 4, 3, |first_row, band| {
+            for (r, row) in band.chunks_mut(4).enumerate() {
+                for v in row.iter_mut() {
+                    *v = (first_row + r) as f32;
+                }
+            }
+        });
+        for r in 0..10 {
+            for c in 0..4 {
+                assert_eq!(out[r * 4 + c], r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_banding() {
+        let make = |threads| {
+            let mut out = vec![0.0f32; 64 * 16];
+            for_each_row_band(&mut out, 16, threads, |first_row, band| {
+                for (r, row) in band.chunks_mut(16).enumerate() {
+                    let row_idx = first_row + r;
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = (row_idx * 31 + c) as f32 * 0.5;
+                    }
+                }
+            });
+            out
+        };
+        assert_eq!(make(1), make(5));
+        assert_eq!(make(1), make(64));
+    }
+}

@@ -1,0 +1,197 @@
+//! Tensor shapes: a fixed-capacity dimension list with row-major stride math.
+//!
+//! Shapes are rank ≤ 4 (enough for `[batch, channels, height, width]`), kept
+//! inline to avoid a heap allocation per tensor.
+
+/// Maximum supported tensor rank.
+pub const MAX_RANK: usize = 4;
+
+/// A tensor shape: up to [`MAX_RANK`] dimensions stored inline.
+///
+/// The empty shape (`rank == 0`) denotes a scalar with one element.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    /// Builds a shape from a dimension slice.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_RANK`] dimensions are given or any dimension
+    /// is zero (zero-sized tensors are never meaningful in this codebase and
+    /// usually indicate a bug upstream).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "shape rank {} exceeds MAX_RANK {}",
+            dims.len(),
+            MAX_RANK
+        );
+        let mut inline = [1usize; MAX_RANK];
+        for (i, &d) in dims.iter().enumerate() {
+            assert!(d > 0, "zero-sized dimension {i} in shape {dims:?}");
+            inline[i] = d;
+        }
+        Shape { dims: inline, rank: dims.len() as u8 }
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: [1; MAX_RANK], rank: 0 }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// The dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(i < self.rank(), "dim index {i} out of range for rank {}", self.rank());
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims[..self.rank as usize].iter().product::<usize>().max(1)
+    }
+
+    /// True only for the scalar shape, which still holds one element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> [usize; MAX_RANK] {
+        let r = self.rank();
+        let mut strides = [1usize; MAX_RANK];
+        if r > 0 {
+            let mut acc = 1usize;
+            for i in (0..r).rev() {
+                strides[i] = acc;
+                acc *= self.dims[i];
+            }
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the index rank mismatches or any
+    /// coordinate is out of bounds.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = self.strides();
+        let mut off = 0usize;
+        for (i, &ix) in index.iter().enumerate() {
+            debug_assert!(ix < self.dims[i], "index {ix} out of bounds for dim {i}");
+            off += ix * strides[i];
+        }
+        off
+    }
+
+    /// Interprets the shape as a matrix `[rows, cols]`, treating rank-1 as a
+    /// row vector and collapsing leading dimensions of higher ranks.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.rank() {
+            0 => (1, 1),
+            1 => (1, self.dims[0]),
+            2 => (self.dims[0], self.dims[1]),
+            r => {
+                let cols = self.dims[r - 1];
+                (self.len() / cols, cols)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shape{:?}", self.dims())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dims(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[3]).len(), 3);
+        assert_eq!(Shape::new(&[2, 3]).len(), 6);
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[2, 3, 4, 5]).len(), 120);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(&s.strides()[..3], &[12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 2]), 2);
+        assert_eq!(s.offset(&[1, 0]), 3);
+        assert_eq!(s.offset(&[1, 2]), 5);
+    }
+
+    #[test]
+    fn as_matrix_collapses_leading_dims() {
+        assert_eq!(Shape::new(&[7]).as_matrix(), (1, 7));
+        assert_eq!(Shape::new(&[2, 7]).as_matrix(), (2, 7));
+        assert_eq!(Shape::new(&[2, 3, 7]).as_matrix(), (6, 7));
+        assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimension")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn rank_5_rejected() {
+        let _ = Shape::new(&[1, 1, 1, 1, 1]);
+    }
+}

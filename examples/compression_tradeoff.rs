@@ -1,0 +1,60 @@
+//! The accuracy-vs-communication tradeoff of polyline compression
+//! (paper §7.2): codec-level ratios and errors per precision, then a small
+//! FedAT run per precision showing the end-to-end effect.
+//!
+//! ```text
+//! cargo run --release --example compression_tradeoff
+//! ```
+
+use fedat::compress::codec::{CodecKind, NoCompression, PolylineCodec, QuantizeCodec};
+use fedat::compress::stats::measure;
+use fedat::core::prelude::*;
+use fedat::data::suite;
+
+fn main() {
+    // Codec-level view: a realistic trained-weight payload.
+    let task = suite::fmnist_like(20, 2, 5);
+    let weights = task.model.build(5).weights();
+    println!("=== codec level ({} weights) ===", weights.len());
+    println!("{:<14} {:>9} {:>10} {:>12}", "codec", "ratio", "max err", "mean err");
+    for report in [
+        ("none", measure(&NoCompression, &weights)),
+        ("polyline-p3", measure(&PolylineCodec::new(3), &weights)),
+        ("polyline-p4", measure(&PolylineCodec::new(4), &weights)),
+        ("polyline-p5", measure(&PolylineCodec::new(5), &weights)),
+        ("polyline-p6", measure(&PolylineCodec::new(6), &weights)),
+        ("quantize-i8", measure(&QuantizeCodec, &weights)),
+    ] {
+        println!(
+            "{:<14} {:>8.2}× {:>10.2e} {:>12.2e}",
+            report.0, report.1.ratio, report.1.max_abs_error, report.1.mean_abs_error
+        );
+    }
+
+    // End-to-end view: FedAT with each precision on the same federation.
+    println!("\n=== end to end (FedAT, 120 tier updates) ===");
+    println!("{:<16} {:>10} {:>14}", "codec", "best acc", "upload (MB)");
+    for (name, kind) in [
+        ("polyline-p3", CodecKind::Polyline { precision: 3, delta: true }),
+        ("polyline-p4", CodecKind::Polyline { precision: 4, delta: true }),
+        ("polyline-p6", CodecKind::Polyline { precision: 6, delta: true }),
+        ("no-compression", CodecKind::Raw),
+    ] {
+        let cfg = ExperimentConfig::builder()
+            .strategy(StrategyKind::FedAt)
+            .rounds(120)
+            .clients_per_round(4)
+            .eval_every(10)
+            .codec(kind)
+            .seed(5)
+            .build();
+        let out = run_experiment(&task, &cfg);
+        let up = out.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        println!(
+            "{:<16} {:>10.4} {:>14.2}",
+            name,
+            out.best_accuracy(),
+            up as f64 / 1e6
+        );
+    }
+}
