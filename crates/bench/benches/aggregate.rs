@@ -8,7 +8,9 @@ use std::hint::black_box;
 fn client_updates(clients: usize, dim: usize) -> Vec<(Vec<f32>, usize)> {
     (0..clients)
         .map(|c| {
-            let w: Vec<f32> = (0..dim).map(|i| ((c * dim + i) as f32 * 1e-4).sin()).collect();
+            let w: Vec<f32> = (0..dim)
+                .map(|i| ((c * dim + i) as f32 * 1e-4).sin())
+                .collect();
             (w, 40 + c)
         })
         .collect()
@@ -38,7 +40,11 @@ fn bench_cross_tier(c: &mut Criterion) {
     group.sample_size(20);
     for tiers in [3usize, 5, 10] {
         let models: Vec<Vec<f32>> = (0..tiers)
-            .map(|t| (0..dim).map(|i| ((t * dim + i) as f32 * 1e-4).cos()).collect())
+            .map(|t| {
+                (0..dim)
+                    .map(|i| ((t * dim + i) as f32 * 1e-4).cos())
+                    .collect()
+            })
             .collect();
         let counts: Vec<u64> = (1..=tiers as u64).rev().map(|x| x * 7).collect();
         group.throughput(Throughput::Elements((tiers * dim) as u64));

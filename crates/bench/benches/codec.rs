@@ -8,7 +8,9 @@ use std::hint::black_box;
 
 fn model_weights(n: usize) -> Vec<f32> {
     // Kaiming-ish magnitudes: the realistic payload distribution.
-    (0..n).map(|i| ((i as f64 * 0.377).sin() * 0.05) as f32).collect()
+    (0..n)
+        .map(|i| ((i as f64 * 0.377).sin() * 0.05) as f32)
+        .collect()
 }
 
 fn bench_encode(c: &mut Criterion) {

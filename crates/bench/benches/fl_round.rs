@@ -11,7 +11,11 @@ fn bench_strategy_rounds(c: &mut Criterion) {
     let task = suite::sent140_like(20, 3);
     let mut group = c.benchmark_group("fl/rounds");
     group.sample_size(10);
-    for strategy in [StrategyKind::FedAvg, StrategyKind::TiFL, StrategyKind::FedAt] {
+    for strategy in [
+        StrategyKind::FedAvg,
+        StrategyKind::TiFL,
+        StrategyKind::FedAt,
+    ] {
         group.bench_function(BenchmarkId::new("10-updates", strategy.name()), |b| {
             b.iter(|| {
                 let cfg = ExperimentConfig::builder()
@@ -33,7 +37,7 @@ fn bench_local_training(c: &mut Criterion) {
     use fedat_core::local::train_client;
     let task = suite::cifar10_like(10, 2, 3);
     let cfg = ExperimentConfig::builder().seed(3).build();
-    let global = task.model.build(3).weights();
+    let global: std::sync::Arc<[f32]> = task.model.build(3).weights().into();
     let mut group = c.benchmark_group("fl/local-training");
     group.sample_size(10);
     group.bench_function("cnn-client-round-3epochs", |b| {

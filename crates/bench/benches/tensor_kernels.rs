@@ -43,7 +43,13 @@ fn bench_matmul_variants(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let mut rng = rng_for(3, 1);
-    let spec = Conv2dSpec { in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+    let spec = Conv2dSpec {
+        in_channels: 3,
+        out_channels: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
     let input = Tensor::randn(&mut rng, &[10, 3, 8, 8], 0.0, 1.0);
     let weight = Tensor::randn(&mut rng, &[16, 27], 0.0, 0.3);
     let bias = Tensor::zeros(&[16]);

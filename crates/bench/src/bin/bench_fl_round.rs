@@ -1,0 +1,234 @@
+//! Wall-clock benchmark of the federated-round hot path.
+//!
+//! Runs a quick-scale experiment per strategy twice — once with the
+//! optimized execution layer (persistent kernel pool, thread-local model
+//! reuse, scratch-arena workspace, transposed-scratch NT kernel, zero-copy
+//! broadcast) and once with the naive baseline toggles that restore the
+//! seed's execution layer (scoped thread spawns per kernel, a full model
+//! rebuild per dispatch, dot-product NT kernel, arena off, per-client
+//! encode) — and records rounds/sec for both in `BENCH_fl_round.json`.
+//! The optimized run is additionally checked for determinism (two runs,
+//! bit-identical weights).
+//!
+//! ```text
+//! cargo run --release -p fedat-bench --bin bench_fl_round -- [--out FILE] [--seed N]
+//! ```
+//!
+//! See `docs/PERF.md` for how to read the output.
+
+use fedat_core::local::set_model_reuse;
+use fedat_core::transport::set_broadcast_enabled;
+use fedat_core::{run_experiment, ExperimentConfig, StrategyKind};
+use fedat_data::suite::{self, FedTask};
+use fedat_sim::fleet::ClusterConfig;
+use fedat_tensor::ops::{set_nt_kernel, NtKernel};
+use fedat_tensor::parallel::{self, SpawnMode};
+use fedat_tensor::scratch;
+use std::time::Instant;
+
+/// Flips every execution-layer toggle at once.
+fn set_execution_layer(optimized: bool) {
+    parallel::set_spawn_mode(if optimized {
+        SpawnMode::PersistentPool
+    } else {
+        SpawnMode::ScopedSpawn
+    });
+    set_model_reuse(optimized);
+    set_nt_kernel(if optimized {
+        NtKernel::TransposedScratch
+    } else {
+        NtKernel::DotProduct
+    });
+    scratch::set_enabled(optimized);
+    set_broadcast_enabled(optimized);
+}
+
+struct Sample {
+    strategy: &'static str,
+    rounds: u64,
+    optimized_secs: f64,
+    naive_secs: f64,
+}
+
+impl Sample {
+    fn optimized_rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.optimized_secs.max(1e-9)
+    }
+
+    fn naive_rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.naive_secs.max(1e-9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.optimized_rounds_per_sec() / self.naive_rounds_per_sec().max(1e-12)
+    }
+}
+
+fn quick_cfg(strategy: StrategyKind, seed: u64, n_clients: usize) -> ExperimentConfig {
+    let rounds = match strategy {
+        // FedAT tier rounds are ~5× cheaper than full synchronous rounds;
+        // equalize total local work instead of round counts.
+        StrategyKind::FedAt => 50,
+        _ => 10,
+    };
+    ExperimentConfig::builder()
+        .strategy(strategy)
+        .rounds(rounds)
+        .clients_per_round(5)
+        .local_epochs(1)
+        // The benchmark measures the *round* hot path; keep the (mode-
+        // independent) evaluation cadence out of the measurement.
+        .eval_every(10_000)
+        .eval_subset(64)
+        .seed(seed)
+        .cluster(
+            ClusterConfig::paper_medium(seed)
+                .with_clients(n_clients)
+                .without_dropouts(),
+        )
+        .build()
+}
+
+fn timed_run(task: &FedTask, cfg: &ExperimentConfig) -> (f64, u64, Vec<f32>) {
+    let started = Instant::now();
+    let out = run_experiment(task, cfg);
+    (
+        started.elapsed().as_secs_f64(),
+        out.global_updates,
+        out.final_weights,
+    )
+}
+
+/// Timed repeats per mode; the minimum is reported (noise-robust, like
+/// criterion's best-estimate for short benches).
+const REPEATS: usize = 3;
+
+fn bench_strategy(strategy: StrategyKind, seed: u64, n_clients: usize, task: &FedTask) -> Sample {
+    let cfg = quick_cfg(strategy, seed, n_clients);
+
+    // Warm the kernel pool and the scratch arenas so the optimized run is
+    // measured at steady state (how a long-lived server actually runs).
+    // The warm-up doubles as a determinism check against the timed runs.
+    set_execution_layer(true);
+    let (_, rounds, w_warm) = timed_run(task, &cfg);
+    let mut optimized_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let (secs, r, w) = timed_run(task, &cfg);
+        assert_eq!(r, rounds, "repeat changed the schedule");
+        assert_eq!(
+            w_warm,
+            w,
+            "optimized runs must be bit-identical across repeats ({})",
+            strategy.name()
+        );
+        optimized_secs = optimized_secs.min(secs);
+    }
+
+    // Naive baseline: the seed's execution layer (spawn+join OS threads per
+    // kernel, model rebuild per dispatch, dot-product NT kernel, no arena,
+    // per-client encode).
+    set_execution_layer(false);
+    let mut naive_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let (secs, naive_rounds, _w) = timed_run(task, &cfg);
+        assert_eq!(rounds, naive_rounds, "toggles must not change the schedule");
+        naive_secs = naive_secs.min(secs);
+    }
+    set_execution_layer(true);
+
+    Sample {
+        strategy: strategy.name(),
+        rounds,
+        optimized_secs,
+        naive_secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_fl_round.json");
+    let mut seed = 9u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Let individual kernels fan out across all cores — the regime where
+    // spawn overhead vs. a persistent pool matters most.
+    parallel::set_max_threads(0);
+
+    let n_clients = 30;
+    // CNN task: the compute-heavy representative (conv kernels cross the
+    // parallel threshold, models are large enough for codec/build costs to
+    // register).
+    let task = suite::cifar10_like(n_clients, 2, seed);
+
+    let samples: Vec<Sample> = [
+        StrategyKind::FedAvg,
+        StrategyKind::TiFL,
+        StrategyKind::FedAt,
+    ]
+    .into_iter()
+    .map(|s| {
+        eprintln!("[bench_fl_round] running {} ...", s.name());
+        bench_strategy(s, seed, n_clients, &task)
+    })
+    .collect();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"fl_round\",\n");
+    json.push_str("  \"scale\": \"quick\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"clients\": {n_clients},\n"));
+    json.push_str(&format!("  \"task\": \"{}\",\n", task.name));
+    json.push_str(&format!(
+        "  \"kernel_threads\": {},\n",
+        fedat_tensor::parallel::max_threads()
+    ));
+    json.push_str(
+        "  \"naive_baseline\": \"seed execution layer: scoped spawn per kernel, model rebuild per dispatch, dot-product NT kernel, scratch arena off, per-client downlink encode\",\n",
+    );
+    json.push_str("  \"strategies\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"rounds\": {}, \"optimized_secs\": {:.4}, \"naive_secs\": {:.4}, \"optimized_rounds_per_sec\": {:.3}, \"naive_rounds_per_sec\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            s.strategy,
+            s.rounds,
+            s.optimized_secs,
+            s.naive_secs,
+            s.optimized_rounds_per_sec(),
+            s.naive_rounds_per_sec(),
+            s.speedup(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("writing benchmark record");
+
+    println!("{json}");
+    for s in &samples {
+        println!(
+            "{:<8} {:>4} rounds  optimized {:>8.2} r/s  naive {:>8.2} r/s  speedup {:>5.2}x",
+            s.strategy,
+            s.rounds,
+            s.optimized_rounds_per_sec(),
+            s.naive_rounds_per_sec(),
+            s.speedup()
+        );
+    }
+    eprintln!("[bench_fl_round] wrote {out_path}");
+}

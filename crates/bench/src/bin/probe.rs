@@ -15,7 +15,11 @@ use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(|s| s.as_str()).unwrap_or("cifar2").to_string();
+    let which = args
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("cifar2")
+        .to_string();
     let seed = args
         .iter()
         .position(|a| a == "--seed")
@@ -59,12 +63,22 @@ fn main() {
                 .seed(seed)
                 .cluster(cluster.clone())
                 .build();
-            Job { label: strategy.name().to_string(), task: task.clone(), cfg }
+            Job {
+                label: strategy.name().to_string(),
+                task: task.clone(),
+                cfg,
+            }
         })
         .collect();
     let started = std::time::Instant::now();
     for r in run_jobs(jobs, 0) {
-        let up = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        let up = r
+            .outcome
+            .trace
+            .points
+            .last()
+            .map(|p| p.up_bytes)
+            .unwrap_or(0);
         println!(
             "{:9} best {:.4} t→{:.2} {:>8} end {:6.0}s updates {:6} var {:.5} upMB {:7.1}",
             r.strategy,
@@ -77,5 +91,8 @@ fn main() {
             up as f64 / 1e6,
         );
     }
-    eprintln!("probe {which} done in {:.0}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "probe {which} done in {:.0}s",
+        started.elapsed().as_secs_f64()
+    );
 }

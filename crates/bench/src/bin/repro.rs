@@ -45,7 +45,15 @@ fn main() {
         i += 1;
     }
     let started = std::time::Instant::now();
-    let ctx = Ctx { scale, out, seed, threads };
+    let ctx = Ctx {
+        scale,
+        out,
+        seed,
+        threads,
+    };
     experiments::run(&id, &ctx);
-    eprintln!("[repro {id}] done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[repro {id}] done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

@@ -185,10 +185,14 @@ pub fn table1(ctx: &Ctx, matrix: &[JobResult]) {
 /// 2-class non-IID datasets.
 pub fn table2(ctx: &Ctx, matrix: &[JobResult]) {
     let dir = out_dir(&ctx.out, "table2");
-    let mut rep = TextReport::new("Table 2 — MB transferred to reach target accuracy (2-class non-IID)");
+    let mut rep =
+        TextReport::new("Table 2 — MB transferred to reach target accuracy (2-class non-IID)");
     let mut csv = String::from("dataset,strategy,target,mb_to_target\n");
     let wanted = ["cifar10-like(#2)", "fmnist-like(#2)", "sent140-like"];
-    rep.line(format!("{:<10} {:>22} {:>18} {:>14}", "method", "cifar10-like(#2)", "fmnist-like(#2)", "sent140-like"));
+    rep.line(format!(
+        "{:<10} {:>22} {:>18} {:>14}",
+        "method", "cifar10-like(#2)", "fmnist-like(#2)", "sent140-like"
+    ));
     for strategy in ["FedAvg", "TiFL", "FedProx", "FedAsync", "FedAT"] {
         let mut cells = Vec::new();
         for ds in wanted {
@@ -278,10 +282,7 @@ pub fn fig4(ctx: &Ctx, matrix: &[JobResult]) {
             // The trace CSV already carries up_bytes per point; the figure
             // is accuracy against that column.
             write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
-            let up = r
-                .outcome
-                .trace
-                .upload_bytes_to_accuracy(r.target_accuracy);
+            let up = r.outcome.trace.upload_bytes_to_accuracy(r.target_accuracy);
             rep.line(format!(
                 "  {:<9} upload-MB→{:.2}: {}",
                 r.strategy,
@@ -299,10 +300,34 @@ pub fn fig5(ctx: &Ctx) {
     let dir = out_dir(&ctx.out, "fig5");
     let task = Arc::new(suite::cifar10_like(ctx.scale.medium_clients(), 2, ctx.seed));
     let variants: Vec<(String, Option<CodecKind>)> = vec![
-        ("precision3".into(), Some(CodecKind::Polyline { precision: 3, delta: true })),
-        ("precision4".into(), Some(CodecKind::Polyline { precision: 4, delta: true })),
-        ("precision5".into(), Some(CodecKind::Polyline { precision: 5, delta: true })),
-        ("precision6".into(), Some(CodecKind::Polyline { precision: 6, delta: true })),
+        (
+            "precision3".into(),
+            Some(CodecKind::Polyline {
+                precision: 3,
+                delta: true,
+            }),
+        ),
+        (
+            "precision4".into(),
+            Some(CodecKind::Polyline {
+                precision: 4,
+                delta: true,
+            }),
+        ),
+        (
+            "precision5".into(),
+            Some(CodecKind::Polyline {
+                precision: 5,
+                delta: true,
+            }),
+        ),
+        (
+            "precision6".into(),
+            Some(CodecKind::Polyline {
+                precision: 6,
+                delta: true,
+            }),
+        ),
         ("no-compression".into(), Some(CodecKind::Raw)),
     ];
     let jobs: Vec<Job> = variants
@@ -312,15 +337,26 @@ pub fn fig5(ctx: &Ctx) {
             if let Some(k) = codec {
                 cfg.codec = Some(*k);
             }
-            Job { label: format!("FedAT-{name}"), task: task.clone(), cfg }
+            Job {
+                label: format!("FedAT-{name}"),
+                task: task.clone(),
+                cfg,
+            }
         })
         .collect();
     let results = run_jobs(jobs, ctx.threads);
-    let mut rep = TextReport::new("Fig. 5 — accuracy vs compression precision (FedAT, CIFAR-10-like #2)");
+    let mut rep =
+        TextReport::new("Fig. 5 — accuracy vs compression precision (FedAT, CIFAR-10-like #2)");
     let mut csv = String::from("variant,best_accuracy,up_mb_total,up_mb_to_target\n");
     for r in &results {
         write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
-        let up_total = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        let up_total = r
+            .outcome
+            .trace
+            .points
+            .last()
+            .map(|p| p.up_bytes)
+            .unwrap_or(0);
         let up_t = r.outcome.trace.upload_bytes_to_accuracy(r.target_accuracy);
         rep.line(format!(
             "  {:<22} best {:.3}  upload total {:.1} MB  upload→{:.2}: {}",
@@ -335,7 +371,8 @@ pub fn fig5(ctx: &Ctx) {
             r.label,
             r.outcome.best_accuracy(),
             up_total as f64 / 1e6,
-            up_t.map(|b| format!("{:.2}", b as f64 / 1e6)).unwrap_or_else(|| "-".into())
+            up_t.map(|b| format!("{:.2}", b as f64 / 1e6))
+                .unwrap_or_else(|| "-".into())
         ));
     }
     std::fs::create_dir_all(&dir).ok();
@@ -380,8 +417,16 @@ pub fn fig6(ctx: &Ctx) {
             u.outcome.best_accuracy(),
             w.outcome.best_accuracy() - u.outcome.best_accuracy()
         ));
-        csv.push_str(&format!("{},weighted,{:.4}\n", w.task_name, w.outcome.best_accuracy()));
-        csv.push_str(&format!("{},uniform,{:.4}\n", u.task_name, u.outcome.best_accuracy()));
+        csv.push_str(&format!(
+            "{},weighted,{:.4}\n",
+            w.task_name,
+            w.outcome.best_accuracy()
+        ));
+        csv.push_str(&format!(
+            "{},uniform,{:.4}\n",
+            u.task_name,
+            u.outcome.best_accuracy()
+        ));
     }
     std::fs::create_dir_all(&dir).ok();
     std::fs::write(dir.join("fig6.csv"), csv).ok();
@@ -417,7 +462,13 @@ pub fn fig7(ctx: &Ctx) {
     let mut rep = TextReport::new("Fig. 7 — FEMNIST-like, 500 clients, accuracy vs time and bytes");
     for r in &results {
         write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
-        let up_total = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        let up_total = r
+            .outcome
+            .trace
+            .points
+            .last()
+            .map(|p| p.up_bytes)
+            .unwrap_or(0);
         rep.line(format!(
             "  {:<9} best {:.3}  t→{:.2}: {:>8}  upload {:.1} MB",
             r.strategy,
@@ -436,7 +487,11 @@ pub fn fig8(ctx: &Ctx) {
     let dir = out_dir(&ctx.out, "fig8");
     let task = Arc::new(suite::reddit_like(ctx.scale.large_clients(), ctx.seed));
     let mut jobs = Vec::new();
-    for strategy in [StrategyKind::FedAt, StrategyKind::TiFL, StrategyKind::FedProx] {
+    for strategy in [
+        StrategyKind::FedAt,
+        StrategyKind::TiFL,
+        StrategyKind::FedProx,
+    ] {
         // FedAT tier updates are ~3–4× faster than full rounds; budgets are
         // set so both fill the same 4000 s horizon (DESIGN.md §6).
         let rounds = match strategy {
@@ -457,7 +512,13 @@ pub fn fig8(ctx: &Ctx) {
     let mut rep = TextReport::new("Fig. 8 — Reddit-like LSTM: accuracy and loss over time");
     for r in &results {
         write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
-        let final_loss = r.outcome.trace.points.last().map(|p| p.loss).unwrap_or(f32::NAN);
+        let final_loss = r
+            .outcome
+            .trace
+            .points
+            .last()
+            .map(|p| p.loss)
+            .unwrap_or(f32::NAN);
         rep.line(format!(
             "  {:<9} best acc {:.3}  final loss {:.3}",
             r.strategy,
@@ -505,7 +566,11 @@ pub fn fig9(ctx: &Ctx) {
         csv.push_str(&format!(
             "{},{},{},{:.4}\n",
             r.task_name,
-            r.label.split("k=").nth(1).and_then(|s| s.split(' ').next()).unwrap_or("?"),
+            r.label
+                .split("k=")
+                .nth(1)
+                .and_then(|s| s.split(' ').next())
+                .unwrap_or("?"),
             r.strategy,
             r.outcome.best_accuracy()
         ));
@@ -572,10 +637,15 @@ pub fn fig10(ctx: &Ctx) {
             .seed(ctx.seed)
             .cluster(cluster)
             .build();
-        jobs.push(Job { label: format!("FedAT-{name}"), task: task.clone(), cfg });
+        jobs.push(Job {
+            label: format!("FedAT-{name}"),
+            task: task.clone(),
+            cfg,
+        });
     }
     let results = run_jobs(jobs, ctx.threads);
-    let mut rep = TextReport::new("Fig. 10 — FedAT under different tier-size distributions (FEMNIST-like)");
+    let mut rep =
+        TextReport::new("Fig. 10 — FedAT under different tier-size distributions (FEMNIST-like)");
     for r in &results {
         write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
         rep.line(format!(
@@ -606,7 +676,8 @@ pub fn ablate_mistier(ctx: &Ctx) {
         }
     }
     let results = run_jobs(jobs, ctx.threads);
-    let mut rep = TextReport::new("Ablation — tolerance to mis-tiering (30% of clients mis-assigned)");
+    let mut rep =
+        TextReport::new("Ablation — tolerance to mis-tiering (30% of clients mis-assigned)");
     for pair in results.chunks(2) {
         let (clean, noisy) = (&pair[0], &pair[1]);
         rep.line(format!(
@@ -629,7 +700,11 @@ pub fn ablate_lambda(ctx: &Ctx) {
         .map(|lambda| {
             let mut cfg = ctx.cfg(StrategyKind::FedAt);
             cfg.lambda = lambda;
-            Job { label: format!("FedAT λ={lambda}"), task: task.clone(), cfg }
+            Job {
+                label: format!("FedAT λ={lambda}"),
+                task: task.clone(),
+                cfg,
+            }
         })
         .collect();
     let results = run_jobs(jobs, ctx.threads);
@@ -653,9 +728,15 @@ pub fn ablate_delta(ctx: &Ctx) {
         .into_iter()
         .map(|delta| {
             let mut cfg = ctx.cfg(StrategyKind::FedAt);
-            cfg.codec = Some(CodecKind::Polyline { precision: 4, delta });
+            cfg.codec = Some(CodecKind::Polyline {
+                precision: 4,
+                delta,
+            });
             Job {
-                label: format!("FedAT polyline-{}", if delta { "delta" } else { "absolute" }),
+                label: format!(
+                    "FedAT polyline-{}",
+                    if delta { "delta" } else { "absolute" }
+                ),
                 task: task.clone(),
                 cfg,
             }
@@ -664,7 +745,13 @@ pub fn ablate_delta(ctx: &Ctx) {
     let results = run_jobs(jobs, ctx.threads);
     let mut rep = TextReport::new("Ablation — delta vs absolute polyline coding (FedAT)");
     for r in &results {
-        let up = r.outcome.trace.points.last().map(|p| p.up_bytes).unwrap_or(0);
+        let up = r
+            .outcome
+            .trace
+            .points
+            .last()
+            .map(|p| p.up_bytes)
+            .unwrap_or(0);
         rep.line(format!(
             "  {:<26} best {:.3}  upload {:.1} MB",
             r.label,

@@ -15,7 +15,10 @@ pub struct TextReport {
 impl TextReport {
     /// Starts a report with a title line.
     pub fn new(title: impl Into<String>) -> Self {
-        TextReport { title: title.into(), lines: Vec::new() }
+        TextReport {
+            title: title.into(),
+            lines: Vec::new(),
+        }
     }
 
     /// Appends one line.
@@ -51,7 +54,12 @@ impl TextReport {
 
 /// Writes a trace (smoothed like the paper's figures) as
 /// `<dir>/<name>.csv`.
-pub fn write_trace(dir: &Path, name: &str, trace: &Trace, smooth_window: usize) -> std::io::Result<()> {
+pub fn write_trace(
+    dir: &Path,
+    name: &str,
+    trace: &Trace,
+    smooth_window: usize,
+) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
     let file = fs::File::create(path)?;
@@ -63,7 +71,13 @@ pub fn write_trace(dir: &Path, name: &str, trace: &Trace, smooth_window: usize) 
 pub fn slug(label: &str) -> String {
     label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -111,7 +125,14 @@ mod tests {
     fn trace_csv_written() {
         let dir = std::env::temp_dir().join("fedat_report_test");
         let mut t = Trace::new("x");
-        t.push(TracePoint { time: 1.0, round: 1, accuracy: 0.5, loss: 1.0, up_bytes: 10, down_bytes: 5 });
+        t.push(TracePoint {
+            time: 1.0,
+            round: 1,
+            accuracy: 0.5,
+            loss: 1.0,
+            up_bytes: 10,
+            down_bytes: 5,
+        });
         write_trace(&dir, "t", &t, 1).unwrap();
         let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert!(content.contains("time,round"));

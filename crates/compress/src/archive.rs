@@ -55,7 +55,10 @@ impl WeightArchive {
             flat.extend_from_slice(w);
             dims.push(LayerDims { dims: d.clone() });
         }
-        WeightArchive { blob: codec.encode(&flat), layers: dims }
+        WeightArchive {
+            blob: codec.encode(&flat),
+            layers: dims,
+        }
     }
 
     /// Unmarshals back into per-layer vectors.
@@ -92,15 +95,20 @@ mod tests {
         vec![
             ((0..12).map(|i| i as f32 * 0.01).collect(), vec![3, 4]),
             ((0..4).map(|i| -(i as f32) * 0.1).collect(), vec![4]),
-            ((0..24).map(|i| (i as f32 * 0.3).sin()).collect(), vec![2, 3, 4]),
+            (
+                (0..24).map(|i| (i as f32 * 0.3).sin()).collect(),
+                vec![2, 3, 4],
+            ),
         ]
     }
 
     #[test]
     fn marshal_unmarshal_roundtrip_raw() {
         let layers = layered();
-        let refs: Vec<(&[f32], Vec<usize>)> =
-            layers.iter().map(|(w, d)| (w.as_slice(), d.clone())).collect();
+        let refs: Vec<(&[f32], Vec<usize>)> = layers
+            .iter()
+            .map(|(w, d)| (w.as_slice(), d.clone()))
+            .collect();
         let codec = NoCompression;
         let arch = WeightArchive::marshal(&codec, &refs);
         let out = arch.unmarshal(&codec);
@@ -113,8 +121,10 @@ mod tests {
     #[test]
     fn marshal_unmarshal_roundtrip_polyline() {
         let layers = layered();
-        let refs: Vec<(&[f32], Vec<usize>)> =
-            layers.iter().map(|(w, d)| (w.as_slice(), d.clone())).collect();
+        let refs: Vec<(&[f32], Vec<usize>)> = layers
+            .iter()
+            .map(|(w, d)| (w.as_slice(), d.clone()))
+            .collect();
         let codec = PolylineCodec::new(5);
         let arch = WeightArchive::marshal(&codec, &refs);
         let out = arch.unmarshal(&codec);
@@ -128,8 +138,10 @@ mod tests {
     #[test]
     fn wire_bytes_accounts_for_dim_table() {
         let layers = layered();
-        let refs: Vec<(&[f32], Vec<usize>)> =
-            layers.iter().map(|(w, d)| (w.as_slice(), d.clone())).collect();
+        let refs: Vec<(&[f32], Vec<usize>)> = layers
+            .iter()
+            .map(|(w, d)| (w.as_slice(), d.clone()))
+            .collect();
         let arch = WeightArchive::marshal(&NoCompression, &refs);
         // dim entries: (2+1) + (1+1) + (3+1) = 9 → 36 bytes beyond the blob.
         assert_eq!(arch.wire_bytes(), arch.blob.wire_bytes() + 36);

@@ -134,7 +134,10 @@ impl Codec for PolylineCodec {
         CompressedBlob {
             payload: Bytes::from(payload),
             count: weights.len(),
-            kind: CodecKind::Polyline { precision: self.precision, delta: self.delta },
+            kind: CodecKind::Polyline {
+                precision: self.precision,
+                delta: self.delta,
+            },
             aux: Vec::new(),
         }
     }
@@ -186,7 +189,11 @@ impl Codec for QuantizeCodec {
     }
 
     fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
-        assert_eq!(blob.kind, CodecKind::QuantizeI8, "blob was not int8-quantized");
+        assert_eq!(
+            blob.kind,
+            CodecKind::QuantizeI8,
+            "blob was not int8-quantized"
+        );
         let (lo, hi) = (blob.aux[0], blob.aux[1]);
         let inv = (hi - lo) / 255.0;
         blob.payload.iter().map(|&b| lo + b as f32 * inv).collect()
@@ -244,7 +251,9 @@ mod tests {
     fn polyline_beats_raw_for_typical_weights() {
         // Kaiming-style small weights at precision 4 should compress well
         // below 4 bytes/value.
-        let w: Vec<f32> = (0..10_000).map(|i| ((i as f32) * 0.017).sin() * 0.05).collect();
+        let w: Vec<f32> = (0..10_000)
+            .map(|i| ((i as f32) * 0.017).sin() * 0.05)
+            .collect();
         let c = PolylineCodec::new(4);
         let blob = c.encode(&w);
         let raw = NoCompression.encode(&w);
@@ -272,7 +281,10 @@ mod tests {
         let c = QuantizeCodec;
         let r = c.decode(&c.encode(&w));
         for v in r {
-            assert!((v - 0.25).abs() < 0.3, "constant input badly recovered: {v}");
+            assert!(
+                (v - 0.25).abs() < 0.3,
+                "constant input badly recovered: {v}"
+            );
         }
     }
 
@@ -289,7 +301,10 @@ mod tests {
         let w = wiggly(64);
         for kind in [
             CodecKind::Raw,
-            CodecKind::Polyline { precision: 4, delta: true },
+            CodecKind::Polyline {
+                precision: 4,
+                delta: true,
+            },
             CodecKind::QuantizeI8,
         ] {
             let c = codec_for(kind);

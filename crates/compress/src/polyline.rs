@@ -162,7 +162,17 @@ mod tests {
 
     #[test]
     fn int_roundtrip_extremes() {
-        for v in [0i64, 1, -1, 31, -32, 1_000_000, -1_000_000, i32::MAX as i64, i32::MIN as i64] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            31,
+            -32,
+            1_000_000,
+            -1_000_000,
+            i32::MAX as i64,
+            i32::MIN as i64,
+        ] {
             let mut out = Vec::new();
             encode_int(v, &mut out);
             let (d, used) = decode_int(&out).unwrap();
@@ -174,7 +184,10 @@ mod tests {
     #[test]
     fn output_is_printable_ascii() {
         let enc = encode_stream(&[1.5, -2.25, 0.0, 1e-4, -3.9], 5, true);
-        assert!(enc.iter().all(|&b| (63..=126).contains(&b)), "non-printable byte in {enc:?}");
+        assert!(
+            enc.iter().all(|&b| (63..=126).contains(&b)),
+            "non-printable byte in {enc:?}"
+        );
     }
 
     #[test]
@@ -205,17 +218,25 @@ mod tests {
         let enc = encode_stream(&values, 3, true);
         let dec = decode_stream(&enc, values.len(), 3, true).unwrap();
         let last_err = (values[9999] - dec[9999]).abs();
-        assert!(last_err <= 0.5e-3 * 1.5 + 1.0, "error accumulated: {last_err}");
+        assert!(
+            last_err <= 0.5e-3 * 1.5 + 1.0,
+            "error accumulated: {last_err}"
+        );
         // Relative check on a mid value too.
         assert!((values[5000] - dec[5000]).abs() / values[5000] < 1e-3);
     }
 
     #[test]
     fn higher_precision_costs_more_bytes() {
-        let values: Vec<f32> = (0..200).map(|i| ((i * 37 % 100) as f32 - 50.0) / 50.0).collect();
+        let values: Vec<f32> = (0..200)
+            .map(|i| ((i * 37 % 100) as f32 - 50.0) / 50.0)
+            .collect();
         let p3 = encode_stream(&values, 3, false).len();
         let p6 = encode_stream(&values, 6, false).len();
-        assert!(p6 > p3, "precision 6 ({p6} B) should exceed precision 3 ({p3} B)");
+        assert!(
+            p6 > p3,
+            "precision 6 ({p6} B) should exceed precision 3 ({p3} B)"
+        );
     }
 
     #[test]
@@ -225,7 +246,10 @@ mod tests {
         let mut padded = enc.clone();
         padded.push(b'?');
         assert!(decode_stream(&padded, 3, 5, true).is_none());
-        assert!(decode_int(&[0x01]).is_none(), "byte below 63 must be rejected");
+        assert!(
+            decode_int(&[0x01]).is_none(),
+            "byte below 63 must be rejected"
+        );
     }
 
     #[test]

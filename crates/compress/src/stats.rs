@@ -54,15 +54,26 @@ mod tests {
         let w: Vec<f32> = (0..256).map(|i| i as f32 * 0.001).collect();
         let r = measure(&NoCompression, &w);
         assert_eq!(r.max_abs_error, 0.0);
-        assert!(r.ratio < 1.0, "raw + header can never beat raw: {}", r.ratio);
+        assert!(
+            r.ratio < 1.0,
+            "raw + header can never beat raw: {}",
+            r.ratio
+        );
     }
 
     #[test]
     fn polyline_ratio_grows_as_precision_drops() {
-        let w: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.01).sin() * 0.08).collect();
+        let w: Vec<f32> = (0..4096)
+            .map(|i| ((i as f32) * 0.01).sin() * 0.08)
+            .collect();
         let r3 = measure(&PolylineCodec::new(3), &w);
         let r6 = measure(&PolylineCodec::new(6), &w);
-        assert!(r3.ratio > r6.ratio, "p3 ratio {} ≤ p6 ratio {}", r3.ratio, r6.ratio);
+        assert!(
+            r3.ratio > r6.ratio,
+            "p3 ratio {} ≤ p6 ratio {}",
+            r3.ratio,
+            r6.ratio
+        );
         assert!(r3.max_abs_error > r6.max_abs_error);
     }
 

@@ -3,20 +3,32 @@
 
 use fedat_tensor::ops::weighted_sum_into;
 
-/// Sample-count-weighted average of client weight vectors:
-/// `w = Σ_k (n_k / N_c) · w_k` — the FedAvg/TiFL/FedAT intra-tier rule.
+/// Sample-count-weighted average of client weight vectors, written into a
+/// reusable buffer: `out = Σ_k (n_k / N_c) · w_k` — the FedAvg/TiFL/FedAT
+/// intra-tier rule. `out` is resized to the model dimension; strategies keep
+/// one buffer per tier and aggregate every round without allocating.
 ///
 /// # Panics
 /// Panics if `updates` is empty or lengths mismatch.
-pub fn weighted_client_average(updates: &[(&[f32], usize)]) -> Vec<f32> {
+pub fn weighted_client_average_into(updates: &[(&[f32], usize)], out: &mut Vec<f32>) {
     assert!(!updates.is_empty(), "cannot aggregate zero client updates");
     let total: usize = updates.iter().map(|(_, n)| *n).sum();
     assert!(total > 0, "client updates carry zero samples");
     let dim = updates[0].0.len();
     let inputs: Vec<&[f32]> = updates.iter().map(|(w, _)| *w).collect();
-    let weights: Vec<f32> = updates.iter().map(|(_, n)| *n as f32 / total as f32).collect();
-    let mut out = vec![0.0f32; dim];
-    weighted_sum_into(&inputs, &weights, &mut out);
+    let weights: Vec<f32> = updates
+        .iter()
+        .map(|(_, n)| *n as f32 / total as f32)
+        .collect();
+    out.clear();
+    out.resize(dim, 0.0);
+    weighted_sum_into(&inputs, &weights, out);
+}
+
+/// Allocating convenience wrapper around [`weighted_client_average_into`].
+pub fn weighted_client_average(updates: &[(&[f32], usize)]) -> Vec<f32> {
+    let mut out = Vec::new();
+    weighted_client_average_into(updates, &mut out);
     out
 }
 
@@ -59,17 +71,30 @@ pub fn uniform_tier_weights(num_tiers: usize) -> Vec<f32> {
 }
 
 /// Combines per-tier server models into the global model
-/// (`WeightedAverage` in Algorithm 2).
+/// (`WeightedAverage` in Algorithm 2), written into a reusable buffer —
+/// the FedAT server aggregates into its standing global vector every tier
+/// round without allocating.
 ///
 /// # Panics
 /// Panics on length mismatches.
-pub fn aggregate_tiers(tier_models: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
-    assert_eq!(tier_models.len(), weights.len(), "one weight per tier model");
+pub fn aggregate_tiers_into(tier_models: &[Vec<f32>], weights: &[f32], out: &mut Vec<f32>) {
+    assert_eq!(
+        tier_models.len(),
+        weights.len(),
+        "one weight per tier model"
+    );
     assert!(!tier_models.is_empty(), "no tier models");
     let dim = tier_models[0].len();
     let inputs: Vec<&[f32]> = tier_models.iter().map(|m| m.as_slice()).collect();
-    let mut out = vec![0.0f32; dim];
-    weighted_sum_into(&inputs, weights, &mut out);
+    out.clear();
+    out.resize(dim, 0.0);
+    weighted_sum_into(&inputs, weights, out);
+}
+
+/// Allocating convenience wrapper around [`aggregate_tiers_into`].
+pub fn aggregate_tiers(tier_models: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    aggregate_tiers_into(tier_models, weights, &mut out);
     out
 }
 

@@ -20,7 +20,9 @@ use std::time::Duration;
 struct ServerShared {
     tier_models: Vec<Vec<f32>>,
     tier_counts: Vec<u64>,
-    global: Vec<f32>,
+    /// Shared snapshot of the global model: a dispatch clones the `Arc`
+    /// (pointer-sized) instead of copying the weight vector under the lock.
+    global: std::sync::Arc<[f32]>,
 }
 
 /// Result of a threaded FedAT run.
@@ -51,25 +53,36 @@ pub fn run_threaded_fedat(
     rounds_per_tier: &[u64],
 ) -> ThreadedRun {
     assert_eq!(tier_clients.len(), latency_ms.len(), "one latency per tier");
-    assert_eq!(tier_clients.len(), rounds_per_tier.len(), "one budget per tier");
-    assert!(tier_clients.iter().all(|t| !t.is_empty()), "tiers must be non-empty");
+    assert_eq!(
+        tier_clients.len(),
+        rounds_per_tier.len(),
+        "one budget per tier"
+    );
+    assert!(
+        tier_clients.iter().all(|t| !t.is_empty()),
+        "tiers must be non-empty"
+    );
     let m = tier_clients.len();
     let w0 = task.model.build(cfg.seed).weights();
     let shared = Mutex::new(ServerShared {
         tier_models: vec![w0.clone(); m],
         tier_counts: vec![0; m],
-        global: w0,
+        global: w0.into(),
     });
 
     let specs: Vec<TierSpec> = latency_ms
         .iter()
         .zip(rounds_per_tier.iter())
-        .map(|(&ms, &rounds)| TierSpec { round_latency: Duration::from_millis(ms), rounds })
+        .map(|(&ms, &rounds)| TierSpec {
+            round_latency: Duration::from_millis(ms),
+            rounds,
+        })
         .collect();
 
     run_concurrent_tiers(&specs, |tier, round| {
-        // Download outside the critical section: snapshot the global model.
-        let global = shared.lock().global.clone();
+        // Download outside the critical section: the snapshot is an `Arc`
+        // clone, zero-copy even under contention.
+        let global = std::sync::Arc::clone(&shared.lock().global);
         let client = tier_clients[tier][round as usize % tier_clients[tier].len()];
         let update = train_client(task, client, &global, cfg, cfg.local_epochs, round, true);
         // Server-side update inside the lock: tier model, counters, global.
@@ -78,12 +91,12 @@ pub fn run_threaded_fedat(
             weighted_client_average(&[(update.weights.as_slice(), update.n_samples)]);
         s.tier_counts[tier] += 1;
         let weights = cross_tier_weights(&s.tier_counts);
-        s.global = aggregate_tiers(&s.tier_models, &weights);
+        s.global = aggregate_tiers(&s.tier_models, &weights).into();
     });
 
     let s = shared.into_inner();
     ThreadedRun {
-        global: s.global,
+        global: s.global.to_vec(),
         total_updates: s.tier_counts.iter().sum(),
         tier_counts: s.tier_counts,
     }

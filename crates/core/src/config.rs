@@ -128,7 +128,9 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Starts a builder with the paper's §6 hyperparameters.
     pub fn builder() -> ExperimentConfigBuilder {
-        ExperimentConfigBuilder { cfg: ExperimentConfig::default() }
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig::default(),
+        }
     }
 }
 
@@ -278,12 +280,18 @@ impl ExperimentConfigBuilder {
     pub fn build(self) -> ExperimentConfig {
         let c = self.cfg;
         assert!(c.rounds > 0, "rounds must be positive");
-        assert!(c.clients_per_round > 0, "clients_per_round must be positive");
+        assert!(
+            c.clients_per_round > 0,
+            "clients_per_round must be positive"
+        );
         assert!(c.local_epochs > 0, "local_epochs must be positive");
         assert!(c.batch_size > 0, "batch_size must be positive");
         assert!(c.num_tiers > 0, "num_tiers must be positive");
         assert!(c.eval_every > 0, "eval_every must be positive");
-        assert!((0.0..=1.0).contains(&c.mistier_fraction), "mistier_fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&c.mistier_fraction),
+            "mistier_fraction out of range"
+        );
         c
     }
 }
@@ -293,7 +301,10 @@ impl ExperimentConfigBuilder {
 /// raw weights as in their reference implementations.
 pub fn default_codec(strategy: StrategyKind) -> CodecKind {
     match strategy {
-        StrategyKind::FedAt => CodecKind::Polyline { precision: 4, delta: true },
+        StrategyKind::FedAt => CodecKind::Polyline {
+            precision: 4,
+            delta: true,
+        },
         _ => CodecKind::Raw,
     }
 }
@@ -332,7 +343,10 @@ mod tests {
     fn default_codecs() {
         assert_eq!(
             default_codec(StrategyKind::FedAt),
-            CodecKind::Polyline { precision: 4, delta: true }
+            CodecKind::Polyline {
+                precision: 4,
+                delta: true
+            }
         );
         assert_eq!(default_codec(StrategyKind::FedAvg), CodecKind::Raw);
         assert_eq!(default_codec(StrategyKind::FedAsync), CodecKind::Raw);

@@ -27,7 +27,11 @@ impl Evaluator {
         } else {
             full.clone()
         };
-        Evaluator { model: task.model.build(seed), test, batch: 64 }
+        Evaluator {
+            model: task.model.build(seed),
+            test,
+            batch: 64,
+        }
     }
 
     /// Loss/accuracy of `weights` on the evaluation subset.
@@ -61,7 +65,11 @@ pub fn accuracy_variance(per_client: &[f32]) -> f32 {
     }
     let n = per_client.len() as f32;
     let mean = per_client.iter().sum::<f32>() / n;
-    per_client.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n
+    per_client
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum::<f32>()
+        / n
 }
 
 #[cfg(test)]

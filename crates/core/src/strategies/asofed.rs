@@ -7,8 +7,7 @@
 //! constraint (the same prox form FedAT adopts).
 
 use crate::config::ExperimentConfig;
-use crate::local::train_client;
-use crate::strategies::{Inflight, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
@@ -22,7 +21,7 @@ pub struct AsoFedStrategy {
     copies: Vec<Vec<f32>>,
     /// `n_k / N` aggregation weight per client.
     client_weight: Vec<f32>,
-    inflight: HashMap<usize, Inflight>,
+    inflight: HashMap<usize, ClientPhase>,
     live_dispatches: usize,
 }
 
@@ -45,15 +44,28 @@ impl AsoFedStrategy {
             .map(|&n| n as f32 / total as f32)
             .collect();
         let copies = vec![core.global.clone(); n_clients];
-        AsoFedStrategy { core, copies, client_weight, inflight: HashMap::new(), live_dispatches: 0 }
+        AsoFedStrategy {
+            core,
+            copies,
+            client_weight,
+            inflight: HashMap::new(),
+            live_dispatches: 0,
+        }
     }
 
     fn dispatch_client(&mut self, ctx: &mut SimCtx, client: usize) {
         let epochs = self.core.cfg.local_epochs;
         let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
         let selection_round = ctx.dispatches_of(client);
-        self.inflight.insert(client, Inflight { weights, selection_round, epochs });
-        ctx.dispatch_with_transfer(client, 0, epochs, 2 * down_bytes);
+        self.inflight.insert(
+            client,
+            ClientPhase::Computing(Inflight {
+                weights,
+                selection_round,
+                epochs,
+            }),
+        );
+        ctx.dispatch_with_transfer(client, 0, epochs, down_bytes);
         self.live_dispatches += 1;
     }
 
@@ -83,26 +95,18 @@ impl EventHandler for AsoFedStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        self.live_dispatches -= 1;
-        let Some(info) = self.inflight.remove(&c.client) else {
-            return;
-        };
-        if !c.dropped {
-            let update = train_client(
-                &self.core.task,
-                c.client,
-                &info.weights,
-                &self.core.cfg,
-                info.epochs,
-                info.selection_round,
-                true, // ASO-Fed's local constraint
-            );
-            let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
-            self.absorb(c.client, w_up);
-            self.core.bump(ctx);
-            if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
-                self.dispatch_client(ctx, c.client);
+        // `true`: ASO-Fed's local constraint.
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c, true) {
+            PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
+            PhaseEvent::Landed { weights, .. } => {
+                self.live_dispatches -= 1;
+                self.absorb(c.client, weights);
+                self.core.bump(ctx);
+                if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
+                    self.dispatch_client(ctx, c.client);
+                }
             }
+            PhaseEvent::Lost => self.live_dispatches -= 1,
         }
     }
 

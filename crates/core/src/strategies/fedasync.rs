@@ -10,8 +10,7 @@
 //! against.
 
 use crate::config::ExperimentConfig;
-use crate::local::train_client;
-use crate::strategies::{Inflight, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
@@ -26,7 +25,7 @@ pub struct FedAsyncStrategy {
     staleness: crate::staleness::StalenessFn,
     /// Global version at each in-flight client's dispatch (staleness base).
     dispatch_version: HashMap<usize, u64>,
-    inflight: HashMap<usize, Inflight>,
+    inflight: HashMap<usize, ClientPhase>,
     live_dispatches: usize,
 }
 
@@ -42,8 +41,12 @@ impl FedAsyncStrategy {
     /// evaluation stride is scaled likewise.
     pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig) -> Self {
         let k = cfg.clients_per_round as u64;
-        let core =
-            ServerCore::new(task, cfg, cfg.rounds * k * super::ASYNC_FILL, cfg.eval_every * k);
+        let core = ServerCore::new(
+            task,
+            cfg,
+            cfg.rounds * k * super::ASYNC_FILL,
+            cfg.eval_every * k,
+        );
         FedAsyncStrategy {
             core,
             alpha: cfg.fedasync_alpha,
@@ -58,9 +61,16 @@ impl FedAsyncStrategy {
         let epochs = self.core.cfg.local_epochs;
         let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
         let selection_round = ctx.dispatches_of(client);
-        self.inflight.insert(client, Inflight { weights, selection_round, epochs });
+        self.inflight.insert(
+            client,
+            ClientPhase::Computing(Inflight {
+                weights,
+                selection_round,
+                epochs,
+            }),
+        );
         self.dispatch_version.insert(client, self.core.updates);
-        ctx.dispatch_with_transfer(client, 0, epochs, 2 * down_bytes);
+        ctx.dispatch_with_transfer(client, 0, epochs, down_bytes);
         self.live_dispatches += 1;
     }
 }
@@ -74,31 +84,27 @@ impl EventHandler for FedAsyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        self.live_dispatches -= 1;
-        let Some(info) = self.inflight.remove(&c.client) else {
-            return;
-        };
-        let version = self.dispatch_version.remove(&c.client).unwrap_or(0);
-        if !c.dropped {
-            let update = train_client(
-                &self.core.task,
-                c.client,
-                &info.weights,
-                &self.core.cfg,
-                info.epochs,
-                info.selection_round,
-                false,
-            );
-            let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
-            let staleness = self.core.updates - version;
-            let alpha_t = self.alpha * self.staleness.factor(staleness);
-            lerp_into(&mut self.core.global, &w_up, alpha_t);
-            self.core.bump(ctx);
-            if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
-                self.dispatch_client(ctx, c.client);
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c, false) {
+            PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
+            PhaseEvent::Landed { weights, .. } => {
+                self.live_dispatches -= 1;
+                // Staleness measured when the update *lands* at the server.
+                let version = self.dispatch_version.remove(&c.client).unwrap_or(0);
+                let staleness = self.core.updates - version;
+                let alpha_t = self.alpha * self.staleness.factor(staleness);
+                lerp_into(&mut self.core.global, &weights, alpha_t);
+                self.core.bump(ctx);
+                if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
+                    self.dispatch_client(ctx, c.client);
+                }
+            }
+            // Dropped clients simply leave the pool (wait-free: nobody
+            // blocks).
+            PhaseEvent::Lost => {
+                self.live_dispatches -= 1;
+                self.dispatch_version.remove(&c.client);
             }
         }
-        // Dropped clients simply leave the pool (wait-free: nobody blocks).
     }
 
     fn finished(&self) -> bool {

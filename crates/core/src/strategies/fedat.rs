@@ -12,10 +12,11 @@
 //! Clients minimize the Eq. (3) surrogate `F_k(w) + λ/2‖w − w_global‖²`,
 //! and every transfer is polyline-compressed in both directions (§4.3).
 
-use crate::aggregate::{aggregate_tiers, cross_tier_weights, uniform_tier_weights, weighted_client_average};
+use crate::aggregate::{
+    aggregate_tiers_into, cross_tier_weights, uniform_tier_weights, weighted_client_average_into,
+};
 use crate::config::ExperimentConfig;
-use crate::local::train_client;
-use crate::strategies::{Inflight, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
@@ -27,7 +28,8 @@ use std::sync::Arc;
 pub struct FedAtStrategy {
     core: ServerCore,
     tiers: TierAssignment,
-    /// Per-tier server models `w_tier_m` (Algorithm 2 state).
+    /// Per-tier server models `w_tier_m` (Algorithm 2 state), aggregated
+    /// in place every tier round.
     tier_models: Vec<Vec<f32>>,
     /// Per-tier update counters `T_tier_m`.
     tier_counts: Vec<u64>,
@@ -35,10 +37,13 @@ pub struct FedAtStrategy {
     tier_outstanding: Vec<usize>,
     /// Uploads received in each tier's current round.
     tier_received: Vec<Vec<(Vec<f32>, usize)>>,
-    inflight: HashMap<usize, Inflight>,
+    inflight: HashMap<usize, ClientPhase>,
     /// Tiers still running rounds (a tier goes dormant when every client
     /// has dropped).
     active_tiers: usize,
+    /// Number of tier rounds started (each performs exactly one downlink
+    /// encode via the broadcast path).
+    tier_rounds_started: u64,
     /// Fig. 6 ablation: uniform instead of Eq. (5) weights.
     uniform_weights: bool,
 }
@@ -63,6 +68,7 @@ impl FedAtStrategy {
             tier_received: (0..m).map(|_| Vec::new()).collect(),
             inflight: HashMap::new(),
             active_tiers: m,
+            tier_rounds_started: 0,
             uniform_weights: cfg.uniform_tier_weights,
         }
     }
@@ -79,6 +85,17 @@ impl FedAtStrategy {
     /// Per-tier update counts (for diagnostics and tests).
     pub fn tier_update_counts(&self) -> &[u64] {
         &self.tier_counts
+    }
+
+    /// Number of tier rounds started so far (diagnostics and the
+    /// encode-once regression test).
+    pub fn tier_rounds_started(&self) -> u64 {
+        self.tier_rounds_started
+    }
+
+    /// Read access to the transport (encode counters in tests).
+    pub fn transport(&self) -> &crate::transport::Transport {
+        &self.core.transport
     }
 
     fn start_tier_round(&mut self, ctx: &mut SimCtx, tier: usize) {
@@ -102,14 +119,25 @@ impl FedAtStrategy {
             .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
         self.tier_outstanding[tier] = picks.len();
         self.tier_received[tier].clear();
+        self.tier_rounds_started += 1;
         let epochs = self.core.cfg.local_epochs;
+        // Downlink: every selected client receives the latest *global*
+        // model — encoded once, decoded once, shared by all dispatches.
+        let (weights, down_bytes) = self
+            .core
+            .transport
+            .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
-            // Downlink: the tier's clients receive the latest *global*
-            // model (compressed).
-            let (weights, down_bytes) = self.core.transport.download(ctx, c, &self.core.global);
             let selection_round = ctx.dispatches_of(c);
-            self.inflight.insert(c, Inflight { weights, selection_round, epochs });
-            ctx.dispatch_with_transfer(c, tier as u64, epochs, 2 * down_bytes);
+            self.inflight.insert(
+                c,
+                ClientPhase::Computing(Inflight {
+                    weights: Arc::clone(&weights),
+                    selection_round,
+                    epochs,
+                }),
+            );
+            ctx.dispatch_with_transfer(c, tier as u64, epochs, down_bytes);
         }
     }
 }
@@ -125,35 +153,31 @@ impl EventHandler for FedAtStrategy {
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
         let tier = c.tag as usize;
-        self.tier_outstanding[tier] -= 1;
-        if let Some(info) = self.inflight.remove(&c.client) {
-            if !c.dropped {
-                let update = train_client(
-                    &self.core.task,
-                    c.client,
-                    &info.weights,
-                    &self.core.cfg,
-                    info.epochs,
-                    info.selection_round,
-                    true, // Eq. (3) local constraint
-                );
-                // Uplink: compressed client weights.
-                let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
-                self.tier_received[tier].push((w_up, update.n_samples));
+        // `true`: Eq. (3) local constraint.
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c, true) {
+            // Still outstanding until the upload arrives / stale event.
+            PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
+            PhaseEvent::Landed { weights, n_samples } => {
+                self.tier_outstanding[tier] -= 1;
+                self.tier_received[tier].push((weights, n_samples));
             }
+            // Dropped mid-compute or mid-upload: the update is lost.
+            PhaseEvent::Lost => self.tier_outstanding[tier] -= 1,
         }
         if self.tier_outstanding[tier] == 0 {
             if !self.tier_received[tier].is_empty() {
-                // Intra-tier synchronous aggregation (Algorithm 2 inner loop).
+                // Intra-tier synchronous aggregation (Algorithm 2 inner
+                // loop), written into the standing tier-model buffer.
                 let refs: Vec<(&[f32], usize)> = self.tier_received[tier]
                     .iter()
                     .map(|(w, n)| (w.as_slice(), *n))
                     .collect();
-                self.tier_models[tier] = weighted_client_average(&refs);
+                weighted_client_average_into(&refs, &mut self.tier_models[tier]);
                 self.tier_counts[tier] += 1;
-                // Cross-tier asynchronous aggregation (Eq. 5).
+                // Cross-tier asynchronous aggregation (Eq. 5), into the
+                // standing global buffer.
                 let weights = self.tier_weights();
-                self.core.global = aggregate_tiers(&self.tier_models, &weights);
+                aggregate_tiers_into(&self.tier_models, &weights, &mut self.core.global);
                 self.core.bump(ctx);
             }
             if !self.finished() {
@@ -186,5 +210,55 @@ impl Strategy for FedAtStrategy {
 
     fn variance_checkpoints(&self) -> &[f32] {
         &self.core.variance_checkpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedat_data::suite;
+    use fedat_sim::fleet::{ClusterConfig, Fleet};
+    use fedat_sim::runtime::{run, EventHandler, RunLimits};
+
+    /// Regression: the global model is encoded exactly once per tier round,
+    /// no matter how many clients the round selects.
+    #[test]
+    fn codec_encodes_global_model_once_per_tier_round() {
+        let n = 20;
+        let task = suite::sent140_like(n, 21);
+        let cluster = ClusterConfig::paper_medium(21)
+            .with_clients(n)
+            .without_dropouts();
+        let cfg = ExperimentConfig::builder()
+            .strategy(crate::config::StrategyKind::FedAt)
+            .rounds(25)
+            .clients_per_round(4)
+            .local_epochs(1)
+            .eval_every(5)
+            .seed(21)
+            .cluster(cluster.clone())
+            .build();
+        let fleet = Fleet::new(&cluster, task.fed.client_sizes());
+        let mut s = FedAtStrategy::new(Arc::new(task), &cfg, &fleet);
+        {
+            let h: &mut dyn EventHandler = &mut s;
+            run(h, &fleet, cfg.seed, RunLimits::default());
+        }
+        let rounds = s.tier_rounds_started();
+        assert!(
+            rounds >= 25,
+            "expected at least the budgeted tier rounds, got {rounds}"
+        );
+        assert_eq!(
+            s.transport().downlink_encode_count(),
+            rounds,
+            "downlink must encode exactly once per tier round"
+        );
+        // With 4 clients per round a per-client encoder would have done 4×
+        // the work; make the sharing observable.
+        assert!(
+            s.transport().uplink_encode_count() > s.transport().downlink_encode_count(),
+            "uploads (per client) must outnumber downlink encodes (per round)"
+        );
     }
 }

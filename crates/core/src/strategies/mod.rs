@@ -122,8 +122,7 @@ impl ServerCore {
         });
         self.evals_done += 1;
         if self.evals_done.is_multiple_of(VARIANCE_EVAL_STRIDE) {
-            let accs =
-                crate::eval::per_client_accuracy(&self.task, &self.global, self.cfg.seed);
+            let accs = crate::eval::per_client_accuracy(&self.task, &self.global, self.cfg.seed);
             self.variance_checkpoints
                 .push(crate::eval::accuracy_variance(&accs));
         }
@@ -149,8 +148,10 @@ impl ServerCore {
 /// Weights captured at dispatch time for one in-flight client.
 #[derive(Clone, Debug)]
 pub(crate) struct Inflight {
-    /// The (post-roundtrip) weights the client downloaded.
-    pub weights: Vec<f32>,
+    /// The (post-roundtrip) weights the client downloaded. Shared: every
+    /// client of a tier round holds the same decoded broadcast, so no
+    /// per-client copy of the model exists.
+    pub weights: std::sync::Arc<[f32]>,
     /// The client's selection counter at dispatch (fixes its batch
     /// schedule).
     pub selection_round: u64,
@@ -158,8 +159,96 @@ pub(crate) struct Inflight {
     pub epochs: usize,
 }
 
+/// Where one client currently is in its round trip.
+///
+/// A client dispatch now takes two simulator events: the *compute*
+/// completion (download + local training done — the strategy trains the
+/// model and puts the encoded update on the wire) and the *upload arrival*
+/// (the uplink transfer finished — the update is applied). Under infinite
+/// bandwidth the second event fires at the same virtual instant; with a
+/// finite link it charges the actual encoded payload of the *trained*
+/// weights, which differs from the downlink payload once a lossy codec is
+/// in play.
+#[derive(Clone, Debug)]
+pub(crate) enum ClientPhase {
+    /// Dispatched; local training completes with the compute event.
+    Computing(Inflight),
+    /// Trained; the encoded update is in flight to the server.
+    Uploading {
+        /// Post-roundtrip uploaded weights.
+        weights: Vec<f32>,
+        /// The client's sample count (aggregation weight).
+        n_samples: usize,
+    },
+}
+
+/// What a completion event meant for the client's round trip.
+pub(crate) enum PhaseEvent {
+    /// Compute finished; the upload is now in flight — nothing to account
+    /// yet (the dispatch is still outstanding).
+    UploadScheduled,
+    /// The client's trained update landed at the server.
+    Landed {
+        /// Post-roundtrip uploaded weights.
+        weights: Vec<f32>,
+        /// The client's sample count (aggregation weight).
+        n_samples: usize,
+    },
+    /// The dispatch was lost to a dropout (mid-compute or mid-upload).
+    Lost,
+    /// No in-flight entry for this client (stale event).
+    Unknown,
+}
+
+/// Advances one client's compute→upload state machine for a completion.
+///
+/// On a compute completion this trains the client, puts the encoded update
+/// on the wire (charging the *actual* uplink payload) and schedules the
+/// upload arrival; on the arrival it hands the update back to the strategy.
+/// Shared by all five strategies so the phase protocol cannot diverge.
+pub(crate) fn advance_phase(
+    core: &ServerCore,
+    inflight: &mut std::collections::HashMap<usize, ClientPhase>,
+    ctx: &mut SimCtx,
+    c: &fedat_sim::runtime::Completion,
+    use_prox: bool,
+) -> PhaseEvent {
+    match inflight.remove(&c.client) {
+        Some(ClientPhase::Computing(info)) if !c.dropped => {
+            let update = crate::local::train_client(
+                &core.task,
+                c.client,
+                &info.weights,
+                &core.cfg,
+                info.epochs,
+                info.selection_round,
+                use_prox,
+            );
+            let (w_up, up_bytes) = core.transport.upload(ctx, c.client, &update.weights);
+            inflight.insert(
+                c.client,
+                ClientPhase::Uploading {
+                    weights: w_up,
+                    n_samples: update.n_samples,
+                },
+            );
+            ctx.schedule_transfer(c.client, c.tag, up_bytes);
+            PhaseEvent::UploadScheduled
+        }
+        Some(ClientPhase::Uploading { weights, n_samples }) if !c.dropped => {
+            PhaseEvent::Landed { weights, n_samples }
+        }
+        Some(_) => PhaseEvent::Lost,
+        None => PhaseEvent::Unknown,
+    }
+}
+
 /// Builds the strategy object for a config.
-pub fn build_strategy(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Box<dyn Strategy> {
+pub fn build_strategy(
+    task: Arc<FedTask>,
+    cfg: &ExperimentConfig,
+    fleet: &fedat_sim::Fleet,
+) -> Box<dyn Strategy> {
     match cfg.strategy {
         StrategyKind::FedAvg => Box::new(sync::SyncStrategy::fedavg(task, cfg)),
         StrategyKind::FedProx => Box::new(sync::SyncStrategy::fedprox(task, cfg, fleet)),

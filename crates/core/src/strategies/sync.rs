@@ -5,10 +5,9 @@
 //! device-capability-dependent local work (slower devices run fewer
 //! epochs — the γ-inexactness knob).
 
-use crate::aggregate::weighted_client_average;
+use crate::aggregate::weighted_client_average_into;
 use crate::config::ExperimentConfig;
-use crate::local::train_client;
-use crate::strategies::{Inflight, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
@@ -21,7 +20,7 @@ pub struct SyncStrategy {
     use_prox: bool,
     /// Per-client local epochs (`None` = uniform `cfg.local_epochs`).
     client_epochs: Option<Vec<usize>>,
-    inflight: HashMap<usize, Inflight>,
+    inflight: HashMap<usize, ClientPhase>,
     received: Vec<(Vec<f32>, usize)>,
     outstanding: usize,
     /// Set when no clients remain alive; terminates the run.
@@ -82,13 +81,26 @@ impl SyncStrategy {
             .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
         self.outstanding = picks.len();
         self.received.clear();
+        // One encode + decode for the whole cohort; clients share the
+        // decoded model.
+        let (weights, down_bytes) = self
+            .core
+            .transport
+            .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
             let epochs = self.epochs_for(c);
-            let (weights, down_bytes) = self.core.transport.download(ctx, c, &self.core.global);
             let selection_round = ctx.dispatches_of(c);
-            self.inflight.insert(c, Inflight { weights, selection_round, epochs });
-            // Transfer hint: download now + a same-sized upload later.
-            ctx.dispatch_with_transfer(c, 0, epochs, 2 * down_bytes);
+            self.inflight.insert(
+                c,
+                ClientPhase::Computing(Inflight {
+                    weights: Arc::clone(&weights),
+                    selection_round,
+                    epochs,
+                }),
+            );
+            // Downlink transfer charged at dispatch; the uplink is charged
+            // when the trained payload is known.
+            ctx.dispatch_with_transfer(c, 0, epochs, down_bytes);
         }
     }
 }
@@ -100,27 +112,22 @@ impl EventHandler for SyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        self.outstanding -= 1;
-        if let Some(info) = self.inflight.remove(&c.client) {
-            if !c.dropped {
-                let update = train_client(
-                    &self.core.task,
-                    c.client,
-                    &info.weights,
-                    &self.core.cfg,
-                    info.epochs,
-                    info.selection_round,
-                    self.use_prox,
-                );
-                let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
-                self.received.push((w_up, update.n_samples));
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c, self.use_prox) {
+            PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
+            PhaseEvent::Landed { weights, n_samples } => {
+                self.outstanding -= 1;
+                self.received.push((weights, n_samples));
             }
+            PhaseEvent::Lost => self.outstanding -= 1,
         }
         if self.outstanding == 0 {
             if !self.received.is_empty() {
-                let refs: Vec<(&[f32], usize)> =
-                    self.received.iter().map(|(w, n)| (w.as_slice(), *n)).collect();
-                self.core.global = weighted_client_average(&refs);
+                let refs: Vec<(&[f32], usize)> = self
+                    .received
+                    .iter()
+                    .map(|(w, n)| (w.as_slice(), *n))
+                    .collect();
+                weighted_client_average_into(&refs, &mut self.core.global);
             }
             self.core.bump(ctx);
             if !self.finished() {

@@ -7,11 +7,10 @@
 //! lower-accuracy tiers, under per-tier credit budgets (both from the TiFL
 //! paper). This is also the tiering scheme FedAT borrows (§2.1).
 
-use crate::aggregate::weighted_client_average;
+use crate::aggregate::weighted_client_average_into;
 use crate::config::ExperimentConfig;
 use crate::eval::per_client_accuracy;
-use crate::local::train_client;
-use crate::strategies::{Inflight, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
@@ -34,7 +33,7 @@ pub struct TiflStrategy {
     credits: Vec<u64>,
     /// Selection probabilities (re-normalized over selectable tiers).
     probs: Vec<f64>,
-    inflight: HashMap<usize, Inflight>,
+    inflight: HashMap<usize, ClientPhase>,
     received: Vec<(Vec<f32>, usize)>,
     outstanding: usize,
     starved: bool,
@@ -74,8 +73,8 @@ impl TiflStrategy {
             if clients.is_empty() {
                 continue;
             }
-            let mean: f64 = clients.iter().map(|&c| accs[c] as f64).sum::<f64>()
-                / clients.len() as f64;
+            let mean: f64 =
+                clients.iter().map(|&c| accs[c] as f64).sum::<f64>() / clients.len() as f64;
             *w = (1.0 - mean).max(0.01);
         }
         let sum: f64 = weights.iter().sum();
@@ -153,11 +152,21 @@ impl TiflStrategy {
         self.outstanding = picks.len();
         self.received.clear();
         let epochs = self.core.cfg.local_epochs;
+        let (weights, down_bytes) = self
+            .core
+            .transport
+            .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
-            let (weights, down_bytes) = self.core.transport.download(ctx, c, &self.core.global);
             let selection_round = ctx.dispatches_of(c);
-            self.inflight.insert(c, Inflight { weights, selection_round, epochs });
-            ctx.dispatch_with_transfer(c, 0, epochs, 2 * down_bytes);
+            self.inflight.insert(
+                c,
+                ClientPhase::Computing(Inflight {
+                    weights: Arc::clone(&weights),
+                    selection_round,
+                    epochs,
+                }),
+            );
+            ctx.dispatch_with_transfer(c, 0, epochs, down_bytes);
         }
     }
 }
@@ -169,27 +178,22 @@ impl EventHandler for TiflStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        self.outstanding -= 1;
-        if let Some(info) = self.inflight.remove(&c.client) {
-            if !c.dropped {
-                let update = train_client(
-                    &self.core.task,
-                    c.client,
-                    &info.weights,
-                    &self.core.cfg,
-                    info.epochs,
-                    info.selection_round,
-                    false,
-                );
-                let w_up = self.core.transport.upload(ctx, c.client, &update.weights);
-                self.received.push((w_up, update.n_samples));
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c, false) {
+            PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
+            PhaseEvent::Landed { weights, n_samples } => {
+                self.outstanding -= 1;
+                self.received.push((weights, n_samples));
             }
+            PhaseEvent::Lost => self.outstanding -= 1,
         }
         if self.outstanding == 0 {
             if !self.received.is_empty() {
-                let refs: Vec<(&[f32], usize)> =
-                    self.received.iter().map(|(w, n)| (w.as_slice(), *n)).collect();
-                self.core.global = weighted_client_average(&refs);
+                let refs: Vec<(&[f32], usize)> = self
+                    .received
+                    .iter()
+                    .map(|(w, n)| (w.as_slice(), *n))
+                    .collect();
+                weighted_client_average_into(&refs, &mut self.core.global);
             }
             self.core.bump(ctx);
             if !self.finished() {

@@ -93,7 +93,15 @@ impl QuadraticFederation {
     /// One γ-inexact local solve of client `(tier, c)` from `w`: `steps`
     /// gradient-descent steps of size `eta` on
     /// `h(w) = F_k(w) + λ/2‖w − w_global‖²`.
-    fn local_solve(&self, tier: usize, c: usize, w_global: &[f32], eta: f32, lambda: f32, steps: usize) -> Vec<f32> {
+    fn local_solve(
+        &self,
+        tier: usize,
+        c: usize,
+        w_global: &[f32],
+        eta: f32,
+        lambda: f32,
+        steps: usize,
+    ) -> Vec<f32> {
         let a = &self.targets[tier][c];
         let mut w = w_global.to_vec();
         for _ in 0..steps {
@@ -258,8 +266,14 @@ mod tests {
         // of the theorem, made visible.
         let unbiased = QuadraticFederation::new(3, 4, 8, 1.0);
         let biased = QuadraticFederation::new(3, 4, 8, 1.0).with_tier_bias(1.0);
-        let p_unbiased = *unbiased.run_fedat(60, 0.1, 0.4, 5, &[4, 2, 1]).last().unwrap();
-        let p_biased = *biased.run_fedat(60, 0.1, 0.4, 5, &[4, 2, 1]).last().unwrap();
+        let p_unbiased = *unbiased
+            .run_fedat(60, 0.1, 0.4, 5, &[4, 2, 1])
+            .last()
+            .unwrap();
+        let p_biased = *biased
+            .run_fedat(60, 0.1, 0.4, 5, &[4, 2, 1])
+            .last()
+            .unwrap();
         assert!(
             p_biased > p_unbiased * 10.0 + 1e-9,
             "tier bias should leave a visible residual: {p_biased} vs {p_unbiased}"

@@ -123,7 +123,9 @@ mod tests {
     use fedat_sim::fleet::ClusterConfig;
 
     fn fleet(n: usize, seed: u64) -> Fleet {
-        let cfg = ClusterConfig::paper_medium(seed).with_clients(n).without_dropouts();
+        let cfg = ClusterConfig::paper_medium(seed)
+            .with_clients(n)
+            .without_dropouts();
         Fleet::new(&cfg, vec![48; n])
     }
 
@@ -143,7 +145,11 @@ mod tests {
         let f = fleet(100, 2);
         let t = TierAssignment::profile(&f, 5, 3);
         let mean = |clients: &[usize]| -> f64 {
-            clients.iter().map(|&c| f.expected_latency(c, 3)).sum::<f64>() / clients.len() as f64
+            clients
+                .iter()
+                .map(|&c| f.expected_latency(c, 3))
+                .sum::<f64>()
+                / clients.len() as f64
         };
         for i in 0..4 {
             assert!(
@@ -185,11 +191,18 @@ mod tests {
         let clean = TierAssignment::profile(&f, 5, 3);
         let mut noisy = clean.clone();
         noisy.mistier(0.2, 99);
-        assert_eq!(noisy.num_clients(), 100, "mis-tiering must not lose clients");
+        assert_eq!(
+            noisy.num_clients(),
+            100,
+            "mis-tiering must not lose clients"
+        );
         let moved: usize = (0..100)
             .filter(|&c| clean.tier_of(c) != noisy.tier_of(c))
             .count();
-        assert!((15..=25).contains(&moved), "moved {moved} clients, expected ≈20");
+        assert!(
+            (15..=25).contains(&moved),
+            "moved {moved} clients, expected ≈20"
+        );
     }
 
     #[test]

@@ -4,20 +4,53 @@
 //! through the configured codec: the byte count is charged to the traffic
 //! meter *and* the weights actually take the lossy roundtrip, so compression
 //! precision genuinely affects training (Fig. 5).
+//!
+//! ## Zero-copy broadcast
+//!
+//! A tier round sends the *same* global model to every selected client.
+//! [`Transport::broadcast`] therefore encodes and decodes the model exactly
+//! once per round and hands every client the same `Arc<[f32]>` — the seed
+//! implementation re-encoded the identical payload once per client and
+//! cloned the decoded vector per dispatch. Encode counters expose this
+//! invariant to the regression tests.
 
 use fedat_compress::codec::{codec_for, Codec, CodecKind};
 use fedat_sim::runtime::SimCtx;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether [`Transport::broadcast`] encodes once per cohort (the default)
+/// or once per client (the seed's behavior, kept as the measured naive
+/// baseline for `BENCH_fl_round.json`).
+static BROADCAST_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Toggles the single-encode broadcast path.
+pub fn set_broadcast_enabled(enabled: bool) {
+    BROADCAST_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the single-encode broadcast path is active.
+pub fn broadcast_enabled() -> bool {
+    BROADCAST_ENABLED.load(Ordering::Relaxed)
+}
 
 /// The uplink/downlink channel of one experiment.
 pub struct Transport {
     codec: Box<dyn Codec>,
     kind: CodecKind,
+    downlink_encodes: AtomicU64,
+    uplink_encodes: AtomicU64,
 }
 
 impl Transport {
     /// Builds the transport for a codec kind.
     pub fn new(kind: CodecKind) -> Self {
-        Transport { codec: codec_for(kind), kind }
+        Transport {
+            codec: codec_for(kind),
+            kind,
+            downlink_encodes: AtomicU64::new(0),
+            uplink_encodes: AtomicU64::new(0),
+        }
     }
 
     /// The codec kind in use.
@@ -30,27 +63,75 @@ impl Transport {
         self.codec.name()
     }
 
-    /// Wire size of one model transfer.
+    /// Wire size of one model transfer (probe only; not counted as a
+    /// transfer).
     pub fn payload_bytes(&self, weights: &[f32]) -> usize {
         self.codec.encode(weights).wire_bytes()
     }
 
-    /// Server → client transfer: charges downlink bytes and returns the
-    /// weights as the client will see them (post lossy roundtrip) together
-    /// with the wire size (so dispatchers can model link transfer time).
-    pub fn download(&self, ctx: &mut SimCtx, client: usize, weights: &[f32]) -> (Vec<f32>, usize) {
+    /// Number of downlink (server → client) encode operations performed.
+    /// With the broadcast path this is one per tier round, *not* one per
+    /// selected client.
+    pub fn downlink_encode_count(&self) -> u64 {
+        self.downlink_encodes.load(Ordering::Relaxed)
+    }
+
+    /// Number of uplink (client → server) encode operations performed.
+    pub fn uplink_encode_count(&self) -> u64 {
+        self.uplink_encodes.load(Ordering::Relaxed)
+    }
+
+    /// Server → clients broadcast: encodes `weights` once, charges every
+    /// client's downlink, and returns the decoded post-roundtrip model as a
+    /// shared `Arc<[f32]>` together with the per-client wire size.
+    pub fn broadcast(
+        &self,
+        ctx: &mut SimCtx,
+        clients: &[usize],
+        weights: &[f32],
+    ) -> (Arc<[f32]>, usize) {
+        if !broadcast_enabled() && clients.len() > 1 {
+            // Naive baseline: re-encode and re-decode the identical payload
+            // for every client, as the seed did.
+            let mut decoded: Option<Vec<f32>> = None;
+            let mut bytes = 0usize;
+            for &c in clients {
+                let blob = self.codec.encode(weights);
+                self.downlink_encodes.fetch_add(1, Ordering::Relaxed);
+                bytes = blob.wire_bytes();
+                ctx.traffic.record_download(c, bytes);
+                decoded = Some(self.codec.decode(&blob));
+            }
+            return (decoded.expect("at least one client").into(), bytes);
+        }
         let blob = self.codec.encode(weights);
+        self.downlink_encodes.fetch_add(1, Ordering::Relaxed);
         let bytes = blob.wire_bytes();
-        ctx.traffic.record_download(client, bytes);
-        (self.codec.decode(&blob), bytes)
+        for &c in clients {
+            ctx.traffic.record_download(c, bytes);
+        }
+        (self.codec.decode(&blob).into(), bytes)
+    }
+
+    /// Server → client transfer: [`Transport::broadcast`] to one client.
+    pub fn download(
+        &self,
+        ctx: &mut SimCtx,
+        client: usize,
+        weights: &[f32],
+    ) -> (Arc<[f32]>, usize) {
+        self.broadcast(ctx, &[client], weights)
     }
 
     /// Client → server transfer: charges uplink bytes and returns the
-    /// weights as the server will see them.
-    pub fn upload(&self, ctx: &mut SimCtx, client: usize, weights: &[f32]) -> Vec<f32> {
+    /// weights as the server will see them plus the wire size (so the
+    /// strategy can charge the uplink transfer time at completion).
+    pub fn upload(&self, ctx: &mut SimCtx, client: usize, weights: &[f32]) -> (Vec<f32>, usize) {
         let blob = self.codec.encode(weights);
-        ctx.traffic.record_upload(client, blob.wire_bytes());
-        self.codec.decode(&blob)
+        self.uplink_encodes.fetch_add(1, Ordering::Relaxed);
+        let bytes = blob.wire_bytes();
+        ctx.traffic.record_upload(client, bytes);
+        (self.codec.decode(&blob), bytes)
     }
 }
 
@@ -76,7 +157,9 @@ mod tests {
             ctx.dispatch(0, 0, 1);
         }
         fn on_completion(&mut self, ctx: &mut SimCtx, _c: Completion) {
-            self.up_result = Some(self.transport.upload(ctx, 0, &self.weights));
+            let (w, bytes) = self.transport.upload(ctx, 0, &self.weights);
+            assert!(bytes > 0);
+            self.up_result = Some(w);
             self.done = true;
         }
         fn finished(&self) -> bool {
@@ -86,11 +169,16 @@ mod tests {
 
     #[test]
     fn transfers_charge_both_directions() {
-        let cfg = ClusterConfig::paper_medium(1).with_clients(4).without_dropouts();
+        let cfg = ClusterConfig::paper_medium(1)
+            .with_clients(4)
+            .without_dropouts();
         let fleet = Fleet::new(&cfg, vec![10; 4]);
         let weights: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin() * 0.1).collect();
         let mut h = OneTransfer {
-            transport: Transport::new(CodecKind::Polyline { precision: 4, delta: true }),
+            transport: Transport::new(CodecKind::Polyline {
+                precision: 4,
+                delta: true,
+            }),
             weights: weights.clone(),
             up_result: None,
             done: false,
@@ -101,9 +189,52 @@ mod tests {
         run(&mut h, &fleet, 1, RunLimits::default());
         let up = h.up_result.expect("upload happened");
         for (a, b) in up.iter().zip(weights.iter()) {
-            assert!((a - b).abs() <= 0.5e-4 * 1.01, "lossy roundtrip out of tolerance");
+            assert!(
+                (a - b).abs() <= 0.5e-4 * 1.01,
+                "lossy roundtrip out of tolerance"
+            );
         }
-        assert!(expected < 4000, "polyline should beat raw 4000 B: {expected}");
+        assert!(
+            expected < 4000,
+            "polyline should beat raw 4000 B: {expected}"
+        );
+        assert_eq!(h.transport.downlink_encode_count(), 1);
+        assert_eq!(h.transport.uplink_encode_count(), 1);
+    }
+
+    #[test]
+    fn broadcast_encodes_once_for_many_clients() {
+        let cfg = ClusterConfig::paper_medium(2)
+            .with_clients(8)
+            .without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 8]);
+        struct Broadcaster {
+            transport: Transport,
+            done: bool,
+        }
+        impl EventHandler for Broadcaster {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                let w: Vec<f32> = (0..256).map(|i| i as f32 * 0.01).collect();
+                let clients: Vec<usize> = (0..8).collect();
+                let (shared, bytes) = self.transport.broadcast(ctx, &clients, &w);
+                assert_eq!(shared.len(), 256);
+                assert!(bytes > 0);
+                // All eight downlinks charged, one encode performed.
+                assert_eq!(ctx.traffic.downlink_bytes(), 8 * bytes as u64);
+                assert_eq!(self.transport.downlink_encode_count(), 1);
+                self.done = true;
+            }
+            fn on_completion(&mut self, _ctx: &mut SimCtx, _c: Completion) {}
+            fn finished(&self) -> bool {
+                self.done
+            }
+        }
+        let mut h = Broadcaster {
+            transport: Transport::new(CodecKind::Raw),
+            done: false,
+        };
+        run(&mut h, &fleet, 2, RunLimits::default());
+        assert!(h.done);
     }
 
     #[test]
@@ -116,7 +247,10 @@ mod tests {
 
     #[test]
     fn polyline_transport_names_and_sizes() {
-        let t = Transport::new(CodecKind::Polyline { precision: 3, delta: true });
+        let t = Transport::new(CodecKind::Polyline {
+            precision: 3,
+            delta: true,
+        });
         assert_eq!(t.codec_name(), "polyline-p3");
         let w = vec![0.001f32; 512];
         let raw = Transport::new(CodecKind::Raw);

@@ -37,7 +37,7 @@ proptest! {
         let updates: Vec<(Vec<f32>, usize)> = (0..k)
             .map(|_| {
                 let w: Vec<f32> = (0..dim).map(|_| rng.random::<f32>() * 4.0 - 2.0).collect();
-                (w, 1 + rng.random_range(0..50))
+                (w, 1 + rng.random_range(0usize..50))
             })
             .collect();
         let refs: Vec<(&[f32], usize)> = updates.iter().map(|(w, n)| (w.as_slice(), *n)).collect();
@@ -98,8 +98,8 @@ fn fedat_equals_fedavg_in_degenerate_setting() {
     // delays, *equal client sizes* (so the latency-sorted tier order matches
     // FedAvg's id order and both sample the same clients), no dropouts and
     // λ=0, both methods perform bit-identical synchronous rounds.
-    use fedat_core::prelude::*;
     use fedat_compress::codec::CodecKind;
+    use fedat_core::prelude::*;
     use fedat_data::federated::FederatedDataset;
     use fedat_data::partition::Partitioner;
     use fedat_data::suite::FedTask;
@@ -109,16 +109,26 @@ fn fedat_equals_fedavg_in_degenerate_setting() {
     use fedat_tensor::rng::rng_for;
 
     // 12 clients × exactly 40 samples each.
-    let spec = FeatureSynthSpec { features: 8, classes: 2, separation: 0.4, noise: 1.0 };
+    let spec = FeatureSynthSpec {
+        features: 8,
+        classes: 2,
+        separation: 0.4,
+        noise: 1.0,
+    };
     let pool = synth_features(&mut rng_for(55, 1), &spec, 480);
     let parts = Partitioner::Iid.partition(&pool, 12, &mut rng_for(55, 2));
     let task = FedTask {
         name: "equal-sized".into(),
         fed: FederatedDataset::from_partitions(parts, 55),
-        model: ModelSpec::Logistic { input: 8, classes: 2 },
+        model: ModelSpec::Logistic {
+            input: 8,
+            classes: 2,
+        },
         target_accuracy: 0.6,
     };
-    let mut cluster = ClusterConfig::paper_medium(55).with_clients(12).without_dropouts();
+    let mut cluster = ClusterConfig::paper_medium(55)
+        .with_clients(12)
+        .without_dropouts();
     cluster.delay_parts = vec![DelayPart { lo: 0.0, hi: 0.0 }];
     cluster.part_sizes = Some(vec![12]);
     let cfg = |strategy| {

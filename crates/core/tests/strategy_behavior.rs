@@ -3,9 +3,9 @@
 
 use fedat_core::prelude::*;
 use fedat_core::strategies::{build_strategy, Strategy};
+use fedat_data::suite;
 use fedat_sim::fleet::{ClusterConfig, Fleet};
 use fedat_sim::runtime::{run, EventHandler, RunLimits};
-use fedat_data::suite;
 use std::sync::Arc;
 
 fn cfg(strategy: StrategyKind, rounds: u64, seed: u64, cluster: ClusterConfig) -> ExperimentConfig {
@@ -100,7 +100,10 @@ fn variance_checkpoints_are_recorded() {
         "long runs must sample the variance metric"
     );
     for &v in s.variance_checkpoints() {
-        assert!((0.0..=0.25).contains(&v), "client-accuracy variance {v} out of range");
+        assert!(
+            (0.0..=0.25).contains(&v),
+            "client-accuracy variance {v} out of range"
+        );
     }
 }
 
@@ -108,7 +111,9 @@ fn variance_checkpoints_are_recorded() {
 fn uniform_and_weighted_fedat_diverge() {
     // Fig. 6's premise: the aggregation scheme changes the trajectory.
     let task = suite::sent140_like(20, 13);
-    let cluster = ClusterConfig::paper_medium(13).with_clients(20).without_dropouts();
+    let cluster = ClusterConfig::paper_medium(13)
+        .with_clients(20)
+        .without_dropouts();
     let mut wcfg = cfg(StrategyKind::FedAt, 30, 13, cluster.clone());
     wcfg.uniform_tier_weights = false;
     let mut ucfg = cfg(StrategyKind::FedAt, 30, 13, cluster);
@@ -126,7 +131,9 @@ fn mistiering_changes_fedat_little_more_than_noise() {
     // §2.1: FedAT tolerates mis-profiled clients. A 30% mis-tiering should
     // not collapse accuracy.
     let task = suite::sent140_like(25, 15);
-    let cluster = ClusterConfig::paper_medium(15).with_clients(25).without_dropouts();
+    let cluster = ClusterConfig::paper_medium(15)
+        .with_clients(25)
+        .without_dropouts();
     let clean_cfg = cfg(StrategyKind::FedAt, 50, 15, cluster.clone());
     let mut noisy_cfg = cfg(StrategyKind::FedAt, 50, 15, cluster);
     noisy_cfg.mistier_fraction = 0.3;
@@ -144,14 +151,22 @@ fn mistiering_changes_fedat_little_more_than_noise() {
 fn compression_codec_flows_into_traffic_totals() {
     use fedat_compress::codec::CodecKind;
     let task = suite::sent140_like(15, 17);
-    let cluster = ClusterConfig::paper_medium(17).with_clients(15).without_dropouts();
+    let cluster = ClusterConfig::paper_medium(17)
+        .with_clients(15)
+        .without_dropouts();
     // Note: trained logistic weights reach magnitude ≈2, where precision 6
     // needs 5 polyline bytes per value and *loses* to raw — so the
     // comparison uses p4 and p3, which stay below 4 B/value.
     let sizes: Vec<u64> = [
         CodecKind::Raw,
-        CodecKind::Polyline { precision: 4, delta: true },
-        CodecKind::Polyline { precision: 3, delta: true },
+        CodecKind::Polyline {
+            precision: 4,
+            delta: true,
+        },
+        CodecKind::Polyline {
+            precision: 3,
+            delta: true,
+        },
     ]
     .into_iter()
     .map(|k| {

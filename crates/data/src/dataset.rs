@@ -39,7 +39,12 @@ impl Dataset {
             y.iter().all(|&t| (t as usize) < classes),
             "label out of range for {classes} classes"
         );
-        Dataset { x, y, classes, targets_per_row }
+        Dataset {
+            x,
+            y,
+            classes,
+            targets_per_row,
+        }
     }
 
     /// Number of feature rows.
@@ -100,7 +105,10 @@ impl Dataset {
         for p in parts {
             assert_eq!(p.features(), cols, "feature mismatch in concat");
             assert_eq!(p.classes, first.classes, "class-count mismatch in concat");
-            assert_eq!(p.targets_per_row, first.targets_per_row, "stride mismatch in concat");
+            assert_eq!(
+                p.targets_per_row, first.targets_per_row,
+                "stride mismatch in concat"
+            );
             xs.extend_from_slice(p.x.data());
             ys.extend_from_slice(&p.y);
         }
@@ -130,7 +138,11 @@ impl Dataset {
     /// and chunks them into batches of `batch_size` (last batch may be
     /// short). The paper fixes a pseudo-random schedule per client so
     /// repeated selections are comparable across FL methods (§6).
-    pub fn batch_schedule<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    pub fn batch_schedule<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<usize>> {
         assert!(batch_size > 0, "batch_size must be positive");
         let mut idx: Vec<usize> = (0..self.len()).collect();
         shuffle(rng, &mut idx);
@@ -141,6 +153,22 @@ impl Dataset {
     pub fn gather_batch(&self, indices: &[usize]) -> (Tensor, Vec<u32>) {
         let sub = self.subset(indices);
         (sub.x, sub.y)
+    }
+
+    /// Materializes a batch without allocating: the feature tensor comes
+    /// from the thread-local scratch arena (recycle it after the step) and
+    /// the targets are written into the caller's reusable buffer.
+    pub fn gather_batch_into(&self, indices: &[usize], y_out: &mut Vec<u32>) -> Tensor {
+        let cols = self.features();
+        let tpr = self.targets_per_row;
+        let mut xs = fedat_tensor::scratch::take_zeroed(indices.len() * cols);
+        y_out.clear();
+        y_out.reserve(indices.len() * tpr);
+        for (r, &i) in indices.iter().enumerate() {
+            xs[r * cols..(r + 1) * cols].copy_from_slice(self.x.row(i));
+            y_out.extend_from_slice(&self.y[i * tpr..(i + 1) * tpr]);
+        }
+        Tensor::from_vec(xs, &[indices.len(), cols])
     }
 }
 
@@ -173,13 +201,12 @@ mod tests {
         assert_eq!(a.len(), 16);
         assert_eq!(b.len(), 4);
         // Every original row appears exactly once across the two halves.
-        let mut seen: Vec<f32> = a
-            .x
-            .data()
-            .chunks(2)
-            .chain(b.x.data().chunks(2))
-            .map(|r| r[0])
-            .collect();
+        let mut seen: Vec<f32> =
+            a.x.data()
+                .chunks(2)
+                .chain(b.x.data().chunks(2))
+                .map(|r| r[0])
+                .collect();
         seen.sort_by(|p, q| p.partial_cmp(q).unwrap());
         let expected: Vec<f32> = (0..20).map(|i| (i * 2) as f32).collect();
         assert_eq!(seen, expected);

@@ -58,7 +58,13 @@ impl FederatedDataset {
         }
         let tests: Vec<&Dataset> = clients.iter().map(|c| &c.test).collect();
         let global_test = Dataset::concat(&tests);
-        FederatedDataset { clients, global_test, classes, features, targets_per_row }
+        FederatedDataset {
+            clients,
+            global_test,
+            classes,
+            features,
+            targets_per_row,
+        }
     }
 
     /// Number of clients.
@@ -89,7 +95,10 @@ impl FederatedDataset {
         let clients: Vec<ClientData> = self
             .clients
             .iter()
-            .map(|c| ClientData { train: take(&c.train, 2), test: take(&c.test, 1) })
+            .map(|c| ClientData {
+                train: take(&c.train, 2),
+                test: take(&c.test, 1),
+            })
             .collect();
         let tests: Vec<&Dataset> = clients.iter().map(|c| &c.test).collect();
         let global_test = Dataset::concat(&tests);
@@ -111,7 +120,12 @@ mod tests {
     use fedat_tensor::rng::rng_for;
 
     fn build(n: usize, clients: usize) -> FederatedDataset {
-        let spec = FeatureSynthSpec { features: 6, classes: 4, separation: 1.0, noise: 0.3 };
+        let spec = FeatureSynthSpec {
+            features: 6,
+            classes: 4,
+            separation: 1.0,
+            noise: 0.3,
+        };
         let d = synth_features(&mut rng_for(1, 1), &spec, n);
         let parts = Partitioner::Iid.partition(&d, clients, &mut rng_for(1, 2));
         FederatedDataset::from_partitions(parts, 7)

@@ -108,7 +108,11 @@ fn shard_assignment<R: Rng + ?Sized>(
     for (pos, &shard) in shard_order.iter().enumerate() {
         let client = pos / classes_per_client;
         let lo = shard * shard_size;
-        let hi = if shard == num_shards - 1 { sorted.len() } else { lo + shard_size };
+        let hi = if shard == num_shards - 1 {
+            sorted.len()
+        } else {
+            lo + shard_size
+        };
         out[client].extend_from_slice(&sorted[lo..hi]);
     }
     out
@@ -218,7 +222,9 @@ fn rebalance_min_samples(assignment: &mut [Vec<usize>], min: usize) {
         if assignment[richest].len() <= min {
             break; // nothing left to take without starving the donor
         }
-        let moved = assignment[richest].pop().expect("richest client is non-empty");
+        let moved = assignment[richest]
+            .pop()
+            .expect("richest client is non-empty");
         assignment[poorest].push(moved);
     }
 }
@@ -291,7 +297,12 @@ mod tests {
     use fedat_tensor::rng::rng_for;
 
     fn toy_dataset(n: usize, classes: usize) -> Dataset {
-        let spec = FeatureSynthSpec { features: 4, classes, separation: 1.0, noise: 0.2 };
+        let spec = FeatureSynthSpec {
+            features: 4,
+            classes,
+            separation: 1.0,
+            noise: 0.2,
+        };
         synth_features(&mut rng_for(99, 1), &spec, n)
     }
 
@@ -315,14 +326,20 @@ mod tests {
     fn iid_partition_has_low_skew() {
         let d = toy_dataset(1000, 5);
         let parts = Partitioner::Iid.partition(&d, 10, &mut rng_for(2, 1));
-        assert!(label_skew(&parts) < 0.3, "IID skew too high: {}", label_skew(&parts));
+        assert!(
+            label_skew(&parts) < 0.3,
+            "IID skew too high: {}",
+            label_skew(&parts)
+        );
     }
 
     #[test]
     fn shard_partition_limits_classes_per_client() {
         let d = toy_dataset(1000, 10);
-        let parts = Partitioner::Shard { classes_per_client: 2 }
-            .partition(&d, 20, &mut rng_for(3, 1));
+        let parts = Partitioner::Shard {
+            classes_per_client: 2,
+        }
+        .partition(&d, 20, &mut rng_for(3, 1));
         assert_exact_cover(&parts, 1000);
         for (i, p) in parts.iter().enumerate() {
             // A client holds ≤ classes_per_client + 1 labels (+1 from shard
@@ -339,10 +356,16 @@ mod tests {
     fn shard_skew_decreases_with_more_classes() {
         let d = toy_dataset(2000, 10);
         let skew2 = label_skew(
-            &Partitioner::Shard { classes_per_client: 2 }.partition(&d, 20, &mut rng_for(4, 1)),
+            &Partitioner::Shard {
+                classes_per_client: 2,
+            }
+            .partition(&d, 20, &mut rng_for(4, 1)),
         );
         let skew8 = label_skew(
-            &Partitioner::Shard { classes_per_client: 8 }.partition(&d, 20, &mut rng_for(4, 2)),
+            &Partitioner::Shard {
+                classes_per_client: 8,
+            }
+            .partition(&d, 20, &mut rng_for(4, 2)),
         );
         assert!(
             skew2 > skew8 + 0.2,

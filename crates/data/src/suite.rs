@@ -70,7 +70,12 @@ pub fn cifar10_like(n_clients: usize, classes_per_client: usize, seed: u64) -> F
     FedTask {
         name: format!("cifar10-like({})", niid_tag(classes_per_client)),
         fed,
-        model: ModelSpec::CnnLite { channels: 3, height: 8, width: 8, classes: 10 },
+        model: ModelSpec::CnnLite {
+            channels: 3,
+            height: 8,
+            width: 8,
+            classes: 10,
+        },
         target_accuracy: 0.47,
     }
 }
@@ -93,7 +98,12 @@ pub fn fmnist_like(n_clients: usize, classes_per_client: usize, seed: u64) -> Fe
     FedTask {
         name: format!("fmnist-like({})", niid_tag(classes_per_client)),
         fed,
-        model: ModelSpec::CnnLite { channels: 1, height: 8, width: 8, classes: 10 },
+        model: ModelSpec::CnnLite {
+            channels: 1,
+            height: 8,
+            width: 8,
+            classes: 10,
+        },
         target_accuracy: 0.76,
     }
 }
@@ -102,14 +112,22 @@ pub fn fmnist_like(n_clients: usize, classes_per_client: usize, seed: u64) -> Fe
 /// logistic model; label skew across "accounts" via Dirichlet(0.5).
 pub fn sent140_like(n_clients: usize, seed: u64) -> FedTask {
     let mut rng = rng_for(seed.wrapping_add(2), tags::DATA);
-    let spec = FeatureSynthSpec { features: 32, classes: 2, separation: 0.17, noise: 1.0 };
+    let spec = FeatureSynthSpec {
+        features: 32,
+        classes: 2,
+        separation: 0.17,
+        noise: 1.0,
+    };
     let pool = synth_features(&mut rng, &spec, n_clients * defaults::SENT_PER_CLIENT);
     let parts = Partitioner::Dirichlet { alpha: 0.5 }.partition(&pool, n_clients, &mut rng);
     let fed = FederatedDataset::from_partitions(parts, seed.wrapping_add(2));
     FedTask {
         name: "sent140-like".to_string(),
         fed,
-        model: ModelSpec::Logistic { input: 32, classes: 2 },
+        model: ModelSpec::Logistic {
+            input: 32,
+            classes: 2,
+        },
         target_accuracy: 0.73,
     }
 }
@@ -141,7 +159,12 @@ pub fn femnist_like(n_clients: usize, seed: u64) -> FedTask {
     FedTask {
         name: "femnist-like".to_string(),
         fed,
-        model: ModelSpec::CnnLite { channels: 1, height: 8, width: 8, classes: 62 },
+        model: ModelSpec::CnnLite {
+            channels: 1,
+            height: 8,
+            width: 8,
+            classes: 62,
+        },
         target_accuracy: 0.70,
     }
 }
@@ -150,7 +173,11 @@ pub fn femnist_like(n_clients: usize, seed: u64) -> FedTask {
 /// next-token prediction under an embedding+LSTM+dense model.
 pub fn reddit_like(n_clients: usize, seed: u64) -> FedTask {
     let mut rng = rng_for(seed.wrapping_add(4), tags::DATA);
-    let gen_spec = TokenSynthSpec { vocab: 80, seq_len: 8, user_skew: 0.35 };
+    let gen_spec = TokenSynthSpec {
+        vocab: 80,
+        seq_len: 8,
+        user_skew: 0.35,
+    };
     let generator = TokenStreamGenerator::new(&mut rng, gen_spec);
     let budgets = uneven_budgets(
         &mut rng,
@@ -170,7 +197,11 @@ pub fn reddit_like(n_clients: usize, seed: u64) -> FedTask {
     FedTask {
         name: "reddit-like".to_string(),
         fed,
-        model: ModelSpec::LstmLm { vocab: 80, embed: 16, hidden: 24 },
+        model: ModelSpec::LstmLm {
+            vocab: 80,
+            embed: 16,
+            hidden: 24,
+        },
         target_accuracy: 0.25,
     }
 }
@@ -230,7 +261,13 @@ mod tests {
     fn sent140_is_binary_logistic() {
         let t = sent140_like(8, 1);
         assert_eq!(t.fed.classes, 2);
-        assert!(matches!(t.model, ModelSpec::Logistic { input: 32, classes: 2 }));
+        assert!(matches!(
+            t.model,
+            ModelSpec::Logistic {
+                input: 32,
+                classes: 2
+            }
+        ));
     }
 
     #[test]
@@ -250,7 +287,10 @@ mod tests {
         assert_eq!(t.fed.targets_per_row, 8);
         assert_eq!(t.fed.classes, 80);
         let sizes = t.fed.client_sizes();
-        assert!(sizes.iter().max() > sizes.iter().min(), "sizes should vary: {sizes:?}");
+        assert!(
+            sizes.iter().max() > sizes.iter().min(),
+            "sizes should vary: {sizes:?}"
+        );
     }
 
     #[test]

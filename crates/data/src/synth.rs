@@ -53,9 +53,10 @@ pub fn synth_images<R: Rng + ?Sized>(rng: &mut R, spec: &ImageSynthSpec, n: usiz
                 let amp = uniform(rng, 0.4, 1.0) as f32;
                 for y in 0..spec.height {
                     for x in 0..spec.width {
-                        let v = ((fy * y as f64 / spec.height as f64 * std::f64::consts::TAU + py).sin()
-                            * (fx * x as f64 / spec.width as f64 * std::f64::consts::TAU + px).cos())
-                            as f32;
+                        let v = ((fy * y as f64 / spec.height as f64 * std::f64::consts::TAU + py)
+                            .sin()
+                            * (fx * x as f64 / spec.width as f64 * std::f64::consts::TAU + px)
+                                .cos()) as f32;
                         t[c * spec.height * spec.width + y * spec.width + x] += amp * v;
                     }
                 }
@@ -234,7 +235,14 @@ mod tests {
     #[test]
     fn images_have_balanced_classes_and_right_shape() {
         let mut rng = rng_for(1, 1);
-        let spec = ImageSynthSpec { channels: 3, height: 8, width: 8, classes: 10, signal: 1.0, noise: 0.5 };
+        let spec = ImageSynthSpec {
+            channels: 3,
+            height: 8,
+            width: 8,
+            classes: 10,
+            signal: 1.0,
+            noise: 0.5,
+        };
         let d = synth_images(&mut rng, &spec, 200);
         assert_eq!(d.len(), 200);
         assert_eq!(d.features(), 192);
@@ -247,7 +255,14 @@ mod tests {
         // Nearest-class-mean on a fresh sample should beat chance by a lot —
         // sanity check that signal dominates noise at default-ish settings.
         let mut rng = rng_for(2, 1);
-        let spec = ImageSynthSpec { channels: 1, height: 8, width: 8, classes: 4, signal: 1.0, noise: 0.7 };
+        let spec = ImageSynthSpec {
+            channels: 1,
+            height: 8,
+            width: 8,
+            classes: 4,
+            signal: 1.0,
+            noise: 0.7,
+        };
         let train = synth_images(&mut rng, &spec, 400);
         // class means
         let feat = train.features();
@@ -286,13 +301,21 @@ mod tests {
             }
         }
         let acc = correct as f32 / train.len() as f32;
-        assert!(acc > 0.8, "nearest-mean accuracy {acc} too low — data not separable");
+        assert!(
+            acc > 0.8,
+            "nearest-mean accuracy {acc} too low — data not separable"
+        );
         let _ = test;
     }
 
     #[test]
     fn features_are_deterministic_per_seed() {
-        let spec = FeatureSynthSpec { features: 10, classes: 2, separation: 1.0, noise: 0.3 };
+        let spec = FeatureSynthSpec {
+            features: 10,
+            classes: 2,
+            separation: 1.0,
+            noise: 0.3,
+        };
         let a = synth_features(&mut rng_for(3, 1), &spec, 50);
         let b = synth_features(&mut rng_for(3, 1), &spec, 50);
         assert_eq!(a.x.data(), b.x.data());
@@ -304,7 +327,11 @@ mod tests {
         let mut rng = rng_for(4, 1);
         let generator = TokenStreamGenerator::new(
             &mut rng,
-            TokenSynthSpec { vocab: 20, seq_len: 6, user_skew: 0.3 },
+            TokenSynthSpec {
+                vocab: 20,
+                seq_len: 6,
+                user_skew: 0.3,
+            },
         );
         let mut urng = rng_for(4, 2);
         let d = generator.user_dataset(&mut urng, 15);
@@ -326,7 +353,11 @@ mod tests {
         let mut rng = rng_for(5, 1);
         let generator = TokenStreamGenerator::new(
             &mut rng,
-            TokenSynthSpec { vocab: 30, seq_len: 8, user_skew: 0.8 },
+            TokenSynthSpec {
+                vocab: 30,
+                seq_len: 8,
+                user_skew: 0.8,
+            },
         );
         let d1 = generator.user_dataset(&mut rng_for(5, 100), 50);
         let d2 = generator.user_dataset(&mut rng_for(5, 200), 50);

@@ -7,7 +7,12 @@ use fedat_tensor::rng::rng_for;
 use proptest::prelude::*;
 
 fn pool(n: usize, classes: usize, seed: u64) -> Dataset {
-    let spec = FeatureSynthSpec { features: 3, classes, separation: 1.0, noise: 0.2 };
+    let spec = FeatureSynthSpec {
+        features: 3,
+        classes,
+        separation: 1.0,
+        noise: 0.2,
+    };
     synth_features(&mut rng_for(seed, 1), &spec, n)
 }
 
@@ -20,11 +25,15 @@ proptest! {
         seed in 0u64..50,
         which in 0usize..3,
     ) {
+        let classes_per_client = 1 + seed as usize % classes;
+        // Sharding needs every client to receive `classes_per_client` shards
+        // of at least two samples each.
         prop_assume!(clients * 2 <= n);
+        prop_assume!(which != 1 || clients * classes_per_client * 2 <= n);
         let d = pool(n, classes, seed);
         let p = match which {
             0 => Partitioner::Iid,
-            1 => Partitioner::Shard { classes_per_client: 1 + seed as usize % classes },
+            1 => Partitioner::Shard { classes_per_client },
             _ => Partitioner::Dirichlet { alpha: 0.3 },
         };
         let parts = p.partition(&d, clients, &mut rng_for(seed, 2));

@@ -96,7 +96,11 @@ mod tests {
 
     #[test]
     fn roundtrip_through_file_restores_model() {
-        let spec = ModelSpec::Mlp { input: 6, hidden: vec![5], classes: 3 };
+        let spec = ModelSpec::Mlp {
+            input: 6,
+            hidden: vec![5],
+            classes: 3,
+        };
         let a = spec.build(7);
         let dir = std::env::temp_dir().join("fedat_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -135,12 +139,20 @@ mod tests {
 
     #[test]
     fn size_mismatch_rejected_on_load() {
-        let small = ModelSpec::Logistic { input: 3, classes: 2 }.build(1);
+        let small = ModelSpec::Logistic {
+            input: 3,
+            classes: 2,
+        }
+        .build(1);
         let dir = std::env::temp_dir().join("fedat_ckpt_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("m.ckpt");
         save(small.as_ref(), &path).unwrap();
-        let mut big = ModelSpec::Logistic { input: 30, classes: 2 }.build(1);
+        let mut big = ModelSpec::Logistic {
+            input: 30,
+            classes: 2,
+        }
+        .build(1);
         assert!(load(big.as_mut(), &path).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

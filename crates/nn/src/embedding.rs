@@ -43,7 +43,8 @@ impl Layer for Embedding {
         let mut out = Tensor::zeros(&[n, self.dim]);
         let mut tokens: Vec<Vec<usize>> = Vec::with_capacity(n);
         for r in 0..n {
-            let ids: Vec<usize> = input.row(r)
+            let ids: Vec<usize> = input
+                .row(r)
                 .iter()
                 .map(|&v| {
                     let id = v as usize;
@@ -80,8 +81,7 @@ impl Layer for Embedding {
         for (r, ids) in tokens.iter().enumerate() {
             let g = grad_out.row(r);
             for &id in ids {
-                let emb_grad =
-                    &mut self.table.grad.data_mut()[id * self.dim..(id + 1) * self.dim];
+                let emb_grad = &mut self.table.grad.data_mut()[id * self.dim..(id + 1) * self.dim];
                 for (eg, &gv) in emb_grad.iter_mut().zip(g.iter()) {
                     *eg += gv / t as f32;
                 }
@@ -178,7 +178,12 @@ mod tests {
             model.train_batch(&x, &ys, &mut opt, None);
         }
         let after = model.evaluate(&x, &ys);
-        assert!(after.accuracy > 0.9, "accuracy {} too low (was {})", after.accuracy, before.accuracy);
+        assert!(
+            after.accuracy > 0.9,
+            "accuracy {} too low (was {})",
+            after.accuracy,
+            before.accuracy
+        );
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub trait Layer: Send {
     /// backward pass needs.
     fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor;
 
+    /// Computes the layer output from a *borrowed* input — the entry point
+    /// [`crate::model::Sequential`] uses for the first layer, so the
+    /// caller's batch tensor is never cloned per step. The default
+    /// materializes a scratch-arena copy; layers that can read the input
+    /// in place (Dense, Conv2d) override it to skip even that.
+    fn forward_ref(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.forward(input.clone_scratch(), mode)
+    }
+
     /// Propagates the loss gradient, accumulating parameter gradients and
     /// returning the gradient with respect to the layer input.
     fn backward(&mut self, grad_out: Tensor) -> Tensor;

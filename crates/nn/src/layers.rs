@@ -53,6 +53,19 @@ impl Layer for Dense {
         out.add_row_bias(&self.b.value);
         if mode == Mode::Train {
             self.cached_input = Some(input);
+        } else {
+            input.recycle();
+        }
+        out
+    }
+
+    fn forward_ref(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // Reads the batch in place: no input copy in Eval, and in Train the
+        // backward cache is a scratch-arena copy instead of a fresh clone.
+        let mut out = input.matmul(&self.w.value);
+        out.add_row_bias(&self.b.value);
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone_scratch());
         }
         out
     }
@@ -64,12 +77,17 @@ impl Layer for Dense {
             .expect("Dense::backward called without a Train forward");
         // dW += xᵀ · dY
         let dw = x.matmul_tn(&grad_out);
+        x.recycle();
         self.w.grad.axpy_inplace(1.0, &dw);
+        dw.recycle();
         // db += column sums of dY
         let db = grad_out.sum_rows();
         self.b.grad.axpy_inplace(1.0, &db);
+        db.recycle();
         // dX = dY · Wᵀ
-        grad_out.matmul_nt(&self.w.value)
+        let dx = grad_out.matmul_nt(&self.w.value);
+        grad_out.recycle();
+        dx
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -93,6 +111,9 @@ impl Layer for Dense {
 #[derive(Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    /// Retired mask buffer, reused by the next Train forward so steady-state
+    /// training allocates nothing.
+    spare_mask: Vec<bool>,
 }
 
 impl Relu {
@@ -105,7 +126,9 @@ impl Relu {
 impl Layer for Relu {
     fn forward(&mut self, mut input: Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Train {
-            let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+            let mut mask = std::mem::take(&mut self.spare_mask);
+            mask.clear();
+            mask.extend(input.data().iter().map(|&x| x > 0.0));
             self.mask = Some(mask);
         }
         input.map_inplace(|x| x.max(0.0));
@@ -113,12 +136,16 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        let mask = self.mask.take().expect("Relu::backward without Train forward");
+        let mask = self
+            .mask
+            .take()
+            .expect("Relu::backward without Train forward");
         for (g, keep) in grad_out.data_mut().iter_mut().zip(mask.iter()) {
             if !keep {
                 *g = 0.0;
             }
         }
+        self.spare_mask = mask;
         grad_out
     }
 
@@ -152,16 +179,20 @@ impl Layer for Tanh {
     fn forward(&mut self, mut input: Tensor, mode: Mode) -> Tensor {
         input.map_inplace(f32::tanh);
         if mode == Mode::Train {
-            self.cached_output = Some(input.clone());
+            self.cached_output = Some(input.clone_scratch());
         }
         input
     }
 
     fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        let y = self.cached_output.take().expect("Tanh::backward without Train forward");
+        let y = self
+            .cached_output
+            .take()
+            .expect("Tanh::backward without Train forward");
         for (g, &yi) in grad_out.data_mut().iter_mut().zip(y.data().iter()) {
             *g *= 1.0 - yi * yi;
         }
+        y.recycle();
         grad_out
     }
 
@@ -207,7 +238,7 @@ impl Layer for Sigmoid {
     fn forward(&mut self, mut input: Tensor, mode: Mode) -> Tensor {
         input.map_inplace(sigmoid);
         if mode == Mode::Train {
-            self.cached_output = Some(input.clone());
+            self.cached_output = Some(input.clone_scratch());
         }
         input
     }
@@ -220,6 +251,7 @@ impl Layer for Sigmoid {
         for (g, &yi) in grad_out.data_mut().iter_mut().zip(y.data().iter()) {
             *g *= yi * (1.0 - yi);
         }
+        y.recycle();
         grad_out
     }
 
@@ -256,7 +288,10 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} out of range");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} out of range"
+        );
         Dropout {
             p,
             rng: rng_for(seed, fedat_tensor::rng::tags::DROPOUT),
@@ -272,9 +307,14 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.random::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        let mut mask = fedat_tensor::scratch::take_empty(input.len());
+        for _ in 0..input.len() {
+            mask.push(if self.rng.random::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            });
+        }
         for (v, &m) in input.data_mut().iter_mut().zip(mask.iter()) {
             *v *= m;
         }
@@ -287,6 +327,7 @@ impl Layer for Dropout {
             for (g, &m) in grad_out.data_mut().iter_mut().zip(mask.iter()) {
                 *g *= m;
             }
+            fedat_tensor::scratch::recycle(mask);
         }
         grad_out
     }
@@ -346,7 +387,7 @@ impl Layer for BatchNorm1d {
     fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor {
         let (n, f) = input.shape().as_matrix();
         assert_eq!(f, self.gamma.len(), "batchnorm feature mismatch");
-        let mut out = input.clone();
+        let mut out = input.clone_scratch();
         match mode {
             Mode::Train => {
                 assert!(n > 1, "batch norm needs batch size > 1 in training");
@@ -383,14 +424,16 @@ impl Layer for BatchNorm1d {
                     self.running_var[j] =
                         (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
                 }
-                self.cache = Some(BnCache { x_hat: out.clone(), inv_std });
+                self.cache = Some(BnCache {
+                    x_hat: out.clone_scratch(),
+                    inv_std,
+                });
             }
             Mode::Eval => {
                 for r in 0..n {
                     let row = out.row_mut(r);
                     for (j, v) in row.iter_mut().enumerate() {
-                        *v = (*v - self.running_mean[j])
-                            / (self.running_var[j] + self.eps).sqrt();
+                        *v = (*v - self.running_mean[j]) / (self.running_var[j] + self.eps).sqrt();
                     }
                 }
             }
@@ -402,6 +445,7 @@ impl Layer for BatchNorm1d {
                 *v = self.gamma.value.data()[j] * *v + self.beta.value.data()[j];
             }
         }
+        input.recycle();
         out
     }
 
@@ -430,7 +474,7 @@ impl Layer for BatchNorm1d {
                 sum_dxhat_xhat[j] += dxh * xh;
             }
         }
-        let mut dx = Tensor::zeros_like(&grad_out);
+        let mut dx = Tensor::zeros_scratch(grad_out.dims());
         for r in 0..n {
             let out_row = dx.row_mut(r);
             for (j, v) in out_row.iter_mut().enumerate() {
@@ -440,6 +484,8 @@ impl Layer for BatchNorm1d {
                     * (n as f32 * dxh - sum_dxhat[j] - xh * sum_dxhat_xhat[j]);
             }
         }
+        x_hat.recycle();
+        grad_out.recycle();
         dx
     }
 
@@ -499,16 +545,34 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor {
+        let out = self.forward_ref(&input, mode);
+        input.recycle();
+        out
+    }
+
+    fn forward_ref(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // The im2col kernel reads the batch in place — no input copy in
+        // either mode; Train retains only the column matrices.
         let (n, feat) = input.shape().as_matrix();
         assert_eq!(
             feat,
             self.spec.in_channels * self.h * self.w,
             "conv2d input features mismatch"
         );
-        let x = input.reshape(&[n, self.spec.in_channels, self.h, self.w]);
-        let (out, cols) = conv2d_forward(&x, &self.weight.value, &self.bias.value, self.h, self.w, &self.spec);
+        let (out, cols) = conv2d_forward(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            self.h,
+            self.w,
+            &self.spec,
+        );
         if mode == Mode::Train {
             self.cache = Some(ConvCache { cols, batch: n });
+        } else {
+            for c in cols {
+                fedat_tensor::scratch::recycle(c);
+            }
         }
         let of = self.out_features();
         out.reshape(&[n, of])
@@ -521,9 +585,13 @@ impl Layer for Conv2d {
             .expect("Conv2d::backward without Train forward");
         let (oh, ow) = self.spec.out_hw(self.h, self.w);
         let dy = grad_out.reshape(&[batch, self.spec.out_channels, oh, ow]);
-        let (dx, dw, db) = conv2d_backward(&dy, &self.weight.value, &cols, self.h, self.w, &self.spec);
+        let (dx, dw, db) =
+            conv2d_backward(&dy, &self.weight.value, cols, self.h, self.w, &self.spec);
+        dy.recycle();
         self.weight.grad.axpy_inplace(1.0, &dw);
         self.bias.grad.axpy_inplace(1.0, &db);
+        dw.recycle();
+        db.recycle();
         dx.reshape(&[batch, self.spec.in_channels * self.h * self.w])
     }
 
@@ -552,8 +620,17 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// New pooling layer for `c`-channel `h × w` inputs.
     pub fn new(c: usize, h: usize, w: usize, k: usize) -> Self {
-        assert!(h.is_multiple_of(k) && w.is_multiple_of(k), "pooling window must tile the input");
-        MaxPool2d { c, h, w, k, cache: None }
+        assert!(
+            h.is_multiple_of(k) && w.is_multiple_of(k),
+            "pooling window must tile the input"
+        );
+        MaxPool2d {
+            c,
+            h,
+            w,
+            k,
+            cache: None,
+        }
     }
 
     /// Flattened output feature count.
@@ -565,9 +642,14 @@ impl MaxPool2d {
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: Tensor, mode: Mode) -> Tensor {
         let (n, feat) = input.shape().as_matrix();
-        assert_eq!(feat, self.c * self.h * self.w, "maxpool input features mismatch");
+        assert_eq!(
+            feat,
+            self.c * self.h * self.w,
+            "maxpool input features mismatch"
+        );
         let x = input.reshape(&[n, self.c, self.h, self.w]);
         let (out, argmax) = maxpool2d_forward(&x, self.k);
+        x.recycle();
         if mode == Mode::Train {
             self.cache = Some((argmax, n * feat));
         }
@@ -583,6 +665,7 @@ impl Layer for MaxPool2d {
         let (oh, ow) = (self.h / self.k, self.w / self.k);
         let dy = grad_out.reshape(&[n, self.c, oh, ow]);
         let dx = maxpool2d_backward(&dy, &argmax, input_len);
+        dy.recycle();
         dx.reshape(&[n, self.c * self.h * self.w])
     }
 
@@ -636,7 +719,10 @@ mod tests {
             d.w.value.data_mut()[wi] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = d.w.grad.data()[wi];
-            assert!((num - ana).abs() < 2e-2, "dW[{wi}] numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "dW[{wi}] numeric {num} vs analytic {ana}"
+            );
         }
         // Check dx numerically at one position.
         let mut x2 = x.clone();
@@ -687,7 +773,10 @@ mod tests {
         assert_eq!(y_eval.data(), x.data());
         let y = d.forward(x, Mode::Train);
         let mean = y.mean();
-        assert!((mean - 1.0).abs() < 0.1, "inverted dropout mean {mean} should be ≈1");
+        assert!(
+            (mean - 1.0).abs() < 0.1,
+            "inverted dropout mean {mean} should be ≈1"
+        );
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
         assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
     }
@@ -747,14 +836,23 @@ mod tests {
             let lm = loss(&mut bn, &xm);
             let num = (lp - lm) / (2.0 * eps);
             let ana = dx.data()[xi];
-            assert!((num - ana).abs() < 3e-2, "dx[{xi}] numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 3e-2,
+                "dx[{xi}] numeric {num} vs analytic {ana}"
+            );
         }
     }
 
     #[test]
     fn conv_layer_shapes_flow() {
         let mut rng = rng_for(4, 1);
-        let spec = Conv2dSpec { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let mut conv = Conv2d::new(&mut rng, spec, 8, 8);
         let x = Tensor::randn(&mut rng, &[2, 3 * 64], 0.0, 1.0);
         let y = conv.forward(x, Mode::Train);

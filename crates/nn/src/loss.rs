@@ -13,7 +13,11 @@ use fedat_tensor::Tensor;
 pub fn softmax_cross_entropy(logits: &Tensor, targets: &[u32]) -> (f32, Tensor) {
     let (n, classes) = logits.shape().as_matrix();
     assert_eq!(targets.len(), n, "target count mismatch");
-    let mut probs = logits.softmax_rows();
+    // Scratch-arena copy: the returned gradient reuses recycled storage.
+    let mut probs = logits.clone_scratch();
+    for r in 0..n {
+        fedat_tensor::ops::softmax_inplace(probs.row_mut(r));
+    }
     let mut loss = 0.0f64;
     for (r, &t) in targets.iter().enumerate() {
         let t = t as usize;
@@ -103,7 +107,10 @@ mod tests {
             let (loss_m, _) = softmax_cross_entropy(&lm, &targets);
             let num = (loss_p - loss_m) / (2.0 * eps);
             let ana = grad.data()[idx];
-            assert!((num - ana).abs() < 1e-3, "idx {idx}: numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 1e-3,
+                "idx {idx}: numeric {num} vs analytic {ana}"
+            );
         }
     }
 

@@ -60,7 +60,12 @@ struct Cache {
 
 impl LstmLm {
     /// Builds a randomly initialized model.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, vocab: usize, embed_dim: usize, hidden: usize) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        vocab: usize,
+        embed_dim: usize,
+        hidden: usize,
+    ) -> Self {
         let mut b = Tensor::zeros(&[4 * hidden]);
         // Forget-gate bias = 1: the standard trick so early training does not
         // immediately flush the cell state.
@@ -87,7 +92,14 @@ impl LstmLm {
     }
 
     fn params(&self) -> Vec<&Param> {
-        vec![&self.embed, &self.w_ih, &self.w_hh, &self.b, &self.w_out, &self.b_out]
+        vec![
+            &self.embed,
+            &self.w_ih,
+            &self.w_hh,
+            &self.b,
+            &self.w_out,
+            &self.b_out,
+        ]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -121,15 +133,18 @@ impl LstmLm {
             let tokens: Vec<usize> = (0..n)
                 .map(|r| {
                     let id = x.row(r)[t];
-                    debug_assert!(id >= 0.0 && (id as usize) < self.vocab, "token id {id} out of range");
+                    debug_assert!(
+                        id >= 0.0 && (id as usize) < self.vocab,
+                        "token id {id} out of range"
+                    );
                     id as usize
                 })
                 .collect();
             let mut x_emb = Tensor::zeros(&[n, self.embed_dim]);
             for (r, &tok) in tokens.iter().enumerate() {
-                x_emb
-                    .row_mut(r)
-                    .copy_from_slice(&self.embed.value.data()[tok * self.embed_dim..(tok + 1) * self.embed_dim]);
+                x_emb.row_mut(r).copy_from_slice(
+                    &self.embed.value.data()[tok * self.embed_dim..(tok + 1) * self.embed_dim],
+                );
             }
 
             // Pre-activations: a = x·W_ih + h·W_hh + b, shape [n, 4H].
@@ -169,9 +184,7 @@ impl LstmLm {
             let mut out_t = h_new.matmul(&self.w_out.value);
             out_t.add_row_bias(&self.b_out.value);
             for r in 0..n {
-                logits
-                    .row_mut(r * t_len + t)
-                    .copy_from_slice(out_t.row(r));
+                logits.row_mut(r * t_len + t).copy_from_slice(out_t.row(r));
             }
 
             if mode == Mode::Train {
@@ -199,7 +212,10 @@ impl LstmLm {
 
     /// Backward pass from `d_logits` (`[batch · seq_len, vocab]`).
     fn backward(&mut self, d_logits: &Tensor) {
-        let cache = self.cache.take().expect("LstmLm::backward without Train forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("LstmLm::backward without Train forward");
         let n = cache.batch;
         let t_len = cache.steps.len();
         let h_dim = self.hidden;
@@ -257,8 +273,8 @@ impl LstmLm {
             // Embedding gradients: scatter dx rows by token id.
             let dx = da.matmul_nt(&self.w_ih.value);
             for (r, &tok) in step.tokens.iter().enumerate() {
-                let grad_row =
-                    &mut self.embed.grad.data_mut()[tok * self.embed_dim..(tok + 1) * self.embed_dim];
+                let grad_row = &mut self.embed.grad.data_mut()
+                    [tok * self.embed_dim..(tok + 1) * self.embed_dim];
                 for (gv, &dv) in grad_row.iter_mut().zip(dx.row(r)) {
                     *gv += dv;
                 }
@@ -284,7 +300,9 @@ impl Model for LstmLm {
         self.zero_grad();
         let logits = self.forward(x, Mode::Train);
         let (loss, d_logits) = softmax_cross_entropy(&logits, y);
+        logits.recycle();
         self.backward(&d_logits);
+        d_logits.recycle();
         let mut params = self.params_mut();
         if let Some(p) = prox {
             p.apply(&mut params);
@@ -337,7 +355,10 @@ mod tests {
         assert_eq!(b.weights(), w);
         // And the two models now agree on outputs.
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
-        assert_eq!(a.logits(&x, Mode::Eval).data(), b.logits(&x, Mode::Eval).data());
+        assert_eq!(
+            a.logits(&x, Mode::Eval).data(),
+            b.logits(&x, Mode::Eval).data()
+        );
     }
 
     #[test]

@@ -10,21 +10,40 @@ use fedat_tensor::Tensor;
 ///
 /// For sequence models, a "row" of `x` is one sequence and `y` must hold
 /// `seq_len` targets per row (handled transparently by the target stride).
-pub fn evaluate_batched(model: &mut dyn Model, x: &Tensor, y: &[u32], batch_size: usize) -> EvalResult {
+pub fn evaluate_batched(
+    model: &mut dyn Model,
+    x: &Tensor,
+    y: &[u32],
+    batch_size: usize,
+) -> EvalResult {
     let (rows, cols) = x.shape().as_matrix();
     assert!(batch_size > 0, "batch_size must be positive");
-    assert_eq!(y.len() % rows, 0, "targets must be a whole multiple of rows");
+    assert_eq!(
+        y.len() % rows,
+        0,
+        "targets must be a whole multiple of rows"
+    );
     let targets_per_row = y.len() / rows;
     let mut total = EvalResult::default();
     let mut start = 0usize;
     while start < rows {
         let end = (start + batch_size).min(rows);
         let n = end - start;
-        let xb = Tensor::from_vec(x.data()[start * cols..end * cols].to_vec(), &[n, cols]);
+        let xb = Tensor::from_vec(
+            fedat_tensor::scratch::take_copy(&x.data()[start * cols..end * cols]),
+            &[n, cols],
+        );
         let yb = &y[start * targets_per_row..end * targets_per_row];
         let logits = model.logits(&xb, Mode::Eval);
-        let (loss, _) = softmax_cross_entropy(&logits, yb);
-        let batch = EvalResult { loss, accuracy: accuracy(&logits, yb), count: yb.len() };
+        xb.recycle();
+        let (loss, grad) = softmax_cross_entropy(&logits, yb);
+        grad.recycle();
+        let batch = EvalResult {
+            loss,
+            accuracy: accuracy(&logits, yb),
+            count: yb.len(),
+        };
+        logits.recycle();
         total = total.merge(batch);
         start = end;
     }
@@ -39,7 +58,11 @@ mod tests {
 
     #[test]
     fn batched_eval_matches_full_eval() {
-        let spec = ModelSpec::Mlp { input: 5, hidden: vec![8], classes: 3 };
+        let spec = ModelSpec::Mlp {
+            input: 5,
+            hidden: vec![8],
+            classes: 3,
+        };
         let mut m = spec.build(1);
         let mut rng = rng_for(2, 2);
         let x = Tensor::randn(&mut rng, &[23, 5], 0.0, 1.0);
@@ -53,7 +76,11 @@ mod tests {
 
     #[test]
     fn batched_eval_handles_sequences() {
-        let spec = ModelSpec::LstmLm { vocab: 8, embed: 4, hidden: 5 };
+        let spec = ModelSpec::LstmLm {
+            vocab: 8,
+            embed: 4,
+            hidden: 5,
+        };
         let mut m = spec.build(1);
         let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], &[2, 4]);
         let y: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 0];

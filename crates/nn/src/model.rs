@@ -59,8 +59,15 @@ pub trait Model: Send {
     /// Loss and accuracy on a labelled batch.
     fn evaluate(&mut self, x: &Tensor, y: &[u32]) -> EvalResult {
         let logits = self.logits(x, Mode::Eval);
-        let (loss, _) = softmax_cross_entropy(&logits, y);
-        EvalResult { loss, accuracy: accuracy(&logits, y), count: y.len() }
+        let (loss, grad) = softmax_cross_entropy(&logits, y);
+        grad.recycle();
+        let result = EvalResult {
+            loss,
+            accuracy: accuracy(&logits, y),
+            count: y.len(),
+        };
+        logits.recycle();
+        result
     }
 
     /// Total scalar weight count.
@@ -121,11 +128,20 @@ impl Sequential {
         self.layers.len()
     }
 
-    /// Runs a full forward pass.
-    pub fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
-        self.layers
-            .iter_mut()
-            .fold(x, |acc, layer| layer.forward(acc, mode))
+    /// Runs a full forward pass from a borrowed batch.
+    ///
+    /// The first layer reads `x` in place (or caches a scratch-arena copy
+    /// when training requires it); no per-batch clone of the input is made.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (first, rest) = self
+            .layers
+            .split_first_mut()
+            .expect("Sequential has at least one layer");
+        let mut acc = first.forward_ref(x, mode);
+        for layer in rest {
+            acc = layer.forward(acc, mode);
+        }
+        acc
     }
 
     /// Runs a full backward pass (after a `Train` forward).
@@ -148,7 +164,10 @@ impl Sequential {
     }
 
     fn all_params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Human-readable architecture summary, e.g. `dense→relu→dense`.
@@ -163,7 +182,7 @@ impl Sequential {
 
 impl Model for Sequential {
     fn logits(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        self.forward(x.clone(), mode)
+        self.forward(x, mode)
     }
 
     fn train_batch(
@@ -174,9 +193,11 @@ impl Model for Sequential {
         prox: Option<&ProxTerm>,
     ) -> f32 {
         self.zero_grad();
-        let logits = self.forward(x.clone(), Mode::Train);
+        let logits = self.forward(x, Mode::Train);
         let (loss, d_logits) = softmax_cross_entropy(&logits, y);
-        self.backward(d_logits);
+        logits.recycle();
+        let dx = self.backward(d_logits);
+        dx.recycle();
         let mut params = self.all_params_mut();
         if let Some(p) = prox {
             p.apply(&mut params);
@@ -255,7 +276,11 @@ mod tests {
             "loss should drop substantially: {first} → {}",
             result.loss
         );
-        assert!(result.accuracy > 0.9, "accuracy {} too low", result.accuracy);
+        assert!(
+            result.accuracy > 0.9,
+            "accuracy {} too low",
+            result.accuracy
+        );
     }
 
     #[test]
@@ -285,8 +310,16 @@ mod tests {
 
     #[test]
     fn eval_result_merge_weighs_by_count() {
-        let a = EvalResult { loss: 1.0, accuracy: 1.0, count: 10 };
-        let b = EvalResult { loss: 3.0, accuracy: 0.0, count: 30 };
+        let a = EvalResult {
+            loss: 1.0,
+            accuracy: 1.0,
+            count: 10,
+        };
+        let b = EvalResult {
+            loss: 3.0,
+            accuracy: 0.0,
+            count: 30,
+        };
         let m = a.merge(b);
         assert_eq!(m.count, 40);
         assert!((m.loss - 2.5).abs() < 1e-6);

@@ -71,13 +71,25 @@ pub enum ModelSpec {
 impl ModelSpec {
     /// Builds a freshly initialized model; identical `(spec, seed)` pairs
     /// produce identical weights.
+    ///
+    /// **Invariant relied on by `fedat-core`'s thread-local model cache:**
+    /// every architecture built here must be a pure function of its
+    /// parameters — `set_weights` fully resets the model. Do **not** add
+    /// layers with non-parameter state (`BatchNorm1d` running statistics,
+    /// `Dropout` RNG position) to a spec without also giving cached
+    /// instances a way to reset that state, or model reuse will silently
+    /// leak state across simulated clients.
     pub fn build(&self, seed: u64) -> Box<dyn Model> {
         let mut rng = rng_for(seed, tags::INIT);
         match self {
             ModelSpec::Logistic { input, classes } => Box::new(Sequential::new(vec![Box::new(
                 Dense::new(&mut rng, *input, *classes),
             )])),
-            ModelSpec::Mlp { input, hidden, classes } => {
+            ModelSpec::Mlp {
+                input,
+                hidden,
+                classes,
+            } => {
                 let mut layers: Vec<Box<dyn crate::layer::Layer>> = Vec::new();
                 let mut dim = *input;
                 for &h in hidden {
@@ -88,14 +100,31 @@ impl ModelSpec {
                 layers.push(Box::new(Dense::new(&mut rng, dim, *classes)));
                 Box::new(Sequential::new(layers))
             }
-            ModelSpec::CnnLite { channels, height, width, classes } => {
+            ModelSpec::CnnLite {
+                channels,
+                height,
+                width,
+                classes,
+            } => {
                 assert!(
                     height % 4 == 0 && width % 4 == 0,
                     "CnnLite needs H,W divisible by 4, got {height}×{width}"
                 );
                 let (c, h, w) = (*channels, *height, *width);
-                let spec1 = Conv2dSpec { in_channels: c, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
-                let spec2 = Conv2dSpec { in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1 };
+                let spec1 = Conv2dSpec {
+                    in_channels: c,
+                    out_channels: 16,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                };
+                let spec2 = Conv2dSpec {
+                    in_channels: 16,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                };
                 let flat = 32 * (h / 4) * (w / 4);
                 Box::new(Sequential::new(vec![
                     Box::new(Conv2d::new(&mut rng, spec1, h, w)),
@@ -109,15 +138,38 @@ impl ModelSpec {
                     Box::new(Dense::new(&mut rng, 64, *classes)),
                 ]))
             }
-            ModelSpec::CnnPaper { channels, height, width, classes } => {
+            ModelSpec::CnnPaper {
+                channels,
+                height,
+                width,
+                classes,
+            } => {
                 assert!(
                     height % 8 == 0 && width % 8 == 0,
                     "CnnPaper needs H,W divisible by 8, got {height}×{width}"
                 );
                 let (c, h, w) = (*channels, *height, *width);
-                let s1 = Conv2dSpec { in_channels: c, out_channels: 32, kernel: 3, stride: 1, padding: 1 };
-                let s2 = Conv2dSpec { in_channels: 32, out_channels: 64, kernel: 3, stride: 1, padding: 1 };
-                let s3 = Conv2dSpec { in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1 };
+                let s1 = Conv2dSpec {
+                    in_channels: c,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                };
+                let s2 = Conv2dSpec {
+                    in_channels: 32,
+                    out_channels: 64,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                };
+                let s3 = Conv2dSpec {
+                    in_channels: 64,
+                    out_channels: 64,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                };
                 let flat = 64 * (h / 8) * (w / 8);
                 Box::new(Sequential::new(vec![
                     Box::new(Conv2d::new(&mut rng, s1, h, w)),
@@ -134,9 +186,11 @@ impl ModelSpec {
                     Box::new(Dense::new(&mut rng, 64, *classes)),
                 ]))
             }
-            ModelSpec::LstmLm { vocab, embed, hidden } => {
-                Box::new(LstmLm::new(&mut rng, *vocab, *embed, *hidden))
-            }
+            ModelSpec::LstmLm {
+                vocab,
+                embed,
+                hidden,
+            } => Box::new(LstmLm::new(&mut rng, *vocab, *embed, *hidden)),
         }
     }
 
@@ -155,20 +209,31 @@ mod tests {
 
     #[test]
     fn logistic_param_count() {
-        let spec = ModelSpec::Logistic { input: 20, classes: 3 };
+        let spec = ModelSpec::Logistic {
+            input: 20,
+            classes: 3,
+        };
         assert_eq!(spec.num_params(), 20 * 3 + 3);
     }
 
     #[test]
     fn mlp_param_count() {
-        let spec = ModelSpec::Mlp { input: 10, hidden: vec![16, 8], classes: 4 };
+        let spec = ModelSpec::Mlp {
+            input: 10,
+            hidden: vec![16, 8],
+            classes: 4,
+        };
         let expected = 10 * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4;
         assert_eq!(spec.num_params(), expected);
     }
 
     #[test]
     fn build_is_deterministic_in_seed() {
-        let spec = ModelSpec::Mlp { input: 6, hidden: vec![5], classes: 2 };
+        let spec = ModelSpec::Mlp {
+            input: 6,
+            hidden: vec![5],
+            classes: 2,
+        };
         let a = spec.build(42).weights();
         let b = spec.build(42).weights();
         let c = spec.build(43).weights();
@@ -178,7 +243,12 @@ mod tests {
 
     #[test]
     fn cnn_lite_forward_shape() {
-        let spec = ModelSpec::CnnLite { channels: 3, height: 8, width: 8, classes: 10 };
+        let spec = ModelSpec::CnnLite {
+            channels: 3,
+            height: 8,
+            width: 8,
+            classes: 10,
+        };
         let mut m = spec.build(1);
         let x = Tensor::zeros(&[2, 3 * 8 * 8]);
         let logits = m.logits(&x, Mode::Eval);
@@ -187,18 +257,30 @@ mod tests {
 
     #[test]
     fn cnn_paper_forward_shape() {
-        let spec = ModelSpec::CnnPaper { channels: 3, height: 16, width: 16, classes: 10 };
+        let spec = ModelSpec::CnnPaper {
+            channels: 3,
+            height: 16,
+            width: 16,
+            classes: 10,
+        };
         let mut m = spec.build(1);
         let x = Tensor::zeros(&[1, 3 * 16 * 16]);
         let logits = m.logits(&x, Mode::Eval);
         assert_eq!(logits.dims(), &[1, 10]);
         // 3 conv layers + 2 dense → 8 weight tensors (w+b each is 2) = 10 params.
-        assert!(m.num_params() > 50_000, "paper CNN should be reasonably sized");
+        assert!(
+            m.num_params() > 50_000,
+            "paper CNN should be reasonably sized"
+        );
     }
 
     #[test]
     fn lstm_spec_builds() {
-        let spec = ModelSpec::LstmLm { vocab: 20, embed: 8, hidden: 12 };
+        let spec = ModelSpec::LstmLm {
+            vocab: 20,
+            embed: 8,
+            hidden: 12,
+        };
         let mut m = spec.build(3);
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
         assert_eq!(m.logits(&x, Mode::Eval).dims(), &[4, 20]);

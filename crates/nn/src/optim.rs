@@ -37,7 +37,11 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum out of [0,1)");
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -45,15 +49,20 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.momentum == 0.0 {
             for p in params.iter_mut() {
-                let g = p.grad.data().to_vec();
-                fedat_tensor::ops::axpy(-self.lr, &g, p.value.data_mut());
+                // Split borrows: value and grad are disjoint fields.
+                let Param { value, grad } = &mut **p;
+                fedat_tensor::ops::axpy(-self.lr, grad.data(), value.data_mut());
             }
             return;
         }
         if self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "optimizer bound to a different model");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "optimizer bound to a different model"
+        );
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
             for ((w, &g), vi) in p
                 .value
@@ -97,7 +106,15 @@ impl Adam {
     /// Adam with explicit hyperparameters.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -107,11 +124,19 @@ impl Optimizer for Adam {
             self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
             self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "optimizer bound to a different model");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "optimizer bound to a different model"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             for (((w, &g), mi), vi) in p
                 .value
                 .data_mut()
@@ -142,17 +167,27 @@ impl Optimizer for Adam {
 ///
 /// Holds the flattened global model `w_global` and the coefficient `λ`;
 /// [`ProxTerm::apply`] adds `λ(w − w_global)` to each parameter gradient.
+///
+/// The global weights are held behind an `Arc`, so a server broadcasting
+/// one model to many clients shares a single decoded copy instead of
+/// cloning the full weight vector per dispatch.
 pub struct ProxTerm {
     /// Constraint coefficient λ (the paper uses 0.4).
     pub lambda: f32,
-    /// Flattened global weights in canonical parameter order.
-    pub global: Vec<f32>,
+    /// Flattened global weights in canonical parameter order (shared,
+    /// zero-copy across concurrent client dispatches).
+    pub global: std::sync::Arc<[f32]>,
 }
 
 impl ProxTerm {
     /// New proximal term around `global` with coefficient `lambda`.
-    pub fn new(lambda: f32, global: Vec<f32>) -> Self {
-        ProxTerm { lambda, global }
+    ///
+    /// Accepts a `Vec<f32>` (owned) or an `Arc<[f32]>` (shared, zero-copy).
+    pub fn new(lambda: f32, global: impl Into<std::sync::Arc<[f32]>>) -> Self {
+        ProxTerm {
+            lambda,
+            global: global.into(),
+        }
     }
 
     /// Adds `λ(w − w_global)` to the accumulated gradients.

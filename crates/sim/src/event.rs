@@ -50,7 +50,10 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` at absolute virtual time `time`.
@@ -59,7 +62,11 @@ impl<T> EventQueue<T> {
     /// Panics if `time` is not finite.
     pub fn push(&mut self, time: f64, payload: T) {
         assert!(time.is_finite(), "event time must be finite, got {time}");
-        self.heap.push(Entry { time, seq: self.seq, payload });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

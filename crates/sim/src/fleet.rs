@@ -54,7 +54,10 @@ impl ClusterConfig {
 
     /// The paper's 500-client AWS-style configuration.
     pub fn paper_large(seed: u64) -> Self {
-        ClusterConfig { n_clients: 500, ..Self::paper_medium(seed) }
+        ClusterConfig {
+            n_clients: 500,
+            ..Self::paper_medium(seed)
+        }
     }
 
     /// Convenience: same config with a different client count.
@@ -181,7 +184,9 @@ impl Fleet {
 
     /// Clients alive at `time`.
     pub fn alive_at(&self, time: f64) -> Vec<usize> {
-        (0..self.len()).filter(|&c| self.is_alive(c, time)).collect()
+        (0..self.len())
+            .filter(|&c| self.is_alive(c, time))
+            .collect()
     }
 
     /// Response latency of one training round (compute + injected delay).
@@ -192,7 +197,8 @@ impl Fleet {
 
     /// Expected (mean-delay) latency, for profiling-based tiering.
     pub fn expected_latency(&self, client: usize, epochs: usize) -> f64 {
-        self.latency.expected_latency(client, self.sample_counts[client], epochs)
+        self.latency
+            .expected_latency(client, self.sample_counts[client], epochs)
     }
 
     /// Ground-truth delay part of a client.
@@ -269,7 +275,11 @@ mod tests {
 
     #[test]
     fn latency_reflects_sample_counts() {
-        let cfg = ClusterConfig { n_clients: 2, n_unstable: 0, ..ClusterConfig::paper_medium(1) };
+        let cfg = ClusterConfig {
+            n_clients: 2,
+            n_unstable: 0,
+            ..ClusterConfig::paper_medium(1)
+        };
         let f = Fleet::new(&cfg, vec![10, 100]);
         // Find round where both have their injected delay fixed; compare
         // compute-only difference via expected latency.

@@ -75,7 +75,12 @@ impl LatencyModel {
             }
             cursor += size;
         }
-        LatencyModel { parts, assignment, per_sample_cost, seed }
+        LatencyModel {
+            parts,
+            assignment,
+            per_sample_cost,
+            seed,
+        }
     }
 
     /// The paper's default: five equal parts with the §6 delay ranges.
@@ -122,7 +127,13 @@ impl LatencyModel {
     }
 
     /// Full response latency for one round: compute + injected delay.
-    pub fn response_latency(&self, client: usize, round: u64, n_samples: usize, epochs: usize) -> f64 {
+    pub fn response_latency(
+        &self,
+        client: usize,
+        round: u64,
+        n_samples: usize,
+        epochs: usize,
+    ) -> f64 {
         self.compute_time(n_samples, epochs) + self.injected_delay(client, round)
     }
 
@@ -156,13 +167,8 @@ mod tests {
 
     #[test]
     fn custom_sizes_respected() {
-        let m = LatencyModel::with_sizes(
-            500,
-            paper_delay_parts(),
-            &[50, 50, 100, 100, 200],
-            0.01,
-            1,
-        );
+        let m =
+            LatencyModel::with_sizes(500, paper_delay_parts(), &[50, 50, 100, 100, 200], 0.01, 1);
         assert_eq!(m.part_sizes(), vec![50, 50, 100, 100, 200]);
     }
 
@@ -220,7 +226,10 @@ mod tests {
             })
             .collect();
         for w in by_part.windows(2) {
-            assert!(w[0] <= w[1], "expected latency must grow with part index: {by_part:?}");
+            assert!(
+                w[0] <= w[1],
+                "expected latency must grow with part index: {by_part:?}"
+            );
         }
     }
 

@@ -77,16 +77,30 @@ impl SimCtx<'_> {
         );
         let round = self.dispatch_counts[client];
         self.dispatch_counts[client] += 1;
-        let latency =
-            self.fleet.response_latency(client, round, epochs) + self.fleet.transfer_time(transfer_bytes);
+        let latency = self.fleet.response_latency(client, round, epochs)
+            + self.fleet.transfer_time(transfer_bytes);
         let done_at = self.now + latency;
         match self.fleet.dropout_time(client) {
             Some(t_drop) if t_drop <= done_at => {
-                self.queue.push(t_drop.max(self.now), Completion { client, tag, dropped: true });
+                self.queue.push(
+                    t_drop.max(self.now),
+                    Completion {
+                        client,
+                        tag,
+                        dropped: true,
+                    },
+                );
                 t_drop
             }
             _ => {
-                self.queue.push(done_at, Completion { client, tag, dropped: false });
+                self.queue.push(
+                    done_at,
+                    Completion {
+                        client,
+                        tag,
+                        dropped: false,
+                    },
+                );
                 done_at
             }
         }
@@ -95,6 +109,44 @@ impl SimCtx<'_> {
     /// Number of training rounds this client has been dispatched so far.
     pub fn dispatches_of(&self, client: usize) -> u64 {
         self.dispatch_counts[client]
+    }
+
+    /// Schedules a bare transfer completion: the event fires after moving
+    /// `bytes` over the client's link (immediately under infinite
+    /// bandwidth). Strategies use this for the *uplink* leg — the payload
+    /// size of a trained model is only known once training finishes, so it
+    /// cannot be folded into the dispatch latency like the downlink.
+    ///
+    /// Unlike [`SimCtx::dispatch`], this does not count as a training
+    /// dispatch (the client's batch schedule is unaffected). If the client
+    /// drops out mid-transfer, a `dropped` completion is delivered at the
+    /// dropout time instead and the payload is lost.
+    pub fn schedule_transfer(&mut self, client: usize, tag: u64, bytes: usize) -> f64 {
+        let done_at = self.now + self.fleet.transfer_time(bytes);
+        match self.fleet.dropout_time(client) {
+            Some(t_drop) if t_drop <= done_at => {
+                self.queue.push(
+                    t_drop.max(self.now),
+                    Completion {
+                        client,
+                        tag,
+                        dropped: true,
+                    },
+                );
+                t_drop
+            }
+            _ => {
+                self.queue.push(
+                    done_at,
+                    Completion {
+                        client,
+                        tag,
+                        dropped: false,
+                    },
+                );
+                done_at
+            }
+        }
     }
 }
 
@@ -121,7 +173,10 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { max_time: 1e9, max_events: 50_000_000 }
+        RunLimits {
+            max_time: 1e9,
+            max_events: 50_000_000,
+        }
     }
 }
 
@@ -201,7 +256,11 @@ pub fn run(
         handler.on_completion(&mut ctx, completion);
     };
 
-    SimReport { end_time: now, events, reason }
+    SimReport {
+        end_time: now,
+        events,
+        reason,
+    }
 }
 
 #[cfg(test)]
@@ -330,7 +389,11 @@ mod tests {
                 self.started && self.drops + self.done == 10
             }
         }
-        let mut h = DropCounter { drops: 0, done: 0, started: false };
+        let mut h = DropCounter {
+            drops: 0,
+            done: 0,
+            started: false,
+        };
         let report = run(&mut h, &fleet, 3, RunLimits::default());
         assert_eq!(report.reason, StopReason::Finished);
         // Compute time = 200 × 3 × 0.01 = 6 s > horizon 5 s, so every client
@@ -376,7 +439,10 @@ mod tests {
             &mut Forever,
             &fleet,
             1,
-            RunLimits { max_time: 1e12, max_events: 100 },
+            RunLimits {
+                max_time: 1e12,
+                max_events: 100,
+            },
         );
         assert_eq!(report.reason, StopReason::LimitReached);
         assert_eq!(report.events, 100);
@@ -384,7 +450,9 @@ mod tests {
 
     #[test]
     fn bandwidth_extends_completion_time() {
-        let mut cfg = ClusterConfig::paper_medium(21).without_dropouts().with_clients(10);
+        let mut cfg = ClusterConfig::paper_medium(21)
+            .without_dropouts()
+            .with_clients(10);
         // Zero delays so only compute + transfer remain.
         cfg.delay_parts = vec![crate::latency::DelayPart { lo: 0.0, hi: 0.0 }];
         cfg.part_sizes = Some(vec![10]);
@@ -406,9 +474,15 @@ mod tests {
                 self.done_at > 0.0
             }
         }
-        let mut free = OneShot { with_bytes: false, done_at: 0.0 };
+        let mut free = OneShot {
+            with_bytes: false,
+            done_at: 0.0,
+        };
         run(&mut free, &fleet, 1, RunLimits::default());
-        let mut charged = OneShot { with_bytes: true, done_at: 0.0 };
+        let mut charged = OneShot {
+            with_bytes: true,
+            done_at: 0.0,
+        };
         run(&mut charged, &fleet, 1, RunLimits::default());
         // 5000 B at 1000 B/s = 5 s extra.
         assert!((charged.done_at - free.done_at - 5.0).abs() < 1e-9);
@@ -439,7 +513,10 @@ mod tests {
                 self.times.len() >= 2
             }
         }
-        let mut h = TwoShots { client: slow, times: Vec::new() };
+        let mut h = TwoShots {
+            client: slow,
+            times: Vec::new(),
+        };
         run(&mut h, &fleet, 1, RunLimits::default());
         let d1 = h.times[0];
         let d2 = h.times[1] - h.times[0];

@@ -56,7 +56,11 @@ where
     });
     rx.into_iter()
         .enumerate()
-        .map(|(seq, (tier, round))| TierArrival { tier, round, seq: seq as u64 })
+        .map(|(seq, (tier, round))| TierArrival {
+            tier,
+            round,
+            seq: seq as u64,
+        })
         .collect()
 }
 
@@ -68,14 +72,32 @@ mod tests {
     #[test]
     fn all_rounds_arrive_exactly_once() {
         let tiers = vec![
-            TierSpec { round_latency: Duration::from_millis(1), rounds: 20 },
-            TierSpec { round_latency: Duration::from_millis(3), rounds: 10 },
+            TierSpec {
+                round_latency: Duration::from_millis(1),
+                rounds: 20,
+            },
+            TierSpec {
+                round_latency: Duration::from_millis(3),
+                rounds: 10,
+            },
         ];
         let arrivals = run_concurrent_tiers(&tiers, |_, _| {});
         assert_eq!(arrivals.len(), 30);
-        let t0: Vec<u64> = arrivals.iter().filter(|a| a.tier == 0).map(|a| a.round).collect();
-        let t1: Vec<u64> = arrivals.iter().filter(|a| a.tier == 1).map(|a| a.round).collect();
-        assert_eq!(t0, (0..20).collect::<Vec<_>>(), "tier rounds must stay ordered");
+        let t0: Vec<u64> = arrivals
+            .iter()
+            .filter(|a| a.tier == 0)
+            .map(|a| a.round)
+            .collect();
+        let t1: Vec<u64> = arrivals
+            .iter()
+            .filter(|a| a.tier == 1)
+            .map(|a| a.round)
+            .collect();
+        assert_eq!(
+            t0,
+            (0..20).collect::<Vec<_>>(),
+            "tier rounds must stay ordered"
+        );
         assert_eq!(t1, (0..10).collect::<Vec<_>>());
     }
 
@@ -85,8 +107,14 @@ mod tests {
         // slow tier finishes round 0 the fast tier must have banked many
         // rounds — the asynchronous-tiers property FedAT relies on.
         let tiers = vec![
-            TierSpec { round_latency: Duration::from_millis(1), rounds: 50 },
-            TierSpec { round_latency: Duration::from_millis(40), rounds: 2 },
+            TierSpec {
+                round_latency: Duration::from_millis(1),
+                rounds: 50,
+            },
+            TierSpec {
+                round_latency: Duration::from_millis(40),
+                rounds: 2,
+            },
         ];
         let arrivals = run_concurrent_tiers(&tiers, |_, _| {});
         let slow_first = arrivals
@@ -107,7 +135,13 @@ mod tests {
     #[test]
     fn shared_state_updates_are_not_lost() {
         let counter = Mutex::new(0u64);
-        let tiers = vec![TierSpec { round_latency: Duration::from_micros(10), rounds: 100 }; 8];
+        let tiers = vec![
+            TierSpec {
+                round_latency: Duration::from_micros(10),
+                rounds: 100
+            };
+            8
+        ];
         run_concurrent_tiers(&tiers, |_, _| {
             *counter.lock() += 1;
         });
@@ -117,13 +151,25 @@ mod tests {
     #[test]
     fn server_sees_interleaved_tiers() {
         let tiers = vec![
-            TierSpec { round_latency: Duration::from_millis(2), rounds: 15 },
-            TierSpec { round_latency: Duration::from_millis(3), rounds: 10 },
+            TierSpec {
+                round_latency: Duration::from_millis(2),
+                rounds: 15,
+            },
+            TierSpec {
+                round_latency: Duration::from_millis(3),
+                rounds: 10,
+            },
         ];
         let arrivals = run_concurrent_tiers(&tiers, |_, _| {});
         // The arrival stream should not be two contiguous blocks: count tier
         // switches along the sequence.
-        let switches = arrivals.windows(2).filter(|w| w[0].tier != w[1].tier).count();
-        assert!(switches >= 3, "tiers did not interleave (only {switches} switches)");
+        let switches = arrivals
+            .windows(2)
+            .filter(|w| w[0].tier != w[1].tier)
+            .count();
+        assert!(
+            switches >= 3,
+            "tiers did not interleave (only {switches} switches)"
+        );
     }
 }

@@ -31,7 +31,10 @@ pub struct Trace {
 impl Trace {
     /// An empty trace.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), points: Vec::new() }
+        Trace {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point (must not go back in time).
@@ -63,7 +66,10 @@ impl Trace {
 
     /// First virtual time at which `target` accuracy is reached.
     pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
-        self.points.iter().find(|p| p.accuracy >= target).map(|p| p.time)
+        self.points
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.time)
     }
 
     /// Cumulative (up + down) bytes when `target` accuracy is first reached
@@ -77,7 +83,10 @@ impl Trace {
 
     /// Uplink-only bytes when `target` is first reached (Fig. 4 x-axis).
     pub fn upload_bytes_to_accuracy(&self, target: f32) -> Option<u64> {
-        self.points.iter().find(|p| p.accuracy >= target).map(|p| p.up_bytes)
+        self.points
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.up_bytes)
     }
 
     /// Moving-average smoothing over `window` consecutive points (the paper
@@ -127,7 +136,14 @@ mod tests {
     use super::*;
 
     fn pt(time: f64, acc: f32, up: u64) -> TracePoint {
-        TracePoint { time, round: time as u64, accuracy: acc, loss: 1.0 - acc, up_bytes: up, down_bytes: up / 2 }
+        TracePoint {
+            time,
+            round: time as u64,
+            accuracy: acc,
+            loss: 1.0 - acc,
+            up_bytes: up,
+            down_bytes: up / 2,
+        }
     }
 
     #[test]

@@ -35,19 +35,15 @@ impl Conv2dSpec {
             "kernel {} does not fit padded input {ph}×{pw}",
             self.kernel
         );
-        ((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1)
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
     }
 }
 
 /// Unfolds one image `[C, H, W]` into a `[C·K·K, OH·OW]` column matrix.
-pub fn im2col(
-    img: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    spec: &Conv2dSpec,
-    cols: &mut [f32],
-) {
+pub fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: &mut [f32]) {
     let (oh, ow) = spec.out_hw(h, w);
     let k = spec.kernel;
     assert_eq!(img.len(), c * h * w, "image size mismatch");
@@ -81,14 +77,7 @@ pub fn im2col(
 
 /// Folds a `[C·K·K, OH·OW]` column matrix back into an image, accumulating
 /// overlapping contributions (the adjoint of [`im2col`]).
-pub fn col2im(
-    cols: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    spec: &Conv2dSpec,
-    img: &mut [f32],
-) {
+pub fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, img: &mut [f32]) {
     let (oh, ow) = spec.out_hw(h, w);
     let k = spec.kernel;
     assert_eq!(img.len(), c * h * w, "image size mismatch");
@@ -139,17 +128,21 @@ pub fn conv2d_forward(
     let cout = spec.out_channels;
     let k = spec.kernel;
     assert_eq!(input.len(), n * cin * h * w, "conv input size mismatch");
-    assert_eq!(weight.dims(), &[cout, cin * k * k], "conv weight shape mismatch");
+    assert_eq!(
+        weight.dims(),
+        &[cout, cin * k * k],
+        "conv weight shape mismatch"
+    );
     assert_eq!(bias.len(), cout, "conv bias shape mismatch");
     let (oh, ow) = spec.out_hw(h, w);
     let col_rows = cin * k * k;
     let col_cols = oh * ow;
 
-    let mut out = Tensor::zeros(&[n, cout, oh, ow]);
+    let mut out = Tensor::zeros_scratch(&[n, cout, oh, ow]);
     let mut saved_cols = Vec::with_capacity(n);
     for i in 0..n {
         let img = &input.data()[i * cin * h * w..(i + 1) * cin * h * w];
-        let mut cols = vec![0.0f32; col_rows * col_cols];
+        let mut cols = crate::scratch::take_zeroed(col_rows * col_cols);
         im2col(img, cin, h, w, spec, &mut cols);
         let out_slice = &mut out.data_mut()[i * cout * col_cols..(i + 1) * cout * col_cols];
         matmul_into(weight.data(), &cols, out_slice, cout, col_rows, col_cols);
@@ -165,10 +158,13 @@ pub fn conv2d_forward(
 }
 
 /// Backward convolution. Returns `(d_input, d_weight, d_bias)`.
+///
+/// Consumes the per-sample column matrices saved by [`conv2d_forward`] and
+/// recycles their storage into the scratch arena.
 pub fn conv2d_backward(
     d_out: &Tensor,
     weight: &Tensor,
-    saved_cols: &[Vec<f32>],
+    saved_cols: Vec<Vec<f32>>,
     h: usize,
     w: usize,
     spec: &Conv2dSpec,
@@ -183,23 +179,25 @@ pub fn conv2d_backward(
     assert_eq!(d_out.len(), n * cout * col_cols, "conv d_out size mismatch");
     assert_eq!(saved_cols.len(), n, "saved_cols batch mismatch");
 
-    let mut d_input = Tensor::zeros(&[n, cin, h, w]);
-    let mut d_weight = Tensor::zeros(&[cout, col_rows]);
-    let mut d_bias = Tensor::zeros(&[cout]);
+    let mut d_input = Tensor::zeros_scratch(&[n, cin, h, w]);
+    let mut d_weight = Tensor::zeros_scratch(&[cout, col_rows]);
+    let mut d_bias = Tensor::zeros_scratch(&[cout]);
 
-    for (i, cols) in saved_cols.iter().enumerate() {
+    for (i, cols) in saved_cols.into_iter().enumerate() {
         let dy = &d_out.data()[i * cout * col_cols..(i + 1) * cout * col_cols];
         // dW += dY · colsᵀ  (dY: [cout, col_cols], cols: [col_rows, col_cols])
-        matmul_nt_into(dy, cols, d_weight.data_mut(), cout, col_cols, col_rows);
+        matmul_nt_into(dy, &cols, d_weight.data_mut(), cout, col_cols, col_rows);
         // d_bias += row sums of dY
         for (co, plane) in dy.chunks(col_cols).enumerate() {
             d_bias.data_mut()[co] += plane.iter().sum::<f32>();
         }
         // dCols = Wᵀ · dY  ([col_rows, col_cols])
-        let mut d_cols = vec![0.0f32; col_rows * col_cols];
+        let mut d_cols = crate::scratch::take_zeroed(col_rows * col_cols);
         matmul_tn_into(weight.data(), dy, &mut d_cols, col_rows, cout, col_cols);
         let d_img = &mut d_input.data_mut()[i * cin * h * w..(i + 1) * cin * h * w];
         col2im(&d_cols, cin, h, w, spec, d_img);
+        crate::scratch::recycle(d_cols);
+        crate::scratch::recycle(cols);
     }
     (d_input, d_weight, d_bias)
 }
@@ -211,10 +209,13 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
     let dims = input.dims();
     assert_eq!(dims.len(), 4, "maxpool expects NCHW input");
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    assert!(k > 0 && h >= k && w >= k, "pool window {k} too large for {h}×{w}");
+    assert!(
+        k > 0 && h >= k && w >= k,
+        "pool window {k} too large for {h}×{w}"
+    );
     let oh = h / k;
     let ow = w / k;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = Tensor::zeros_scratch(&[n, c, oh, ow]);
     let mut argmax = vec![0u32; n * c * oh * ow];
     let src = input.data();
     let dst = out.data_mut();
@@ -248,7 +249,7 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
 /// Backward max pooling: routes each output gradient to its argmax input.
 pub fn maxpool2d_backward(d_out: &Tensor, argmax: &[u32], input_len: usize) -> Tensor {
     assert_eq!(d_out.len(), argmax.len(), "argmax/d_out length mismatch");
-    let mut d_in = vec![0.0f32; input_len];
+    let mut d_in = crate::scratch::take_zeroed(input_len);
     for (g, &idx) in d_out.data().iter().zip(argmax.iter()) {
         d_in[idx as usize] += g;
     }
@@ -283,15 +284,19 @@ mod tests {
                         for ci in 0..spec.in_channels {
                             for ky in 0..k {
                                 for kx in 0..k {
-                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                         let iv = input.data()[((i * spec.in_channels + ci) * h
                                             + iy as usize)
                                             * w
                                             + ix as usize];
-                                        let wv = weight.data()
-                                            [co * spec.in_channels * k * k + ci * k * k + ky * k + kx];
+                                        let wv = weight.data()[co * spec.in_channels * k * k
+                                            + ci * k * k
+                                            + ky * k
+                                            + kx];
                                         acc += iv * wv;
                                     }
                                 }
@@ -307,16 +312,34 @@ mod tests {
 
     #[test]
     fn out_hw_formula() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(spec.out_hw(8, 8), (8, 8));
-        let spec2 = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 2, padding: 0 };
+        let spec2 = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
         assert_eq!(spec2.out_hw(8, 8), (4, 4));
     }
 
     #[test]
     fn im2col_conv_matches_naive() {
         let mut rng = rng_for(10, 1);
-        let spec = Conv2dSpec { in_channels: 3, out_channels: 4, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let (h, w) = (6, 5);
         let input = Tensor::randn(&mut rng, &[2, 3, h, w], 0.0, 1.0);
         let weight = Tensor::randn(&mut rng, &[4, 3 * 9], 0.0, 0.5);
@@ -332,7 +355,13 @@ mod tests {
     #[test]
     fn strided_no_padding_conv_matches_naive() {
         let mut rng = rng_for(11, 1);
-        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kernel: 2, stride: 2, padding: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
         let (h, w) = (8, 8);
         let input = Tensor::randn(&mut rng, &[1, 2, h, w], 0.0, 1.0);
         let weight = Tensor::randn(&mut rng, &[3, 2 * 4], 0.0, 0.5);
@@ -349,24 +378,45 @@ mod tests {
         // <im2col(x), y> must equal <x, col2im(y)> — the defining property of
         // the adjoint, which backprop correctness relies on.
         let mut rng = rng_for(12, 1);
-        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let (c, h, w) = (2, 5, 4);
         let (oh, ow) = spec.out_hw(h, w);
         let x = Tensor::randn(&mut rng, &[c, h, w], 0.0, 1.0);
         let y = Tensor::randn(&mut rng, &[c * 9, oh * ow], 0.0, 1.0);
         let mut cols = vec![0.0f32; c * 9 * oh * ow];
         im2col(x.data(), c, h, w, &spec, &mut cols);
-        let lhs: f64 = cols.iter().zip(y.data()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let lhs: f64 = cols
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
         let mut back = vec![0.0f32; c * h * w];
         col2im(y.data(), c, h, w, &spec, &mut back);
-        let rhs: f64 = x.data().iter().zip(back.iter()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(back.iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 
     #[test]
     fn conv_backward_gradients_match_finite_differences() {
         let mut rng = rng_for(13, 1);
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let (h, w) = (4, 4);
         let input = Tensor::randn(&mut rng, &[1, 1, h, w], 0.0, 1.0);
         let mut weight = Tensor::randn(&mut rng, &[2, 9], 0.0, 0.5);
@@ -375,7 +425,7 @@ mod tests {
         // Loss = sum(conv(input)); d_out = ones.
         let (out, cols) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
         let d_out = Tensor::ones(out.dims());
-        let (_, d_w, d_b) = conv2d_backward(&d_out, &weight, &cols, h, w, &spec);
+        let (_, d_w, d_b) = conv2d_backward(&d_out, &weight, cols, h, w, &spec);
 
         let eps = 1e-3f32;
         for wi in [0usize, 4, 8, 13] {
@@ -387,7 +437,10 @@ mod tests {
             weight.data_mut()[wi] = orig;
             let num = (out_p.sum() - out_m.sum()) / (2.0 * eps);
             let ana = d_w.data()[wi];
-            assert!((num - ana).abs() < 2e-2, "dW[{wi}]: numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "dW[{wi}]: numeric {num} vs analytic {ana}"
+            );
         }
         // Bias gradient of sum-loss is simply the number of output pixels.
         let (oh, ow) = spec.out_hw(h, w);

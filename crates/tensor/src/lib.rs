@@ -32,7 +32,9 @@
 pub mod conv;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 

@@ -1,28 +1,70 @@
-//! Scoped data-parallel helpers.
+//! Deterministic data-parallel helpers.
 //!
 //! The kernels in [`crate::ops`] and [`crate::conv`] shard *disjoint output
-//! chunks* across OS threads with [`std::thread::scope`]. Each output element
-//! is written by exactly one thread using a fixed serial inner loop, so
-//! results are bit-identical for any thread count.
+//! chunks* across threads. Each output element is written by exactly one
+//! thread using a fixed serial inner loop, so results are bit-identical for
+//! any thread count.
+//!
+//! Work is executed on the persistent worker pool in [`crate::pool`]:
+//! workers are spawned once and parked between kernels, so a parallel
+//! region costs a channel send instead of an OS thread spawn + join. The
+//! pre-pool behavior (a fresh [`std::thread::scope`] per call) is kept
+//! behind [`set_spawn_mode`] as the measured baseline for
+//! `BENCH_fl_round.json`.
 //!
 //! The FedAT simulator parallelizes across *clients*, so by default kernels
 //! run serially to avoid oversubscription; call [`set_max_threads`] to let
 //! individual kernels fan out (useful in the Criterion benches and for large
 //! single-model workloads).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::pool;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// Global cap on threads used by a single kernel. `1` means serial.
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(1);
 
+/// How parallel regions are executed (`0` = pool, `1` = scoped spawn).
+static SPAWN_MODE: AtomicU8 = AtomicU8::new(0);
+
 /// Minimum number of f32 ops a chunk must contain before fanning out.
-/// Below this, thread spawn overhead dominates any speedup.
+/// Below this, dispatch overhead dominates any speedup.
 pub const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// How a parallel region acquires its threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// Dispatch to the persistent worker pool (the default).
+    PersistentPool,
+    /// Spawn and join scoped OS threads per call — the pre-pool behavior,
+    /// kept as the naive baseline for the wall-clock benchmarks.
+    ScopedSpawn,
+}
+
+/// Selects how parallel regions are executed.
+pub fn set_spawn_mode(mode: SpawnMode) {
+    SPAWN_MODE.store(
+        match mode {
+            SpawnMode::PersistentPool => 0,
+            SpawnMode::ScopedSpawn => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Current execution mode for parallel regions.
+pub fn spawn_mode() -> SpawnMode {
+    match SPAWN_MODE.load(Ordering::Relaxed) {
+        0 => SpawnMode::PersistentPool,
+        _ => SpawnMode::ScopedSpawn,
+    }
+}
 
 /// Sets the per-kernel thread cap. `0` is interpreted as "all available".
 pub fn set_max_threads(n: usize) {
     let n = if n == 0 {
-        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
     } else {
         n
     };
@@ -48,6 +90,21 @@ pub fn plan_threads(work_items: usize, cost_per_item: usize) -> usize {
     cap.min(work_items).max(1)
 }
 
+/// Executes `chunks` disjoint tasks on up to `threads` threads, preserving
+/// the caller-participates contract of the pool in both modes.
+fn run_region(chunks: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    match spawn_mode() {
+        SpawnMode::PersistentPool => pool::run_tasks(chunks, threads - 1, task),
+        SpawnMode::ScopedSpawn => {
+            std::thread::scope(|scope| {
+                for t in 0..chunks {
+                    scope.spawn(move || task(t));
+                }
+            });
+        }
+    }
+}
+
 /// Runs `f(chunk_index, item_range)` over `0..len` split into `threads`
 /// near-equal contiguous ranges, in parallel.
 ///
@@ -66,16 +123,11 @@ where
         return;
     }
     let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(len);
-            if lo >= hi {
-                break;
-            }
-            let f = &f;
-            scope.spawn(move || f(t, lo..hi));
-        }
+    let chunks = len.div_ceil(chunk);
+    run_region(chunks, threads, &|t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(len);
+        f(t, lo..hi);
     });
 }
 
@@ -103,11 +155,16 @@ where
     }
     let rows_per_band = rows.div_ceil(threads);
     let band_elems = rows_per_band * row_len;
-    std::thread::scope(|scope| {
-        for (t, band) in out.chunks_mut(band_elems).enumerate() {
-            let f = &f;
-            scope.spawn(move || f(t * rows_per_band, band));
-        }
+    let len = out.len();
+    let bands = len.div_ceil(band_elems);
+    let base = out.as_mut_ptr() as usize;
+    run_region(bands, threads, &|t| {
+        let lo = t * band_elems;
+        let hi = ((t + 1) * band_elems).min(len);
+        // SAFETY: bands are disjoint, in-bounds subslices of `out`, which
+        // the enclosing call borrows mutably for the whole region.
+        let band = unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(lo), hi - lo) };
+        f(t * rows_per_band, band);
     });
 }
 
@@ -174,5 +231,26 @@ mod tests {
         };
         assert_eq!(make(1), make(5));
         assert_eq!(make(1), make(64));
+    }
+
+    #[test]
+    fn scoped_spawn_mode_matches_pool_mode() {
+        let run = || {
+            let mut out = vec![0.0f32; 32 * 8];
+            for_each_row_band(&mut out, 8, 4, |first_row, band| {
+                for (r, row) in band.chunks_mut(8).enumerate() {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = ((first_row + r) * 17 + c) as f32;
+                    }
+                }
+            });
+            out
+        };
+        set_spawn_mode(SpawnMode::PersistentPool);
+        let pooled = run();
+        set_spawn_mode(SpawnMode::ScopedSpawn);
+        let scoped = run();
+        set_spawn_mode(SpawnMode::PersistentPool);
+        assert_eq!(pooled, scoped);
     }
 }

@@ -1,0 +1,274 @@
+//! The persistent kernel worker pool.
+//!
+//! The seed implementation spawned and joined OS threads inside *every*
+//! parallel kernel call via [`std::thread::scope`]; at the matmul sizes this
+//! workspace trains (activations of a few thousand elements), spawn/join
+//! overhead dwarfed the kernel itself. This module replaces it with a pool
+//! of workers spawned once, parked on a channel, and handed batches of
+//! index-addressed tasks.
+//!
+//! ## Execution model
+//!
+//! A parallel region is a [`run_tasks`] call: `n_tasks` independent tasks,
+//! each identified by its index. The caller publishes the batch to at most
+//! `helpers` pool workers, then *participates itself*: caller and workers
+//! race to claim indices from a shared atomic counter until the batch is
+//! drained, after which the caller blocks until every claimed task has
+//! finished. Because the caller always participates, a region completes
+//! even with zero pool workers (single-core hosts) and nested regions
+//! cannot deadlock — an inner caller drains its own batch.
+//!
+//! ## Determinism
+//!
+//! Which thread runs a task is scheduling-dependent, but tasks are
+//! *data-disjoint by construction* (the kernels partition output rows), so
+//! results are bit-identical regardless of thread assignment. See
+//! [`crate::parallel`].
+//!
+//! ## Safety
+//!
+//! The task closure borrows caller stack data. The borrow is erased to
+//! `'static` when published to workers and re-protected by the completion
+//! barrier: `run_tasks` does not return until `pending == 0`, and workers
+//! never touch the closure after the claim counter passes `n_tasks`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One published parallel region.
+struct Batch {
+    /// Erased `&dyn Fn(usize) + Sync` borrowed from the caller's stack.
+    /// Valid until `pending` reaches zero (the caller's barrier).
+    func: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Total tasks in the region.
+    total: usize,
+    /// Unfinished-task count, guarded for the completion condvar.
+    pending: Mutex<usize>,
+    /// Signals `pending == 0`.
+    done: Condvar,
+    /// Set when a task panicked (on any thread).
+    poisoned: AtomicBool,
+    /// The first panic's payload, preserved so the caller can resume the
+    /// unwind with the original message and location intact.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// The raw closure pointer is only dereferenced while the caller's barrier
+// holds the underlying borrow alive, and the closure itself is `Sync`.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claims and runs tasks until the batch is drained. Returns the number
+    /// of tasks this thread completed.
+    fn work(&self) -> usize {
+        let mut ran = 0usize;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return ran;
+            }
+            // SAFETY: `pending > 0` for this task until we decrement below,
+            // so the caller is still inside `run_tasks` and the borrow
+            // behind `func` is alive.
+            let func = unsafe { &*self.func };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(i))) {
+                self.poisoned.store(true, Ordering::Release);
+                let mut slot = self.panic_payload.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            ran += 1;
+            let mut pending = self.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                drop(pending);
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task has finished.
+    fn wait(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// The process-wide worker pool.
+struct Pool {
+    injector: crossbeam::channel::Sender<Arc<Batch>>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        // The caller participates in every region, so `cores - 1` workers
+        // saturate the machine.
+        let workers = cores.saturating_sub(1);
+        let (tx, rx) = crossbeam::channel::unbounded::<Arc<Batch>>();
+        for i in 0..workers {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("fedat-kernel-{i}"))
+                .spawn(move || {
+                    // Parked on `recv` between regions; exits when the
+                    // injector is dropped (process teardown).
+                    while let Ok(batch) = rx.recv() {
+                        batch.work();
+                    }
+                })
+                .expect("spawning kernel pool worker");
+        }
+        Pool {
+            injector: tx,
+            workers,
+        }
+    })
+}
+
+/// Number of pool workers (excluding the calling thread).
+pub fn worker_count() -> usize {
+    pool().workers
+}
+
+/// Runs `task(0..n_tasks)` across the pool with at most `helpers` workers
+/// assisting the calling thread. Blocks until every task completed.
+///
+/// # Panics
+/// Panics if any task panicked (on any thread).
+pub fn run_tasks(n_tasks: usize, helpers: usize, task: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    if n_tasks == 1 || helpers == 0 {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    let pool = pool();
+    let helpers = helpers.min(pool.workers).min(n_tasks - 1);
+    if helpers == 0 {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    // SAFETY: erase the closure's lifetime; the barrier below outlives every
+    // dereference (see module docs).
+    let func: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+    let batch = Arc::new(Batch {
+        func,
+        next: AtomicUsize::new(0),
+        total: n_tasks,
+        pending: Mutex::new(n_tasks),
+        done: Condvar::new(),
+        poisoned: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+    });
+    for _ in 0..helpers {
+        // A send can only fail if the receiver side vanished, which cannot
+        // happen while workers are parked on it.
+        pool.injector
+            .send(batch.clone())
+            .expect("kernel pool alive");
+    }
+    batch.work();
+    batch.wait();
+    if batch.poisoned.load(Ordering::Acquire) {
+        // Re-raise the original panic so message and location survive.
+        match batch.panic_payload.lock().unwrap().take() {
+            Some(payload) => std::panic::resume_unwind(payload),
+            None => panic!("a kernel task panicked"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        run_tasks(1000, 7, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_and_one_task_degenerate_inline() {
+        run_tasks(0, 4, &|_| panic!("no tasks should run"));
+        let ran = AtomicU64::new(0);
+        run_tasks(1, 4, &|i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn tasks_see_borrowed_stack_data() {
+        let input: Vec<u64> = (0..512).collect();
+        let out: Vec<AtomicU64> = (0..512).map(|_| AtomicU64::new(0)).collect();
+        run_tasks(512, 3, &|i| {
+            out[i].store(input[i] * 2, Ordering::Relaxed);
+        });
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.load(Ordering::Relaxed), i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let total = AtomicU64::new(0);
+        run_tasks(4, 4, &|_| {
+            run_tasks(8, 4, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            run_tasks(64, 4, &|i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        });
+        let payload = result.expect_err("task panic must reach the caller");
+        // The original payload must survive the pool boundary.
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("boom"));
+    }
+
+    #[test]
+    fn repeated_regions_reuse_the_pool() {
+        // Regression guard for the per-call spawn the pool replaces: ensure
+        // thread count stays bounded across many regions.
+        for _ in 0..200 {
+            let acc = AtomicU64::new(0);
+            run_tasks(16, 8, &|i| {
+                acc.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), 120);
+        }
+    }
+}

@@ -34,12 +34,18 @@ impl Shape {
             assert!(d > 0, "zero-sized dimension {i} in shape {dims:?}");
             inline[i] = d;
         }
-        Shape { dims: inline, rank: dims.len() as u8 }
+        Shape {
+            dims: inline,
+            rank: dims.len() as u8,
+        }
     }
 
     /// A scalar shape (rank 0, one element).
     pub fn scalar() -> Self {
-        Shape { dims: [1; MAX_RANK], rank: 0 }
+        Shape {
+            dims: [1; MAX_RANK],
+            rank: 0,
+        }
     }
 
     /// Number of dimensions.
@@ -60,14 +66,21 @@ impl Shape {
     /// Panics if `i >= rank`.
     #[inline]
     pub fn dim(&self, i: usize) -> usize {
-        assert!(i < self.rank(), "dim index {i} out of range for rank {}", self.rank());
+        assert!(
+            i < self.rank(),
+            "dim index {i} out of range for rank {}",
+            self.rank()
+        );
         self.dims[i]
     }
 
     /// Total number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.dims[..self.rank as usize].iter().product::<usize>().max(1)
+        self.dims[..self.rank as usize]
+            .iter()
+            .product::<usize>()
+            .max(1)
     }
 
     /// True only for the scalar shape, which still holds one element.

@@ -40,7 +40,10 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.len()], shape }
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// A zero tensor.
@@ -55,7 +58,35 @@ impl Tensor {
 
     /// A zero tensor with the same shape as `other`.
     pub fn zeros_like(other: &Tensor) -> Self {
-        Tensor { data: vec![0.0; other.len()], shape: other.shape }
+        Tensor {
+            data: vec![0.0; other.len()],
+            shape: other.shape,
+        }
+    }
+
+    /// A zero tensor whose storage comes from the thread-local scratch
+    /// arena ([`crate::scratch`]). Numerically identical to
+    /// [`Tensor::zeros`]; hand the storage back with [`Tensor::recycle`]
+    /// when the value dies to keep hot loops allocation-free.
+    pub fn zeros_scratch(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: crate::scratch::take_zeroed(shape.len()),
+            shape,
+        }
+    }
+
+    /// A copy of `self` whose storage comes from the scratch arena.
+    pub fn clone_scratch(&self) -> Self {
+        Tensor {
+            data: crate::scratch::take_copy(&self.data),
+            shape: self.shape,
+        }
+    }
+
+    /// Consumes the tensor, returning its storage to the scratch arena.
+    pub fn recycle(self) {
+        crate::scratch::recycle(self.data);
     }
 
     /// The `n × n` identity matrix.
@@ -69,7 +100,10 @@ impl Tensor {
 
     /// A scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::scalar() }
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
     }
 
     /// I.i.d. normal entries with the given mean and std-dev.
@@ -291,7 +325,10 @@ impl Tensor {
 
     /// Squared L2 norm.
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64 * x as f64) as f32).sum()
+        self.data
+            .iter()
+            .map(|&x| (x as f64 * x as f64) as f32)
+            .sum()
     }
 
     /// L2 norm.
@@ -397,7 +434,10 @@ mod tests {
         let w = Tensor::kaiming(&mut rng, &[256, 256], 256);
         let std = (w.norm_sq() / w.len() as f32).sqrt();
         let expected = (2.0f32 / 256.0).sqrt();
-        assert!((std - expected).abs() < expected * 0.2, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() < expected * 0.2,
+            "std {std} vs {expected}"
+        );
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests for the persistent kernel pool: every parallel kernel
+//! must be bit-identical to its serial execution for any thread count, in
+//! both spawn modes.
+//!
+//! The thread cap is a process-global, so tests in this binary may race on
+//! it — harmless by construction: thread-count invariance is exactly the
+//! property under test, so concurrent cap changes cannot alter any result.
+
+use fedat_tensor::conv::{conv2d_forward, Conv2dSpec};
+use fedat_tensor::ops::{matmul_into, matmul_nt_into, matmul_tn_into};
+use fedat_tensor::parallel::{self, SpawnMode};
+use fedat_tensor::rng::rng_for;
+use fedat_tensor::Tensor;
+use proptest::prelude::*;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_for(seed, 31);
+    let mut v = vec![0.0f32; len];
+    fedat_tensor::rng::fill_normal(&mut rng, &mut v, 0.0, 1.0);
+    v
+}
+
+/// Runs `kernel` (which writes its output into a fresh zeroed buffer) at
+/// thread cap 1 and at each sweep cap, asserting bitwise equality.
+fn assert_thread_invariant(
+    out_len: usize,
+    kernel: impl Fn(&mut [f32]),
+) -> Result<(), TestCaseError> {
+    parallel::set_max_threads(1);
+    let mut serial = vec![0.0f32; out_len];
+    kernel(&mut serial);
+    for &t in &THREAD_SWEEP[1..] {
+        parallel::set_max_threads(t);
+        let mut par = vec![0.0f32; out_len];
+        kernel(&mut par);
+        prop_assert_eq!(
+            &serial,
+            &par,
+            "kernel diverged from serial at {} threads",
+            t
+        );
+    }
+    parallel::set_max_threads(1);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn matmul_nn_bit_identical_across_threads(
+        m in 1usize..48, k in 1usize..32, n in 1usize..48, seed in 0u64..1000
+    ) {
+        let a = filled(m * k, seed);
+        let b = filled(k * n, seed ^ 1);
+        assert_thread_invariant(m * n, |c| matmul_into(&a, &b, c, m, k, n))?;
+    }
+
+    #[test]
+    fn matmul_tn_bit_identical_across_threads(
+        m in 1usize..48, k in 1usize..32, n in 1usize..48, seed in 0u64..1000
+    ) {
+        let a = filled(k * m, seed);
+        let b = filled(k * n, seed ^ 2);
+        assert_thread_invariant(m * n, |c| matmul_tn_into(&a, &b, c, m, k, n))?;
+    }
+
+    #[test]
+    fn matmul_nt_bit_identical_across_threads(
+        m in 1usize..48, k in 1usize..32, n in 1usize..48, seed in 0u64..1000
+    ) {
+        let a = filled(m * k, seed);
+        let b = filled(n * k, seed ^ 3);
+        assert_thread_invariant(m * n, |c| matmul_nt_into(&a, &b, c, m, k, n))?;
+    }
+
+    #[test]
+    fn conv_forward_bit_identical_across_threads(
+        batch in 1usize..5, cin in 1usize..4, cout in 1usize..8, seed in 0u64..1000
+    ) {
+        let (h, w) = (8usize, 8usize);
+        let spec = Conv2dSpec { in_channels: cin, out_channels: cout, kernel: 3, stride: 1, padding: 1 };
+        let input = Tensor::from_vec(filled(batch * cin * h * w, seed), &[batch, cin, h, w]);
+        let weight = Tensor::from_vec(filled(cout * cin * 9, seed ^ 4), &[cout, cin * 9]);
+        let bias = Tensor::from_vec(filled(cout, seed ^ 5), &[cout]);
+
+        parallel::set_max_threads(1);
+        let (serial, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
+        for &t in &THREAD_SWEEP[1..] {
+            parallel::set_max_threads(t);
+            let (par, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
+            prop_assert_eq!(serial.data(), par.data(), "conv diverged at {} threads", t);
+        }
+        parallel::set_max_threads(1);
+    }
+
+    #[test]
+    fn scoped_spawn_matches_pool_for_all_variants(
+        m in 1usize..32, k in 1usize..24, n in 1usize..32, seed in 0u64..1000
+    ) {
+        let a = filled(m * k, seed);
+        let b = filled(k * n, seed ^ 6);
+        parallel::set_max_threads(8);
+        parallel::set_spawn_mode(SpawnMode::PersistentPool);
+        let mut pooled = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut pooled, m, k, n);
+        parallel::set_spawn_mode(SpawnMode::ScopedSpawn);
+        let mut scoped = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut scoped, m, k, n);
+        parallel::set_spawn_mode(SpawnMode::PersistentPool);
+        parallel::set_max_threads(1);
+        prop_assert_eq!(pooled, scoped);
+    }
+}

@@ -22,9 +22,7 @@ fn pair_mult(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
             prop::collection::vec(-5.0f32..5.0, m * k),
             prop::collection::vec(-5.0f32..5.0, k * n),
         )
-            .prop_map(move |(a, b)| {
-                (Tensor::from_vec(a, &[m, k]), Tensor::from_vec(b, &[k, n]))
-            })
+            .prop_map(move |(a, b)| (Tensor::from_vec(a, &[m, k]), Tensor::from_vec(b, &[k, n])))
     })
 }
 

@@ -16,7 +16,10 @@ fn main() {
     let task = suite::fmnist_like(20, 2, 5);
     let weights = task.model.build(5).weights();
     println!("=== codec level ({} weights) ===", weights.len());
-    println!("{:<14} {:>9} {:>10} {:>12}", "codec", "ratio", "max err", "mean err");
+    println!(
+        "{:<14} {:>9} {:>10} {:>12}",
+        "codec", "ratio", "max err", "mean err"
+    );
     for report in [
         ("none", measure(&NoCompression, &weights)),
         ("polyline-p3", measure(&PolylineCodec::new(3), &weights)),
@@ -35,9 +38,27 @@ fn main() {
     println!("\n=== end to end (FedAT, 120 tier updates) ===");
     println!("{:<16} {:>10} {:>14}", "codec", "best acc", "upload (MB)");
     for (name, kind) in [
-        ("polyline-p3", CodecKind::Polyline { precision: 3, delta: true }),
-        ("polyline-p4", CodecKind::Polyline { precision: 4, delta: true }),
-        ("polyline-p6", CodecKind::Polyline { precision: 6, delta: true }),
+        (
+            "polyline-p3",
+            CodecKind::Polyline {
+                precision: 3,
+                delta: true,
+            },
+        ),
+        (
+            "polyline-p4",
+            CodecKind::Polyline {
+                precision: 4,
+                delta: true,
+            },
+        ),
+        (
+            "polyline-p6",
+            CodecKind::Polyline {
+                precision: 6,
+                delta: true,
+            },
+        ),
         ("no-compression", CodecKind::Raw),
     ] {
         let cfg = ExperimentConfig::builder()

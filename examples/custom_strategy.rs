@@ -21,12 +21,13 @@ use fedat::sim::fleet::{ClusterConfig, Fleet};
 use fedat::sim::runtime::{run, Completion, EventHandler, RunLimits, SimCtx};
 use fedat::tensor::rng::sample_without_replacement;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 struct PowerOfTwoChoices {
     task: FedTask,
     cfg: ExperimentConfig,
     global: Vec<f32>,
-    inflight: HashMap<usize, (Vec<f32>, u64)>,
+    inflight: HashMap<usize, (Arc<[f32]>, u64)>,
     outstanding: usize,
     received: Vec<(Vec<f32>, usize)>,
     rounds_done: u64,
@@ -52,8 +53,11 @@ impl PowerOfTwoChoices {
         cand.truncate(k);
         self.outstanding = cand.len();
         self.received.clear();
+        // One shared snapshot of the global model for the whole cohort.
+        let shared: Arc<[f32]> = self.global.clone().into();
         for c in cand {
-            self.inflight.insert(c, (self.global.clone(), ctx.dispatches_of(c)));
+            self.inflight
+                .insert(c, (Arc::clone(&shared), ctx.dispatches_of(c)));
             ctx.dispatch(c, 0, self.cfg.local_epochs);
         }
     }
@@ -94,8 +98,11 @@ impl EventHandler for PowerOfTwoChoices {
         }
         if self.outstanding == 0 {
             if !self.received.is_empty() {
-                let refs: Vec<(&[f32], usize)> =
-                    self.received.iter().map(|(w, n)| (w.as_slice(), *n)).collect();
+                let refs: Vec<(&[f32], usize)> = self
+                    .received
+                    .iter()
+                    .map(|(w, n)| (w.as_slice(), *n))
+                    .collect();
                 self.global = weighted_client_average(&refs);
             }
             self.rounds_done += 1;
@@ -139,7 +146,10 @@ fn main() {
     let report = run(&mut strategy, &fleet, cfg.seed, RunLimits::default());
 
     println!("custom strategy: power-of-two-choices client selection");
-    println!("  rounds {} | virtual time {:.0}s", strategy.rounds_done, report.end_time);
+    println!(
+        "  rounds {} | virtual time {:.0}s",
+        strategy.rounds_done, report.end_time
+    );
     for (t, acc) in &strategy.history {
         println!("  t={t:7.0}s  accuracy {acc:.4}");
     }
@@ -151,6 +161,13 @@ fn main() {
         out.best_accuracy(),
         out.report.end_time
     );
-    let best = strategy.history.iter().map(|(_, a)| *a).fold(0.0f32, f32::max);
-    println!("two-choices:    best {best:.4} in {:.0}s (faster rounds, same budget)", report.end_time);
+    let best = strategy
+        .history
+        .iter()
+        .map(|(_, a)| *a)
+        .fold(0.0f32, f32::max);
+    println!(
+        "two-choices:    best {best:.4} in {:.0}s (faster rounds, same budget)",
+        report.end_time
+    );
 }

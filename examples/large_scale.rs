@@ -28,7 +28,11 @@ fn main() {
     let mut cluster = ClusterConfig::paper_large(21).with_clients(clients);
     cluster.n_unstable = cluster.n_unstable.min(clients / 10);
 
-    for strategy in [StrategyKind::FedAt, StrategyKind::TiFL, StrategyKind::AsoFed] {
+    for strategy in [
+        StrategyKind::FedAt,
+        StrategyKind::TiFL,
+        StrategyKind::AsoFed,
+    ] {
         // FedAT tier updates advance the global model by one tier at a
         // time, so it earns a proportionally larger update budget within
         // the same horizon (see DESIGN.md §6).

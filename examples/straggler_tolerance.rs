@@ -58,5 +58,8 @@ fn main() {
         "tier update counts {:?} (fast → slow), total {}",
         run.tier_counts, run.total_updates
     );
-    println!("global weights finite: {}", run.global.iter().all(|w| w.is_finite()));
+    println!(
+        "global weights finite: {}",
+        run.global.iter().all(|w| w.is_finite())
+    );
 }

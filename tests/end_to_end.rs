@@ -76,10 +76,19 @@ fn compression_cuts_bytes_without_killing_accuracy() {
     raw_cfg.codec = Some(CodecKind::Raw);
     let raw = run_experiment(&task, &raw_cfg);
     let mut p4_cfg = base_cfg(StrategyKind::FedAt, 40, 35);
-    p4_cfg.codec = Some(CodecKind::Polyline { precision: 4, delta: true });
+    p4_cfg.codec = Some(CodecKind::Polyline {
+        precision: 4,
+        delta: true,
+    });
     let p4 = run_experiment(&task, &p4_cfg);
 
-    let bytes = |o: &Outcome| o.trace.points.last().map(|p| p.up_bytes + p.down_bytes).unwrap();
+    let bytes = |o: &Outcome| {
+        o.trace
+            .points
+            .last()
+            .map(|p| p.up_bytes + p.down_bytes)
+            .unwrap()
+    };
     // Trained logistic weights reach magnitude ≈2, so precision-4 polyline
     // needs ~3 B/value vs 4 B raw; expect at least a 15% cut here (CNN
     // payloads with small weights compress 2–3.5×, see fig5/EXPERIMENTS).
@@ -151,7 +160,11 @@ fn tier_update_counts_follow_latency_order() {
     let task = suite::sent140_like(30, 43);
     let cfg = {
         let mut c = base_cfg(StrategyKind::FedAt, 60, 43);
-        c.cluster = Some(ClusterConfig::paper_medium(43).with_clients(30).without_dropouts());
+        c.cluster = Some(
+            ClusterConfig::paper_medium(43)
+                .with_clients(30)
+                .without_dropouts(),
+        );
         c
     };
     let fleet = Fleet::new(cfg.cluster.as_ref().unwrap(), task.fed.client_sizes());

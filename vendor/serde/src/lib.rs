@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op derives from the vendored `serde_derive` so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes keep
+//! compiling without network access. No serialization happens at runtime in
+//! this workspace yet.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *annotates* types with `Serialize`/`Deserialize`
+//! (config structs that may be persisted later); nothing serializes at
+//! runtime yet. These derives therefore expand to nothing while still
+//! accepting `#[serde(...)]` helper attributes, keeping the annotations
+//! compiling until a real serde can be vendored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
