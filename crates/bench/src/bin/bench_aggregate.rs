@@ -1,0 +1,238 @@
+//! Wall-clock benchmark of the parallel server path: sharded aggregation
+//! plus pooled streaming evaluation on the 500-client × large-model
+//! cohort.
+//!
+//! Simulates the server's steady-state loop at the paper's cadence — per
+//! tier round a full intra-tier `n_k/N_c` average over the whole cohort's
+//! updates and the Eq. (5) cross-tier aggregation; every `eval_stride`-th
+//! round a capped-subset global evaluation; every `variance_stride`-th
+//! evaluation a full per-client accuracy sweep — twice: once with the
+//! optimized server layer (sharded-axpy aggregation on the kernel pool,
+//! pooled streaming evaluator) and once with the serial baseline toggles
+//! (`AggKernel::FusedSerial`, `set_pooled_eval(false)`) that restore the
+//! pre-sharding path. Writes both throughputs to `BENCH_aggregate.json`.
+//!
+//! The two modes are bit-identical by construction (per-element input-order
+//! accumulation; fixed batch partition and merge order) — asserted on the
+//! final global model every run.
+//!
+//! ```text
+//! cargo run --release -p fedat-bench --bin bench_aggregate -- \
+//!     [--out FILE] [--seed N] [--clients N] [--rounds N] [--threads N]
+//! ```
+//!
+//! See `docs/PERF.md` for how to read the output.
+
+use fedat_bench::experiments::large_cohort_task;
+use fedat_core::aggregate::{
+    aggregate_tiers_into, cross_tier_weights, weighted_client_average_into,
+};
+use fedat_core::eval::{per_client_accuracy, Evaluator};
+use fedat_data::suite::FedTask;
+use fedat_nn::metrics::set_pooled_eval;
+use fedat_tensor::ops::{set_agg_kernel, AggKernel};
+use fedat_tensor::parallel;
+use fedat_tensor::rng::{fill_normal, rng_for};
+use std::time::Instant;
+
+/// Flips the server-path toggles introduced with the sharded server.
+fn set_server_layer(optimized: bool) {
+    set_agg_kernel(if optimized {
+        AggKernel::ShardedAxpy
+    } else {
+        AggKernel::FusedSerial
+    });
+    set_pooled_eval(optimized);
+}
+
+/// One simulated steady-state server run; returns (seconds, final global).
+#[allow(clippy::too_many_arguments)]
+fn run_server_loop(
+    task: &FedTask,
+    updates: &[Vec<f32>],
+    tier_models: &[Vec<f32>],
+    rounds: usize,
+    eval_stride: usize,
+    variance_stride: usize,
+    evaluator: &mut Evaluator,
+    seed: u64,
+) -> (f64, Vec<f32>, f64, f64) {
+    let refs: Vec<(&[f32], usize)> = updates
+        .iter()
+        .enumerate()
+        .map(|(c, w)| (w.as_slice(), 20 + c % 40))
+        .collect();
+    let tier_counts: Vec<u64> = (1..=tier_models.len() as u64)
+        .rev()
+        .map(|x| x * 9)
+        .collect();
+    let mut tier_avg = Vec::new();
+    let mut global = Vec::new();
+    let mut agg_secs = 0.0f64;
+    let mut eval_secs = 0.0f64;
+    let mut evals = 0usize;
+    let started = Instant::now();
+    for round in 1..=rounds {
+        let t0 = Instant::now();
+        // Intra-tier aggregation over the full cohort (Algorithm 2 inner
+        // loop at tier-arrival time), then the Eq. (5) cross-tier update.
+        weighted_client_average_into(&refs, &mut tier_avg);
+        let w = cross_tier_weights(&tier_counts);
+        aggregate_tiers_into(tier_models, &w, &mut global);
+        // Mix the fresh tier average into the standing global, as the
+        // FedAT server does, so the eval input depends on every round.
+        fedat_tensor::ops::lerp_into(&mut global, &tier_avg, 0.125);
+        agg_secs += t0.elapsed().as_secs_f64();
+        if round.is_multiple_of(eval_stride) {
+            let t1 = Instant::now();
+            let r = evaluator.evaluate(&global);
+            assert!(r.loss.is_finite());
+            evals += 1;
+            if evals.is_multiple_of(variance_stride) {
+                let accs = per_client_accuracy(task, &global, seed);
+                assert_eq!(accs.len(), task.fed.num_clients());
+            }
+            eval_secs += t1.elapsed().as_secs_f64();
+        }
+    }
+    (started.elapsed().as_secs_f64(), global, agg_secs, eval_secs)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_aggregate.json");
+    let mut seed = 9u64;
+    let mut clients = 500usize;
+    let mut rounds = 40usize;
+    let mut threads = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--clients" => {
+                i += 1;
+                clients = args[i].parse().expect("--clients takes an integer");
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = args[i].parse().expect("--rounds takes an integer");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("--threads takes an integer");
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("[bench_aggregate] building the {clients}-client large-model cohort ...");
+    let task = large_cohort_task(clients, seed);
+    let dim = task.model.build(seed).weights().len();
+    let tiers = 5usize;
+    // The paper's cadence: evaluate every 5th global update, sweep
+    // per-client accuracies every 5th evaluation (VARIANCE_EVAL_STRIDE).
+    let (eval_stride, variance_stride) = (5usize, 5usize);
+    let eval_subset = 512usize;
+
+    // Synthetic in-flight state: one update per client, one model per tier.
+    let updates: Vec<Vec<f32>> = (0..clients)
+        .map(|c| {
+            let mut w = vec![0.0f32; dim];
+            fill_normal(&mut rng_for(seed ^ c as u64, 101), &mut w, 0.0, 0.05);
+            w
+        })
+        .collect();
+    let tier_models: Vec<Vec<f32>> = (0..tiers)
+        .map(|t| {
+            let mut w = vec![0.0f32; dim];
+            fill_normal(
+                &mut rng_for(seed ^ (t as u64) << 32, 102),
+                &mut w,
+                0.0,
+                0.05,
+            );
+            w
+        })
+        .collect();
+
+    parallel::set_max_threads(threads);
+    let mut evaluator = Evaluator::new(&task, eval_subset, seed);
+
+    /// Timed repeats per mode; the minimum is reported (noise-robust).
+    const REPEATS: usize = 3;
+
+    let mut measure = |optimized: bool| -> (f64, Vec<f32>, f64, f64) {
+        set_server_layer(optimized);
+        // Warm-up run: fills the kernel pool, the scratch arenas and the
+        // per-thread eval-model caches, and doubles as a determinism check.
+        let (_, warm, _, _) = run_server_loop(
+            &task,
+            &updates,
+            &tier_models,
+            rounds,
+            eval_stride,
+            variance_stride,
+            &mut evaluator,
+            seed,
+        );
+        let mut best = (f64::INFINITY, Vec::new(), 0.0, 0.0);
+        for _ in 0..REPEATS {
+            let (secs, global, agg, eval) = run_server_loop(
+                &task,
+                &updates,
+                &tier_models,
+                rounds,
+                eval_stride,
+                variance_stride,
+                &mut evaluator,
+                seed,
+            );
+            assert_eq!(
+                warm, global,
+                "server loop must be bit-identical across repeats"
+            );
+            if secs < best.0 {
+                best = (secs, global, agg, eval);
+            }
+        }
+        best
+    };
+
+    eprintln!("[bench_aggregate] measuring sharded server path ({threads} threads) ...");
+    let (sharded_secs, sharded_global, sharded_agg, sharded_eval) = measure(true);
+    eprintln!("[bench_aggregate] measuring serial baseline ...");
+    let (serial_secs, serial_global, serial_agg, serial_eval) = measure(false);
+    set_server_layer(true);
+
+    assert_eq!(
+        sharded_global, serial_global,
+        "sharded server path must be bit-identical to the serial baseline"
+    );
+
+    let sharded_rps = rounds as f64 / sharded_secs.max(1e-9);
+    let serial_rps = rounds as f64 / serial_secs.max(1e-9);
+    let speedup = sharded_rps / serial_rps.max(1e-12);
+
+    let json = format!(
+        "{{\n  \"bench\": \"aggregate\",\n  \"seed\": {seed},\n  \"clients\": {clients},\n  \"model_dim\": {dim},\n  \"tiers\": {tiers},\n  \"rounds\": {rounds},\n  \"eval_stride\": {eval_stride},\n  \"variance_stride\": {variance_stride},\n  \"eval_subset\": {eval_subset},\n  \"kernel_threads\": {threads},\n  \"serial_baseline\": \"AggKernel::FusedSerial + set_pooled_eval(false): the pre-sharding server path\",\n  \"serial_secs\": {serial_secs:.4},\n  \"sharded_secs\": {sharded_secs:.4},\n  \"serial_rounds_per_sec\": {serial_rps:.3},\n  \"sharded_rounds_per_sec\": {sharded_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"phases\": {{\n    \"aggregate\": {{ \"serial_secs\": {serial_agg:.4}, \"sharded_secs\": {sharded_agg:.4}, \"speedup\": {agg_speedup:.3} }},\n    \"eval\": {{ \"serial_secs\": {serial_eval:.4}, \"sharded_secs\": {sharded_eval:.4}, \"speedup\": {eval_speedup:.3} }}\n  }}\n}}\n",
+        agg_speedup = serial_agg / sharded_agg.max(1e-9),
+        eval_speedup = serial_eval / sharded_eval.max(1e-9),
+    );
+    std::fs::write(&out_path, &json).expect("writing benchmark record");
+    println!("{json}");
+    println!(
+        "server rounds/sec: sharded {sharded_rps:.2} vs serial {serial_rps:.2} → speedup {speedup:.2}x"
+    );
+    eprintln!("[bench_aggregate] wrote {out_path}");
+}

@@ -9,8 +9,13 @@ use crate::harness::{run_jobs, Job, JobResult, Scale};
 use crate::report::{fmt_mb, fmt_tta, out_dir, slug, write_trace, TextReport};
 use fedat_compress::codec::CodecKind;
 use fedat_core::config::{ExperimentConfig, StrategyKind};
+use fedat_data::federated::FederatedDataset;
+use fedat_data::partition::Partitioner;
 use fedat_data::suite::{self, FedTask};
+use fedat_data::synth::{synth_features, FeatureSynthSpec};
+use fedat_nn::models::ModelSpec;
 use fedat_sim::fleet::ClusterConfig;
+use fedat_tensor::rng::{rng_for, tags};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -78,6 +83,39 @@ impl Ctx {
             task: task.clone(),
             cfg,
         }
+    }
+}
+
+/// The large-cohort server-path scenario: `n_clients` (500 at full scale —
+/// the paper's AWS-style cohort size) Dirichlet-skewed feature clients
+/// under a wide two-layer MLP (~33 k weights).
+///
+/// This cohort is sized so the *server* dominates: every tier arrival
+/// re-aggregates hundreds of ~33 k-weight updates and the evaluation
+/// cadence sweeps thousands of test rows, which is exactly the load the
+/// sharded aggregation kernel and the pooled streaming evaluator target.
+/// `bench_aggregate` (→ `BENCH_aggregate.json`) and the `large_cohort`
+/// example both build their federation here.
+pub fn large_cohort_task(n_clients: usize, seed: u64) -> FedTask {
+    let mut rng = rng_for(seed.wrapping_add(7), tags::DATA);
+    let spec = FeatureSynthSpec {
+        features: 64,
+        classes: 62,
+        separation: 0.8,
+        noise: 1.0,
+    };
+    let pool = synth_features(&mut rng, &spec, n_clients * 40);
+    let parts = Partitioner::Dirichlet { alpha: 0.3 }.partition(&pool, n_clients, &mut rng);
+    let fed = FederatedDataset::from_partitions(parts, seed.wrapping_add(7));
+    FedTask {
+        name: format!("large-cohort({n_clients})"),
+        fed,
+        model: ModelSpec::Mlp {
+            input: 64,
+            hidden: vec![128, 128],
+            classes: 62,
+        },
+        target_accuracy: 0.5,
     }
 }
 

@@ -1,5 +1,11 @@
 //! Model aggregation: intra-tier `n_k/N_c` averaging (Algorithm 2 inner
 //! loop) and the cross-tier weighted heuristic of Eq. (5).
+//!
+//! Both reductions funnel into [`weighted_sum_into`], whose default kernel
+//! shards the model dimension into fixed cache-sized chunks on the kernel
+//! pool — so every strategy's server-side aggregation scales with cohort
+//! size while staying bit-identical to the serial baseline for any thread
+//! count (see `fedat_tensor::ops::AggKernel`).
 
 use fedat_tensor::ops::weighted_sum_into;
 

@@ -4,40 +4,53 @@
 
 use fedat_data::dataset::Dataset;
 use fedat_data::suite::FedTask;
-use fedat_nn::metrics::evaluate_batched;
-use fedat_nn::model::{EvalResult, Model};
+use fedat_nn::metrics::{evaluate_batched, pooled_eval, StreamingEvaluator};
+use fedat_nn::model::EvalResult;
+use fedat_nn::models::with_cached_model;
+use fedat_tensor::parallel;
+use fedat_tensor::rng::{rng_for, shuffle, tags};
 
-/// A reusable evaluator holding one model instance and a fixed test subset.
+/// Evaluation mini-batch size (also the per-client sweep batch).
+const EVAL_BATCH: usize = 64;
+
+/// A reusable evaluator holding a streaming model evaluator and a fixed
+/// test subset.
 pub struct Evaluator {
-    model: Box<dyn Model>,
+    eval: StreamingEvaluator,
     test: Dataset,
-    batch: usize,
 }
 
 impl Evaluator {
     /// Builds an evaluator over (a fixed subset of) the task's pooled test
-    /// set. `subset` caps the number of test rows (0 = use everything); the
-    /// subset is the deterministic prefix — the pooled test set is already
-    /// seed-shuffled per client, and a fixed subset keeps every strategy's
-    /// evaluation identical.
+    /// set. `subset` caps the number of test rows (0 = use everything).
+    ///
+    /// The pooled test set is the *concatenation of the per-client test
+    /// splits in client order*, so a prefix would over-represent the first
+    /// clients' classes under non-IID partitions and skew every accuracy
+    /// trace. The subset is therefore drawn by a seed-derived shuffle of
+    /// the row indices — deterministic for a given seed and shared by
+    /// every strategy, so method comparisons stay apples-to-apples.
     pub fn new(task: &FedTask, subset: usize, seed: u64) -> Self {
         let full = &task.fed.global_test;
         let test = if subset > 0 && subset < full.len() {
-            full.subset(&(0..subset).collect::<Vec<_>>())
+            let mut idx: Vec<usize> = (0..full.len()).collect();
+            shuffle(&mut rng_for(seed, tags::EVAL), &mut idx);
+            idx.truncate(subset);
+            full.subset(&idx)
         } else {
             full.clone()
         };
         Evaluator {
-            model: task.model.build(seed),
+            eval: StreamingEvaluator::new(task.model.clone(), seed, EVAL_BATCH),
             test,
-            batch: 64,
         }
     }
 
-    /// Loss/accuracy of `weights` on the evaluation subset.
+    /// Loss/accuracy of `weights` on the evaluation subset. Mini-batches
+    /// stream across the kernel pool; results are bit-identical to a
+    /// serial sweep for any thread count (see [`StreamingEvaluator`]).
     pub fn evaluate(&mut self, weights: &[f32]) -> EvalResult {
-        self.model.set_weights(weights);
-        evaluate_batched(self.model.as_mut(), &self.test.x, &self.test.y, self.batch)
+        self.eval.evaluate(weights, &self.test.x, &self.test.y)
     }
 
     /// Number of evaluation rows.
@@ -48,14 +61,35 @@ impl Evaluator {
 
 /// Per-client test accuracies of a single global model — the basis of the
 /// paper's accuracy-variance metric (Table 1 `Norm. Var.` rows).
+///
+/// The sweep is sharded across clients on the kernel pool: each band of
+/// clients is evaluated serially on a thread-cached model instance and
+/// every accuracy lands in its own slot, so the result is bit-identical
+/// to the serial sweep for any thread count.
 pub fn per_client_accuracy(task: &FedTask, weights: &[f32], seed: u64) -> Vec<f32> {
-    let mut model = task.model.build(seed);
-    model.set_weights(weights);
-    task.fed
-        .clients
-        .iter()
-        .map(|c| evaluate_batched(model.as_mut(), &c.test.x, &c.test.y, 64).accuracy)
-        .collect()
+    let clients = &task.fed.clients;
+    if !pooled_eval() {
+        // Serial baseline: one freshly built model sweeps every client.
+        let mut model = task.model.build(seed);
+        model.set_weights(weights);
+        return clients
+            .iter()
+            .map(|c| evaluate_batched(model.as_mut(), &c.test.x, &c.test.y, EVAL_BATCH).accuracy)
+            .collect();
+    }
+    let mut accs = vec![0.0f32; clients.len()];
+    let max_rows = clients.iter().map(|c| c.test.len()).max().unwrap_or(0);
+    let threads = parallel::plan_threads(clients.len(), 4 * max_rows * task.fed.features);
+    parallel::for_each_row_band(&mut accs, 1, threads, |first, band| {
+        with_cached_model(&task.model, seed, |model| {
+            model.set_weights(weights);
+            for (i, slot) in band.iter_mut().enumerate() {
+                let c = &clients[first + i];
+                *slot = evaluate_batched(model, &c.test.x, &c.test.y, EVAL_BATCH).accuracy;
+            }
+        });
+    });
+    accs
 }
 
 /// Population variance of per-client accuracies.
@@ -75,7 +109,76 @@ pub fn accuracy_variance(per_client: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedat_data::federated::{ClientData, FederatedDataset};
     use fedat_data::suite;
+    use fedat_nn::models::ModelSpec;
+    use fedat_tensor::Tensor;
+
+    /// A federation whose pooled test set is maximally client-ordered:
+    /// client `i`'s test rows all carry label `i`, so any prefix of
+    /// `global_test` sees only the first clients' labels.
+    fn label_striped_task(n_clients: usize, rows_per_client: usize) -> FedTask {
+        let make = |label: u32| {
+            let x = Tensor::from_vec(
+                vec![label as f32; rows_per_client * 2],
+                &[rows_per_client, 2],
+            );
+            fedat_data::dataset::Dataset::new(x, vec![label; rows_per_client], n_clients)
+        };
+        let clients: Vec<ClientData> = (0..n_clients)
+            .map(|i| ClientData {
+                train: make(i as u32),
+                test: make(i as u32),
+            })
+            .collect();
+        let tests: Vec<&fedat_data::dataset::Dataset> = clients.iter().map(|c| &c.test).collect();
+        let global_test = fedat_data::dataset::Dataset::concat(&tests);
+        FedTask {
+            name: "label-striped".into(),
+            fed: FederatedDataset {
+                clients,
+                global_test,
+                classes: n_clients,
+                features: 2,
+                targets_per_row: 1,
+            },
+            model: ModelSpec::Logistic {
+                input: 2,
+                classes: n_clients,
+            },
+            target_accuracy: 0.5,
+        }
+    }
+
+    /// Regression: the capped eval subset must be a seed-shuffled sample of
+    /// the pooled test set, not its client-order prefix. With non-IID
+    /// partitions a prefix over-represents the first clients' classes and
+    /// skews every accuracy trace (the pre-fix behavior: a 20-row cap over
+    /// this 10-client federation saw only client 0's label).
+    #[test]
+    fn capped_subset_draws_from_late_clients() {
+        let task = label_striped_task(10, 20);
+        let e = Evaluator::new(&task, 20, 7);
+        assert_eq!(e.test_rows(), 20);
+        let labels: std::collections::BTreeSet<u32> = e.test.y.iter().copied().collect();
+        assert!(
+            labels.iter().any(|&l| l >= 5),
+            "capped subset drew only from early clients: {labels:?}"
+        );
+        assert!(
+            labels.len() > 2,
+            "capped subset is not a cross-client sample: {labels:?}"
+        );
+        // The subset is a pure function of the seed: every strategy of an
+        // experiment (same cfg.seed) evaluates on the same rows.
+        let e2 = Evaluator::new(&task, 20, 7);
+        assert_eq!(e.test.y, e2.test.y);
+        assert_ne!(
+            Evaluator::new(&task, 20, 8).test.y,
+            e.test.y,
+            "different seeds should draw different subsets"
+        );
+    }
 
     #[test]
     fn evaluator_subset_caps_rows() {
@@ -96,6 +199,24 @@ mod tests {
         let r2 = e2.evaluate(&w);
         assert_eq!(r1.loss, r2.loss);
         assert_eq!(r1.accuracy, r2.accuracy);
+    }
+
+    #[test]
+    fn per_client_sweep_serial_and_pooled_agree_bitwise() {
+        // The benchmark baseline (fresh model, serial sweep) and the
+        // default pooled path (thread-cached models, client bands on the
+        // pool) must produce identical accuracies.
+        let task = suite::cifar10_like(9, 2, 4);
+        let w = task.model.build(6).weights();
+        fedat_nn::metrics::set_pooled_eval(false);
+        let serial = per_client_accuracy(&task, &w, 4);
+        fedat_nn::metrics::set_pooled_eval(true);
+        for threads in [1usize, 4] {
+            parallel::set_max_threads(threads);
+            let pooled = per_client_accuracy(&task, &w, 4);
+            assert_eq!(serial, pooled, "sweep diverged at {threads} threads");
+        }
+        parallel::set_max_threads(1);
     }
 
     #[test]

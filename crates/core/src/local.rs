@@ -6,7 +6,7 @@
 //!
 //! * **Model reuse** — simulated clients are stateless between rounds, so
 //!   the (expensive, RNG-driven) model construction is hoisted into a
-//!   thread-local cache keyed by [`ModelSpec`]; each dispatch just loads
+//!   thread-local cache keyed by [`fedat_nn::models::ModelSpec`]; each dispatch just loads
 //!   the downloaded weights with `set_weights`. The per-dispatch rebuild is
 //!   kept behind [`set_model_reuse`] as the measured baseline.
 //! * **Zero-copy globals** — the downloaded weights arrive as a shared
@@ -19,10 +19,8 @@
 use crate::config::ExperimentConfig;
 use fedat_data::suite::FedTask;
 use fedat_nn::model::Model;
-use fedat_nn::models::ModelSpec;
 use fedat_nn::optim::ProxTerm;
 use fedat_tensor::rng::{rng_for, tags};
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -30,18 +28,18 @@ use std::sync::Arc;
 /// or rebuild the model on every dispatch (the naive baseline).
 static REUSE_MODELS: AtomicBool = AtomicBool::new(true);
 
-/// Maximum cached models per thread (one per distinct architecture in
-/// flight; the harness runs a handful of tasks per worker).
-const MODEL_CACHE_CAP: usize = 4;
-
-thread_local! {
-    static MODEL_CACHE: RefCell<Vec<(ModelSpec, Box<dyn Model>)>> =
-        const { RefCell::new(Vec::new()) };
-}
-
 /// Enables or disables thread-local model reuse. `false` restores the
 /// seed's behavior (a full `ModelSpec::build` per dispatch) and exists for
 /// the `BENCH_fl_round.json` baseline.
+///
+/// The cache itself lives in [`fedat_nn::models::with_cached_model`] and
+/// is shared with the pooled evaluators, so the reuse policy cannot drift
+/// between the training and evaluation paths. Reuse is behavior-neutral:
+/// every weight is overwritten by `set_weights` before training, and none
+/// of the spec-built architectures carry non-parameter state across
+/// batches — an invariant documented on [`fedat_nn::models::ModelSpec::build`] and pinned
+/// (for the dense and conv families) by
+/// `model_reuse_matches_fresh_builds_exactly`.
 pub fn set_model_reuse(enabled: bool) {
     REUSE_MODELS.store(enabled, Ordering::Relaxed);
 }
@@ -49,40 +47,6 @@ pub fn set_model_reuse(enabled: bool) {
 /// Whether model reuse is enabled.
 pub fn model_reuse() -> bool {
     REUSE_MODELS.load(Ordering::Relaxed)
-}
-
-/// Takes a model for `spec` from the thread-local cache, or builds one.
-///
-/// Reuse is behavior-neutral: every weight is overwritten by `set_weights`
-/// before training, and none of the spec-built architectures carry
-/// non-parameter state across batches — an invariant documented on
-/// [`ModelSpec::build`] and pinned (for the dense and conv families) by
-/// `model_reuse_matches_fresh_builds_exactly`.
-fn checkout_model(spec: &ModelSpec, seed: u64) -> Box<dyn Model> {
-    if !model_reuse() {
-        return spec.build(seed);
-    }
-    MODEL_CACHE.with(|cache| {
-        let mut cache = cache.borrow_mut();
-        match cache.iter().position(|(s, _)| s == spec) {
-            Some(i) => cache.swap_remove(i).1,
-            None => spec.build(seed),
-        }
-    })
-}
-
-/// Returns a model to the thread-local cache.
-fn checkin_model(spec: &ModelSpec, model: Box<dyn Model>) {
-    if !model_reuse() {
-        return;
-    }
-    MODEL_CACHE.with(|cache| {
-        let mut cache = cache.borrow_mut();
-        if cache.len() >= MODEL_CACHE_CAP {
-            cache.remove(0); // oldest entry
-        }
-        cache.push((spec.clone(), model));
-    });
 }
 
 /// The result a client uploads after local training.
@@ -116,8 +80,48 @@ pub fn train_client(
     selection_round: u64,
     use_prox: bool,
 ) -> LocalUpdate {
+    if model_reuse() {
+        fedat_nn::models::with_cached_model(&task.model, cfg.seed, |model| {
+            run_local_epochs(
+                model,
+                task,
+                client,
+                global,
+                cfg,
+                epochs,
+                selection_round,
+                use_prox,
+            )
+        })
+    } else {
+        let mut model = task.model.build(cfg.seed);
+        run_local_epochs(
+            model.as_mut(),
+            task,
+            client,
+            global,
+            cfg,
+            epochs,
+            selection_round,
+            use_prox,
+        )
+    }
+}
+
+/// The local-training inner loop, on whichever model instance
+/// [`train_client`] handed over.
+#[allow(clippy::too_many_arguments)]
+fn run_local_epochs(
+    model: &mut dyn Model,
+    task: &FedTask,
+    client: usize,
+    global: &Arc<[f32]>,
+    cfg: &ExperimentConfig,
+    epochs: usize,
+    selection_round: u64,
+    use_prox: bool,
+) -> LocalUpdate {
     let data = &task.fed.clients[client].train;
-    let mut model = checkout_model(&task.model, cfg.seed);
     model.set_weights(global.as_ref());
     let mut opt = cfg.optimizer.build();
     let prox = if use_prox && cfg.lambda > 0.0 {
@@ -140,13 +144,11 @@ pub fn train_client(
             batches += 1;
         }
     }
-    let update = LocalUpdate {
+    LocalUpdate {
         weights: model.weights(),
         mean_loss: (total_loss / batches.max(1) as f64) as f32,
         n_samples: data.len(),
-    };
-    checkin_model(&task.model, model);
-    update
+    }
 }
 
 #[cfg(test)]

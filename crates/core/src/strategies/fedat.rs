@@ -167,7 +167,10 @@ impl EventHandler for FedAtStrategy {
         if self.tier_outstanding[tier] == 0 {
             if !self.tier_received[tier].is_empty() {
                 // Intra-tier synchronous aggregation (Algorithm 2 inner
-                // loop), written into the standing tier-model buffer.
+                // loop), written into the standing tier-model buffer. Both
+                // this and the cross-tier update below run the sharded
+                // `weighted_sum_into` kernel, so a tier arrival's server
+                // cost scales with cohort size across the kernel pool.
                 let refs: Vec<(&[f32], usize)> = self.tier_received[tier]
                     .iter()
                     .map(|(w, n)| (w.as_slice(), *n))

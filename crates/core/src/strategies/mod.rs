@@ -109,7 +109,9 @@ impl ServerCore {
 
     /// Evaluates the current global model and appends a trace point;
     /// periodically also sweeps per-client accuracies for the variance
-    /// metric.
+    /// metric. Both run on the kernel pool (streaming mini-batches and
+    /// sharded client bands) and are bit-identical to a serial sweep for
+    /// any thread count.
     pub fn eval_now(&mut self, ctx: &mut SimCtx) {
         let r = self.evaluator.evaluate(&self.global);
         self.trace.push(TracePoint {

@@ -70,18 +70,27 @@ impl TierAssignment {
                 self.tiers[to].push(client);
             }
         }
-        // A tier emptied by mis-tiering would deadlock its round loop; pull
-        // one client back from the largest tier.
-        for t in 0..self.tiers.len() {
-            if self.tiers[t].is_empty() {
-                let donor = (0..self.tiers.len())
-                    .max_by_key(|&i| self.tiers[i].len())
-                    .expect("tiers exist");
-                if self.tiers[donor].len() > 1 {
-                    let c = self.tiers[donor].pop().expect("donor non-empty");
-                    self.tiers[t].push(c);
-                }
+        // A tier emptied by mis-tiering would deadlock its round loop;
+        // refill every empty tier from the current largest donor until
+        // none remains. Each donation leaves the donor non-empty, and with
+        // at least as many clients as tiers (`profile` asserts m ≤ n) a
+        // ≥2-client donor always exists while any tier is empty — by
+        // pigeonhole, m−1 or fewer non-empty tiers hold all n ≥ m clients
+        // — so the loop terminates with every tier populated. The earlier
+        // single-pass rescue silently skipped a tier when its chosen donor
+        // held ≤ 1 client, leaving the contract to an unstated global
+        // argument; this loop makes it exhaustive by construction.
+        while let Some(t) = (0..self.tiers.len()).find(|&t| self.tiers[t].is_empty()) {
+            let donor = (0..self.tiers.len())
+                .max_by_key(|&i| self.tiers[i].len())
+                .expect("tiers exist");
+            if self.tiers[donor].len() <= 1 {
+                // Unreachable for assignments built by `profile` (m ≤ n);
+                // bail rather than spin if that invariant is ever broken.
+                break;
             }
+            let c = self.tiers[donor].pop().expect("donor non-empty");
+            self.tiers[t].push(c);
         }
     }
 

@@ -29,6 +29,32 @@ proptest! {
     }
 
     #[test]
+    fn mistier_never_empties_or_loses_clients(
+        n in 2usize..60,
+        m_frac in 0.0f64..1.0,
+        fraction in 0.0f64..1.0,
+        seed in 0u64..1000
+    ) {
+        // The "never empties a tier" contract of `TierAssignment::mistier`,
+        // swept over cohort size, tier count and mis-tiering fraction
+        // (the unit test only pins n=10/m=5). An empty tier would deadlock
+        // that tier's round loop in FedAT and TiFL.
+        let m = 2 + ((n - 2) as f64 * m_frac) as usize; // 2..=n
+        let cfg = ClusterConfig::paper_medium(seed).with_clients(n).without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![48; n]);
+        let mut tiers = TierAssignment::profile(&fleet, m, 3);
+        tiers.mistier(fraction, seed ^ 0x9E37);
+        prop_assert_eq!(tiers.num_clients(), n, "mis-tiering lost clients");
+        for t in 0..m {
+            prop_assert!(
+                !tiers.tier(t).is_empty(),
+                "tier {}/{} emptied at n={} fraction={}",
+                t, m, n, fraction
+            );
+        }
+    }
+
+    #[test]
     fn client_average_is_convex(dim in 1usize..32, k in 1usize..8, seed in 0u64..100) {
         // The weighted average must lie inside the coordinate-wise hull.
         use fedat_tensor::rng::rng_for;

@@ -201,3 +201,49 @@ fn total_dropout_starves_but_terminates() {
         assert!(out.final_weights.iter().all(|w| w.is_finite()));
     }
 }
+
+#[test]
+fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
+    // The parallel server path — sharded aggregation, pooled streaming
+    // evaluation, per-client sweeps — must be invisible to results: the
+    // whole accuracy/loss/time trace, the final weights and the per-client
+    // accuracies are pinned bitwise across kernel thread counts.
+    use fedat_tensor::parallel;
+    let n = 15;
+    let task = suite::cifar10_like(n, 2, 23);
+    let cluster = ClusterConfig::paper_medium(23)
+        .with_clients(n)
+        .without_dropouts();
+    let mut c = cfg(StrategyKind::FedAt, 10, 23, cluster);
+    c.eval_every = 2;
+    c.eval_subset = 48; // capped → exercises the shuffled-subset path too
+    let run_at = |threads: usize| {
+        parallel::set_max_threads(threads);
+        let out = fedat_core::run_experiment(&task, &c);
+        parallel::set_max_threads(1);
+        out
+    };
+    let base = run_at(1);
+    assert!(!base.trace.points.is_empty());
+    for threads in [2usize, 4, 8] {
+        let out = run_at(threads);
+        assert_eq!(
+            out.final_weights, base.final_weights,
+            "final weights diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.per_client_accuracy, base.per_client_accuracy,
+            "per-client sweep diverged at {threads} threads"
+        );
+        assert_eq!(out.trace.points.len(), base.trace.points.len());
+        for (p, q) in out.trace.points.iter().zip(base.trace.points.iter()) {
+            assert_eq!(
+                p.accuracy, q.accuracy,
+                "accuracy diverged at {threads} threads"
+            );
+            assert_eq!(p.loss, q.loss, "loss diverged at {threads} threads");
+            assert_eq!(p.time, q.time);
+            assert_eq!(p.up_bytes, q.up_bytes);
+        }
+    }
+}

@@ -201,6 +201,44 @@ impl ModelSpec {
     }
 }
 
+/// Maximum cached models per thread (one per distinct architecture a
+/// worker touches; the harness runs a handful of tasks per thread).
+const MODEL_CACHE_CAP: usize = 4;
+
+thread_local! {
+    static MODEL_CACHE: std::cell::RefCell<Vec<(ModelSpec, Box<dyn Model>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-cached model instance for `spec`, building one
+/// (seeded with `seed`) on first use per thread. The single cache backs
+/// both the training hot path (`fedat-core::local`) and the pooled
+/// evaluators, so the reuse policy cannot drift between them.
+///
+/// Reuse is behavior-neutral as long as the caller overwrites the weights
+/// via `set_weights` before inference or training — none of the spec-built
+/// architectures carry non-parameter state across batches, the invariant
+/// documented on [`ModelSpec::build`] — so which thread (and thus which
+/// cached instance) runs `f` cannot affect results.
+pub fn with_cached_model<R>(spec: &ModelSpec, seed: u64, f: impl FnOnce(&mut dyn Model) -> R) -> R {
+    let mut model = MODEL_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        match cache.iter().position(|(s, _)| s == spec) {
+            Some(i) => cache.swap_remove(i).1,
+            None => spec.build(seed),
+        }
+    });
+    let result = f(model.as_mut());
+    MODEL_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= MODEL_CACHE_CAP {
+            cache.remove(0); // oldest entry
+        }
+        cache.push((spec.clone(), model));
+    });
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

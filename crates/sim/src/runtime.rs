@@ -82,15 +82,19 @@ impl SimCtx<'_> {
         let done_at = self.now + latency;
         match self.fleet.dropout_time(client) {
             Some(t_drop) if t_drop <= done_at => {
+                // A dropout stamped before `now` still completes *now* —
+                // virtual time never runs backwards. Return the same
+                // clamped instant the event is queued at.
+                let at = t_drop.max(self.now);
                 self.queue.push(
-                    t_drop.max(self.now),
+                    at,
                     Completion {
                         client,
                         tag,
                         dropped: true,
                     },
                 );
-                t_drop
+                at
             }
             _ => {
                 self.queue.push(
@@ -125,15 +129,18 @@ impl SimCtx<'_> {
         let done_at = self.now + self.fleet.transfer_time(bytes);
         match self.fleet.dropout_time(client) {
             Some(t_drop) if t_drop <= done_at => {
+                // As in `dispatch_with_transfer`: a client that dropped
+                // before `now` loses the payload *now*, not in the past.
+                let at = t_drop.max(self.now);
                 self.queue.push(
-                    t_drop.max(self.now),
+                    at,
                     Completion {
                         client,
                         tag,
                         dropped: true,
                     },
                 );
-                t_drop
+                at
             }
             _ => {
                 self.queue.push(
@@ -277,6 +284,8 @@ mod tests {
         outstanding: usize,
         round_start: f64,
         observed_round_times: Vec<f64>,
+        final_up_bytes: u64,
+        final_down_bytes: u64,
     }
 
     impl ToySync {
@@ -301,6 +310,8 @@ mod tests {
             if !c.dropped {
                 ctx.traffic.record_upload(c.client, 1000);
             }
+            self.final_up_bytes = ctx.traffic.uplink_bytes();
+            self.final_down_bytes = ctx.traffic.downlink_bytes();
             self.outstanding -= 1;
             if self.outstanding == 0 {
                 self.observed_round_times.push(ctx.now() - self.round_start);
@@ -324,6 +335,8 @@ mod tests {
             outstanding: 0,
             round_start: 0.0,
             observed_round_times: Vec::new(),
+            final_up_bytes: 0,
+            final_down_bytes: 0,
         }
     }
 
@@ -342,6 +355,8 @@ mod tests {
         }
         assert_eq!(report.events, 200);
         // Traffic: 100 clients × 2 rounds × 1000 B each way.
+        assert_eq!(h.final_down_bytes, 100 * 2 * 1000);
+        assert_eq!(h.final_up_bytes, 100 * 2 * 1000);
         assert_eq!(h.observed_round_times.len(), 2);
     }
 
@@ -400,6 +415,44 @@ mod tests {
         // drops before finishing.
         assert_eq!(h.drops, 10);
         assert_eq!(h.done, 0);
+    }
+
+    /// Regression: `schedule_transfer` (and `dispatch_with_transfer`) must
+    /// return the *clamped* completion time. A client whose dropout is
+    /// stamped before the current clock loses its payload now — the
+    /// pre-fix code queued the event at `now` but returned the raw dropout
+    /// time, handing strategies a completion instant in the past.
+    #[test]
+    fn past_dropout_transfer_completes_now_not_in_the_past() {
+        let cfg = ClusterConfig {
+            n_clients: 10,
+            n_unstable: 10,
+            dropout_horizon: 5.0,
+            ..ClusterConfig::paper_medium(7)
+        };
+        let fleet = Fleet::new(&cfg, vec![48; 10]);
+        let client = (0..10)
+            .find(|&c| fleet.dropout_time(c).is_some())
+            .expect("every client is unstable");
+        let t_drop = fleet.dropout_time(client).unwrap();
+        let now = t_drop + 10.0;
+        let mut queue = EventQueue::new();
+        let mut traffic = TrafficMeter::new(fleet.len());
+        let mut rng = rng_for(1, tags::SAMPLING);
+        let mut dispatch_counts = vec![0u64; fleet.len()];
+        let mut ctx = SimCtx {
+            fleet: &fleet,
+            traffic: &mut traffic,
+            rng: &mut rng,
+            now,
+            queue: &mut queue,
+            dispatch_counts: &mut dispatch_counts,
+        };
+        let at = ctx.schedule_transfer(client, 0, 1_000);
+        assert_eq!(at, now, "returned completion time lies in the past");
+        let (t, c) = queue.pop().expect("one completion queued");
+        assert_eq!(t, at, "returned time must match the queued event time");
+        assert!(c.dropped, "the payload must be lost to the dropout");
     }
 
     #[test]

@@ -364,15 +364,60 @@ pub fn softmax_inplace(row: &mut [f32]) {
     }
 }
 
+/// Selects the formulation of [`weighted_sum_into`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKernel {
+    /// Shard the model dimension into cache-sized chunks dispatched on the
+    /// kernel pool; within each shard, accumulate input-by-input with
+    /// vectorizable axpy loops (the default).
+    ShardedAxpy,
+    /// The fused per-element pass over all inputs on one thread — the
+    /// pre-sharding formulation, kept as the measured baseline for
+    /// `BENCH_aggregate.json`.
+    FusedSerial,
+}
+
+static AGG_KERNEL_SERIAL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Selects how [`weighted_sum_into`] is computed (benchmark baseline
+/// toggle). Both kernels accumulate every output element in input order,
+/// so the choice never changes results — only throughput.
+pub fn set_agg_kernel(kernel: AggKernel) {
+    AGG_KERNEL_SERIAL.store(
+        kernel == AggKernel::FusedSerial,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// The active [`AggKernel`].
+pub fn agg_kernel() -> AggKernel {
+    if AGG_KERNEL_SERIAL.load(std::sync::atomic::Ordering::Relaxed) {
+        AggKernel::FusedSerial
+    } else {
+        AggKernel::ShardedAxpy
+    }
+}
+
+/// Shard length (f32 elements) of the sharded aggregation kernel: 16 KiB
+/// keeps an output shard L1-resident while the whole input cohort streams
+/// through it. Shard boundaries depend only on this constant, never on the
+/// thread count, so results are thread-count-invariant by construction.
+pub const AGG_SHARD: usize = 4096;
+
 /// Weighted average of several equally-shaped slices into `out`.
 ///
 /// `out[i] = Σ_j weights[j] · inputs[j][i]`. This is the FedAvg/FedAT
 /// aggregation primitive; weights need not sum to 1 (callers normalize).
 ///
-/// Fused single pass: each output element is produced by one accumulation
-/// loop over the inputs (in input order, so results are bit-identical to
-/// the old zero-then-axpy formulation), and `out` is written exactly once
-/// instead of being re-read and re-written per input.
+/// The default kernel shards the model dimension into [`AGG_SHARD`]-element
+/// chunks dispatched on the persistent pool (disjoint output shards — the
+/// same determinism argument as the matmuls) and accumulates each shard
+/// input-by-input: the inner loop is an axpy the compiler vectorizes,
+/// where the fused per-element formulation chains every FMA through one
+/// scalar accumulator. For large cohorts (hundreds of client updates) the
+/// sharded kernel is several times faster *even single-threaded*. Every
+/// element still accumulates in input order starting from 0.0, so both
+/// kernels and all thread counts produce bit-identical results.
 ///
 /// # Panics
 /// Panics if lengths are inconsistent or no inputs are given.
@@ -389,13 +434,31 @@ pub fn weighted_sum_into(inputs: &[&[f32]], weights: &[f32], out: &mut [f32]) {
     for input in inputs {
         assert_eq!(input.len(), out.len(), "input length mismatch");
     }
-    for (i, o) in out.iter_mut().enumerate() {
-        let mut acc = 0.0f32;
-        for (input, &w) in inputs.iter().zip(weights.iter()) {
-            acc += w * input[i];
+    if agg_kernel() == AggKernel::FusedSerial {
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (input, &w) in inputs.iter().zip(weights.iter()) {
+                acc += w * input[i];
+            }
+            *o = acc;
         }
-        *o = acc;
+        return;
     }
+    let threads = parallel::plan_threads(out.len(), 2 * inputs.len());
+    parallel::for_each_chunk(out, AGG_SHARD, threads, |start, shard| {
+        // First input initializes the shard exactly like the fused pass:
+        // the accumulator starts at 0.0, which keeps -0.0 products
+        // bit-compatible (`0.0 + -0.0 == 0.0`).
+        let w0 = weights[0];
+        for (o, &x) in shard.iter_mut().zip(&inputs[0][start..]) {
+            *o = 0.0f32 + w0 * x;
+        }
+        for (input, &w) in inputs.iter().zip(weights.iter()).skip(1) {
+            for (o, &x) in shard.iter_mut().zip(&input[start..]) {
+                *o += w * x;
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -519,6 +582,34 @@ mod tests {
         let mut out = vec![0.0f32; 5];
         weighted_sum_into(&[&a, &b], &[0.5, 0.5], &mut out);
         assert!(out.iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn sharded_aggregation_matches_fused_serial_bitwise() {
+        // Many inputs over several shards: the vectorizable sharded kernel
+        // must reproduce the fused per-element pass exactly.
+        let mut rng = rng_for(11, 2);
+        let dim = 3 * AGG_SHARD + 17;
+        let inputs: Vec<Vec<f32>> = (0..40)
+            .map(|_| {
+                let mut v = vec![0.0f32; dim];
+                crate::rng::fill_normal(&mut rng, &mut v, 0.0, 1.0);
+                v
+            })
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let weights: Vec<f32> = (0..40).map(|i| (i as f32 + 1.0) / 820.0).collect();
+        set_agg_kernel(AggKernel::FusedSerial);
+        let mut fused = vec![0.0f32; dim];
+        weighted_sum_into(&refs, &weights, &mut fused);
+        set_agg_kernel(AggKernel::ShardedAxpy);
+        for threads in [1, 4] {
+            parallel::set_max_threads(threads);
+            let mut sharded = vec![0.0f32; dim];
+            weighted_sum_into(&refs, &weights, &mut sharded);
+            assert_eq!(fused, sharded, "kernels diverged at {threads} threads");
+        }
+        parallel::set_max_threads(1);
     }
 
     #[test]

@@ -168,6 +168,58 @@ where
     });
 }
 
+/// Splits `out` into fixed `chunk_len`-element chunks (the last may be
+/// short) and runs `f(chunk_start, chunk)` on each, distributing chunks
+/// across up to `threads` threads.
+///
+/// Unlike [`for_each_row_band`], the chunk boundaries are a function of
+/// `chunk_len` alone — never of the thread count — so a caller that
+/// accumulates *within* each chunk in a fixed order produces bit-identical
+/// results for any thread count, and each output chunk stays cache-hot
+/// across a long accumulation. This is the server-aggregation access
+/// pattern: `weighted_sum_into` sweeps hundreds of client updates through
+/// every chunk.
+///
+/// # Panics
+/// Panics if `chunk_len` is zero.
+pub fn for_each_chunk<F>(out: &mut [f32], chunk_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = out.len();
+    if len == 0 {
+        return;
+    }
+    let chunks = len.div_ceil(chunk_len);
+    let threads = threads.clamp(1, chunks);
+    if threads == 1 {
+        for (t, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(t * chunk_len, chunk);
+        }
+        return;
+    }
+    // Group chunks into at most `threads` region tasks (each task walks
+    // its chunks serially) so the region honours the thread cap in both
+    // spawn modes — `run_region` in scoped mode spawns one OS thread per
+    // task. Chunk boundaries are unaffected by the grouping.
+    let per_group = chunks.div_ceil(threads);
+    let groups = chunks.div_ceil(per_group);
+    let base = out.as_mut_ptr() as usize;
+    run_region(groups, threads, &|g| {
+        for t in (g * per_group)..((g + 1) * per_group).min(chunks) {
+            let lo = t * chunk_len;
+            let hi = ((t + 1) * chunk_len).min(len);
+            // SAFETY: chunks are disjoint, in-bounds subslices of `out`,
+            // which the enclosing call borrows mutably for the whole
+            // region, and each chunk belongs to exactly one group.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(lo), hi - lo) };
+            f(lo, chunk);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +283,28 @@ mod tests {
         };
         assert_eq!(make(1), make(5));
         assert_eq!(make(1), make(64));
+    }
+
+    #[test]
+    fn chunks_partition_output_with_fixed_boundaries() {
+        // 10 elements in chunks of 4 → chunk starts 0, 4, 8 regardless of
+        // the thread count.
+        for threads in [1, 2, 3, 8] {
+            let mut out = vec![0.0f32; 10];
+            let starts = std::sync::Mutex::new(Vec::new());
+            for_each_chunk(&mut out, 4, threads, |start, chunk| {
+                starts.lock().unwrap().push((start, chunk.len()));
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (start + i) as f32;
+                }
+            });
+            let mut starts = starts.into_inner().unwrap();
+            starts.sort_unstable();
+            assert_eq!(starts, vec![(0, 4), (4, 4), (8, 2)]);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as f32);
+            }
+        }
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //! ## Determinism
 //!
 //! Which thread runs a task is scheduling-dependent, but tasks are
-//! *data-disjoint by construction* (the kernels partition output rows), so
-//! results are bit-identical regardless of thread assignment. See
-//! [`crate::parallel`].
+//! *data-disjoint by construction*: the matmul/conv kernels partition
+//! output rows, the sharded aggregation kernel partitions the model
+//! dimension into fixed chunks, and the streaming evaluator partitions the
+//! test set into fixed mini-batches whose results land in per-batch slots.
+//! Results are therefore bit-identical regardless of thread assignment.
+//! See [`crate::parallel`].
 //!
 //! ## Safety
 //!

@@ -54,6 +54,8 @@ pub mod tags {
     pub const DROPOUT: u64 = 7;
     /// Unstable-client selection.
     pub const UNSTABLE: u64 = 8;
+    /// Evaluation-subset sampling.
+    pub const EVAL: u64 = 9;
 }
 
 /// Samples a standard normal value via the Box–Muller transform.

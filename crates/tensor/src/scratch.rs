@@ -6,10 +6,12 @@
 //! from this arena and hand them back when the value dies; after one warm-up
 //! batch a training round performs no tensor allocations at all.
 //!
-//! The arena is thread-local (the simulator's harness runs one experiment
-//! per worker thread, and kernels never allocate on pool workers), bounded
-//! (at most [`MAX_FREE`] buffers are retained), and invisible to results:
-//! every buffer handed out is freshly zeroed or overwritten by a copy.
+//! The arena is thread-local, bounded (at most [`MAX_FREE`] buffers are
+//! retained per thread), and invisible to results: every buffer handed out
+//! is freshly zeroed or overwritten by a copy. The simulator's harness runs
+//! one experiment per worker thread; matmul/conv kernels never allocate on
+//! pool workers, while the pooled streaming evaluator *does* gather batches
+//! there — each pool worker simply warms and reuses its own bounded arena.
 //!
 //! [`alloc_misses`] counts arena misses (true heap allocations), which lets
 //! tests assert that steady-state training stops allocating.

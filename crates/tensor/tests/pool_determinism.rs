@@ -7,7 +7,10 @@
 //! property under test, so concurrent cap changes cannot alter any result.
 
 use fedat_tensor::conv::{conv2d_forward, Conv2dSpec};
-use fedat_tensor::ops::{matmul_into, matmul_nt_into, matmul_tn_into};
+use fedat_tensor::ops::{
+    matmul_into, matmul_nt_into, matmul_tn_into, set_agg_kernel, weighted_sum_into, AggKernel,
+    AGG_SHARD,
+};
 use fedat_tensor::parallel::{self, SpawnMode};
 use fedat_tensor::rng::rng_for;
 use fedat_tensor::Tensor;
@@ -90,6 +93,40 @@ proptest! {
             parallel::set_max_threads(t);
             let (par, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
             prop_assert_eq!(serial.data(), par.data(), "conv diverged at {} threads", t);
+        }
+        parallel::set_max_threads(1);
+    }
+
+    #[test]
+    fn weighted_sum_bit_identical_across_threads_and_kernels(
+        n_inputs in 1usize..32,
+        dim in 1usize..(2 * AGG_SHARD + 200),
+        seed in 0u64..1000
+    ) {
+        // The server-aggregation primitive: the sharded kernel at every
+        // swept thread count must match the fused serial baseline bitwise.
+        let inputs: Vec<Vec<f32>> = (0..n_inputs)
+            .map(|j| filled(dim, seed ^ (j as u64) << 10))
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let weights: Vec<f32> = (0..n_inputs)
+            .map(|j| (j + 1) as f32 / (n_inputs * (n_inputs + 1) / 2) as f32)
+            .collect();
+        set_agg_kernel(AggKernel::FusedSerial);
+        parallel::set_max_threads(1);
+        let mut serial = vec![0.0f32; dim];
+        weighted_sum_into(&refs, &weights, &mut serial);
+        set_agg_kernel(AggKernel::ShardedAxpy);
+        for &t in &THREAD_SWEEP {
+            parallel::set_max_threads(t);
+            let mut sharded = vec![0.0f32; dim];
+            weighted_sum_into(&refs, &weights, &mut sharded);
+            prop_assert_eq!(
+                &serial,
+                &sharded,
+                "sharded aggregation diverged from serial at {} threads",
+                t
+            );
         }
         parallel::set_max_threads(1);
     }

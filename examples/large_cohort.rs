@@ -1,0 +1,83 @@
+//! Large-cohort server-path demo: FedAT on the 500-client × large-model
+//! cohort whose server-side aggregation and evaluation run sharded across
+//! the kernel pool (`weighted_sum_into` bands the model dimension; the
+//! streaming evaluator fans mini-batches and per-client sweeps out).
+//!
+//! By default runs a 100-client slice so it finishes in well under a
+//! minute; pass `--full` for the 500-client version. Either way the run is
+//! bit-identical to a serial server — pass `--serial` to check (and to
+//! feel the difference).
+//!
+//! ```text
+//! cargo run --release --example large_cohort [-- --full] [-- --serial]
+//! ```
+
+use fedat::core::prelude::*;
+use fedat::nn::metrics::set_pooled_eval;
+use fedat::sim::fleet::ClusterConfig;
+use fedat::tensor::ops::{set_agg_kernel, AggKernel};
+use fedat::tensor::parallel;
+use fedat_bench::experiments::large_cohort_task;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let serial = std::env::args().any(|a| a == "--serial");
+    let clients = if full { 500 } else { 100 };
+    let rounds = if full { 120 } else { 40 };
+
+    // The serial toggles restore the pre-sharding server path; results are
+    // bit-identical either way (see `BENCH_aggregate.json` for the speed).
+    set_agg_kernel(if serial {
+        AggKernel::FusedSerial
+    } else {
+        AggKernel::ShardedAxpy
+    });
+    set_pooled_eval(!serial);
+    // Let the server-side kernels fan out across the host.
+    parallel::set_max_threads(if serial { 1 } else { 0 });
+
+    let task = large_cohort_task(clients, 21);
+    println!(
+        "task: {} — {} clients, {} classes, {} train samples, {} test rows",
+        task.name,
+        task.fed.num_clients(),
+        task.fed.classes,
+        task.fed.total_train_samples(),
+        task.fed.global_test.len()
+    );
+
+    let mut cluster = ClusterConfig::paper_large(21).with_clients(clients);
+    cluster.n_unstable = cluster.n_unstable.min(clients / 10);
+    let cfg = ExperimentConfig::builder()
+        .strategy(StrategyKind::FedAt)
+        .rounds(rounds)
+        .clients_per_round(10)
+        .local_epochs(1)
+        .eval_every(5)
+        .eval_subset(512)
+        .seed(21)
+        .cluster(cluster)
+        .build();
+
+    let started = std::time::Instant::now();
+    let outcome = run_experiment(&task, &cfg);
+    let secs = started.elapsed().as_secs_f64();
+
+    println!(
+        "{} global updates in {:.1}s wall ({:.1} updates/s), best accuracy {:.3}",
+        outcome.global_updates,
+        secs,
+        outcome.global_updates as f64 / secs.max(1e-9),
+        outcome.best_accuracy()
+    );
+    println!(
+        "accuracy variance over {} clients: {:.5}",
+        outcome.per_client_accuracy.len(),
+        outcome.accuracy_variance
+    );
+    println!(
+        "server path: {:?} aggregation, pooled eval = {}",
+        fedat::tensor::ops::agg_kernel(),
+        !serial
+    );
+}
