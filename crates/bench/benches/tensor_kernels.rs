@@ -1,10 +1,12 @@
-//! Tensor-kernel microbenchmarks: matmul variants (serial vs parallel) and
-//! im2col convolution — the compute underlying every client round.
+//! Tensor-kernel microbenchmarks: matmul variants (serial vs parallel,
+//! SIMD vs scalar) and im2col convolution — the compute underlying every
+//! client round. The JSON-emitting twin is `bench_tensor_kernels`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fedat_tensor::conv::{conv2d_forward, Conv2dSpec};
 use fedat_tensor::parallel;
 use fedat_tensor::rng::rng_for;
+use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
 use fedat_tensor::Tensor;
 use std::hint::black_box;
 
@@ -41,6 +43,28 @@ fn bench_matmul_variants(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut rng = rng_for(4, 1);
+    let a = Tensor::randn(&mut rng, &[128, 128], 0.0, 1.0);
+    let b = Tensor::randn(&mut rng, &[128, 128], 0.0, 1.0);
+    // Restore the entry kernel (not a hard-coded Auto) so later groups
+    // still honor a FEDAT_SIMD=scalar environment.
+    let entry_kernel = fedat_tensor::simd::simd_kernel();
+    let mut group = c.benchmark_group("tensor/simd");
+    group.sample_size(20);
+    group.bench_function("matmul128-scalar", |bench| {
+        set_simd_kernel(SimdKernel::Scalar);
+        bench.iter(|| black_box(a.matmul(black_box(&b))));
+        set_simd_kernel(entry_kernel);
+    });
+    group.bench_function("matmul128-auto", |bench| {
+        set_simd_kernel(SimdKernel::Auto);
+        bench.iter(|| black_box(a.matmul(black_box(&b))));
+        set_simd_kernel(entry_kernel);
+    });
+    group.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     let mut rng = rng_for(3, 1);
     let spec = Conv2dSpec {
@@ -61,5 +85,11 @@ fn bench_conv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_matmul_variants, bench_conv);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_variants,
+    bench_simd_kernels,
+    bench_conv
+);
 criterion_main!(benches);

@@ -33,6 +33,7 @@ use fedat_nn::metrics::set_pooled_eval;
 use fedat_tensor::ops::{set_agg_kernel, AggKernel};
 use fedat_tensor::parallel;
 use fedat_tensor::rng::{fill_normal, rng_for};
+use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
 use std::time::Instant;
 
 /// Flips the server-path toggles introduced with the sharded server.
@@ -43,6 +44,11 @@ fn set_server_layer(optimized: bool) {
         AggKernel::FusedSerial
     });
     set_pooled_eval(optimized);
+    set_simd_kernel(if optimized {
+        SimdKernel::Auto
+    } else {
+        SimdKernel::Scalar
+    });
 }
 
 /// One simulated steady-state server run; returns (seconds, final global).
@@ -225,7 +231,7 @@ fn main() {
     let speedup = sharded_rps / serial_rps.max(1e-12);
 
     let json = format!(
-        "{{\n  \"bench\": \"aggregate\",\n  \"seed\": {seed},\n  \"clients\": {clients},\n  \"model_dim\": {dim},\n  \"tiers\": {tiers},\n  \"rounds\": {rounds},\n  \"eval_stride\": {eval_stride},\n  \"variance_stride\": {variance_stride},\n  \"eval_subset\": {eval_subset},\n  \"kernel_threads\": {threads},\n  \"serial_baseline\": \"AggKernel::FusedSerial + set_pooled_eval(false): the pre-sharding server path\",\n  \"serial_secs\": {serial_secs:.4},\n  \"sharded_secs\": {sharded_secs:.4},\n  \"serial_rounds_per_sec\": {serial_rps:.3},\n  \"sharded_rounds_per_sec\": {sharded_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"phases\": {{\n    \"aggregate\": {{ \"serial_secs\": {serial_agg:.4}, \"sharded_secs\": {sharded_agg:.4}, \"speedup\": {agg_speedup:.3} }},\n    \"eval\": {{ \"serial_secs\": {serial_eval:.4}, \"sharded_secs\": {sharded_eval:.4}, \"speedup\": {eval_speedup:.3} }}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"aggregate\",\n  \"seed\": {seed},\n  \"clients\": {clients},\n  \"model_dim\": {dim},\n  \"tiers\": {tiers},\n  \"rounds\": {rounds},\n  \"eval_stride\": {eval_stride},\n  \"variance_stride\": {variance_stride},\n  \"eval_subset\": {eval_subset},\n  \"kernel_threads\": {threads},\n  \"serial_baseline\": \"AggKernel::FusedSerial + set_pooled_eval(false) + SimdKernel::Scalar: the pre-sharding server path\",\n  \"serial_secs\": {serial_secs:.4},\n  \"sharded_secs\": {sharded_secs:.4},\n  \"serial_rounds_per_sec\": {serial_rps:.3},\n  \"sharded_rounds_per_sec\": {sharded_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"phases\": {{\n    \"aggregate\": {{ \"serial_secs\": {serial_agg:.4}, \"sharded_secs\": {sharded_agg:.4}, \"speedup\": {agg_speedup:.3} }},\n    \"eval\": {{ \"serial_secs\": {serial_eval:.4}, \"sharded_secs\": {sharded_eval:.4}, \"speedup\": {eval_speedup:.3} }}\n  }}\n}}\n",
         agg_speedup = serial_agg / sharded_agg.max(1e-9),
         eval_speedup = serial_eval / sharded_eval.max(1e-9),
     );

@@ -6,7 +6,8 @@
 //! broadcast) and once with the naive baseline toggles that restore the
 //! seed's execution layer (scoped thread spawns per kernel, a full model
 //! rebuild per dispatch, dot-product NT kernel, arena off, per-client
-//! encode) — and records rounds/sec for both in `BENCH_fl_round.json`.
+//! encode, scalar SIMD kernel) — and records rounds/sec for both in
+//! `BENCH_fl_round.json`.
 //! The optimized run is additionally checked for determinism (two runs,
 //! bit-identical weights).
 //!
@@ -24,6 +25,7 @@ use fedat_sim::fleet::ClusterConfig;
 use fedat_tensor::ops::{set_nt_kernel, NtKernel};
 use fedat_tensor::parallel::{self, SpawnMode};
 use fedat_tensor::scratch;
+use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
 use std::time::Instant;
 
 /// Flips every execution-layer toggle at once.
@@ -41,6 +43,11 @@ fn set_execution_layer(optimized: bool) {
     });
     scratch::set_enabled(optimized);
     set_broadcast_enabled(optimized);
+    set_simd_kernel(if optimized {
+        SimdKernel::Auto
+    } else {
+        SimdKernel::Scalar
+    });
 }
 
 struct Sample {
@@ -200,8 +207,12 @@ fn main() {
         fedat_tensor::parallel::max_threads()
     ));
     json.push_str(
-        "  \"naive_baseline\": \"seed execution layer: scoped spawn per kernel, model rebuild per dispatch, dot-product NT kernel, scratch arena off, per-client downlink encode\",\n",
+        "  \"naive_baseline\": \"seed execution layer: scoped spawn per kernel, model rebuild per dispatch, dot-product NT kernel, scratch arena off, per-client downlink encode, scalar SIMD kernel\",\n",
     );
+    json.push_str(&format!(
+        "  \"simd_backend\": \"{}\",\n",
+        fedat_tensor::simd::backend_name()
+    ));
     json.push_str("  \"strategies\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(

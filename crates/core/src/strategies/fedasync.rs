@@ -92,6 +92,12 @@ impl EventHandler for FedAsyncStrategy {
                 let version = self.dispatch_version.remove(&c.client).unwrap_or(0);
                 let staleness = self.core.updates - version;
                 let alpha_t = self.alpha * self.staleness.factor(staleness);
+                // The mixing sweep runs over the full model on *every*
+                // arrival — `lerp_into` shards it across the kernel pool
+                // with the vectorized inner loop, the same treatment the
+                // sharded aggregation gives the synchronous strategies
+                // (bit-identical for any kernel/thread count; pinned by
+                // `fedasync_mixing_is_bit_identical_across_simd_and_threads`).
                 lerp_into(&mut self.core.global, &weights, alpha_t);
                 self.core.bump(ctx);
                 if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {

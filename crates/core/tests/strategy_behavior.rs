@@ -246,4 +246,72 @@ fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
             assert_eq!(p.up_bytes, q.up_bytes);
         }
     }
+    // The SIMD micro-kernel layer must be equally invisible: the whole
+    // trace is pinned under the forced-scalar kernel too. Restore the
+    // entry kernel afterwards (not a hard-coded Auto) so the
+    // FEDAT_SIMD=scalar CI lane keeps its scalar coverage for tests
+    // scheduled after this one.
+    use fedat_tensor::simd::{set_simd_kernel, simd_kernel, SimdKernel};
+    let entry_kernel = simd_kernel();
+    set_simd_kernel(SimdKernel::Scalar);
+    let scalar = run_at(1);
+    set_simd_kernel(entry_kernel);
+    assert_eq!(
+        scalar.final_weights, base.final_weights,
+        "final weights diverged under SimdKernel::Scalar"
+    );
+    assert_eq!(scalar.per_client_accuracy, base.per_client_accuracy);
+    assert_eq!(scalar.trace.points.len(), base.trace.points.len());
+    for (p, q) in scalar.trace.points.iter().zip(base.trace.points.iter()) {
+        assert_eq!(
+            p.accuracy, q.accuracy,
+            "accuracy diverged under SimdKernel::Scalar"
+        );
+        assert_eq!(p.loss, q.loss);
+        assert_eq!(p.time, q.time);
+    }
+}
+
+#[test]
+fn fedasync_mixing_is_bit_identical_across_simd_and_threads() {
+    // FedAsync's server mixing (`lerp_into` over the full model on every
+    // arrival) runs sharded on the kernel pool with the vectorized inner
+    // loop: neither the SIMD kernel nor the thread count may change a bit
+    // of the trace or the final model.
+    use fedat_tensor::parallel;
+    use fedat_tensor::simd::{set_simd_kernel, simd_kernel, SimdKernel};
+    let n = 12;
+    let task = suite::sent140_like(n, 31);
+    let cluster = ClusterConfig::paper_medium(31)
+        .with_clients(n)
+        .without_dropouts();
+    let c = cfg(StrategyKind::FedAsync, 20, 31, cluster);
+    let entry_kernel = simd_kernel();
+    let run_with = |kernel: SimdKernel, threads: usize| {
+        set_simd_kernel(kernel);
+        parallel::set_max_threads(threads);
+        let out = fedat_core::run_experiment(&task, &c);
+        parallel::set_max_threads(1);
+        set_simd_kernel(entry_kernel);
+        out
+    };
+    let base = run_with(SimdKernel::Auto, 1);
+    assert!(!base.trace.points.is_empty());
+    for (kernel, threads) in [
+        (SimdKernel::Auto, 4),
+        (SimdKernel::Scalar, 1),
+        (SimdKernel::Scalar, 4),
+    ] {
+        let out = run_with(kernel, threads);
+        assert_eq!(
+            out.final_weights, base.final_weights,
+            "FedAsync weights diverged under {kernel:?} at {threads} threads"
+        );
+        assert_eq!(out.trace.points.len(), base.trace.points.len());
+        for (p, q) in out.trace.points.iter().zip(base.trace.points.iter()) {
+            assert_eq!(p.accuracy, q.accuracy);
+            assert_eq!(p.loss, q.loss);
+            assert_eq!(p.time, q.time);
+        }
+    }
 }

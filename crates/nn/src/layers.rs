@@ -131,7 +131,7 @@ impl Layer for Relu {
             mask.extend(input.data().iter().map(|&x| x > 0.0));
             self.mask = Some(mask);
         }
-        input.map_inplace(|x| x.max(0.0));
+        fedat_tensor::simd::relu(input.data_mut());
         input
     }
 
@@ -189,9 +189,7 @@ impl Layer for Tanh {
             .cached_output
             .take()
             .expect("Tanh::backward without Train forward");
-        for (g, &yi) in grad_out.data_mut().iter_mut().zip(y.data().iter()) {
-            *g *= 1.0 - yi * yi;
-        }
+        fedat_tensor::simd::tanh_grad(grad_out.data_mut(), y.data());
         y.recycle();
         grad_out
     }
@@ -248,9 +246,7 @@ impl Layer for Sigmoid {
             .cached_output
             .take()
             .expect("Sigmoid::backward without Train forward");
-        for (g, &yi) in grad_out.data_mut().iter_mut().zip(y.data().iter()) {
-            *g *= yi * (1.0 - yi);
-        }
+        fedat_tensor::simd::sigmoid_grad(grad_out.data_mut(), y.data());
         y.recycle();
         grad_out
     }
@@ -315,18 +311,14 @@ impl Layer for Dropout {
                 0.0
             });
         }
-        for (v, &m) in input.data_mut().iter_mut().zip(mask.iter()) {
-            *v *= m;
-        }
+        fedat_tensor::simd::mul_assign(input.data_mut(), &mask);
         self.mask = Some(mask);
         input
     }
 
     fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
         if let Some(mask) = self.mask.take() {
-            for (g, &m) in grad_out.data_mut().iter_mut().zip(mask.iter()) {
-                *g *= m;
-            }
+            fedat_tensor::simd::mul_assign(grad_out.data_mut(), &mask);
             fedat_tensor::scratch::recycle(mask);
         }
         grad_out

@@ -29,9 +29,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[u32]) -> (f32, Tensor) 
     for (r, &t) in targets.iter().enumerate() {
         let row = probs.row_mut(r);
         row[t as usize] -= 1.0;
-        for v in row.iter_mut() {
-            *v *= inv_n;
-        }
+        fedat_tensor::simd::scale(row, inv_n);
     }
     ((loss / n as f64) as f32, probs)
 }

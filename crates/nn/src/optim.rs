@@ -64,16 +64,14 @@ impl Optimizer for Sgd {
             "optimizer bound to a different model"
         );
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
-            for ((w, &g), vi) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data().iter())
-                .zip(v.iter_mut())
-            {
-                *vi = self.momentum * *vi + g;
-                *w -= self.lr * *vi;
-            }
+            let Param { value, grad } = &mut **p;
+            fedat_tensor::simd::sgd_momentum_step(
+                value.data_mut(),
+                grad.data(),
+                v,
+                self.momentum,
+                self.lr,
+            );
         }
     }
 
@@ -130,27 +128,21 @@ impl Optimizer for Adam {
             "optimizer bound to a different model"
         );
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let step = fedat_tensor::simd::AdamParams {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            bc1: 1.0 - self.beta1.powi(self.t as i32),
+            bc2: 1.0 - self.beta2.powi(self.t as i32),
+            eps: self.eps,
+        };
         for ((p, m), v) in params
             .iter_mut()
             .zip(self.m.iter_mut())
             .zip(self.v.iter_mut())
         {
-            for (((w, &g), mi), vi) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data().iter())
-                .zip(m.iter_mut())
-                .zip(v.iter_mut())
-            {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
-                let m_hat = *mi / bc1;
-                let v_hat = *vi / bc2;
-                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            let Param { value, grad } = &mut **p;
+            fedat_tensor::simd::adam_step(value.data_mut(), grad.data(), m, v, &step);
         }
     }
 
@@ -203,16 +195,13 @@ impl ProxTerm {
         let mut off = 0usize;
         for p in params.iter_mut() {
             let n = p.len();
-            let g_slice = &self.global[off..off + n];
-            for ((grad, &w), &wg) in p
-                .grad
-                .data_mut()
-                .iter_mut()
-                .zip(p.value.data().iter())
-                .zip(g_slice.iter())
-            {
-                *grad += self.lambda * (w - wg);
-            }
+            let Param { value, grad } = &mut **p;
+            fedat_tensor::simd::prox_grad(
+                grad.data_mut(),
+                value.data(),
+                &self.global[off..off + n],
+                self.lambda,
+            );
             off += n;
         }
     }

@@ -155,3 +155,65 @@ fn sequential_training_is_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn training_is_bit_identical_across_simd_kernels() {
+    // End-to-end pin for the rewired nn sweeps (activations, dropout,
+    // loss, optimizer steps) on both model families: forcing the scalar
+    // kernel must reproduce the Auto weights bit-for-bit.
+    use fedat_tensor::simd::{set_simd_kernel, simd_kernel, SimdKernel};
+    // Restore the entry kernel after each run (not a hard-coded Auto) so
+    // the FEDAT_SIMD=scalar CI lane keeps its coverage for later tests.
+    let entry_kernel = simd_kernel();
+    let specs = [
+        ModelSpec::Mlp {
+            input: 10,
+            hidden: vec![16, 9],
+            classes: 4,
+        },
+        ModelSpec::CnnLite {
+            channels: 2,
+            height: 8,
+            width: 8,
+            classes: 3,
+        },
+    ];
+    for spec in specs {
+        let run = |kernel: SimdKernel| {
+            set_simd_kernel(kernel);
+            let mut m = spec.build(11);
+            let mut rng = rng_for(6, 6);
+            let feat = match spec {
+                ModelSpec::Mlp { input, .. } => input,
+                ModelSpec::CnnLite {
+                    channels,
+                    height,
+                    width,
+                    ..
+                } => channels * height * width,
+                _ => unreachable!(),
+            };
+            let x = Tensor::randn(&mut rng, &[10, feat], 0.0, 1.0);
+            let y: Vec<u32> = (0..10).map(|i| (i % 3) as u32).collect();
+            let global = m.weights();
+            let prox = ProxTerm::new(0.4, global);
+            let mut opt = Adam::new(0.01);
+            for _ in 0..6 {
+                m.train_batch(&x, &y, &mut opt, Some(&prox));
+            }
+            let mut sgd = Sgd::new(0.05, 0.9);
+            for _ in 0..3 {
+                m.train_batch(&x, &y, &mut sgd, None);
+            }
+            set_simd_kernel(entry_kernel);
+            m.weights()
+        };
+        let auto = run(SimdKernel::Auto);
+        let scalar = run(SimdKernel::Scalar);
+        assert_eq!(
+            auto.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            "training diverged between SIMD kernels for {spec:?}"
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! Sized for the reproduction's `cnn_lite` models: correctness and
 //! determinism first, with the matmul stage reusing the parallel kernels in
-//! [`crate::ops`].
+//! [`crate::ops`] — and therefore the SIMD micro-kernel layer
+//! ([`crate::simd`]) backing them.
 
 use crate::ops::{matmul_into, matmul_nt_into, matmul_tn_into};
 use crate::tensor::Tensor;
@@ -147,10 +148,7 @@ pub fn conv2d_forward(
         let out_slice = &mut out.data_mut()[i * cout * col_cols..(i + 1) * cout * col_cols];
         matmul_into(weight.data(), &cols, out_slice, cout, col_rows, col_cols);
         for (co, plane) in out_slice.chunks_mut(col_cols).enumerate() {
-            let b = bias.data()[co];
-            for v in plane.iter_mut() {
-                *v += b;
-            }
+            crate::simd::add_scalar(plane, bias.data()[co]);
         }
         saved_cols.push(cols);
     }

@@ -20,6 +20,12 @@
 //! thread count configured via [`parallel::set_max_threads`]. Reductions that
 //! would need cross-thread accumulation (e.g. [`Tensor::sum`]) stay serial.
 //!
+//! The arithmetic inside every kernel dispatches through the explicit SIMD
+//! layer ([`simd`]): runtime-detected AVX2+FMA paths with a portable 8-lane
+//! fallback, bit-identical to the scalar reference by construction (see the
+//! module docs for the lane-decomposition argument), so neither the host
+//! ISA nor the [`simd::SimdKernel`] toggle can change a result either.
+//!
 //! ```
 //! use fedat_tensor::Tensor;
 //!
@@ -36,6 +42,7 @@ pub mod pool;
 pub mod rng;
 pub mod scratch;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use shape::Shape;

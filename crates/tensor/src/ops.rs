@@ -1,15 +1,18 @@
 //! Numeric kernels: elementwise ops, matmul variants, row reductions.
 //!
-//! Matrix kernels are parallelized by sharding output rows across scoped
-//! threads ([`crate::parallel`]); the inner loops use the cache-friendly
-//! `ikj` order so each pass streams a full output row.
+//! Matrix kernels are parallelized by sharding output rows across the
+//! kernel pool ([`crate::parallel`]); the arithmetic inside each band runs
+//! on the SIMD micro-kernel layer ([`crate::simd`]), whose backends are
+//! bit-identical by construction.
 
 use crate::parallel;
+use crate::simd;
 use crate::tensor::Tensor;
 
 // ----------------------------------------------------------------------
 // Slice-level primitives (used by higher-level crates directly on weight
-// buffers, without wrapping them in tensors)
+// buffers, without wrapping them in tensors). All of them dispatch through
+// the SIMD layer.
 // ----------------------------------------------------------------------
 
 /// `y[i] += alpha * x[i]`.
@@ -17,56 +20,45 @@ use crate::tensor::Tensor;
 /// # Panics
 /// Panics if lengths differ.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(alpha, x, y);
 }
 
 /// `y[i] = alpha * x[i] + beta * y[i]`.
 pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpby length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi = alpha * xi + beta * *yi;
-    }
+    simd::axpby(alpha, x, beta, y);
 }
 
-/// Dot product with f64 accumulation (deterministic, serial).
+/// Dot product with f64 lane accumulation (the pinned 8-lane decomposition
+/// of [`simd::dot`] — deterministic and ISA-independent).
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
-    assert_eq!(x.len(), y.len(), "dot length mismatch");
-    let mut acc = 0.0f64;
-    for (&a, &b) in x.iter().zip(y.iter()) {
-        acc += a as f64 * b as f64;
-    }
-    acc as f32
+    simd::dot(x, y)
 }
 
 /// Scales a slice in place.
 pub fn scale(x: &mut [f32], alpha: f32) {
-    for v in x.iter_mut() {
-        *v *= alpha;
-    }
+    simd::scale(x, alpha);
 }
 
-/// Squared Euclidean distance between two slices.
+/// Squared Euclidean distance between two slices (same lane decomposition
+/// as [`dot`]).
 pub fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
-    assert_eq!(x.len(), y.len(), "dist_sq length mismatch");
-    let mut acc = 0.0f64;
-    for (&a, &b) in x.iter().zip(y.iter()) {
-        let d = (a - b) as f64;
-        acc += d * d;
-    }
-    acc as f32
+    simd::dist_sq(x, y)
 }
 
 /// Linear interpolation `out[i] = (1 - t) * a[i] + t * b[i]`, written into `a`.
 ///
-/// This is the FedAsync server mixing step `w ← (1−α)·w + α·w_client`.
+/// This is the FedAsync server mixing step `w ← (1−α)·w + α·w_client`,
+/// which runs over the full model on every client arrival — so like
+/// [`weighted_sum_into`] it shards the model dimension into fixed
+/// [`AGG_SHARD`]-element chunks on the kernel pool with a vectorized inner
+/// loop. The op is elementwise, so chunk boundaries and thread counts can
+/// never change a bit of the result.
 pub fn lerp_into(a: &mut [f32], b: &[f32], t: f32) {
     assert_eq!(a.len(), b.len(), "lerp length mismatch");
-    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
-        *ai = (1.0 - t) * *ai + t * bi;
-    }
+    let threads = parallel::plan_threads(a.len(), 4);
+    parallel::for_each_chunk(a, AGG_SHARD, threads, |start, chunk| {
+        simd::lerp(chunk, &b[start..start + chunk.len()], t);
+    });
 }
 
 // ----------------------------------------------------------------------
@@ -157,53 +149,33 @@ impl Tensor {
 }
 
 /// `C[m,n] += A[m,k] · B[k,n]` on raw row-major slices.
+///
+/// Output rows are banded across the kernel pool; each band runs the
+/// register-blocked micro-kernel ([`simd::matmul_block`]), which also backs
+/// the TN/NT variants and the im2col conv stage.
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     assert_eq!(c.len(), m * n);
     let threads = parallel::plan_threads(m, 2 * k * n);
     parallel::for_each_row_band(c, n, threads, |first_row, band| {
-        for (r, crow) in band.chunks_mut(n).enumerate() {
-            let i = first_row + r;
-            let arow = &a[i * k..(i + 1) * k];
-            // ikj order: stream B row-by-row, accumulate into the C row.
-            for (p, &aip) in arow.iter().enumerate() {
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
-                    *cj += aip * bj;
-                }
-            }
-        }
+        simd::matmul_block(simd::Lhs::RowMajor(a, k), b, band, first_row, k, n);
     });
 }
 
 /// `C[m,n] += Aᵀ · B` with `A[k,m]`, `B[k,n]`, on raw slices.
+///
+/// The micro-kernel reads `A` transposed in place (`Lhs::ColMajor` — the
+/// `A` access is a scalar broadcast either way), so no `Aᵀ` is ever
+/// materialized. Accumulation over `p` stays in ascending order for every
+/// output element, exactly as the seed's `pij` loop.
 pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), k * m);
     assert_eq!(b.len(), k * n);
     assert_eq!(c.len(), m * n);
     let threads = parallel::plan_threads(m, 2 * k * n);
     parallel::for_each_row_band(c, n, threads, |first_row, band| {
-        let rows = band.len() / n;
-        // Each band owns C rows [first_row, first_row+rows); loop over k in a
-        // fixed order so accumulation is deterministic.
-        for p in 0..k {
-            let brow = &b[p * n..(p + 1) * n];
-            let arow = &a[p * m..(p + 1) * m];
-            for r in 0..rows {
-                let aip = arow[first_row + r];
-                if aip == 0.0 {
-                    continue;
-                }
-                let crow = &mut band[r * n..(r + 1) * n];
-                for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
-                    *cj += aip * bj;
-                }
-            }
-        }
+        simd::matmul_block(simd::Lhs::ColMajor(a, m), b, band, first_row, k, n);
     });
 }
 
@@ -263,26 +235,17 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
         });
         return;
     }
-    // bt[p, j] = b[j, p] — sequential-write transpose, no zero-fill (every
-    // element is written exactly once).
+    // bt[p, j] = b[j, p] via the cache-blocked transpose: the old
+    // per-element strided-gather `extend` loop paid a closure call and a
+    // cache miss per element on every backward pass. No zero-fill — the
+    // transpose writes every element of the spare capacity exactly once.
     let mut bt = crate::scratch::take_empty(k * n);
-    for p in 0..k {
-        bt.extend((0..n).map(|j| b[j * k + p]));
-    }
+    simd::transpose_uninit(b, &mut bt.spare_capacity_mut()[..k * n], n, k);
+    // SAFETY: capacity ≥ k*n by `take_empty`, and every element of the
+    // prefix was just initialized by the transpose.
+    unsafe { bt.set_len(k * n) };
     parallel::for_each_row_band(c, n, threads, |first_row, band| {
-        for (r, crow) in band.chunks_mut(n).enumerate() {
-            let i = first_row + r;
-            let arow = &a[i * k..(i + 1) * k];
-            for (p, &aip) in arow.iter().enumerate() {
-                if aip == 0.0 {
-                    continue;
-                }
-                let btrow = &bt[p * n..(p + 1) * n];
-                for (cj, &bj) in crow.iter_mut().zip(btrow.iter()) {
-                    *cj += aip * bj;
-                }
-            }
-        }
+        simd::matmul_block(simd::Lhs::RowMajor(a, k), &bt, band, first_row, k, n);
     });
     crate::scratch::recycle(bt);
 }
@@ -301,9 +264,7 @@ impl Tensor {
         assert_eq!(bias.len(), cols, "bias length mismatch");
         let b = bias.data();
         for row in self.data_mut().chunks_mut(cols) {
-            for (v, &bv) in row.iter_mut().zip(b.iter()) {
-                *v += bv;
-            }
+            simd::add_assign(row, b);
         }
     }
 
@@ -313,10 +274,7 @@ impl Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let mut out = crate::scratch::take_zeroed(cols);
         for r in 0..rows {
-            let row = &self.data()[r * cols..(r + 1) * cols];
-            for (o, &v) in out.iter_mut().zip(row.iter()) {
-                *o += v;
-            }
+            simd::add_assign(&mut out, &self.data()[r * cols..(r + 1) * cols]);
         }
         Tensor::from_vec(out, &[cols])
     }
@@ -359,9 +317,7 @@ pub fn softmax_inplace(row: &mut [f32]) {
         sum += *v;
     }
     let inv = 1.0 / sum;
-    for v in row.iter_mut() {
-        *v *= inv;
-    }
+    simd::scale(row, inv);
 }
 
 /// Selects the formulation of [`weighted_sum_into`].
@@ -446,17 +402,13 @@ pub fn weighted_sum_into(inputs: &[&[f32]], weights: &[f32], out: &mut [f32]) {
     }
     let threads = parallel::plan_threads(out.len(), 2 * inputs.len());
     parallel::for_each_chunk(out, AGG_SHARD, threads, |start, shard| {
+        let end = start + shard.len();
         // First input initializes the shard exactly like the fused pass:
         // the accumulator starts at 0.0, which keeps -0.0 products
         // bit-compatible (`0.0 + -0.0 == 0.0`).
-        let w0 = weights[0];
-        for (o, &x) in shard.iter_mut().zip(&inputs[0][start..]) {
-            *o = 0.0f32 + w0 * x;
-        }
+        simd::wsum_first(shard, &inputs[0][start..end], weights[0]);
         for (input, &w) in inputs.iter().zip(weights.iter()).skip(1) {
-            for (o, &x) in shard.iter_mut().zip(&input[start..]) {
-                *o += w * x;
-            }
+            simd::axpy(w, &input[start..end], shard);
         }
     });
 }

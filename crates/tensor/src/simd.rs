@@ -1,0 +1,1335 @@
+//! Explicit SIMD micro-kernels for the training hot path.
+//!
+//! Every arithmetic inner loop of the reproduction — the three matmul
+//! variants (and therefore the im2col conv stage), the slice primitives
+//! backing aggregation and server mixing, the activation/loss/optimizer
+//! elementwise sweeps — funnels through this module. Three backends
+//! implement each kernel:
+//!
+//! * **scalar** — plain loops, the measured baseline (`SimdKernel::Scalar`,
+//!   the `BENCH_tensor_kernels.json` "before"). For the elementwise kernels
+//!   and the matmuls these are the seed's loops byte-for-byte; for the
+//!   reductions they are the scalar form of the new lane decomposition
+//!   (see below — the seed's single-accumulator `dot`/`dist_sq` could not
+//!   be vectorized without changing bits, so their *definition* moved),
+//! * **portable** — a fixed 8-lane formulation (arrays of eight accumulators)
+//!   that the compiler reliably autovectorizes at whatever ISA the target
+//!   offers,
+//! * **avx2** — runtime-detected AVX2+FMA `std::arch` paths, 8 f32 lanes per
+//!   register.
+//!
+//! ## Determinism
+//!
+//! The backends are **bit-identical by construction**, so neither the
+//! [`SimdKernel`] toggle nor the host ISA can ever change a result:
+//!
+//! * Elementwise kernels and the matmul micro-kernel vectorize only across
+//!   the *output/column* dimension. Each output element is computed by one
+//!   lane executing exactly the scalar expression tree — same operations,
+//!   same rounding points, same accumulation order over `k` — so every lane
+//!   reproduces the scalar reference bit-for-bit. In particular the f32
+//!   paths never use FMA *contraction*: a fused `a*b + c` rounds once where
+//!   the scalar reference rounds twice, so the AVX2 kernels stick to
+//!   `mul` + `add` exactly like the reference.
+//! * `dot`-style reductions are *defined* as a fixed 8-lane partial-sum
+//!   decomposition with a pinned pairwise merge
+//!   (`((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, then the tail appended
+//!   serially), which the portable fallback computes with the identical
+//!   f64 lane arithmetic. The f64 lanes *may* use FMA: an f32×f32 product
+//!   is exact in f64 (48 < 53 mantissa bits), so fused and unfused rounds
+//!   are the same bits.
+//! * The matmul micro-kernel preserves the reference kernel's
+//!   skip-zero-`A`-element fast path (`if a[i,p] == 0.0 continue`, a win on
+//!   post-ReLU activations): the skip is uniform across an output row, so
+//!   vector lanes and scalar code skip in exactly the same cases.
+//!
+//! Thread-count invariance is inherited from [`crate::parallel`]: bands and
+//! shards partition output elements, and this module only changes how the
+//! arithmetic *inside* one band is issued.
+//!
+//! The active kernel is a process-global toggle ([`set_simd_kernel`],
+//! mirroring `NtKernel`/`AggKernel`), overridable at startup with
+//! `FEDAT_SIMD=scalar` so CI can run the whole suite on the scalar path.
+//
+// Index-based loops are used deliberately throughout: they keep the lane
+// structure and the pinned accumulation order visible.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+// ----------------------------------------------------------------------
+// Kernel selection
+// ----------------------------------------------------------------------
+
+/// Selects the arithmetic backend for every kernel in this module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdKernel {
+    /// Runtime-dispatch to the best available backend (AVX2+FMA where
+    /// detected, the portable 8-lane fallback otherwise). The default.
+    Auto,
+    /// The seed's plain scalar loops — the measured baseline for
+    /// `BENCH_tensor_kernels.json`. Bit-identical to `Auto`.
+    Scalar,
+}
+
+const K_UNSET: u8 = 0;
+const K_AUTO: u8 = 1;
+const K_SCALAR: u8 = 2;
+
+/// Active kernel; initialized lazily from `FEDAT_SIMD` on first query.
+static KERNEL: AtomicU8 = AtomicU8::new(K_UNSET);
+
+/// Test/bench hook: skip the ISA-specific path even when available, so the
+/// portable fallback can be exercised on hosts that would dispatch to AVX2.
+static PORTABLE_ONLY: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the SIMD backend (benchmark baseline toggle). Both kernels
+/// produce bit-identical results — the choice only changes throughput.
+pub fn set_simd_kernel(kernel: SimdKernel) {
+    KERNEL.store(
+        match kernel {
+            SimdKernel::Auto => K_AUTO,
+            SimdKernel::Scalar => K_SCALAR,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The active [`SimdKernel`]. Defaults to `Auto`; the environment variable
+/// `FEDAT_SIMD=scalar` flips the process default before any override.
+pub fn simd_kernel() -> SimdKernel {
+    let mut v = KERNEL.load(Ordering::Relaxed);
+    if v == K_UNSET {
+        v = match std::env::var("FEDAT_SIMD").as_deref() {
+            Ok(s) if s.eq_ignore_ascii_case("scalar") => K_SCALAR,
+            _ => K_AUTO,
+        };
+        KERNEL.store(v, Ordering::Relaxed);
+    }
+    if v == K_SCALAR {
+        SimdKernel::Scalar
+    } else {
+        SimdKernel::Auto
+    }
+}
+
+/// Forces `Auto` to use the portable fallback instead of the ISA path.
+/// For tests and benches (ISA-independence checks); not a perf toggle.
+pub fn set_portable_only(portable: bool) {
+    PORTABLE_ONLY.store(portable as u8, Ordering::Relaxed);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX2.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    Portable,
+}
+
+fn active() -> Backend {
+    if simd_kernel() == SimdKernel::Scalar {
+        return Backend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if PORTABLE_ONLY.load(Ordering::Relaxed) == 0 && avx2_available() {
+        return Backend::Avx2;
+    }
+    Backend::Portable
+}
+
+/// Human-readable name of the backend `Auto` dispatches to right now
+/// (recorded in the benchmark JSON so numbers are comparable across hosts).
+pub fn backend_name() -> &'static str {
+    match active() {
+        Backend::Scalar => "scalar",
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => "avx2+fma",
+        Backend::Portable => "portable",
+    }
+}
+
+// ----------------------------------------------------------------------
+// Elementwise kernels
+//
+// For these, the portable fallback *is* the scalar loop (the compiler
+// autovectorizes simple elementwise sweeps at the target ISA); only the
+// AVX2 path is written explicitly, 8 lanes at a time with a scalar
+// epilogue that repeats the reference expression.
+// ----------------------------------------------------------------------
+
+macro_rules! dispatch_elementwise {
+    ($scalar:expr, $avx2:expr) => {
+        match active() {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { $avx2 },
+            _ => $scalar,
+        }
+    };
+}
+
+/// `y[i] += alpha * x[i]`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    dispatch_elementwise!(scalar::axpy(alpha, x, y), avx2::axpy(alpha, x, y))
+}
+
+/// `y[i] = alpha * x[i] + beta * y[i]`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    dispatch_elementwise!(
+        scalar::axpby(alpha, x, beta, y),
+        avx2::axpby(alpha, x, beta, y)
+    )
+}
+
+/// `a[i] = (1 - t) * a[i] + t * b[i]` — the FedAsync mixing step.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn lerp(a: &mut [f32], b: &[f32], t: f32) {
+    assert_eq!(a.len(), b.len(), "lerp length mismatch");
+    dispatch_elementwise!(scalar::lerp(a, b, t), avx2::lerp(a, b, t))
+}
+
+/// `x[i] *= alpha`.
+pub fn scale(x: &mut [f32], alpha: f32) {
+    dispatch_elementwise!(scalar::scale(x, alpha), avx2::scale(x, alpha))
+}
+
+/// `y[i] *= m[i]` (dropout masks and similar gating sweeps).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn mul_assign(y: &mut [f32], m: &[f32]) {
+    assert_eq!(y.len(), m.len(), "mul_assign length mismatch");
+    dispatch_elementwise!(scalar::mul_assign(y, m), avx2::mul_assign(y, m))
+}
+
+/// `y[i] += x[i]` (bias adds, row-sum reductions).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_assign length mismatch");
+    dispatch_elementwise!(scalar::add_assign(y, x), avx2::add_assign(y, x))
+}
+
+/// `x[i] += c` (the conv bias broadcast).
+pub fn add_scalar(x: &mut [f32], c: f32) {
+    dispatch_elementwise!(scalar::add_scalar(x, c), avx2::add_scalar(x, c))
+}
+
+/// `out[i] = 0.0 + w * x[i]` — the first-input pass of the sharded
+/// aggregation kernel. The explicit `0.0 +` keeps `-0.0` products
+/// bit-compatible with the fused accumulator formulation.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn wsum_first(out: &mut [f32], x: &[f32], w: f32) {
+    assert_eq!(out.len(), x.len(), "wsum_first length mismatch");
+    dispatch_elementwise!(scalar::wsum_first(out, x, w), avx2::wsum_first(out, x, w))
+}
+
+/// ReLU: `x[i] = if x[i] > 0.0 { x[i] } else { 0.0 }`.
+///
+/// (Matches `_mm256_max_ps(x, 0)` exactly, including NaN → 0.0.)
+pub fn relu(x: &mut [f32]) {
+    dispatch_elementwise!(scalar::relu(x), avx2::relu(x))
+}
+
+/// Tanh backward: `g[i] *= 1 - y[i]²` where `y = tanh(x)`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn tanh_grad(g: &mut [f32], y: &[f32]) {
+    assert_eq!(g.len(), y.len(), "tanh_grad length mismatch");
+    dispatch_elementwise!(scalar::tanh_grad(g, y), avx2::tanh_grad(g, y))
+}
+
+/// Sigmoid backward: `g[i] *= y[i] * (1 - y[i])` where `y = σ(x)`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sigmoid_grad(g: &mut [f32], y: &[f32]) {
+    assert_eq!(g.len(), y.len(), "sigmoid_grad length mismatch");
+    dispatch_elementwise!(scalar::sigmoid_grad(g, y), avx2::sigmoid_grad(g, y))
+}
+
+/// Proximal gradient: `grad[i] += lambda * (w[i] - global[i])` — Eq. (3).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn prox_grad(grad: &mut [f32], w: &[f32], global: &[f32], lambda: f32) {
+    assert_eq!(grad.len(), w.len(), "prox_grad length mismatch");
+    assert_eq!(grad.len(), global.len(), "prox_grad length mismatch");
+    dispatch_elementwise!(
+        scalar::prox_grad(grad, w, global, lambda),
+        avx2::prox_grad(grad, w, global, lambda)
+    )
+}
+
+/// SGD-with-momentum step: `v = momentum*v + g; w -= lr*v`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sgd_momentum_step(w: &mut [f32], g: &[f32], v: &mut [f32], momentum: f32, lr: f32) {
+    assert_eq!(w.len(), g.len(), "sgd step length mismatch");
+    assert_eq!(w.len(), v.len(), "sgd step length mismatch");
+    dispatch_elementwise!(
+        scalar::sgd_momentum_step(w, g, v, momentum, lr),
+        avx2::sgd_momentum_step(w, g, v, momentum, lr)
+    )
+}
+
+/// Bias-corrected Adam step hyperparameters (per [`adam_step`] call).
+#[derive(Clone, Copy, Debug)]
+pub struct AdamParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Bias correction `1 - β₁ᵗ`.
+    pub bc1: f32,
+    /// Bias correction `1 - β₂ᵗ`.
+    pub bc2: f32,
+    /// Denominator fuzz ε.
+    pub eps: f32,
+}
+
+/// One Adam update over a flat parameter slice. `sqrt` and `div` are
+/// IEEE-correctly-rounded in both scalar and vector forms, so the AVX2
+/// path is bit-identical to the scalar loop.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn adam_step(w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], p: &AdamParams) {
+    assert_eq!(w.len(), g.len(), "adam step length mismatch");
+    assert_eq!(w.len(), m.len(), "adam step length mismatch");
+    assert_eq!(w.len(), v.len(), "adam step length mismatch");
+    dispatch_elementwise!(
+        scalar::adam_step(w, g, m, v, p),
+        avx2::adam_step(w, g, m, v, p)
+    )
+}
+
+// ----------------------------------------------------------------------
+// Reductions (pinned 8-lane decomposition)
+// ----------------------------------------------------------------------
+
+/// The pinned merge order of the 8 partial sums: pairwise, then the tail.
+#[inline]
+fn merge_lanes(l: &[f64; 8]) -> f64 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Dot product with f64 lane accumulation.
+///
+/// Defined as: lane `l` sums `x[i]·y[i]` (exact f64 products) over
+/// `i ≡ l (mod 8)` of the 8-aligned prefix, lanes merge pairwise in the
+/// pinned order, and the tail is appended serially — every backend
+/// computes this same decomposition, so the result is ISA-independent.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dot(x, y) },
+        _ => scalar::dot(x, y),
+    }
+}
+
+/// Squared Euclidean distance, same lane decomposition as [`dot`]
+/// (differences are rounded in f32 first, exactly like the seed kernel).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dist_sq length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::dist_sq(x, y) },
+        _ => scalar::dist_sq(x, y),
+    }
+}
+
+// ----------------------------------------------------------------------
+// The matmul micro-kernel
+// ----------------------------------------------------------------------
+
+/// How the micro-kernel reads the left operand `A`.
+///
+/// Parameterizing the `A` access (always a scalar broadcast) lets one
+/// micro-kernel back all three matmul variants: `NN`/`NT` read `A`
+/// row-major, `TN` reads `A[k,m]` transposed in place without
+/// materializing `Aᵀ`.
+#[derive(Clone, Copy)]
+pub enum Lhs<'a> {
+    /// `a(i, p) = a[i * k + p]` — `A` stored `[m, k]` row-major.
+    RowMajor(&'a [f32], usize),
+    /// `a(i, p) = a[p * m + i]` — `A` stored `[k, m]`, read transposed.
+    ColMajor(&'a [f32], usize),
+}
+
+impl Lhs<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, p: usize) -> f32 {
+        match *self {
+            Lhs::RowMajor(a, k) => a[i * k + p],
+            Lhs::ColMajor(a, m) => a[p * m + i],
+        }
+    }
+
+    /// # Safety
+    /// `i` and `p` must be in range for the operand's `[rows, cols]`
+    /// extent — guaranteed by the dimension asserts in the `matmul_*_into`
+    /// wrappers.
+    #[inline(always)]
+    unsafe fn at_unchecked(&self, i: usize, p: usize) -> f32 {
+        match *self {
+            Lhs::RowMajor(a, k) => unsafe { *a.get_unchecked(i * k + p) },
+            Lhs::ColMajor(a, m) => unsafe { *a.get_unchecked(p * m + i) },
+        }
+    }
+}
+
+/// `band[r, j] += Σ_p a(first_row + r, p) · b[p, j]` over one contiguous
+/// row band of `C` — the per-band body of all three `matmul_*_into`
+/// variants (the banding itself lives in [`crate::parallel`]).
+///
+/// Each `C[i,j]` accumulates over `p = 0..k` in ascending order with
+/// unfused `mul`+`add` and the reference's zero-`A`-element skip, so every
+/// backend (and thread count) produces identical bits.
+///
+/// # Panics
+/// Panics if `band` is not a whole number of `n`-length rows, `b` is not
+/// `[k, n]`, or the `lhs` operand does not cover rows
+/// `first_row..first_row + band.len()/n` — the AVX2 backend reads `A`
+/// unchecked, so the extent must be proven here, not per element.
+pub fn matmul_block(lhs: Lhs, b: &[f32], band: &mut [f32], first_row: usize, k: usize, n: usize) {
+    assert_eq!(b.len(), k * n, "matmul_block rhs shape mismatch");
+    assert_eq!(band.len() % n.max(1), 0, "matmul_block ragged band");
+    if n == 0 || band.is_empty() {
+        return;
+    }
+    let rows = band.len() / n;
+    match lhs {
+        Lhs::RowMajor(a, stride) => {
+            assert!(stride >= k, "matmul_block lhs row stride shorter than k");
+            assert!(
+                a.len() >= (first_row + rows - 1) * stride + k,
+                "matmul_block lhs does not cover the band rows"
+            );
+        }
+        Lhs::ColMajor(a, stride) => {
+            assert!(
+                stride >= first_row + rows,
+                "matmul_block lhs column shorter than the band rows"
+            );
+            assert!(
+                k == 0 || a.len() >= (k - 1) * stride + first_row + rows,
+                "matmul_block lhs does not cover k rows"
+            );
+        }
+    }
+    match active() {
+        Backend::Scalar => scalar::matmul_block(&lhs, b, band, first_row, k, n),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { avx2::matmul_block(&lhs, b, band, first_row, k, n) },
+        Backend::Portable => portable::matmul_block(&lhs, b, band, first_row, k, n),
+    }
+}
+
+/// Number of `C` rows one register tile covers (the `MR` of the
+/// micro-kernel: 4 rows × 2 vector columns of 8 lanes).
+pub const MR: usize = 4;
+
+// ----------------------------------------------------------------------
+// Cache-blocked transpose
+// ----------------------------------------------------------------------
+
+/// `dst[c, r] = src[r, c]` for `src: [rows, cols]` — a cache-blocked
+/// transpose (32×32 tiles, both streams stay cache-resident) used to
+/// materialize `Bᵀ` for the NT matmul. Pure data movement: no toggle, no
+/// rounding, bit-exact by definition. Writes every destination element
+/// exactly once, so the output may start uninitialized (no zero-fill on
+/// the backward hot path).
+///
+/// # Panics
+/// Panics if `src` and `dst` are not both `rows * cols` long.
+pub fn transpose_uninit(
+    src: &[f32],
+    dst: &mut [std::mem::MaybeUninit<f32>],
+    rows: usize,
+    cols: usize,
+) {
+    assert_eq!(src.len(), rows * cols, "transpose src shape mismatch");
+    assert_eq!(dst.len(), rows * cols, "transpose dst shape mismatch");
+    const TB: usize = 32;
+    let mut rb = 0;
+    while rb < rows {
+        let rend = (rb + TB).min(rows);
+        let mut cb = 0;
+        while cb < cols {
+            let cend = (cb + TB).min(cols);
+            for r in rb..rend {
+                for c in cb..cend {
+                    dst[c * rows + r].write(src[r * cols + c]);
+                }
+            }
+            cb += TB;
+        }
+        rb += TB;
+    }
+}
+
+/// [`transpose_uninit`] over an already-initialized destination.
+pub fn transpose(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    // SAFETY: `MaybeUninit<f32>` has the same layout as `f32`, and
+    // `transpose_uninit` only ever writes initialized values.
+    let uninit = unsafe {
+        std::slice::from_raw_parts_mut(
+            dst.as_mut_ptr() as *mut std::mem::MaybeUninit<f32>,
+            dst.len(),
+        )
+    };
+    transpose_uninit(src, uninit, rows, cols);
+}
+
+// ----------------------------------------------------------------------
+// Scalar reference backend (also the portable form of the elementwise
+// kernels — the compiler autovectorizes these sweeps on any ISA)
+// ----------------------------------------------------------------------
+
+mod scalar {
+    use super::{merge_lanes, AdamParams, Lhs};
+
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi += alpha * xi;
+        }
+    }
+
+    pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi = alpha * xi + beta * *yi;
+        }
+    }
+
+    pub fn lerp(a: &mut [f32], b: &[f32], t: f32) {
+        let s = 1.0 - t;
+        for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+            *ai = s * *ai + t * bi;
+        }
+    }
+
+    pub fn scale(x: &mut [f32], alpha: f32) {
+        for v in x.iter_mut() {
+            *v *= alpha;
+        }
+    }
+
+    pub fn mul_assign(y: &mut [f32], m: &[f32]) {
+        for (yi, &mi) in y.iter_mut().zip(m.iter()) {
+            *yi *= mi;
+        }
+    }
+
+    pub fn add_assign(y: &mut [f32], x: &[f32]) {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi += xi;
+        }
+    }
+
+    pub fn add_scalar(x: &mut [f32], c: f32) {
+        for v in x.iter_mut() {
+            *v += c;
+        }
+    }
+
+    pub fn wsum_first(out: &mut [f32], x: &[f32], w: f32) {
+        for (o, &xi) in out.iter_mut().zip(x.iter()) {
+            *o = 0.0f32 + w * xi;
+        }
+    }
+
+    pub fn relu(x: &mut [f32]) {
+        for v in x.iter_mut() {
+            *v = if *v > 0.0 { *v } else { 0.0 };
+        }
+    }
+
+    pub fn tanh_grad(g: &mut [f32], y: &[f32]) {
+        for (gi, &yi) in g.iter_mut().zip(y.iter()) {
+            *gi *= 1.0 - yi * yi;
+        }
+    }
+
+    pub fn sigmoid_grad(g: &mut [f32], y: &[f32]) {
+        for (gi, &yi) in g.iter_mut().zip(y.iter()) {
+            *gi *= yi * (1.0 - yi);
+        }
+    }
+
+    pub fn prox_grad(grad: &mut [f32], w: &[f32], global: &[f32], lambda: f32) {
+        for ((gi, &wi), &wg) in grad.iter_mut().zip(w.iter()).zip(global.iter()) {
+            *gi += lambda * (wi - wg);
+        }
+    }
+
+    pub fn sgd_momentum_step(w: &mut [f32], g: &[f32], v: &mut [f32], momentum: f32, lr: f32) {
+        for ((wi, &gi), vi) in w.iter_mut().zip(g.iter()).zip(v.iter_mut()) {
+            *vi = momentum * *vi + gi;
+            *wi -= lr * *vi;
+        }
+    }
+
+    pub fn adam_step(w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], p: &AdamParams) {
+        let (b1c, b2c) = (1.0 - p.beta1, 1.0 - p.beta2);
+        for (((wi, &gi), mi), vi) in w
+            .iter_mut()
+            .zip(g.iter())
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
+            *mi = p.beta1 * *mi + b1c * gi;
+            *vi = p.beta2 * *vi + b2c * gi * gi;
+            let m_hat = *mi / p.bc1;
+            let v_hat = *vi / p.bc2;
+            *wi -= p.lr * m_hat / (v_hat.sqrt() + p.eps);
+        }
+    }
+
+    pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+        let main = x.len() - x.len() % 8;
+        let mut lanes = [0.0f64; 8];
+        for (xc, yc) in x[..main].chunks_exact(8).zip(y[..main].chunks_exact(8)) {
+            for l in 0..8 {
+                lanes[l] += xc[l] as f64 * yc[l] as f64;
+            }
+        }
+        let mut acc = merge_lanes(&lanes);
+        for (&a, &b) in x[main..].iter().zip(y[main..].iter()) {
+            acc += a as f64 * b as f64;
+        }
+        acc as f32
+    }
+
+    pub fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
+        let main = x.len() - x.len() % 8;
+        let mut lanes = [0.0f64; 8];
+        for (xc, yc) in x[..main].chunks_exact(8).zip(y[..main].chunks_exact(8)) {
+            for l in 0..8 {
+                let d = (xc[l] - yc[l]) as f64;
+                lanes[l] += d * d;
+            }
+        }
+        let mut acc = merge_lanes(&lanes);
+        for (&a, &b) in x[main..].iter().zip(y[main..].iter()) {
+            let d = (a - b) as f64;
+            acc += d * d;
+        }
+        acc as f32
+    }
+
+    /// The seed's loops, verbatim: `ikj` for row-major `A`, `pij` for
+    /// transposed `A` (streams `A` rows instead of striding columns).
+    pub fn matmul_block(
+        lhs: &Lhs,
+        b: &[f32],
+        band: &mut [f32],
+        first_row: usize,
+        k: usize,
+        n: usize,
+    ) {
+        match *lhs {
+            Lhs::RowMajor(a, stride) => {
+                for (r, crow) in band.chunks_mut(n).enumerate() {
+                    let i = first_row + r;
+                    let arow = &a[i * stride..i * stride + k];
+                    for (p, &aip) in arow.iter().enumerate() {
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n..(p + 1) * n];
+                        for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                            *cj += aip * bj;
+                        }
+                    }
+                }
+            }
+            Lhs::ColMajor(a, stride) => {
+                let rows = band.len() / n;
+                for p in 0..k {
+                    let brow = &b[p * n..(p + 1) * n];
+                    let arow = &a[p * stride..(p + 1) * stride];
+                    for r in 0..rows {
+                        let aip = arow[first_row + r];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let crow = &mut band[r * n..(r + 1) * n];
+                        for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                            *cj += aip * bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Portable 8-lane backend (matmul micro-kernel only; elementwise kernels
+// fall back to the scalar loops, which autovectorize)
+// ----------------------------------------------------------------------
+
+mod portable {
+    use super::{Lhs, MR};
+
+    pub fn matmul_block(
+        lhs: &Lhs,
+        b: &[f32],
+        band: &mut [f32],
+        first_row: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let rows = band.len() / n;
+        let mut r = 0;
+        while r + MR <= rows {
+            rows_tile::<MR>(lhs, b, &mut band[r * n..(r + MR) * n], first_row + r, k, n);
+            r += MR;
+        }
+        while r < rows {
+            rows_tile::<1>(lhs, b, &mut band[r * n..(r + 1) * n], first_row + r, k, n);
+            r += 1;
+        }
+    }
+
+    /// `R` C-rows × 8-lane accumulator tiles; the arrays of eight f32
+    /// accumulators vectorize reliably on any ISA. Lane `j` executes the
+    /// scalar expression for `C[i, j]` exactly — same `p` order, same
+    /// zero-skip — so the tile is bit-identical to the reference.
+    fn rows_tile<const R: usize>(
+        lhs: &Lhs,
+        b: &[f32],
+        crows: &mut [f32],
+        i0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let mut acc = [[0.0f32; 8]; R];
+            for r in 0..R {
+                acc[r].copy_from_slice(&crows[r * n + j..r * n + j + 8]);
+            }
+            for p in 0..k {
+                let bv = &b[p * n + j..p * n + j + 8];
+                for r in 0..R {
+                    let a = lhs.at(i0 + r, p);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for l in 0..8 {
+                        acc[r][l] += a * bv[l];
+                    }
+                }
+            }
+            for r in 0..R {
+                crows[r * n + j..r * n + j + 8].copy_from_slice(&acc[r]);
+            }
+            j += 8;
+        }
+        if j < n {
+            for r in 0..R {
+                for p in 0..k {
+                    let a = lhs.at(i0 + r, p);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for jj in j..n {
+                        crows[r * n + jj] += a * brow[jj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// AVX2+FMA backend
+// ----------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{merge_lanes, AdamParams, Lhs, MR};
+    use std::arch::x86_64::*;
+
+    // Each elementwise kernel processes 8 lanes per iteration with the
+    // exact scalar expression tree (unfused mul+add), then finishes the
+    // tail with the scalar expression itself.
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let av = _mm256_set1_ps(alpha);
+        let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(xp.add(i));
+            let yv = _mm256_loadu_ps(yp.add(i));
+            _mm256_storeu_ps(yp.add(i), _mm256_add_ps(yv, _mm256_mul_ps(av, xv)));
+            i += 8;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+        let n = x.len();
+        let (av, bv) = (_mm256_set1_ps(alpha), _mm256_set1_ps(beta));
+        let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(xp.add(i));
+            let yv = _mm256_loadu_ps(yp.add(i));
+            let out = _mm256_add_ps(_mm256_mul_ps(av, xv), _mm256_mul_ps(bv, yv));
+            _mm256_storeu_ps(yp.add(i), out);
+            i += 8;
+        }
+        while i < n {
+            y[i] = alpha * x[i] + beta * y[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn lerp(a: &mut [f32], b: &[f32], t: f32) {
+        let s = 1.0 - t;
+        let n = a.len();
+        let (sv, tv) = (_mm256_set1_ps(s), _mm256_set1_ps(t));
+        let (ap, bp) = (a.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let av = _mm256_loadu_ps(ap.add(i));
+            let bv = _mm256_loadu_ps(bp.add(i));
+            let out = _mm256_add_ps(_mm256_mul_ps(sv, av), _mm256_mul_ps(tv, bv));
+            _mm256_storeu_ps(ap.add(i), out);
+            i += 8;
+        }
+        while i < n {
+            a[i] = s * a[i] + t * b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn scale(x: &mut [f32], alpha: f32) {
+        let n = x.len();
+        let av = _mm256_set1_ps(alpha);
+        let xp = x.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(xp.add(i), _mm256_mul_ps(_mm256_loadu_ps(xp.add(i)), av));
+            i += 8;
+        }
+        while i < n {
+            x[i] *= alpha;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mul_assign(y: &mut [f32], m: &[f32]) {
+        let n = y.len();
+        let (yp, mp) = (y.as_mut_ptr(), m.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let out = _mm256_mul_ps(_mm256_loadu_ps(yp.add(i)), _mm256_loadu_ps(mp.add(i)));
+            _mm256_storeu_ps(yp.add(i), out);
+            i += 8;
+        }
+        while i < n {
+            y[i] *= m[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
+        let n = y.len();
+        let (yp, xp) = (y.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let out = _mm256_add_ps(_mm256_loadu_ps(yp.add(i)), _mm256_loadu_ps(xp.add(i)));
+            _mm256_storeu_ps(yp.add(i), out);
+            i += 8;
+        }
+        while i < n {
+            y[i] += x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_scalar(x: &mut [f32], c: f32) {
+        let n = x.len();
+        let cv = _mm256_set1_ps(c);
+        let xp = x.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(xp.add(i), _mm256_add_ps(_mm256_loadu_ps(xp.add(i)), cv));
+            i += 8;
+        }
+        while i < n {
+            x[i] += c;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn wsum_first(out: &mut [f32], x: &[f32], w: f32) {
+        let n = out.len();
+        let (wv, zero) = (_mm256_set1_ps(w), _mm256_setzero_ps());
+        let (op, xp) = (out.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let prod = _mm256_mul_ps(wv, _mm256_loadu_ps(xp.add(i)));
+            _mm256_storeu_ps(op.add(i), _mm256_add_ps(zero, prod));
+            i += 8;
+        }
+        while i < n {
+            out[i] = 0.0f32 + w * x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn relu(x: &mut [f32]) {
+        let n = x.len();
+        let zero = _mm256_setzero_ps();
+        let xp = x.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(xp.add(i), _mm256_max_ps(_mm256_loadu_ps(xp.add(i)), zero));
+            i += 8;
+        }
+        while i < n {
+            x[i] = if x[i] > 0.0 { x[i] } else { 0.0 };
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tanh_grad(g: &mut [f32], y: &[f32]) {
+        let n = g.len();
+        let one = _mm256_set1_ps(1.0);
+        let (gp, yp) = (g.as_mut_ptr(), y.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let yv = _mm256_loadu_ps(yp.add(i));
+            let f = _mm256_sub_ps(one, _mm256_mul_ps(yv, yv));
+            _mm256_storeu_ps(gp.add(i), _mm256_mul_ps(_mm256_loadu_ps(gp.add(i)), f));
+            i += 8;
+        }
+        while i < n {
+            g[i] *= 1.0 - y[i] * y[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sigmoid_grad(g: &mut [f32], y: &[f32]) {
+        let n = g.len();
+        let one = _mm256_set1_ps(1.0);
+        let (gp, yp) = (g.as_mut_ptr(), y.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let yv = _mm256_loadu_ps(yp.add(i));
+            let f = _mm256_mul_ps(yv, _mm256_sub_ps(one, yv));
+            _mm256_storeu_ps(gp.add(i), _mm256_mul_ps(_mm256_loadu_ps(gp.add(i)), f));
+            i += 8;
+        }
+        while i < n {
+            g[i] *= y[i] * (1.0 - y[i]);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn prox_grad(grad: &mut [f32], w: &[f32], global: &[f32], lambda: f32) {
+        let n = grad.len();
+        let lv = _mm256_set1_ps(lambda);
+        let (gp, wp, wgp) = (grad.as_mut_ptr(), w.as_ptr(), global.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(wp.add(i)), _mm256_loadu_ps(wgp.add(i)));
+            let out = _mm256_add_ps(_mm256_loadu_ps(gp.add(i)), _mm256_mul_ps(lv, d));
+            _mm256_storeu_ps(gp.add(i), out);
+            i += 8;
+        }
+        while i < n {
+            grad[i] += lambda * (w[i] - global[i]);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sgd_momentum_step(
+        w: &mut [f32],
+        g: &[f32],
+        v: &mut [f32],
+        momentum: f32,
+        lr: f32,
+    ) {
+        let n = w.len();
+        let (mv, lv) = (_mm256_set1_ps(momentum), _mm256_set1_ps(lr));
+        let (wp, gp, vp) = (w.as_mut_ptr(), g.as_ptr(), v.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let vel = _mm256_add_ps(
+                _mm256_mul_ps(mv, _mm256_loadu_ps(vp.add(i))),
+                _mm256_loadu_ps(gp.add(i)),
+            );
+            _mm256_storeu_ps(vp.add(i), vel);
+            let out = _mm256_sub_ps(_mm256_loadu_ps(wp.add(i)), _mm256_mul_ps(lv, vel));
+            _mm256_storeu_ps(wp.add(i), out);
+            i += 8;
+        }
+        while i < n {
+            v[i] = momentum * v[i] + g[i];
+            w[i] -= lr * v[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn adam_step(
+        w: &mut [f32],
+        g: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        p: &AdamParams,
+    ) {
+        let n = w.len();
+        let (b1c, b2c) = (1.0 - p.beta1, 1.0 - p.beta2);
+        let b1v = _mm256_set1_ps(p.beta1);
+        let b2v = _mm256_set1_ps(p.beta2);
+        let b1cv = _mm256_set1_ps(b1c);
+        let b2cv = _mm256_set1_ps(b2c);
+        let bc1v = _mm256_set1_ps(p.bc1);
+        let bc2v = _mm256_set1_ps(p.bc2);
+        let lrv = _mm256_set1_ps(p.lr);
+        let epsv = _mm256_set1_ps(p.eps);
+        let (wp, gp, mp, vp) = (w.as_mut_ptr(), g.as_ptr(), m.as_mut_ptr(), v.as_mut_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let gv = _mm256_loadu_ps(gp.add(i));
+            let mi = _mm256_add_ps(
+                _mm256_mul_ps(b1v, _mm256_loadu_ps(mp.add(i))),
+                _mm256_mul_ps(b1cv, gv),
+            );
+            _mm256_storeu_ps(mp.add(i), mi);
+            let vi = _mm256_add_ps(
+                _mm256_mul_ps(b2v, _mm256_loadu_ps(vp.add(i))),
+                _mm256_mul_ps(_mm256_mul_ps(b2cv, gv), gv),
+            );
+            _mm256_storeu_ps(vp.add(i), vi);
+            let m_hat = _mm256_div_ps(mi, bc1v);
+            let v_hat = _mm256_div_ps(vi, bc2v);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), epsv);
+            let step = _mm256_div_ps(_mm256_mul_ps(lrv, m_hat), denom);
+            _mm256_storeu_ps(wp.add(i), _mm256_sub_ps(_mm256_loadu_ps(wp.add(i)), step));
+            i += 8;
+        }
+        while i < n {
+            m[i] = p.beta1 * m[i] + b1c * g[i];
+            v[i] = p.beta2 * v[i] + b2c * g[i] * g[i];
+            let m_hat = m[i] / p.bc1;
+            let v_hat = v[i] / p.bc2;
+            w[i] -= p.lr * m_hat / (v_hat.sqrt() + p.eps);
+            i += 1;
+        }
+    }
+
+    /// Sums the two f64 accumulator vectors into the pinned 8-lane array
+    /// (lanes 0..4 from the low f32 half, 4..8 from the high half).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn spill_lanes(lo: __m256d, hi: __m256d) -> [f64; 8] {
+        let mut lanes = [0.0f64; 8];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), lo);
+        _mm256_storeu_pd(lanes.as_mut_ptr().add(4), hi);
+        lanes
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(x: &[f32], y: &[f32]) -> f32 {
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        // f32×f32 products are exact in f64, so fmadd here rounds exactly
+        // like the portable mul-then-add lanes.
+        let mut lo = _mm256_setzero_pd();
+        let mut hi = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(xp.add(i));
+            let yv = _mm256_loadu_ps(yp.add(i));
+            let xl = _mm256_cvtps_pd(_mm256_castps256_ps128(xv));
+            let xh = _mm256_cvtps_pd(_mm256_extractf128_ps(xv, 1));
+            let yl = _mm256_cvtps_pd(_mm256_castps256_ps128(yv));
+            let yh = _mm256_cvtps_pd(_mm256_extractf128_ps(yv, 1));
+            lo = _mm256_fmadd_pd(xl, yl, lo);
+            hi = _mm256_fmadd_pd(xh, yh, hi);
+            i += 8;
+        }
+        let mut acc = merge_lanes(&spill_lanes(lo, hi));
+        while i < n {
+            acc += x[i] as f64 * y[i] as f64;
+            i += 1;
+        }
+        acc as f32
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut lo = _mm256_setzero_pd();
+        let mut hi = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            // The difference rounds in f32 first (seed semantics), then the
+            // square accumulates exactly in f64.
+            let dv = _mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            let dl = _mm256_cvtps_pd(_mm256_castps256_ps128(dv));
+            let dh = _mm256_cvtps_pd(_mm256_extractf128_ps(dv, 1));
+            lo = _mm256_fmadd_pd(dl, dl, lo);
+            hi = _mm256_fmadd_pd(dh, dh, hi);
+            i += 8;
+        }
+        let mut acc = merge_lanes(&spill_lanes(lo, hi));
+        while i < n {
+            let d = (x[i] - y[i]) as f64;
+            acc += d * d;
+            i += 1;
+        }
+        acc as f32
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn matmul_block(
+        lhs: &Lhs,
+        b: &[f32],
+        band: &mut [f32],
+        first_row: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let rows = band.len() / n;
+        let mut r = 0;
+        while r + MR <= rows {
+            rows_tile::<MR>(lhs, b, &mut band[r * n..(r + MR) * n], first_row + r, k, n);
+            r += MR;
+        }
+        while r < rows {
+            rows_tile::<1>(lhs, b, &mut band[r * n..(r + 1) * n], first_row + r, k, n);
+            r += 1;
+        }
+    }
+
+    /// The register tile: `R` C-rows × 2 vector columns (16 f32 lanes) of
+    /// accumulators held in registers across the whole `k` loop; each `B`
+    /// row load is reused by all `R` rows. Unfused mul+add per lane and the
+    /// per-`(i,p)` zero-skip keep every lane's op sequence identical to the
+    /// scalar reference.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn rows_tile<const R: usize>(
+        lhs: &Lhs,
+        b: &[f32],
+        crows: &mut [f32],
+        i0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let bp = b.as_ptr();
+        let cp = crows.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 16 <= n {
+            let mut acc0 = [_mm256_setzero_ps(); R];
+            let mut acc1 = [_mm256_setzero_ps(); R];
+            for r in 0..R {
+                acc0[r] = _mm256_loadu_ps(cp.add(r * n + j));
+                acc1[r] = _mm256_loadu_ps(cp.add(r * n + j + 8));
+            }
+            for p in 0..k {
+                let b0 = _mm256_loadu_ps(bp.add(p * n + j));
+                let b1 = _mm256_loadu_ps(bp.add(p * n + j + 8));
+                for r in 0..R {
+                    let a = lhs.at_unchecked(i0 + r, p);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let av = _mm256_set1_ps(a);
+                    acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, b0));
+                    acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, b1));
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(cp.add(r * n + j), acc0[r]);
+                _mm256_storeu_ps(cp.add(r * n + j + 8), acc1[r]);
+            }
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut acc = [_mm256_setzero_ps(); R];
+            for r in 0..R {
+                acc[r] = _mm256_loadu_ps(cp.add(r * n + j));
+            }
+            for p in 0..k {
+                let b0 = _mm256_loadu_ps(bp.add(p * n + j));
+                for r in 0..R {
+                    let a = lhs.at_unchecked(i0 + r, p);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(_mm256_set1_ps(a), b0));
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(cp.add(r * n + j), acc[r]);
+            }
+            j += 8;
+        }
+        if j < n {
+            for r in 0..R {
+                for p in 0..k {
+                    let a = lhs.at_unchecked(i0 + r, p);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for jj in j..n {
+                        *crows.get_unchecked_mut(r * n + jj) += a * *b.get_unchecked(p * n + jj);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rng_for(seed, 77);
+        let mut v = vec![0.0f32; len];
+        crate::rng::fill_normal(&mut rng, &mut v, 0.0, 1.0);
+        v
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let (r, c) = (37, 53);
+        let src = filled(r * c, 1);
+        let mut t = vec![0.0f32; r * c];
+        transpose(&src, &mut t, r, c);
+        let mut back = vec![0.0f32; r * c];
+        transpose(&t, &mut back, c, r);
+        assert_eq!(src, back);
+        assert_eq!(t[5 * r + 3], src[3 * c + 5]);
+    }
+
+    #[test]
+    fn dot_matches_lane_definition_on_all_backends() {
+        let entry = simd_kernel();
+        let x = filled(1003, 2);
+        let y = filled(1003, 3);
+        let reference = {
+            set_simd_kernel(SimdKernel::Scalar);
+            dot(&x, &y)
+        };
+        set_simd_kernel(SimdKernel::Auto);
+        assert_eq!(dot(&x, &y).to_bits(), reference.to_bits());
+        set_portable_only(true);
+        assert_eq!(dot(&x, &y).to_bits(), reference.to_bits());
+        set_portable_only(false);
+        set_simd_kernel(entry);
+    }
+
+    #[test]
+    fn matmul_block_is_backend_invariant_on_awkward_shapes() {
+        let entry = simd_kernel();
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 3, 7),
+            (13, 9, 17),
+            (33, 21, 41),
+        ] {
+            let a = filled(m * k, (m * k) as u64);
+            let b = filled(k * n, (k * n) as u64 ^ 5);
+            let run = |kernel: SimdKernel, portable: bool| {
+                set_simd_kernel(kernel);
+                set_portable_only(portable);
+                let mut c = filled(m * n, 99);
+                matmul_block(Lhs::RowMajor(&a, k), &b, &mut c, 0, k, n);
+                set_portable_only(false);
+                set_simd_kernel(entry);
+                c
+            };
+            let reference = run(SimdKernel::Scalar, false);
+            assert_eq!(reference, run(SimdKernel::Auto, false), "{m}x{k}x{n} isa");
+            assert_eq!(
+                reference,
+                run(SimdKernel::Auto, true),
+                "{m}x{k}x{n} portable"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_lhs_elements_are_skipped_identically() {
+        let (m, k, n) = (9, 11, 19);
+        let mut a = filled(m * k, 4);
+        // Sprinkle exact zeros (post-ReLU pattern).
+        for (i, v) in a.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = filled(k * n, 6);
+        let entry = simd_kernel();
+        set_simd_kernel(SimdKernel::Scalar);
+        let mut want = vec![0.0f32; m * n];
+        matmul_block(Lhs::RowMajor(&a, k), &b, &mut want, 0, k, n);
+        set_simd_kernel(SimdKernel::Auto);
+        let mut got = vec![0.0f32; m * n];
+        matmul_block(Lhs::RowMajor(&a, k), &b, &mut got, 0, k, n);
+        set_simd_kernel(entry);
+        assert_eq!(want, got);
+    }
+}

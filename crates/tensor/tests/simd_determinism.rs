@@ -1,0 +1,239 @@
+//! SIMD-vs-scalar bitwise equality for every kernel rewired through
+//! `fedat_tensor::simd`, over awkward shapes (non-multiple-of-8 tails,
+//! dims in 1..=17) × thread counts {1, 2, 4, 8}, plus the portable
+//! fallback (ISA-independence: `Auto` must not depend on what the host
+//! detects).
+//!
+//! Like `pool_determinism.rs`, the kernel toggle is a process-global that
+//! tests in this binary may race on — harmless by construction, because
+//! kernel invariance is exactly the property under test.
+
+use fedat_tensor::conv::{conv2d_forward, Conv2dSpec};
+use fedat_tensor::ops::{
+    axpby, axpy, dist_sq, dot, lerp_into, matmul_into, matmul_nt_into, matmul_tn_into, scale,
+    weighted_sum_into,
+};
+use fedat_tensor::parallel;
+use fedat_tensor::rng::rng_for;
+use fedat_tensor::simd::{self, AdamParams, SimdKernel};
+use fedat_tensor::Tensor;
+use proptest::prelude::*;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// A named in-place kernel under test.
+type Case<'a> = (&'a str, Box<dyn Fn(&mut [f32]) + 'a>);
+
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_for(seed, 63);
+    let mut v = vec![0.0f32; len];
+    fedat_tensor::rng::fill_normal(&mut rng, &mut v, 0.0, 1.0);
+    v
+}
+
+/// Zeroes a deterministic subset of a buffer (the post-ReLU sparsity
+/// pattern the matmul zero-skip fast path reacts to).
+fn sparsify(v: &mut [f32], seed: u64) {
+    for (i, x) in v.iter_mut().enumerate() {
+        if (i as u64).wrapping_mul(2654435761) % 7 < (seed % 4) {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Runs `kernel` (writing into a fresh zeroed buffer) under
+/// `SimdKernel::Scalar` at one thread as the reference, then under `Auto`
+/// (ISA path and portable fallback) across the thread sweep, asserting
+/// bitwise equality throughout.
+fn assert_simd_invariant(out_len: usize, kernel: impl Fn(&mut [f32])) -> Result<(), TestCaseError> {
+    // Restore the entry kernel on exit (not a hard-coded Auto) so the
+    // FEDAT_SIMD=scalar CI lane keeps its scalar coverage for later tests.
+    let entry_kernel = simd::simd_kernel();
+    simd::set_simd_kernel(SimdKernel::Scalar);
+    parallel::set_max_threads(1);
+    let mut reference = vec![0.0f32; out_len];
+    kernel(&mut reference);
+    simd::set_simd_kernel(SimdKernel::Auto);
+    for portable in [false, true] {
+        simd::set_portable_only(portable);
+        for &t in &THREAD_SWEEP {
+            parallel::set_max_threads(t);
+            let mut got = vec![0.0f32; out_len];
+            kernel(&mut got);
+            prop_assert_eq!(
+                &reference,
+                &got,
+                "SIMD kernel (portable={}) diverged from scalar at {} threads",
+                portable,
+                t
+            );
+        }
+    }
+    simd::set_portable_only(false);
+    simd::set_simd_kernel(entry_kernel);
+    parallel::set_max_threads(1);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn matmul_nn_simd_matches_scalar_bitwise(
+        m in 1usize..=17, k in 1usize..=17, n in 1usize..=17, seed in 0u64..500
+    ) {
+        let mut a = filled(m * k, seed);
+        sparsify(&mut a, seed);
+        let b = filled(k * n, seed ^ 1);
+        assert_simd_invariant(m * n, |c| matmul_into(&a, &b, c, m, k, n))?;
+    }
+
+    #[test]
+    fn matmul_tn_simd_matches_scalar_bitwise(
+        m in 1usize..=17, k in 1usize..=17, n in 1usize..=17, seed in 0u64..500
+    ) {
+        let mut a = filled(k * m, seed);
+        sparsify(&mut a, seed);
+        let b = filled(k * n, seed ^ 2);
+        assert_simd_invariant(m * n, |c| matmul_tn_into(&a, &b, c, m, k, n))?;
+    }
+
+    #[test]
+    fn matmul_nt_simd_matches_scalar_bitwise(
+        m in 1usize..=17, k in 1usize..=17, n in 1usize..=17, seed in 0u64..500
+    ) {
+        let mut a = filled(m * k, seed);
+        sparsify(&mut a, seed);
+        let b = filled(n * k, seed ^ 3);
+        assert_simd_invariant(m * n, |c| matmul_nt_into(&a, &b, c, m, k, n))?;
+    }
+
+    #[test]
+    fn large_matmul_simd_matches_scalar_bitwise(seed in 0u64..50) {
+        // Past the 4-row × 16-column register tile: covers full tiles plus
+        // row/column tails in one shape.
+        let (m, k, n) = (61, 37, 53);
+        let a = filled(m * k, seed);
+        let b = filled(k * n, seed ^ 4);
+        assert_simd_invariant(m * n, |c| matmul_into(&a, &b, c, m, k, n))?;
+    }
+
+    #[test]
+    fn conv_forward_simd_matches_scalar_bitwise(
+        batch in 1usize..4, cin in 1usize..4, cout in 1usize..6, seed in 0u64..300
+    ) {
+        let (h, w) = (7usize, 9usize);
+        let spec = Conv2dSpec { in_channels: cin, out_channels: cout, kernel: 3, stride: 1, padding: 1 };
+        let input = Tensor::from_vec(filled(batch * cin * h * w, seed), &[batch, cin, h, w]);
+        let weight = Tensor::from_vec(filled(cout * cin * 9, seed ^ 5), &[cout, cin * 9]);
+        let bias = Tensor::from_vec(filled(cout, seed ^ 6), &[cout]);
+        let entry_kernel = simd::simd_kernel();
+        simd::set_simd_kernel(SimdKernel::Scalar);
+        let (reference, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
+        simd::set_simd_kernel(SimdKernel::Auto);
+        for &t in &THREAD_SWEEP {
+            parallel::set_max_threads(t);
+            let (got, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
+            prop_assert_eq!(reference.data(), got.data(), "conv diverged at {} threads", t);
+        }
+        simd::set_simd_kernel(entry_kernel);
+        parallel::set_max_threads(1);
+    }
+
+    #[test]
+    fn elementwise_kernels_simd_match_scalar_bitwise(
+        len in 1usize..100, alpha in -3.0f32..3.0, beta in -2.0f32..2.0, seed in 0u64..500
+    ) {
+        let x = filled(len, seed);
+        let base = filled(len, seed ^ 7);
+        let entry_kernel = simd::simd_kernel();
+        let sweep = |f: &dyn Fn(&mut [f32])| -> (Vec<f32>, Vec<f32>) {
+            simd::set_simd_kernel(SimdKernel::Scalar);
+            let mut a = base.clone();
+            f(&mut a);
+            simd::set_simd_kernel(SimdKernel::Auto);
+            let mut b = base.clone();
+            f(&mut b);
+            (a, b)
+        };
+        let t = (alpha / 3.0 + 1.0) / 2.0;
+        let cases: Vec<Case> = vec![
+            ("axpy", Box::new(|y: &mut [f32]| axpy(alpha, &x, y))),
+            ("axpby", Box::new(|y: &mut [f32]| axpby(alpha, &x, beta, y))),
+            ("lerp", Box::new(|y: &mut [f32]| lerp_into(y, &x, t))),
+            ("scale", Box::new(|y: &mut [f32]| scale(y, alpha))),
+            ("mul_assign", Box::new(|y: &mut [f32]| simd::mul_assign(y, &x))),
+            ("add_assign", Box::new(|y: &mut [f32]| simd::add_assign(y, &x))),
+            ("add_scalar", Box::new(|y: &mut [f32]| simd::add_scalar(y, alpha))),
+            ("wsum_first", Box::new(|y: &mut [f32]| simd::wsum_first(y, &x, alpha))),
+            ("relu", Box::new(|y: &mut [f32]| simd::relu(y))),
+            ("tanh_grad", Box::new(|y: &mut [f32]| simd::tanh_grad(y, &x))),
+            ("sigmoid_grad", Box::new(|y: &mut [f32]| simd::sigmoid_grad(y, &x))),
+            ("prox_grad", Box::new(|y: &mut [f32]| simd::prox_grad(y, &x, &base, alpha))),
+        ];
+        for (name, f) in &cases {
+            let (want, got) = sweep(f);
+            prop_assert_eq!(want, got, "{} diverged from scalar", name);
+        }
+        simd::set_simd_kernel(entry_kernel);
+    }
+
+    #[test]
+    fn optimizer_steps_simd_match_scalar_bitwise(len in 1usize..100, seed in 0u64..500) {
+        let g = filled(len, seed);
+        let w0 = filled(len, seed ^ 8);
+        let s0 = filled(len, seed ^ 9);
+        let v0: Vec<f32> = filled(len, seed ^ 10).iter().map(|v| v * v).collect();
+        let adam = AdamParams { lr: 0.01, beta1: 0.9, beta2: 0.999, bc1: 0.1, bc2: 0.001, eps: 1e-8 };
+        let entry_kernel = simd::simd_kernel();
+        let run = |kernel: SimdKernel| {
+            simd::set_simd_kernel(kernel);
+            let (mut w, mut s, mut v) = (w0.clone(), s0.clone(), v0.clone());
+            simd::sgd_momentum_step(&mut w, &g, &mut s, 0.9, 0.05);
+            simd::adam_step(&mut w, &g, &mut s, &mut v, &adam);
+            simd::set_simd_kernel(entry_kernel);
+            (w, s, v)
+        };
+        prop_assert_eq!(run(SimdKernel::Scalar), run(SimdKernel::Auto));
+    }
+
+    #[test]
+    fn reductions_simd_match_scalar_bitwise(len in 1usize..200, seed in 0u64..500) {
+        let x = filled(len, seed);
+        let y = filled(len, seed ^ 11);
+        let entry_kernel = simd::simd_kernel();
+        simd::set_simd_kernel(SimdKernel::Scalar);
+        let (d_ref, q_ref) = (dot(&x, &y), dist_sq(&x, &y));
+        simd::set_simd_kernel(SimdKernel::Auto);
+        for portable in [false, true] {
+            simd::set_portable_only(portable);
+            prop_assert_eq!(dot(&x, &y).to_bits(), d_ref.to_bits(), "dot (portable={})", portable);
+            prop_assert_eq!(dist_sq(&x, &y).to_bits(), q_ref.to_bits(), "dist_sq (portable={})", portable);
+        }
+        simd::set_portable_only(false);
+        simd::set_simd_kernel(entry_kernel);
+    }
+
+    #[test]
+    fn weighted_sum_simd_matches_scalar_bitwise(
+        n_inputs in 1usize..12, dim in 1usize..600, seed in 0u64..300
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..n_inputs)
+            .map(|j| filled(dim, seed ^ ((j as u64) << 9)))
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let weights: Vec<f32> = (0..n_inputs).map(|j| (j + 1) as f32 * 0.1).collect();
+        assert_simd_invariant(dim, |out| weighted_sum_into(&refs, &weights, out))?;
+    }
+
+    #[test]
+    fn transpose_matches_naive_gather(rows in 1usize..50, cols in 1usize..50, seed in 0u64..300) {
+        // The cache-blocked transpose vs the seed's per-element gather.
+        let src = filled(rows * cols, seed);
+        let mut naive = Vec::with_capacity(rows * cols);
+        for c in 0..cols {
+            naive.extend((0..rows).map(|r| src[r * cols + c]));
+        }
+        let mut blocked = vec![0.0f32; rows * cols];
+        simd::transpose(&src, &mut blocked, rows, cols);
+        prop_assert_eq!(naive, blocked);
+    }
+}
