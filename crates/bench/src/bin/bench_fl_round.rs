@@ -1,22 +1,33 @@
 //! Wall-clock benchmark of the federated-round hot path.
 //!
 //! Runs a quick-scale experiment per strategy twice — once with the
-//! optimized execution layer (persistent kernel pool, thread-local model
-//! reuse, scratch-arena workspace, transposed-scratch NT kernel, zero-copy
-//! broadcast) and once with the naive baseline toggles that restore the
-//! seed's execution layer (scoped thread spawns per kernel, a full model
+//! optimized execution layer (persistent kernel pool, speculative client
+//! execution, thread-local model reuse, scratch-arena workspace,
+//! transposed-scratch NT kernel, zero-copy broadcast) and once with the
+//! naive baseline toggles that restore the seed's execution layer (scoped
+//! thread spawns per kernel, inline train-at-completion, a full model
 //! rebuild per dispatch, dot-product NT kernel, arena off, per-client
 //! encode, scalar SIMD kernel) — and records rounds/sec for both in
 //! `BENCH_fl_round.json`.
 //! The optimized run is additionally checked for determinism (two runs,
 //! bit-identical weights).
 //!
+//! `--threads-sweep` additionally measures the speculative executor's
+//! client-level scaling on the 500-client cohort: FedAT rounds/sec at
+//! {1, 2, 4, 8} workers (speculative) against the 1-worker inline
+//! baseline, with bit-identity asserted before any timing. Inner kernels
+//! run serially during the sweep so whole-client task parallelism is the
+//! only lever measured.
+//!
 //! ```text
-//! cargo run --release -p fedat-bench --bin bench_fl_round -- [--out FILE] [--seed N]
+//! cargo run --release -p fedat-bench --bin bench_fl_round -- \
+//!     [--out FILE] [--seed N] [--threads-sweep]
 //! ```
 //!
 //! See `docs/PERF.md` for how to read the output.
 
+use fedat_bench::experiments::large_cohort_task;
+use fedat_core::exec::{set_exec_mode, ExecMode};
 use fedat_core::local::set_model_reuse;
 use fedat_core::transport::set_broadcast_enabled;
 use fedat_core::{run_experiment, ExperimentConfig, StrategyKind};
@@ -24,6 +35,7 @@ use fedat_data::suite::{self, FedTask};
 use fedat_sim::fleet::ClusterConfig;
 use fedat_tensor::ops::{set_nt_kernel, NtKernel};
 use fedat_tensor::parallel::{self, SpawnMode};
+use fedat_tensor::pool;
 use fedat_tensor::scratch;
 use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
 use std::time::Instant;
@@ -47,6 +59,11 @@ fn set_execution_layer(optimized: bool) {
         SimdKernel::Auto
     } else {
         SimdKernel::Scalar
+    });
+    set_exec_mode(if optimized {
+        ExecMode::Speculative
+    } else {
+        ExecMode::Inline
     });
 }
 
@@ -99,6 +116,10 @@ fn quick_cfg(strategy: StrategyKind, seed: u64, n_clients: usize) -> ExperimentC
 fn timed_run(task: &FedTask, cfg: &ExperimentConfig) -> (f64, u64, Vec<f32>) {
     let started = Instant::now();
     let out = run_experiment(task, cfg);
+    // Speculative jobs abandoned at the rounds cutoff (dispatched clients
+    // whose completions never fired) are part of this run's cost and must
+    // not bleed into the next measurement: drain them inside the timing.
+    pool::quiesce();
     (
         started.elapsed().as_secs_f64(),
         out.global_updates,
@@ -151,10 +172,103 @@ fn bench_strategy(strategy: StrategyKind, seed: u64, n_clients: usize, task: &Fe
     }
 }
 
+/// One measured point of the thread-scaling sweep.
+struct SweepPoint {
+    workers: usize,
+    mode: &'static str,
+    secs: f64,
+    rounds: u64,
+}
+
+impl SweepPoint {
+    fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// FedAT on the 500-client cohort, speculative at {1, 2, 4, 8} workers vs
+/// the 1-worker inline baseline. "W workers" = the event-loop thread plus
+/// W − 1 pool helpers (emulated by the pool-job cap on a pool grown to 7
+/// real helper threads, so the sweep shape is identical on every host —
+/// though on machines with fewer cores the extra workers oversubscribe and
+/// the curve honestly flattens). Bit-identity across every configuration
+/// is asserted before any timing.
+fn threads_sweep(seed: u64) -> Vec<SweepPoint> {
+    const SWEEP: [usize; 4] = [1, 2, 4, 8];
+    let n_clients = 500;
+    let task = large_cohort_task(n_clients, seed);
+    let cluster = fedat_sim::fleet::ClusterConfig::paper_large(seed)
+        .with_clients(n_clients)
+        .without_dropouts();
+    let cfg = ExperimentConfig::builder()
+        .strategy(StrategyKind::FedAt)
+        .rounds(40)
+        .clients_per_round(10)
+        .local_epochs(1)
+        .eval_every(10_000) // keep the (mode-independent) eval cadence out
+        .eval_subset(64)
+        .seed(seed)
+        .cluster(cluster)
+        .build();
+
+    set_execution_layer(true);
+    // Whole-client task parallelism is the lever under test: inner kernels
+    // stay serial so the sweep measures the speculative executor alone.
+    parallel::set_max_threads(1);
+    pool::ensure_workers(SWEEP[SWEEP.len() - 1] - 1);
+    let entry_cap = pool::max_pool_jobs();
+
+    // Identity gate: every configuration must produce the same bits
+    // before any of them is timed.
+    set_exec_mode(ExecMode::Inline);
+    let (_, rounds, w_base) = timed_run(&task, &cfg);
+    set_exec_mode(ExecMode::Speculative);
+    for &w in &SWEEP {
+        pool::set_max_pool_jobs(w - 1);
+        let (_, r, wts) = timed_run(&task, &cfg);
+        assert_eq!(rounds, r, "speculative execution changed the schedule");
+        assert_eq!(
+            w_base, wts,
+            "speculative execution must be bit-identical to inline at {w} workers"
+        );
+    }
+
+    let mut points = Vec::new();
+    // Inline baseline (the seed's train-at-completion), 1 worker.
+    set_exec_mode(ExecMode::Inline);
+    let mut inline_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        inline_secs = inline_secs.min(timed_run(&task, &cfg).0);
+    }
+    points.push(SweepPoint {
+        workers: 1,
+        mode: "inline",
+        secs: inline_secs,
+        rounds,
+    });
+    set_exec_mode(ExecMode::Speculative);
+    for &w in &SWEEP {
+        pool::set_max_pool_jobs(w - 1);
+        let mut secs = f64::INFINITY;
+        for _ in 0..REPEATS {
+            secs = secs.min(timed_run(&task, &cfg).0);
+        }
+        points.push(SweepPoint {
+            workers: w,
+            mode: "speculative",
+            secs,
+            rounds,
+        });
+    }
+    pool::set_max_pool_jobs(entry_cap);
+    points
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_fl_round.json");
     let mut seed = 9u64;
+    let mut with_sweep = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -165,6 +279,9 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--threads-sweep" => {
+                with_sweep = true;
             }
             other => {
                 eprintln!("unknown flag: {other}");
@@ -195,6 +312,16 @@ fn main() {
         bench_strategy(s, seed, n_clients, &task)
     })
     .collect();
+
+    let sweep = if with_sweep {
+        eprintln!("[bench_fl_round] thread-scaling sweep (500-client FedAT) ...");
+        let points = threads_sweep(seed);
+        // Restore the whole-machine kernel fan-out for anything after us.
+        parallel::set_max_threads(0);
+        Some(points)
+    } else {
+        None
+    };
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"fl_round\",\n");
@@ -227,7 +354,45 @@ fn main() {
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if let Some(points) = &sweep {
+        let baseline = points
+            .iter()
+            .find(|p| p.mode == "inline")
+            .map(|p| p.rounds_per_sec())
+            .unwrap_or(f64::NAN);
+        json.push_str(",\n  \"threads_sweep\": {\n");
+        json.push_str("    \"task\": \"large-cohort(500)\",\n");
+        json.push_str("    \"strategy\": \"FedAT\",\n");
+        json.push_str(&format!(
+            "    \"host_cores\": {},\n",
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        ));
+        json.push_str(&format!(
+            "    \"pool_workers\": {},\n",
+            pool::worker_count()
+        ));
+        json.push_str(
+            "    \"note\": \"inner kernels serial; workers = event-loop thread + (W-1) pool helpers; bit-identity asserted across every configuration before timing; scaling requires >= W physical cores\",\n",
+        );
+        json.push_str("    \"points\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{ \"workers\": {}, \"mode\": \"{}\", \"rounds\": {}, \"secs\": {:.4}, \"rounds_per_sec\": {:.3}, \"speedup_vs_inline_1w\": {:.3} }}{}\n",
+                p.workers,
+                p.mode,
+                p.rounds,
+                p.secs,
+                p.rounds_per_sec(),
+                p.rounds_per_sec() / baseline.max(1e-12),
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("    ]\n  }");
+    }
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("writing benchmark record");
 
     println!("{json}");
@@ -240,6 +405,16 @@ fn main() {
             s.naive_rounds_per_sec(),
             s.speedup()
         );
+    }
+    if let Some(points) = &sweep {
+        for p in points {
+            println!(
+                "sweep {:>11} {:>2}w  {:>8.2} r/s",
+                p.mode,
+                p.workers,
+                p.rounds_per_sec()
+            );
+        }
     }
     eprintln!("[bench_fl_round] wrote {out_path}");
 }

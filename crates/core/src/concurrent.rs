@@ -7,12 +7,13 @@
 //! `straggler_tolerance` example to demonstrate wait-free fast-tier
 //! progress outside virtual time.
 
-use crate::aggregate::{aggregate_tiers, cross_tier_weights, weighted_client_average};
+use crate::aggregate::{aggregate_tiers_into, cross_tier_weights};
 use crate::config::ExperimentConfig;
 use crate::local::train_client;
 use fedat_data::suite::FedTask;
 use fedat_sim::threaded::{run_concurrent_tiers, TierSpec};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::time::Duration;
 
 /// Shared server state guarded by one lock (the paper's server is a single
@@ -79,6 +80,12 @@ pub fn run_threaded_fedat(
         })
         .collect();
 
+    // Per-thread standing buffer for the cross-tier aggregation: after the
+    // first round each tier thread aggregates without allocating.
+    thread_local! {
+        static AGG_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
+
     run_concurrent_tiers(&specs, |tier, round| {
         // Download outside the critical section: the snapshot is an `Arc`
         // clone, zero-copy even under contention.
@@ -86,12 +93,25 @@ pub fn run_threaded_fedat(
         let client = tier_clients[tier][round as usize % tier_clients[tier].len()];
         let update = train_client(task, client, &global, cfg, cfg.local_epochs, round, true);
         // Server-side update inside the lock: tier model, counters, global.
-        let mut s = shared.lock();
-        s.tier_models[tier] =
-            weighted_client_average(&[(update.weights.as_slice(), update.n_samples)]);
-        s.tier_counts[tier] += 1;
-        let weights = cross_tier_weights(&s.tier_counts);
-        s.global = aggregate_tiers(&s.tier_models, &weights).into();
+        // The intra-tier `n_k/N_c` average of this single-client round is
+        // the update itself (weight n_k/n_k = 1), so it *moves* into the
+        // standing tier-model slot — the pre-fix code built the average
+        // through a freshly allocated Vec while holding the server lock.
+        let retired = AGG_BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            let mut s = shared.lock();
+            let retired = std::mem::replace(&mut s.tier_models[tier], update.weights);
+            s.tier_counts[tier] += 1;
+            let weights = cross_tier_weights(&s.tier_counts);
+            aggregate_tiers_into(&s.tier_models, &weights, &mut buf);
+            // The snapshot `Arc` must be freshly allocated (readers hold
+            // the old one), but that is the only copy left in the section.
+            s.global = buf.as_slice().into();
+            retired
+        });
+        // The displaced tier model deallocates outside the critical
+        // section.
+        drop(retired);
     });
 
     let s = shared.into_inner();

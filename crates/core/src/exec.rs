@@ -1,0 +1,132 @@
+//! Execution-mode toggle for client training: speculative vs. inline.
+//!
+//! [`train_client`](crate::local::train_client) is a pure function of
+//! `(task, client, downloaded weights, config, epochs, selection_round,
+//! use_prox)` — it reads no simulator state and draws from no shared RNG —
+//! so every dispatched client can start training the moment it is
+//! *dispatched* instead of the moment its compute event *fires*. Under
+//! [`ExecMode::Speculative`] (the default) each dispatch submits a training
+//! job to the persistent kernel pool and the event loop merely *joins* the
+//! result when the completion event arrives; virtual time, event order,
+//! traffic accounting and the RNG streams are untouched, so the full trace
+//! is bit-identical to inline execution by construction (pinned by
+//! `strategy_behavior.rs`).
+//!
+//! [`ExecMode::Inline`] restores train-at-completion on the event-loop
+//! thread — the measured baseline for `BENCH_fl_round.json`, mirroring the
+//! `FEDAT_SIMD`/`AggKernel` baseline toggles. The environment variable
+//! `FEDAT_EXEC=inline` flips the process default (CI runs the whole suite a
+//! second time this way).
+//!
+//! The only observable cost of speculation is *wasted work*: a client that
+//! drops out mid-compute has already been trained (or is mid-training) when
+//! its `dropped` completion arrives, and the result is discarded.
+//! [`speculative_discards`] counts those for the perf accounting in
+//! `docs/PERF.md`.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// When client training actually executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Launch the training job on the kernel pool at *dispatch*; join the
+    /// result at the completion event. The default.
+    Speculative,
+    /// Train on the event-loop thread when the completion event fires —
+    /// the seed's behavior, kept as the measured baseline.
+    Inline,
+}
+
+const M_UNSET: u8 = 0;
+const M_SPECULATIVE: u8 = 1;
+const M_INLINE: u8 = 2;
+
+/// Active mode; initialized lazily from `FEDAT_EXEC` on first query.
+static MODE: AtomicU8 = AtomicU8::new(M_UNSET);
+
+/// Speculative training results discarded because the client dropped out
+/// before its compute event fired.
+static DISCARDS: AtomicU64 = AtomicU64::new(0);
+
+/// Training jobs launched speculatively (denominator for the wasted-work
+/// ratio).
+static LAUNCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Selects the execution mode. Both modes produce bit-identical traces —
+/// the choice only changes wall-clock speed (and wasted work on dropouts).
+pub fn set_exec_mode(mode: ExecMode) {
+    MODE.store(
+        match mode {
+            ExecMode::Speculative => M_SPECULATIVE,
+            ExecMode::Inline => M_INLINE,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The active [`ExecMode`]. Defaults to `Speculative`; the environment
+/// variable `FEDAT_EXEC=inline` flips the process default before any
+/// override.
+pub fn exec_mode() -> ExecMode {
+    let mut v = MODE.load(Ordering::Relaxed);
+    if v == M_UNSET {
+        let from_env = match std::env::var("FEDAT_EXEC").as_deref() {
+            Ok(s) if s.eq_ignore_ascii_case("inline") => M_INLINE,
+            _ => M_SPECULATIVE,
+        };
+        // Only the unset state may take the env default: a concurrent
+        // `set_exec_mode` must never be clobbered by this lazy init.
+        v = match MODE.compare_exchange(M_UNSET, from_env, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => from_env,
+            Err(current) => current,
+        };
+    }
+    if v == M_INLINE {
+        ExecMode::Inline
+    } else {
+        ExecMode::Speculative
+    }
+}
+
+/// Process-lifetime count of speculative results thrown away on dropout.
+pub fn speculative_discards() -> u64 {
+    DISCARDS.load(Ordering::Relaxed)
+}
+
+/// Process-lifetime count of speculatively launched training jobs.
+pub fn speculative_launches() -> u64 {
+    LAUNCHES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_launch() {
+    LAUNCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_discard() {
+    DISCARDS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_round_trips() {
+        let entry = exec_mode();
+        set_exec_mode(ExecMode::Inline);
+        assert_eq!(exec_mode(), ExecMode::Inline);
+        set_exec_mode(ExecMode::Speculative);
+        assert_eq!(exec_mode(), ExecMode::Speculative);
+        set_exec_mode(entry);
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let d0 = speculative_discards();
+        let l0 = speculative_launches();
+        note_launch();
+        note_discard();
+        assert!(speculative_launches() > l0);
+        assert!(speculative_discards() > d0);
+    }
+}

@@ -15,6 +15,9 @@
 //!   `T_{tier(M+1−m)}/T` heuristic,
 //! * [`local`] — client-side local training (Adam/SGD + proximal term,
 //!   fixed pseudo-random mini-batch schedules),
+//! * [`exec`] — the speculative-vs-inline execution toggle: training jobs
+//!   launch on the kernel pool at dispatch and are joined bit-identically
+//!   when the completion event fires,
 //! * [`transport`] — codec-mediated uplink/downlink with byte accounting,
 //! * [`strategies`] — the six FL methods as [`fedat_sim::EventHandler`]s,
 //! * [`eval`] — global accuracy, per-client accuracy variance
@@ -43,6 +46,7 @@ pub mod aggregate;
 pub mod concurrent;
 pub mod config;
 pub mod eval;
+pub mod exec;
 pub mod experiment;
 pub mod local;
 pub mod staleness;

@@ -15,8 +15,14 @@
 //! * **Scratch batches** — mini-batches are gathered into recycled
 //!   scratch-arena storage, so steady-state training performs no per-batch
 //!   allocations.
+//! * **Speculative execution** — [`train_client`] is pure in its arguments,
+//!   so strategies wrap each dispatch in a [`TrainJob`] and launch it on
+//!   the kernel pool *at dispatch time* ([`TrainHandle::launch`]); the
+//!   event loop joins the finished result when the completion event fires.
+//!   See [`crate::exec`] for the mode toggle and the determinism argument.
 
 use crate::config::ExperimentConfig;
+use crate::exec::{exec_mode, ExecMode};
 use fedat_data::suite::FedTask;
 use fedat_nn::model::Model;
 use fedat_nn::optim::ProxTerm;
@@ -47,6 +53,109 @@ pub fn set_model_reuse(enabled: bool) {
 /// Whether model reuse is enabled.
 pub fn model_reuse() -> bool {
     REUSE_MODELS.load(Ordering::Relaxed)
+}
+
+/// Everything one client dispatch needs to train, owned (`'static`) so the
+/// job can run on any pool worker. The model itself stays shared: `task`
+/// and the downloaded `global` weights are `Arc`s, and `cfg` is the
+/// server's shared config handle — building a job copies pointers, not
+/// tensors.
+pub struct TrainJob {
+    /// The federated task (model spec + client datasets).
+    pub task: Arc<fedat_data::suite::FedTask>,
+    /// Client id.
+    pub client: usize,
+    /// The (post-roundtrip) downloaded global weights.
+    pub global: Arc<[f32]>,
+    /// Experiment configuration (seed, optimizer, batch size, λ).
+    pub cfg: Arc<ExperimentConfig>,
+    /// Local epochs for this dispatch.
+    pub epochs: usize,
+    /// The client's selection counter at dispatch (fixes its batch
+    /// schedule).
+    pub selection_round: u64,
+    /// Whether the Eq. (3) proximal constraint applies.
+    pub use_prox: bool,
+}
+
+impl TrainJob {
+    /// Runs the job to completion on the calling thread.
+    pub fn run(&self) -> LocalUpdate {
+        train_client(
+            &self.task,
+            self.client,
+            &self.global,
+            &self.cfg,
+            self.epochs,
+            self.selection_round,
+            self.use_prox,
+        )
+    }
+}
+
+/// An in-flight client training computation, created at dispatch.
+///
+/// Under [`ExecMode::Speculative`] the job is already running (or queued)
+/// on the kernel pool; under [`ExecMode::Inline`] the handle just carries
+/// the job and trains when joined — which reproduces the seed's
+/// train-at-completion behavior exactly, since [`TrainHandle::join`] is
+/// called from the completion event.
+pub struct TrainHandle(Option<HandleKind>);
+
+enum HandleKind {
+    /// Train at join, on the joining thread (the measured baseline).
+    Inline(TrainJob),
+    /// Result is being computed on (or stolen back from) the kernel pool.
+    Speculative(fedat_tensor::pool::JobHandle<LocalUpdate>),
+}
+
+impl TrainHandle {
+    /// Starts `job` according to the active [`ExecMode`].
+    pub fn launch(job: TrainJob) -> TrainHandle {
+        TrainHandle(Some(match exec_mode() {
+            ExecMode::Speculative => {
+                crate::exec::note_launch();
+                HandleKind::Speculative(fedat_tensor::pool::submit(move || job.run()))
+            }
+            ExecMode::Inline => HandleKind::Inline(job),
+        }))
+    }
+
+    /// Returns the training result, blocking only if the speculative job is
+    /// mid-run on a worker (an unstarted job is stolen and run inline —
+    /// the pool's steal-on-join contract — so this never deadlocks).
+    pub fn join(mut self) -> LocalUpdate {
+        match self.0.take().expect("train handle already consumed") {
+            HandleKind::Inline(job) => job.run(),
+            HandleKind::Speculative(handle) => handle.join(),
+        }
+    }
+
+    /// Abandons the computation: the client dropped out before its compute
+    /// event. A job that has not started yet is *cancelled* — reclaimed
+    /// from the pool unexecuted, costing nothing; one already running (or
+    /// finished) completes on its worker and the result is dropped. Either
+    /// way the discard is counted in
+    /// [`crate::exec::speculative_discards`].
+    pub fn discard(mut self) {
+        if let Some(HandleKind::Speculative(handle)) = self.0.take() {
+            crate::exec::note_discard();
+            handle.cancel();
+        }
+    }
+}
+
+impl Drop for TrainHandle {
+    /// A handle dropped unconsumed (an experiment hitting its rounds or
+    /// time cutoff with clients still in flight) cancels its job, so
+    /// queued-but-unstarted speculation is reclaimed instead of burning a
+    /// worker after the run ended. Not counted as a dropout discard — the
+    /// client didn't drop; the run stopped caring.
+    fn drop(&mut self) {
+        if let Some(HandleKind::Speculative(handle)) = self.0.take() {
+            handle.cancel();
+        }
+    }
 }
 
 /// The result a client uploads after local training.

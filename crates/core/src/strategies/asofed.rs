@@ -7,7 +7,7 @@
 //! constraint (the same prox form FedAT adopts).
 
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
@@ -57,13 +57,12 @@ impl AsoFedStrategy {
         let epochs = self.core.cfg.local_epochs;
         let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
         let selection_round = ctx.dispatches_of(client);
+        // Speculative launch at dispatch; `true`: ASO-Fed's local
+        // constraint.
         self.inflight.insert(
             client,
-            ClientPhase::Computing(Inflight {
-                weights,
-                selection_round,
-                epochs,
-            }),
+            self.core
+                .launch(client, &weights, epochs, selection_round, true),
         );
         ctx.dispatch_with_transfer(client, 0, epochs, down_bytes);
         self.live_dispatches += 1;
@@ -95,8 +94,7 @@ impl EventHandler for AsoFedStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        // `true`: ASO-Fed's local constraint.
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c, true) {
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
             PhaseEvent::Landed { weights, .. } => {
                 self.live_dispatches -= 1;

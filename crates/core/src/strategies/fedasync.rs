@@ -10,7 +10,7 @@
 //! against.
 
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
@@ -61,13 +61,11 @@ impl FedAsyncStrategy {
         let epochs = self.core.cfg.local_epochs;
         let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
         let selection_round = ctx.dispatches_of(client);
+        // Speculative launch at dispatch; FedAsync trains unconstrained.
         self.inflight.insert(
             client,
-            ClientPhase::Computing(Inflight {
-                weights,
-                selection_round,
-                epochs,
-            }),
+            self.core
+                .launch(client, &weights, epochs, selection_round, false),
         );
         self.dispatch_version.insert(client, self.core.updates);
         ctx.dispatch_with_transfer(client, 0, epochs, down_bytes);
@@ -84,7 +82,7 @@ impl EventHandler for FedAsyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c, false) {
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
             PhaseEvent::Landed { weights, .. } => {
                 self.live_dispatches -= 1;

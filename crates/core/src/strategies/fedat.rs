@@ -16,7 +16,7 @@ use crate::aggregate::{
     aggregate_tiers_into, cross_tier_weights, uniform_tier_weights, weighted_client_average_into,
 };
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
@@ -129,13 +129,12 @@ impl FedAtStrategy {
             .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
             let selection_round = ctx.dispatches_of(c);
+            // Speculative launch: the client starts training on the kernel
+            // pool now; the compute event only joins it. `true`: Eq. (3)
+            // local constraint.
             self.inflight.insert(
                 c,
-                ClientPhase::Computing(Inflight {
-                    weights: Arc::clone(&weights),
-                    selection_round,
-                    epochs,
-                }),
+                self.core.launch(c, &weights, epochs, selection_round, true),
             );
             ctx.dispatch_with_transfer(c, tier as u64, epochs, down_bytes);
         }
@@ -153,8 +152,7 @@ impl EventHandler for FedAtStrategy {
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
         let tier = c.tag as usize;
-        // `true`: Eq. (3) local constraint.
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c, true) {
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
             // Still outstanding until the upload arrives / stale event.
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
             PhaseEvent::Landed { weights, n_samples } => {

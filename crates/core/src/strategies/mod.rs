@@ -47,7 +47,9 @@ pub trait Strategy: EventHandler + Send {
 /// Server-side state shared by every strategy implementation.
 pub(crate) struct ServerCore {
     pub task: Arc<FedTask>,
-    pub cfg: ExperimentConfig,
+    /// Shared so dispatch-time training jobs can carry the config to any
+    /// pool worker without cloning it per dispatch.
+    pub cfg: Arc<ExperimentConfig>,
     pub transport: Transport,
     pub evaluator: Evaluator,
     /// Current global weights `w^t`.
@@ -86,7 +88,7 @@ impl ServerCore {
         let trace = Trace::new(format!("{} @ {}", cfg.strategy.name(), task.name));
         ServerCore {
             task,
-            cfg: cfg.clone(),
+            cfg: Arc::new(cfg.clone()),
             transport,
             evaluator,
             global,
@@ -145,33 +147,54 @@ impl ServerCore {
             .map(|i| pool[i])
             .collect()
     }
+
+    /// Starts one client's local training *at dispatch time* and returns
+    /// the in-flight phase entry holding its handle. Under the speculative
+    /// execution mode (see [`crate::exec`]) the job begins on the kernel
+    /// pool immediately; inline mode defers it to the join inside
+    /// [`advance_phase`]. `weights` is the shared decoded broadcast —
+    /// launching clones `Arc`s, never the model.
+    pub fn launch(
+        &self,
+        client: usize,
+        weights: &std::sync::Arc<[f32]>,
+        epochs: usize,
+        selection_round: u64,
+        use_prox: bool,
+    ) -> ClientPhase {
+        ClientPhase::Computing(Inflight {
+            handle: crate::local::TrainHandle::launch(crate::local::TrainJob {
+                task: Arc::clone(&self.task),
+                client,
+                global: Arc::clone(weights),
+                cfg: Arc::clone(&self.cfg),
+                epochs,
+                selection_round,
+                use_prox,
+            }),
+        })
+    }
 }
 
-/// Weights captured at dispatch time for one in-flight client.
-#[derive(Clone, Debug)]
+/// One in-flight client computation, launched at dispatch time.
 pub(crate) struct Inflight {
-    /// The (post-roundtrip) weights the client downloaded. Shared: every
-    /// client of a tier round holds the same decoded broadcast, so no
-    /// per-client copy of the model exists.
-    pub weights: std::sync::Arc<[f32]>,
-    /// The client's selection counter at dispatch (fixes its batch
-    /// schedule).
-    pub selection_round: u64,
-    /// Local epochs assigned for this dispatch.
-    pub epochs: usize,
+    /// The training computation for this dispatch. The downloaded weights,
+    /// selection round, epoch count and prox flag were all captured into
+    /// the job when it launched — no simulator state can leak in later,
+    /// which is what makes speculative execution trace-invisible.
+    pub handle: crate::local::TrainHandle,
 }
 
 /// Where one client currently is in its round trip.
 ///
 /// A client dispatch now takes two simulator events: the *compute*
-/// completion (download + local training done — the strategy trains the
-/// model and puts the encoded update on the wire) and the *upload arrival*
-/// (the uplink transfer finished — the update is applied). Under infinite
-/// bandwidth the second event fires at the same virtual instant; with a
-/// finite link it charges the actual encoded payload of the *trained*
-/// weights, which differs from the downlink payload once a lossy codec is
-/// in play.
-#[derive(Clone, Debug)]
+/// completion (download + local training done — the strategy joins the
+/// training result and puts the encoded update on the wire) and the
+/// *upload arrival* (the uplink transfer finished — the update is
+/// applied). Under infinite bandwidth the second event fires at the same
+/// virtual instant; with a finite link it charges the actual encoded
+/// payload of the *trained* weights, which differs from the downlink
+/// payload once a lossy codec is in play.
 pub(crate) enum ClientPhase {
     /// Dispatched; local training completes with the compute event.
     Computing(Inflight),
@@ -204,28 +227,22 @@ pub(crate) enum PhaseEvent {
 
 /// Advances one client's compute→upload state machine for a completion.
 ///
-/// On a compute completion this trains the client, puts the encoded update
-/// on the wire (charging the *actual* uplink payload) and schedules the
-/// upload arrival; on the arrival it hands the update back to the strategy.
-/// Shared by all five strategies so the phase protocol cannot diverge.
+/// On a compute completion this *joins* the training job launched at
+/// dispatch (running it now if the inline mode is active or no worker got
+/// to it), puts the encoded update on the wire (charging the *actual*
+/// uplink payload) and schedules the upload arrival; on the arrival it
+/// hands the update back to the strategy. A dropout mid-compute discards
+/// the speculative result unjoined. Shared by all five strategies so the
+/// phase protocol cannot diverge.
 pub(crate) fn advance_phase(
     core: &ServerCore,
     inflight: &mut std::collections::HashMap<usize, ClientPhase>,
     ctx: &mut SimCtx,
     c: &fedat_sim::runtime::Completion,
-    use_prox: bool,
 ) -> PhaseEvent {
     match inflight.remove(&c.client) {
         Some(ClientPhase::Computing(info)) if !c.dropped => {
-            let update = crate::local::train_client(
-                &core.task,
-                c.client,
-                &info.weights,
-                &core.cfg,
-                info.epochs,
-                info.selection_round,
-                use_prox,
-            );
+            let update = info.handle.join();
             let (w_up, up_bytes) = core.transport.upload(ctx, c.client, &update.weights);
             inflight.insert(
                 c.client,
@@ -240,7 +257,12 @@ pub(crate) fn advance_phase(
         Some(ClientPhase::Uploading { weights, n_samples }) if !c.dropped => {
             PhaseEvent::Landed { weights, n_samples }
         }
-        Some(_) => PhaseEvent::Lost,
+        Some(ClientPhase::Computing(info)) => {
+            // Dropped mid-compute: the dispatch-time job is wasted work.
+            info.handle.discard();
+            PhaseEvent::Lost
+        }
+        Some(ClientPhase::Uploading { .. }) => PhaseEvent::Lost,
         None => PhaseEvent::Unknown,
     }
 }

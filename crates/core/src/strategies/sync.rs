@@ -7,7 +7,7 @@
 
 use crate::aggregate::weighted_client_average_into;
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
@@ -90,13 +90,12 @@ impl SyncStrategy {
         for c in picks {
             let epochs = self.epochs_for(c);
             let selection_round = ctx.dispatches_of(c);
+            // Speculative launch at dispatch; the prox flag travels with
+            // the job (FedProx on, FedAvg off).
             self.inflight.insert(
                 c,
-                ClientPhase::Computing(Inflight {
-                    weights: Arc::clone(&weights),
-                    selection_round,
-                    epochs,
-                }),
+                self.core
+                    .launch(c, &weights, epochs, selection_round, self.use_prox),
             );
             // Downlink transfer charged at dispatch; the uplink is charged
             // when the trained payload is known.
@@ -112,7 +111,7 @@ impl EventHandler for SyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c, self.use_prox) {
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
             PhaseEvent::Landed { weights, n_samples } => {
                 self.outstanding -= 1;

@@ -10,7 +10,7 @@
 use crate::aggregate::weighted_client_average_into;
 use crate::config::ExperimentConfig;
 use crate::eval::per_client_accuracy;
-use crate::strategies::{advance_phase, ClientPhase, Inflight, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
@@ -158,13 +158,11 @@ impl TiflStrategy {
             .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
             let selection_round = ctx.dispatches_of(c);
+            // Speculative launch at dispatch; TiFL trains unconstrained.
             self.inflight.insert(
                 c,
-                ClientPhase::Computing(Inflight {
-                    weights: Arc::clone(&weights),
-                    selection_round,
-                    epochs,
-                }),
+                self.core
+                    .launch(c, &weights, epochs, selection_round, false),
             );
             ctx.dispatch_with_transfer(c, 0, epochs, down_bytes);
         }
@@ -178,7 +176,7 @@ impl EventHandler for TiflStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c, false) {
+        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
             PhaseEvent::Landed { weights, n_samples } => {
                 self.outstanding -= 1;

@@ -8,6 +8,14 @@ use fedat_sim::fleet::{ClusterConfig, Fleet};
 use fedat_sim::runtime::{run, EventHandler, RunLimits};
 use std::sync::Arc;
 
+/// Serializes the tests that flip the process-global `ExecMode`. Unlike
+/// the kernel/thread-count globals (whose cross-test races are harmless
+/// because result invariance is exactly the property under test), the
+/// dropout-discard test asserts a *side effect* of speculative mode — the
+/// discard counter moving — which a concurrently running test holding
+/// `ExecMode::Inline` could suppress.
+static EXEC_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn cfg(strategy: StrategyKind, rounds: u64, seed: u64, cluster: ClusterConfig) -> ExperimentConfig {
     ExperimentConfig::builder()
         .strategy(strategy)
@@ -246,6 +254,46 @@ fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
             assert_eq!(p.up_bytes, q.up_bytes);
         }
     }
+    // The speculative executor must be equally invisible: the whole trace
+    // is pinned across ExecMode::{Speculative, Inline} × pool-worker
+    // counts {1, 2, 4, 8}. Workers are grown explicitly so the sweep is
+    // real even on single-core hosts, and the job cap emulates the smaller
+    // counts; neither can change a bit because training jobs are pure and
+    // virtual time never observes where they ran.
+    {
+        use fedat_core::exec::{exec_mode, set_exec_mode, ExecMode};
+        use fedat_tensor::pool;
+        let _exec_guard = EXEC_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        pool::ensure_workers(8);
+        let entry_mode = exec_mode();
+        let entry_cap = pool::max_pool_jobs();
+        for mode in [ExecMode::Speculative, ExecMode::Inline] {
+            for workers in [1usize, 2, 4, 8] {
+                set_exec_mode(mode);
+                // "W workers" = the joining main thread + W−1 pool helpers.
+                pool::set_max_pool_jobs(workers - 1);
+                let out = run_at(1);
+                pool::set_max_pool_jobs(entry_cap);
+                set_exec_mode(entry_mode);
+                assert_eq!(
+                    out.final_weights, base.final_weights,
+                    "final weights diverged under {mode:?} with {workers} workers"
+                );
+                assert_eq!(out.per_client_accuracy, base.per_client_accuracy);
+                assert_eq!(out.trace.points.len(), base.trace.points.len());
+                for (p, q) in out.trace.points.iter().zip(base.trace.points.iter()) {
+                    assert_eq!(
+                        p.accuracy, q.accuracy,
+                        "accuracy diverged under {mode:?} with {workers} workers"
+                    );
+                    assert_eq!(p.loss, q.loss);
+                    assert_eq!(p.time, q.time);
+                    assert_eq!(p.up_bytes, q.up_bytes);
+                    assert_eq!(p.down_bytes, q.down_bytes);
+                }
+            }
+        }
+    }
     // The SIMD micro-kernel layer must be equally invisible: the whole
     // trace is pinned under the forced-scalar kernel too. Restore the
     // entry kernel afterwards (not a hard-coded Auto) so the
@@ -269,6 +317,61 @@ fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
         );
         assert_eq!(p.loss, q.loss);
         assert_eq!(p.time, q.time);
+    }
+}
+
+#[test]
+fn speculative_dropout_discards_are_trace_invisible() {
+    // A client that drops mid-compute or mid-upload has its speculative
+    // training job's result *discarded* — the run must be bit-identical to
+    // ExecMode::Inline in every observable: the whole trace (accuracy,
+    // loss, virtual time, uplink/downlink byte counters), the final
+    // weights and the per-client accuracies. The cluster here keeps every
+    // client unstable over a horizon shorter than the run, so both
+    // mid-compute and mid-upload losses occur (dispatches outlive their
+    // clients while uploads race the dropout clock).
+    use fedat_core::exec::{exec_mode, set_exec_mode, speculative_discards, ExecMode};
+    use fedat_tensor::pool;
+    let _exec_guard = EXEC_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    pool::ensure_workers(4);
+    let n = 14;
+    let task = suite::sent140_like(n, 29);
+    let mut cluster = ClusterConfig::paper_medium(29).with_clients(n);
+    cluster.n_unstable = n / 2; // half the fleet drops out mid-run
+    cluster.dropout_horizon = 400.0;
+    let mut c = cfg(StrategyKind::FedAt, 200, 29, cluster);
+    c.max_time = 2000.0;
+    c.eval_every = 10;
+    let entry_mode = exec_mode();
+    let run_with = |mode: ExecMode| {
+        set_exec_mode(mode);
+        let out = fedat_core::run_experiment(&task, &c);
+        set_exec_mode(entry_mode);
+        out
+    };
+    let discards_before = speculative_discards();
+    let spec = run_with(ExecMode::Speculative);
+    assert!(
+        speculative_discards() > discards_before,
+        "the unstable cluster must have produced at least one discarded \
+         speculative result — the scenario no longer exercises the path"
+    );
+    let inline = run_with(ExecMode::Inline);
+    assert_eq!(
+        spec.final_weights, inline.final_weights,
+        "dropout discards leaked into the final weights"
+    );
+    assert_eq!(spec.per_client_accuracy, inline.per_client_accuracy);
+    assert_eq!(spec.global_updates, inline.global_updates);
+    assert_eq!(spec.report.end_time, inline.report.end_time);
+    assert_eq!(spec.trace.points.len(), inline.trace.points.len());
+    for (p, q) in spec.trace.points.iter().zip(inline.trace.points.iter()) {
+        assert_eq!(p.accuracy, q.accuracy);
+        assert_eq!(p.loss, q.loss);
+        assert_eq!(p.time, q.time);
+        assert_eq!(p.round, q.round);
+        assert_eq!(p.up_bytes, q.up_bytes, "uplink traffic diverged");
+        assert_eq!(p.down_bytes, q.down_bytes, "downlink traffic diverged");
     }
 }
 

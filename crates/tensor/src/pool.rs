@@ -1,13 +1,14 @@
-//! The persistent kernel worker pool.
+//! The persistent kernel worker pool — fork-join regions *and* whole-job
+//! task parallelism on one set of workers.
 //!
 //! The seed implementation spawned and joined OS threads inside *every*
 //! parallel kernel call via [`std::thread::scope`]; at the matmul sizes this
 //! workspace trains (activations of a few thousand elements), spawn/join
 //! overhead dwarfed the kernel itself. This module replaces it with a pool
-//! of workers spawned once, parked on a channel, and handed batches of
-//! index-addressed tasks.
+//! of workers spawned once, parked on a channel, and handed either batches
+//! of index-addressed tasks or whole submitted jobs.
 //!
-//! ## Execution model
+//! ## Fork-join regions
 //!
 //! A parallel region is a [`run_tasks`] call: `n_tasks` independent tasks,
 //! each identified by its index. The caller publishes the batch to at most
@@ -18,24 +19,56 @@
 //! even with zero pool workers (single-core hosts) and nested regions
 //! cannot deadlock — an inner caller drains its own batch.
 //!
+//! ## Submitted jobs
+//!
+//! [`submit`] hands the pool one owned closure and returns a [`JobHandle`];
+//! [`JobHandle::join`] blocks until the result is available. Jobs flow
+//! through the same channel as fork-join batches, so a parked worker serves
+//! whichever arrives first, and the two styles compose: the main thread can
+//! keep issuing fork-join kernels (sharded aggregation, streaming eval)
+//! while whole-client training jobs run task-parallel on other workers.
+//!
+//! Jobs are **claimed by ownership transfer**: whoever `take`s the closure
+//! out of the job's slot runs it — a parked worker, or the joining thread
+//! itself if no worker got there first (*steal-on-join*). Steal-on-join
+//! makes `join` deadlock-free by construction: a queued job can always be
+//! executed by its joiner, so zero-worker hosts degrade to inline execution
+//! and a saturated pool can never wedge the submitter.
+//! [`JobHandle::cancel`] claims an unstarted job back for free (the
+//! closure is dropped unexecuted); a handle merely *dropped* abandons the
+//! result instead — the job may still run on a worker (wasted work the
+//! caller opted into — speculative execution), and a panic inside an
+//! abandoned job is confined to its `catch_unwind`.
+//!
+//! [`set_max_pool_jobs`] caps how many submitted jobs may occupy the pool
+//! (queued + running) at once; excess submissions skip the channel and run
+//! at `join` on the joining thread. The cap exists for the thread-scaling
+//! benchmarks (`bench_fl_round --threads-sweep`), where it emulates smaller
+//! worker counts on one process. [`ensure_workers`] grows the pool beyond
+//! the default `cores − 1` for the same purpose.
+//!
 //! ## Determinism
 //!
-//! Which thread runs a task is scheduling-dependent, but tasks are
-//! *data-disjoint by construction*: the matmul/conv kernels partition
+//! Which thread runs a task is scheduling-dependent, but fork-join tasks
+//! are *data-disjoint by construction*: the matmul/conv kernels partition
 //! output rows, the sharded aggregation kernel partitions the model
 //! dimension into fixed chunks, and the streaming evaluator partitions the
 //! test set into fixed mini-batches whose results land in per-batch slots.
-//! Results are therefore bit-identical regardless of thread assignment.
-//! See [`crate::parallel`].
+//! Submitted jobs own their inputs and return their outputs through the
+//! handle, so their results cannot depend on the executing thread either
+//! (given a pure closure). Results are therefore bit-identical regardless
+//! of thread assignment. See [`crate::parallel`].
 //!
 //! ## Safety
 //!
-//! The task closure borrows caller stack data. The borrow is erased to
+//! The fork-join closure borrows caller stack data. The borrow is erased to
 //! `'static` when published to workers and re-protected by the completion
 //! barrier: `run_tasks` does not return until `pending == 0`, and workers
 //! never touch the closure after the claim counter passes `n_tasks`.
+//! Submitted jobs take the conventional route instead: `'static + Send`
+//! ownership, no erasure.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -104,13 +137,235 @@ impl Batch {
     }
 }
 
+/// One in-flight submitted job: the type-erased closure plus the
+/// completion signal. The closure is claimed by `take`-ing it out of the
+/// slot — exactly one thread (a pool worker, the joiner, or a canceller)
+/// ever obtains it.
+struct JobCore {
+    /// `Some` until claimed. The runner closure stores its own result (and
+    /// any panic payload) through the `Arc`ed slot it captured at
+    /// [`submit`] time.
+    task: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    /// Set (under the mutex) once the job finished (ran or was cancelled).
+    finished: Mutex<bool>,
+    /// Signals `finished == true`.
+    done: Condvar,
+    /// Whether this job still holds a [`POOL_JOBS`] occupancy slot. Held
+    /// from `submit` until a worker finishes running the job — or released
+    /// early when a joiner steals it or a canceller claims it (the job has
+    /// left the pool at that point even if its stale channel message is
+    /// still queued). The swap makes the release exactly-once.
+    pool_slot: AtomicBool,
+}
+
+impl JobCore {
+    /// Claims the closure; the caller must run (or drop) it and then call
+    /// [`JobCore::mark_finished`].
+    fn claim(&self) -> Option<Box<dyn FnOnce() + Send>> {
+        self.task.lock().unwrap().take()
+    }
+
+    /// Signals completion to any waiting joiner.
+    fn mark_finished(&self) {
+        *self.finished.lock().unwrap() = true;
+        self.done.notify_all();
+    }
+
+    /// Releases the job's pool-occupancy slot (exactly once; no-op for
+    /// jobs that never entered the pool).
+    fn release_slot(&self) {
+        if self.pool_slot.swap(false, Ordering::AcqRel) {
+            POOL_JOBS.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Blocks until the claimed job has finished running.
+    fn wait(&self) {
+        let mut finished = self.finished.lock().unwrap();
+        while !*finished {
+            finished = self.done.wait(finished).unwrap();
+        }
+    }
+}
+
+/// What flows through the pool channel: fork-join batches and whole jobs.
+enum Message {
+    Batch(Arc<Batch>),
+    Job(Arc<JobCore>),
+}
+
+/// Handle to a job submitted with [`submit`]. [`join`](JobHandle::join)
+/// retrieves the result; dropping the handle abandons it.
+pub struct JobHandle<T> {
+    core: Arc<JobCore>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Returns the job's result, running the job on *this* thread if no
+    /// worker has claimed it yet (steal-on-join — see module docs). Blocks
+    /// only while another thread is actively mid-run.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic, payload intact.
+    pub fn join(self) -> T {
+        match self.core.claim() {
+            Some(task) => {
+                // Stolen: the job leaves the pool now (this thread is not
+                // a pool worker), freeing its occupancy slot for the next
+                // submission before the work even runs.
+                self.core.release_slot();
+                task();
+                self.core.mark_finished();
+            }
+            None => self.core.wait(),
+        }
+        match self.result.lock().unwrap().take() {
+            Some(Ok(value)) => value,
+            Some(Err(payload)) => resume_unwind(payload),
+            None => unreachable!("job finished without storing a result"),
+        }
+    }
+
+    /// Abandons the job, reclaiming it *before it runs* when possible.
+    /// Returns `true` if the cancellation won the claim (the closure is
+    /// dropped unexecuted — an unstarted speculative job costs nothing);
+    /// `false` if some thread already ran or is running it, in which case
+    /// that execution completes and its result is dropped.
+    pub fn cancel(self) -> bool {
+        match self.core.claim() {
+            Some(task) => {
+                self.core.release_slot();
+                drop(task);
+                self.core.mark_finished();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the job has already finished running (never blocks).
+    pub fn is_finished(&self) -> bool {
+        *self.core.finished.lock().unwrap()
+    }
+}
+
+/// Submitted jobs currently occupying the pool (queued or running).
+static POOL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap on [`POOL_JOBS`]; `usize::MAX` = uncapped.
+static MAX_POOL_JOBS: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Caps how many submitted jobs may occupy the pool at once; submissions
+/// beyond the cap run at `join` on the joining thread instead. `0` forces
+/// every job inline at join. Results are unaffected (pure closures);
+/// this is the worker-count knob for the thread-scaling benchmarks.
+pub fn set_max_pool_jobs(cap: usize) {
+    MAX_POOL_JOBS.store(cap, Ordering::Relaxed);
+}
+
+/// Current cap on pool-resident submitted jobs.
+pub fn max_pool_jobs() -> usize {
+    MAX_POOL_JOBS.load(Ordering::Relaxed)
+}
+
+/// Acquires one pool-job slot, respecting [`max_pool_jobs`].
+fn acquire_job_slot() -> bool {
+    POOL_JOBS
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            if n < MAX_POOL_JOBS.load(Ordering::Relaxed) {
+                Some(n + 1)
+            } else {
+                None
+            }
+        })
+        .is_ok()
+}
+
+/// Submits `job` for asynchronous execution on the pool and returns its
+/// handle. The job starts as soon as any worker is free; if none gets to it
+/// before [`JobHandle::join`], the joiner runs it inline. With zero workers
+/// or the job cap reached, the handle is purely lazy (join-time inline).
+pub fn submit<T, F>(job: F) -> JobHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let runner: Box<dyn FnOnce() + Send> = Box::new(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        *slot.lock().unwrap() = Some(outcome);
+    });
+    let core = Arc::new(JobCore {
+        task: Mutex::new(Some(runner)),
+        finished: Mutex::new(false),
+        done: Condvar::new(),
+        pool_slot: AtomicBool::new(false),
+    });
+    let pool = pool();
+    if pool.workers.load(Ordering::Relaxed) > 0 && acquire_job_slot() {
+        core.pool_slot.store(true, Ordering::Release);
+        // A send can only fail if the receiver side vanished, which cannot
+        // happen while workers are parked on it.
+        pool.injector
+            .send(Message::Job(Arc::clone(&core)))
+            .expect("kernel pool alive");
+    }
+    JobHandle { core, result }
+}
+
+/// Blocks until no submitted job is queued for or running on a pool
+/// worker (jobs stolen by joiners or cancelled don't count — they have
+/// left the pool). Benchmarks call this between timed runs so abandoned
+/// speculative jobs from one run cannot contaminate the next measurement.
+pub fn quiesce() {
+    while POOL_JOBS.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
 /// The process-wide worker pool.
 struct Pool {
-    injector: crossbeam::channel::Sender<Arc<Batch>>,
-    workers: usize,
+    injector: crossbeam::channel::Sender<Message>,
+    /// Kept so [`ensure_workers`] can hand new workers the shared queue.
+    receiver: crossbeam::channel::Receiver<Message>,
+    workers: AtomicUsize,
+    /// Serializes pool growth.
+    grow: Mutex<()>,
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn spawn_worker(index: usize, rx: crossbeam::channel::Receiver<Message>) {
+    std::thread::Builder::new()
+        .name(format!("fedat-kernel-{index}"))
+        .spawn(move || {
+            // Parked on `recv` between regions; exits when the injector is
+            // dropped (process teardown).
+            while let Ok(message) = rx.recv() {
+                match message {
+                    Message::Batch(batch) => {
+                        batch.work();
+                    }
+                    Message::Job(job) => {
+                        if let Some(task) = job.claim() {
+                            // The runner catches panics internally, so the
+                            // bookkeeping below always runs.
+                            task();
+                            job.mark_finished();
+                        }
+                        // The slot is held for the whole worker-side
+                        // residence (queued + running); a stale message
+                        // for a stolen/cancelled job finds it already
+                        // released (exactly-once swap).
+                        job.release_slot();
+                    }
+                }
+            }
+        })
+        .expect("spawning kernel pool worker");
+}
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
@@ -118,32 +373,46 @@ fn pool() -> &'static Pool {
             .map(|c| c.get())
             .unwrap_or(1);
         // The caller participates in every region, so `cores - 1` workers
-        // saturate the machine.
-        let workers = cores.saturating_sub(1);
-        let (tx, rx) = crossbeam::channel::unbounded::<Arc<Batch>>();
+        // saturate the machine. `FEDAT_POOL_WORKERS` overrides (e.g. to
+        // exercise the executor on single-core CI hosts).
+        let workers = std::env::var("FEDAT_POOL_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| cores.saturating_sub(1));
+        let (tx, rx) = crossbeam::channel::unbounded::<Message>();
         for i in 0..workers {
-            let rx = rx.clone();
-            std::thread::Builder::new()
-                .name(format!("fedat-kernel-{i}"))
-                .spawn(move || {
-                    // Parked on `recv` between regions; exits when the
-                    // injector is dropped (process teardown).
-                    while let Ok(batch) = rx.recv() {
-                        batch.work();
-                    }
-                })
-                .expect("spawning kernel pool worker");
+            spawn_worker(i, rx.clone());
         }
         Pool {
             injector: tx,
-            workers,
+            receiver: rx,
+            workers: AtomicUsize::new(workers),
+            grow: Mutex::new(()),
         }
     })
 }
 
 /// Number of pool workers (excluding the calling thread).
 pub fn worker_count() -> usize {
-    pool().workers
+    pool().workers.load(Ordering::Relaxed)
+}
+
+/// Grows the pool to at least `n` workers (never shrinks). Extra workers
+/// park on the shared queue like the initial ones; on hosts with fewer
+/// cores they oversubscribe, which changes throughput but — like every
+/// scheduling decision here — never changes results. Used by the
+/// thread-scaling benches and the executor tests, which need real worker
+/// parallelism even on single-core machines.
+pub fn ensure_workers(n: usize) {
+    let pool = pool();
+    let _guard = pool.grow.lock().unwrap();
+    let current = pool.workers.load(Ordering::Relaxed);
+    for i in current..n {
+        spawn_worker(i, pool.receiver.clone());
+    }
+    if n > current {
+        pool.workers.store(n, Ordering::Relaxed);
+    }
 }
 
 /// Runs `task(0..n_tasks)` across the pool with at most `helpers` workers
@@ -162,7 +431,9 @@ pub fn run_tasks(n_tasks: usize, helpers: usize, task: &(dyn Fn(usize) + Sync)) 
         return;
     }
     let pool = pool();
-    let helpers = helpers.min(pool.workers).min(n_tasks - 1);
+    let helpers = helpers
+        .min(pool.workers.load(Ordering::Relaxed))
+        .min(n_tasks - 1);
     if helpers == 0 {
         for i in 0..n_tasks {
             task(i);
@@ -186,7 +457,7 @@ pub fn run_tasks(n_tasks: usize, helpers: usize, task: &(dyn Fn(usize) + Sync)) 
         // A send can only fail if the receiver side vanished, which cannot
         // happen while workers are parked on it.
         pool.injector
-            .send(batch.clone())
+            .send(Message::Batch(batch.clone()))
             .expect("kernel pool alive");
     }
     batch.work();
@@ -273,5 +544,142 @@ mod tests {
             });
             assert_eq!(acc.load(Ordering::Relaxed), 120);
         }
+    }
+
+    // --- submitted-job executor ---
+    //
+    // The job cap and worker count are process globals, so tests in this
+    // binary may race on them — harmless by construction: where a job runs
+    // (worker vs. steal-on-join) can never change its result, which is
+    // exactly the property under test.
+
+    #[test]
+    fn submit_join_returns_the_result() {
+        ensure_workers(2);
+        let h = submit(|| (0..100u64).sum::<u64>());
+        assert_eq!(h.join(), 4950);
+    }
+
+    #[test]
+    fn join_steals_jobs_the_pool_never_started() {
+        // Cap 0: no job enters the pool, so join must run it inline.
+        let prev = max_pool_jobs();
+        set_max_pool_jobs(0);
+        let h = submit(|| 21 * 2);
+        set_max_pool_jobs(prev);
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn many_jobs_join_in_any_order() {
+        ensure_workers(4);
+        let handles: Vec<JobHandle<u64>> = (0..64u64).map(|i| submit(move || i * i)).collect();
+        // Join in reverse: late joins must not depend on earlier ones.
+        for (i, h) in handles.into_iter().enumerate().rev() {
+            assert_eq!(h.join(), (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn job_panic_propagates_at_join() {
+        ensure_workers(1);
+        let h = submit(|| -> u32 { panic!("job boom") });
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| h.join()))
+            .expect_err("job panic must reach the joiner");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("job boom"));
+    }
+
+    #[test]
+    fn dropped_handles_do_not_wedge_the_pool() {
+        ensure_workers(2);
+        for i in 0..32u64 {
+            drop(submit(move || i));
+        }
+        // Fork-join regions must still complete after abandoned jobs.
+        let acc = AtomicU64::new(0);
+        run_tasks(16, 4, &|i| {
+            acc.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn jobs_and_fork_join_regions_interleave() {
+        ensure_workers(4);
+        let handles: Vec<JobHandle<u64>> = (0..8u64)
+            .map(|i| submit(move || (1..=i).product::<u64>()))
+            .collect();
+        // Fork-join from the main thread while jobs are outstanding.
+        let acc = AtomicU64::new(0);
+        run_tasks(32, 4, &|i| {
+            acc.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 496);
+        let got: Vec<u64> = handles.into_iter().map(JobHandle::join).collect();
+        assert_eq!(got, vec![1, 1, 2, 6, 24, 120, 720, 5040]);
+    }
+
+    #[test]
+    fn jobs_may_run_fork_join_regions_inside() {
+        // A job on a worker opens a nested region; caller participation
+        // guarantees completion even if every other worker is busy.
+        ensure_workers(2);
+        let h = submit(|| {
+            let acc = AtomicU64::new(0);
+            run_tasks(8, 4, &|i| {
+                acc.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+            acc.load(Ordering::Relaxed)
+        });
+        assert_eq!(h.join(), 36);
+    }
+
+    #[test]
+    fn cancel_reclaims_unstarted_jobs_without_running_them() {
+        // Cap 0 keeps the job out of the pool, so nobody can claim it
+        // before the cancel: the closure must never run.
+        let prev = max_pool_jobs();
+        set_max_pool_jobs(0);
+        let ran = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&ran);
+        let h = submit(move || flag.fetch_add(1, Ordering::Relaxed));
+        set_max_pool_jobs(prev);
+        assert!(h.cancel(), "unstarted job must be cancellable");
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "cancelled job ran");
+    }
+
+    #[test]
+    fn cancel_after_completion_reports_too_late() {
+        let h = submit(|| 5u8);
+        // Force completion through a second handle path: join would
+        // consume it, so complete via the pool/steal machinery instead.
+        assert!(h.core.claim().is_some());
+        h.core.mark_finished();
+        assert!(!h.cancel(), "a claimed job must not report cancelled");
+    }
+
+    #[test]
+    fn steal_on_join_frees_the_pool_slot() {
+        // A joiner stealing a queued job releases its occupancy slot even
+        // though the stale channel message has not been drained yet, so
+        // `quiesce` cannot wedge on ghosts.
+        ensure_workers(1);
+        for _ in 0..64 {
+            let h = submit(|| 1u8);
+            assert_eq!(h.join(), 1);
+        }
+        quiesce();
+        assert_eq!(POOL_JOBS.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn is_finished_reflects_completion() {
+        let h = submit(|| 7u8);
+        // Force completion through the join path; afterwards the flag must
+        // read true on a fresh handle once joined elsewhere. (We can only
+        // observe it pre-join without racing when the job is done.)
+        let core = Arc::clone(&h.core);
+        assert_eq!(h.join(), 7);
+        assert!(*core.finished.lock().unwrap());
     }
 }

@@ -12,6 +12,7 @@ use fedat_tensor::ops::{
     AGG_SHARD,
 };
 use fedat_tensor::parallel::{self, SpawnMode};
+use fedat_tensor::pool;
 use fedat_tensor::rng::rng_for;
 use fedat_tensor::Tensor;
 use proptest::prelude::*;
@@ -129,6 +130,89 @@ proptest! {
             );
         }
         parallel::set_max_threads(1);
+    }
+
+    /// Executor torture test: interleaved `submit`/`join` of whole jobs
+    /// plus fork-join regions issued from the main thread *between* the
+    /// submits, swept across pool-worker counts {1, 2, 4, 8} (emulated via
+    /// the job cap on a pool grown to 8 real workers). The property: every
+    /// interleaving completes (no deadlock — steal-on-join guarantees a
+    /// joiner can always make progress) and every job's result is
+    /// identical to its serial evaluation, regardless of which thread ran
+    /// it. Jobs themselves run a nested fork-join region so job-inside-
+    /// region-inside-job composition is exercised too.
+    #[test]
+    fn submit_join_interleaves_with_fork_join_without_deadlock(
+        n_jobs in 1usize..24,
+        // One bit per job: join immediately after submitting (true) or
+        // defer the join until after all submissions (false).
+        join_now in proptest::collection::vec(any::<bool>(), 24),
+        seed in 0u64..1000,
+    ) {
+        pool::ensure_workers(8);
+        let expected = move |i: usize| -> u64 {
+            let mut acc = seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
+            for k in 0..64u64 {
+                acc = acc.rotate_left(7) ^ k;
+            }
+            acc
+        };
+        let job = move |i: usize| move || -> u64 {
+            // Nested fork-join inside the job: 4 disjoint partial results.
+            let parts: Vec<std::sync::atomic::AtomicU64> =
+                (0..4).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+            pool::run_tasks(4, 2, &|t| {
+                parts[t].store(t as u64, std::sync::atomic::Ordering::Relaxed);
+            });
+            let nested: u64 = parts
+                .iter()
+                .map(|p| p.load(std::sync::atomic::Ordering::Relaxed))
+                .sum();
+            // A plain assert: the panic surfaces at `join` on the main
+            // thread, failing the test with the payload intact.
+            assert_eq!(nested, 6, "nested region lost tasks");
+            expected(i)
+        };
+        let entry_cap = pool::max_pool_jobs();
+        for &workers in &THREAD_SWEEP {
+            pool::set_max_pool_jobs(workers - 1);
+            let mut deferred: Vec<(usize, pool::JobHandle<u64>)> = Vec::new();
+            let mut results: Vec<(usize, u64)> = Vec::new();
+            for (i, &join_immediately) in join_now.iter().enumerate().take(n_jobs) {
+                let h = pool::submit(job(i));
+                // A fork-join region from the submitting thread while jobs
+                // are in flight: the two styles must share the workers.
+                let mut out = vec![0.0f32; 64];
+                parallel::for_each_row_band(&mut out, 8, 4, |first_row, band| {
+                    for (r, row) in band.chunks_mut(8).enumerate() {
+                        for (c, v) in row.iter_mut().enumerate() {
+                            *v = ((first_row + r) * 8 + c) as f32;
+                        }
+                    }
+                });
+                prop_assert!(out.iter().enumerate().all(|(j, &v)| v == j as f32));
+                if join_immediately {
+                    results.push((i, h.join()));
+                } else {
+                    deferred.push((i, h));
+                }
+            }
+            // Drain deferred joins in reverse — join order must not matter.
+            for (i, h) in deferred.into_iter().rev() {
+                results.push((i, h.join()));
+            }
+            pool::set_max_pool_jobs(entry_cap);
+            prop_assert_eq!(results.len(), n_jobs);
+            for (i, got) in results {
+                prop_assert_eq!(
+                    got,
+                    expected(i),
+                    "job {} diverged at {} workers",
+                    i,
+                    workers
+                );
+            }
+        }
     }
 
     #[test]
