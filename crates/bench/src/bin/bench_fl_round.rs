@@ -21,8 +21,12 @@
 //!
 //! ```text
 //! cargo run --release -p fedat-bench --bin bench_fl_round -- \
-//!     [--out FILE] [--seed N] [--threads-sweep]
+//!     [--out FILE] [--seed N] [--threads-sweep] [--leaf-dir DIR]
 //! ```
+//!
+//! `--leaf-dir` swaps the synthetic CNN task for a LEAF-format directory
+//! (FEMNIST featurizer) loaded from disk, so the round hot path can be
+//! measured on real natural-partition corpora.
 //!
 //! See `docs/PERF.md` for how to read the output.
 
@@ -30,7 +34,8 @@ use fedat_bench::experiments::large_cohort_task;
 use fedat_core::exec::{set_exec_mode, ExecMode};
 use fedat_core::local::set_model_reuse;
 use fedat_core::transport::set_broadcast_enabled;
-use fedat_core::{run_experiment, ExperimentConfig, StrategyKind};
+use fedat_core::{run_experiment_shared, ExperimentConfig, StrategyKind};
+use fedat_data::leaf::LeafBenchmark;
 use fedat_data::suite::{self, FedTask};
 use fedat_sim::fleet::ClusterConfig;
 use fedat_tensor::ops::{set_nt_kernel, NtKernel};
@@ -38,6 +43,7 @@ use fedat_tensor::parallel::{self, SpawnMode};
 use fedat_tensor::pool;
 use fedat_tensor::scratch;
 use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Flips every execution-layer toggle at once.
@@ -113,9 +119,11 @@ fn quick_cfg(strategy: StrategyKind, seed: u64, n_clients: usize) -> ExperimentC
         .build()
 }
 
-fn timed_run(task: &FedTask, cfg: &ExperimentConfig) -> (f64, u64, Vec<f32>) {
+fn timed_run(task: &Arc<FedTask>, cfg: &ExperimentConfig) -> (f64, u64, Vec<f32>) {
     let started = Instant::now();
-    let out = run_experiment(task, cfg);
+    // Shared entry: the task (possibly a multi-MB --leaf-dir corpus) must
+    // not be cloned inside the timed window.
+    let out = run_experiment_shared(task, cfg);
     // Speculative jobs abandoned at the rounds cutoff (dispatched clients
     // whose completions never fired) are part of this run's cost and must
     // not bleed into the next measurement: drain them inside the timing.
@@ -131,7 +139,12 @@ fn timed_run(task: &FedTask, cfg: &ExperimentConfig) -> (f64, u64, Vec<f32>) {
 /// criterion's best-estimate for short benches).
 const REPEATS: usize = 3;
 
-fn bench_strategy(strategy: StrategyKind, seed: u64, n_clients: usize, task: &FedTask) -> Sample {
+fn bench_strategy(
+    strategy: StrategyKind,
+    seed: u64,
+    n_clients: usize,
+    task: &Arc<FedTask>,
+) -> Sample {
     let cfg = quick_cfg(strategy, seed, n_clients);
 
     // Warm the kernel pool and the scratch arenas so the optimized run is
@@ -196,7 +209,7 @@ impl SweepPoint {
 fn threads_sweep(seed: u64) -> Vec<SweepPoint> {
     const SWEEP: [usize; 4] = [1, 2, 4, 8];
     let n_clients = 500;
-    let task = large_cohort_task(n_clients, seed);
+    let task = Arc::new(large_cohort_task(n_clients, seed));
     let cluster = fedat_sim::fleet::ClusterConfig::paper_large(seed)
         .with_clients(n_clients)
         .without_dropouts();
@@ -269,6 +282,7 @@ fn main() {
     let mut out_path = String::from("BENCH_fl_round.json");
     let mut seed = 9u64;
     let mut with_sweep = false;
+    let mut leaf_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -283,6 +297,10 @@ fn main() {
             "--threads-sweep" => {
                 with_sweep = true;
             }
+            "--leaf-dir" => {
+                i += 1;
+                leaf_dir = Some(args[i].clone());
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -295,11 +313,16 @@ fn main() {
     // spawn overhead vs. a persistent pool matters most.
     parallel::set_max_threads(0);
 
-    let n_clients = 30;
-    // CNN task: the compute-heavy representative (conv kernels cross the
-    // parallel threshold, models are large enough for codec/build costs to
-    // register).
-    let task = suite::cifar10_like(n_clients, 2, seed);
+    // Default: the CNN task, the compute-heavy representative (conv kernels
+    // cross the parallel threshold, models are large enough for codec/build
+    // costs to register). `--leaf-dir` benches a disk-loaded LEAF corpus
+    // under its natural partition instead.
+    let task = Arc::new(match &leaf_dir {
+        Some(d) => FedTask::from_leaf_dir(d, LeafBenchmark::femnist(), seed)
+            .unwrap_or_else(|e| panic!("loading LEAF directory {d}: {e}")),
+        None => suite::cifar10_like(30, 2, seed),
+    });
+    let n_clients = task.fed.num_clients();
 
     let samples: Vec<Sample> = [
         StrategyKind::FedAvg,

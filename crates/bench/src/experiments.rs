@@ -10,6 +10,7 @@ use crate::report::{fmt_mb, fmt_tta, out_dir, slug, write_trace, TextReport};
 use fedat_compress::codec::CodecKind;
 use fedat_core::config::{ExperimentConfig, StrategyKind};
 use fedat_data::federated::FederatedDataset;
+use fedat_data::leaf::{writer, LeafBenchmark};
 use fedat_data::partition::Partitioner;
 use fedat_data::suite::{self, FedTask};
 use fedat_data::synth::{synth_features, FeatureSynthSpec};
@@ -697,6 +698,102 @@ pub fn fig10(ctx: &Ctx) {
     rep.emit(&dir, "fig10").ok();
 }
 
+/// The LEAF-format scenario: the Table-1 strategies on a **disk-loaded**
+/// LEAF directory under the natural per-user partition.
+///
+/// Point `FEDAT_LEAF_DIR` at a real (or writer-generated) LEAF directory
+/// and optionally `FEDAT_LEAF_BENCH` at `femnist`/`sent140`/`reddit`
+/// (default `femnist`). Without the env var, a FEMNIST-shaped fixture is
+/// generated via [`fedat_data::leaf::writer`] under the output directory
+/// and loaded back from disk, so the measured path is always the loader.
+pub fn leaf(ctx: &Ctx) {
+    let dir = out_dir(&ctx.out, "leaf");
+    let (task, source) = match std::env::var_os("FEDAT_LEAF_DIR") {
+        Some(d) => {
+            let bench = match std::env::var("FEDAT_LEAF_BENCH").as_deref() {
+                Ok("sent140") => LeafBenchmark::sent140(),
+                Ok("reddit") => LeafBenchmark::reddit(),
+                Ok("femnist") | Err(_) => LeafBenchmark::femnist(),
+                Ok(other) => {
+                    panic!("FEDAT_LEAF_BENCH must be femnist|sent140|reddit, got `{other}`")
+                }
+            };
+            let path = PathBuf::from(d);
+            let task = FedTask::from_leaf_dir(&path, bench, ctx.seed)
+                .unwrap_or_else(|e| panic!("loading LEAF directory {}: {e}", path.display()));
+            (task, path.display().to_string())
+        }
+        None => {
+            let fixture = dir.join("fixture");
+            let (clients, per_client) = match ctx.scale {
+                Scale::Full => (50, 40),
+                Scale::Quick => (10, 16),
+            };
+            writer::write_femnist_fixture(&fixture, clients, per_client, ctx.seed)
+                .expect("writing the LEAF fixture");
+            let task = FedTask::from_leaf_dir(&fixture, LeafBenchmark::femnist(), ctx.seed)
+                .expect("parsing the fixture the writer just emitted");
+            (task, format!("generated fixture @ {}", fixture.display()))
+        }
+    };
+    let task = Arc::new(task);
+    let n = task.fed.num_clients();
+    let mut cluster = ClusterConfig::paper_medium(ctx.seed).with_clients(n);
+    cluster.n_unstable = cluster.n_unstable.min(n / 10);
+    let mut jobs = Vec::new();
+    for strategy in table1_strategies() {
+        let rounds = match strategy {
+            StrategyKind::FedAt => fedat_rounds(ctx.scale),
+            _ => sync_rounds(ctx.scale),
+        };
+        let cfg = ExperimentConfig::builder()
+            .strategy(strategy)
+            .rounds(rounds)
+            .max_time(MATRIX_HORIZON)
+            .eval_every(5)
+            .seed(ctx.seed)
+            .cluster(cluster.clone())
+            .build();
+        jobs.push(ctx.job(&task, cfg));
+    }
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new("LEAF — disk-loaded natural partition, Table-1 strategies");
+    rep.line(format!("source: {source}"));
+    let sizes = task.fed.client_sizes();
+    rep.line(format!(
+        "task: {} — {} clients, sizes {}..{}, {} classes, {} features",
+        task.name,
+        n,
+        sizes.iter().min().unwrap_or(&0),
+        sizes.iter().max().unwrap_or(&0),
+        task.fed.classes,
+        task.fed.features
+    ));
+    let mut csv = String::from("strategy,best_accuracy,accuracy_variance,time_to_target\n");
+    for r in &results {
+        write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        let tta = r.outcome.trace.time_to_accuracy(r.target_accuracy);
+        rep.line(format!(
+            "  {:<9} best {:.3}  variance {:.5}  t→{:.2}: {}",
+            r.strategy,
+            r.outcome.best_accuracy(),
+            r.outcome.accuracy_variance,
+            r.target_accuracy,
+            fmt_tta(tta),
+        ));
+        csv.push_str(&format!(
+            "{},{:.4},{:.6},{}\n",
+            r.strategy,
+            r.outcome.best_accuracy(),
+            r.outcome.accuracy_variance,
+            tta.map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into())
+        ));
+    }
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("leaf.csv"), csv).ok();
+    rep.emit(&dir, "leaf").ok();
+}
+
 /// Ablation: FedAT vs TiFL under mis-tiering (DESIGN.md §5.4).
 pub fn ablate_mistier(ctx: &Ctx) {
     let dir = out_dir(&ctx.out, "ablate-mistier");
@@ -840,6 +937,7 @@ pub fn run(id: &str, ctx: &Ctx) {
         "fig8" => fig8(ctx),
         "fig9" => fig9(ctx),
         "fig10" => fig10(ctx),
+        "leaf" => leaf(ctx),
         "ablate-mistier" => ablate_mistier(ctx),
         "ablate-lambda" => ablate_lambda(ctx),
         "ablate-delta" => ablate_delta(ctx),
@@ -866,7 +964,7 @@ pub fn run(id: &str, ctx: &Ctx) {
             eprintln!("unknown experiment id: {other}");
             eprintln!(
                 "known: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 \
-                 ablate-mistier ablate-lambda ablate-delta matrix all"
+                 leaf ablate-mistier ablate-lambda ablate-delta matrix all"
             );
             std::process::exit(2);
         }

@@ -4,7 +4,7 @@
 //! simply fans independent runs out over a worker pool sized to the host.
 
 use crossbeam::channel::unbounded;
-use fedat_core::{run_experiment, ExperimentConfig, Outcome};
+use fedat_core::{run_experiment_shared, ExperimentConfig, Outcome};
 use fedat_data::suite::FedTask;
 use std::sync::Arc;
 
@@ -58,7 +58,8 @@ pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<JobResult> {
             let res_tx = res_tx.clone();
             scope.spawn(move || {
                 while let Ok((i, job)) = job_rx.recv() {
-                    let outcome = run_experiment(&job.task, &job.cfg);
+                    // Jobs share one Arc per dataset — no corpus clone per run.
+                    let outcome = run_experiment_shared(&job.task, &job.cfg);
                     let result = JobResult {
                         label: job.label,
                         task_name: job.task.name.clone(),

@@ -40,9 +40,24 @@ impl Outcome {
 /// The cluster defaults to the paper's medium testbed sized to the task's
 /// client count; override via [`ExperimentConfig::cluster`].
 ///
+/// This entry clones the task once into an [`Arc`]; when the task is
+/// already shared — harness jobs fanning one dataset across strategies, or
+/// loader-built corpora ([`FedTask::from_leaf_dir`]) that can run to
+/// hundreds of MB — use [`run_experiment_shared`] to skip the copy.
+///
 /// # Panics
 /// Panics if an explicit cluster's client count disagrees with the task.
 pub fn run_experiment(task: &FedTask, cfg: &ExperimentConfig) -> Outcome {
+    run_experiment_shared(&Arc::new(task.clone()), cfg)
+}
+
+/// [`run_experiment`] without the corpus copy: the strategy stack holds the
+/// given [`Arc`] directly, so arbitrarily large loader-built tasks are
+/// shared, never cloned.
+///
+/// # Panics
+/// Panics if an explicit cluster's client count disagrees with the task.
+pub fn run_experiment_shared(task: &Arc<FedTask>, cfg: &ExperimentConfig) -> Outcome {
     let cluster = cfg.cluster.clone().unwrap_or_else(|| {
         let n = task.fed.num_clients();
         let mut c = ClusterConfig::paper_medium(cfg.seed).with_clients(n);
@@ -57,8 +72,7 @@ pub fn run_experiment(task: &FedTask, cfg: &ExperimentConfig) -> Outcome {
         "cluster size must match the federation"
     );
     let fleet = Fleet::new(&cluster, task.fed.client_sizes());
-    let task_arc = Arc::new(task.clone());
-    let mut strategy = build_strategy(task_arc, cfg, &fleet);
+    let mut strategy = build_strategy(Arc::clone(task), cfg, &fleet);
     let limits = RunLimits {
         max_time: cfg.max_time,
         max_events: 20_000_000,

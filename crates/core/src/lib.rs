@@ -58,10 +58,10 @@ pub mod transport;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::config::{ExperimentConfig, OptimizerKind, StrategyKind};
-    pub use crate::experiment::{run_experiment, Outcome};
+    pub use crate::experiment::{run_experiment, run_experiment_shared, Outcome};
     pub use crate::tiering::TierAssignment;
     pub use fedat_sim::{Trace, TracePoint};
 }
 
 pub use config::{ExperimentConfig, OptimizerKind, StrategyKind};
-pub use experiment::{run_experiment, Outcome};
+pub use experiment::{run_experiment, run_experiment_shared, Outcome};

@@ -67,6 +67,30 @@ impl FederatedDataset {
         }
     }
 
+    /// Assembles a federation from per-client datasets that are **already
+    /// split** into train/test — the natural-partition path the LEAF
+    /// loaders use (the on-disk split is taken verbatim; no shuffling or
+    /// re-splitting happens here).
+    ///
+    /// # Panics
+    /// Panics if `clients` is empty or the schemas disagree (the LEAF
+    /// loader validates both before calling).
+    pub fn from_client_splits(clients: Vec<ClientData>) -> Self {
+        assert!(!clients.is_empty(), "federation needs at least one client");
+        let classes = clients[0].train.classes;
+        let features = clients[0].train.features();
+        let targets_per_row = clients[0].train.targets_per_row;
+        let tests: Vec<&Dataset> = clients.iter().map(|c| &c.test).collect();
+        let global_test = Dataset::concat(&tests);
+        FederatedDataset {
+            clients,
+            global_test,
+            classes,
+            features,
+            targets_per_row,
+        }
+    }
+
     /// Number of clients.
     pub fn num_clients(&self) -> usize {
         self.clients.len()
@@ -85,8 +109,21 @@ impl FederatedDataset {
     /// Returns a shrunken copy keeping roughly `frac` of every client's
     /// train/test rows (at least 2 train and 1 test row each). Used to make
     /// doc examples and smoke tests fast.
+    ///
+    /// Degenerate fractions are handled explicitly rather than silently:
+    /// `frac` is clamped into `[0, 1]` (`≤ 0` keeps the per-client floor of
+    /// 2 train + 1 test rows, `≥ 1` is the identity), a task with no
+    /// clients is returned unchanged, and a NaN fraction panics — there is
+    /// no least-surprising number to clamp it to.
+    ///
+    /// # Panics
+    /// Panics if `frac` is NaN.
     pub fn scaled(&self, frac: f64) -> FederatedDataset {
-        assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1]");
+        assert!(!frac.is_nan(), "scaled(NaN) has no meaningful clamp");
+        let frac = frac.clamp(0.0, 1.0);
+        if self.clients.is_empty() {
+            return self.clone();
+        }
         let take = |d: &Dataset, min: usize| -> Dataset {
             let floor = min.min(d.len());
             let keep = ((d.len() as f64 * frac) as usize).clamp(floor, d.len());
@@ -162,6 +199,72 @@ mod tests {
             assert_eq!(ca.train.x.data(), cb.train.x.data());
             assert_eq!(ca.test.y, cb.test.y);
         }
+    }
+
+    #[test]
+    fn from_client_splits_preserves_the_given_split() {
+        let fed = build(200, 5);
+        let rebuilt = FederatedDataset::from_client_splits(fed.clients.clone());
+        assert_eq!(rebuilt.num_clients(), 5);
+        assert_eq!(rebuilt.classes, fed.classes);
+        assert_eq!(rebuilt.features, fed.features);
+        for (a, b) in rebuilt.clients.iter().zip(fed.clients.iter()) {
+            assert_eq!(a.train.x.data(), b.train.x.data());
+            assert_eq!(a.test.y, b.test.y);
+        }
+        assert_eq!(rebuilt.global_test.x.data(), fed.global_test.x.data());
+    }
+
+    #[test]
+    fn scaled_clamps_degenerate_fractions() {
+        let fed = build(300, 6);
+        // ≤ 0 keeps the documented per-client floor instead of panicking.
+        let floor = fed.scaled(0.0);
+        for c in &floor.clients {
+            assert!(c.train.len() >= 2, "train floor violated");
+            assert!(!c.test.is_empty(), "test floor violated");
+        }
+        let neg = fed.scaled(-3.5);
+        for (a, b) in neg.clients.iter().zip(floor.clients.iter()) {
+            assert_eq!(a.train.len(), b.train.len());
+        }
+        // ≥ 1 is the identity instead of panicking.
+        let same = fed.scaled(7.0);
+        assert_eq!(same.total_train_samples(), fed.total_train_samples());
+        for (a, b) in same.clients.iter().zip(fed.clients.iter()) {
+            assert_eq!(a.train.x.data(), b.train.x.data());
+            assert_eq!(a.test.y, b.test.y);
+        }
+        // global_test stays consistent with the shrunken client tests.
+        let expected: usize = floor.clients.iter().map(|c| c.test.len()).sum();
+        assert_eq!(floor.global_test.len(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "scaled(NaN)")]
+    fn scaled_rejects_nan_loudly() {
+        let _ = build(100, 4).scaled(f64::NAN);
+    }
+
+    #[test]
+    fn scaled_on_clientless_federation_is_identity() {
+        // Not constructible through the public builders (both assert at
+        // least one client), but the fields are public; `scaled` must not
+        // panic in `Dataset::concat` on the hand-built degenerate case.
+        let placeholder = {
+            let x = fedat_tensor::Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+            Dataset::new(x, vec![0], 2)
+        };
+        let ghost = FederatedDataset {
+            clients: Vec::new(),
+            global_test: placeholder,
+            classes: 2,
+            features: 2,
+            targets_per_row: 1,
+        };
+        let scaled = ghost.scaled(0.5);
+        assert_eq!(scaled.num_clients(), 0);
+        assert_eq!(scaled.global_test.len(), 1);
     }
 
     #[test]

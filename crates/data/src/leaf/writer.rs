@@ -1,0 +1,403 @@
+//! LEAF writer: emits valid LEAF directories from in-memory tasks.
+//!
+//! The build environment has no network access, so real LEAF downloads can
+//! never appear in CI — this writer is what makes the whole [`super`]
+//! subsystem testable end to end (generate fixture → parse → train) and
+//! gives users a documented on-disk interchange format for their own
+//! corpora. Output layout:
+//!
+//! ```text
+//! dir/
+//!   vocab.json        (Sentiment140 only: tokens in feature order)
+//!   train/data.json
+//!   test/data.json
+//! ```
+//!
+//! Round-trip contract (property-tested in `tests/leaf_roundtrip.rs`):
+//! for a task compatible with the chosen benchmark,
+//! `FedTask::from_leaf_dir(write_leaf_task(task))` reproduces the task's
+//! features, labels, user order and train/test split **bitwise**. Floats
+//! are printed with Rust's shortest-round-trip formatting, Sentiment140
+//! count features become synthetic `w0007`-style tokens repeated
+//! count-many times (with the matching `vocab.json` sidecar), and Reddit
+//! token ids are written as plain integers.
+
+use super::{LeafBenchmark, LeafError};
+use crate::dataset::Dataset;
+use crate::federated::FederatedDataset;
+use crate::partition::Partitioner;
+use crate::suite::FedTask;
+use crate::synth::{synth_images, ImageSynthSpec};
+use fedat_nn::models::ModelSpec;
+use fedat_tensor::rng::{fill_normal, rng_for, tags};
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Writes `task` as a LEAF directory for `bench` (train/ + test/ [+
+/// `vocab.json`]), creating `dir` as needed. The task must be compatible
+/// with the benchmark's featurizer — see the module docs for the exact
+/// requirements per benchmark; incompatibilities are reported as
+/// [`LeafError::Schema`], never written as silently-corrupt files.
+pub fn write_leaf_task(task: &FedTask, bench: &LeafBenchmark, dir: &Path) -> Result<(), LeafError> {
+    validate_compat(task, bench)?;
+    fs::create_dir_all(dir.join("train"))?;
+    fs::create_dir_all(dir.join("test"))?;
+    if let LeafBenchmark::Sent140 { .. } = bench {
+        write_vocab_sidecar(&dir.join("vocab.json"), task.fed.features)?;
+    }
+    let trains: Vec<&Dataset> = task.fed.clients.iter().map(|c| &c.train).collect();
+    let tests: Vec<&Dataset> = task.fed.clients.iter().map(|c| &c.test).collect();
+    write_split(&dir.join("train").join("data.json"), &trains, bench)?;
+    write_split(&dir.join("test").join("data.json"), &tests, bench)?;
+    Ok(())
+}
+
+fn validate_compat(task: &FedTask, bench: &LeafBenchmark) -> Result<(), LeafError> {
+    match *bench {
+        LeafBenchmark::Femnist {
+            height,
+            width,
+            classes,
+        } => {
+            if task.fed.features != height * width {
+                return Err(LeafError::Schema(format!(
+                    "task has {} features but the femnist benchmark expects {height}×{width}",
+                    task.fed.features
+                )));
+            }
+            if task.fed.classes != classes {
+                return Err(LeafError::Schema(format!(
+                    "task has {} classes but the femnist benchmark expects {classes}",
+                    task.fed.classes
+                )));
+            }
+            if task.fed.targets_per_row != 1 {
+                return Err(LeafError::Schema(
+                    "femnist is a classification task (one target per row)".into(),
+                ));
+            }
+        }
+        LeafBenchmark::Sent140 { .. } => {
+            if task.fed.classes != 2 || task.fed.targets_per_row != 1 {
+                return Err(LeafError::Schema(
+                    "sent140 is a binary classification task".into(),
+                ));
+            }
+            if task.fed.features == 0 || task.fed.features > 99_999 {
+                return Err(LeafError::Schema(format!(
+                    "sent140 writer supports 1..=99999 count features, got {}",
+                    task.fed.features
+                )));
+            }
+        }
+        LeafBenchmark::Reddit { vocab } => {
+            if task.fed.targets_per_row < 2 {
+                return Err(LeafError::Schema(
+                    "reddit tasks carry one next-token target per sequence position \
+                     (targets_per_row must exceed 1)"
+                        .into(),
+                ));
+            }
+            if vocab != 0 && vocab != task.fed.classes {
+                return Err(LeafError::Schema(format!(
+                    "benchmark vocabulary {vocab} disagrees with the task's {} classes",
+                    task.fed.classes
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The synthetic token the writer uses for Sentiment140 feature `j`.
+/// Deterministic, whitespace-free, lexicographically ordered by index so
+/// a vocabulary rebuilt from the corpus ties break predictably.
+pub fn sent140_token(j: usize) -> String {
+    format!("w{j:05}")
+}
+
+fn write_vocab_sidecar(path: &Path, features: usize) -> Result<(), LeafError> {
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    write!(w, "[")?;
+    for j in 0..features {
+        if j > 0 {
+            write!(w, ", ")?;
+        }
+        write!(w, "\"{}\"", sent140_token(j))?;
+    }
+    writeln!(w, "]")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// The generated name of client `i` (also the parse-back user order).
+pub fn user_name(i: usize) -> String {
+    format!("u{i:05}")
+}
+
+fn write_split(path: &Path, parts: &[&Dataset], bench: &LeafBenchmark) -> Result<(), LeafError> {
+    let mut w = BufWriter::with_capacity(1 << 16, fs::File::create(path)?);
+    writeln!(w, "{{")?;
+    write!(w, "  \"users\": [")?;
+    for i in 0..parts.len() {
+        if i > 0 {
+            write!(w, ", ")?;
+        }
+        write!(w, "\"{}\"", user_name(i))?;
+    }
+    writeln!(w, "],")?;
+    write!(w, "  \"num_samples\": [")?;
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            write!(w, ", ")?;
+        }
+        write!(w, "{}", p.len())?;
+    }
+    writeln!(w, "],")?;
+    writeln!(w, "  \"user_data\": {{")?;
+    for (i, p) in parts.iter().enumerate() {
+        write!(w, "    \"{}\": {{\"x\": [", user_name(i))?;
+        for r in 0..p.len() {
+            if r > 0 {
+                write!(w, ", ")?;
+            }
+            write_sample(&mut w, p, r, bench)?;
+        }
+        write!(w, "], \"y\": [")?;
+        match bench {
+            LeafBenchmark::Reddit { .. } => {
+                let tpr = p.targets_per_row;
+                for (r, chunk) in p.y.chunks(tpr).enumerate() {
+                    if r > 0 {
+                        write!(w, ", ")?;
+                    }
+                    write!(w, "[")?;
+                    for (j, &t) in chunk.iter().enumerate() {
+                        if j > 0 {
+                            write!(w, ", ")?;
+                        }
+                        write!(w, "{t}")?;
+                    }
+                    write!(w, "]")?;
+                }
+            }
+            _ => {
+                for (r, &t) in p.y.iter().enumerate() {
+                    if r > 0 {
+                        write!(w, ", ")?;
+                    }
+                    write!(w, "{t}")?;
+                }
+            }
+        }
+        writeln!(w, "]}}{}", if i + 1 < parts.len() { "," } else { "" })?;
+    }
+    writeln!(w, "  }}")?;
+    writeln!(w, "}}")?;
+    w.flush()?;
+    Ok(())
+}
+
+fn write_sample(
+    w: &mut impl Write,
+    p: &Dataset,
+    r: usize,
+    bench: &LeafBenchmark,
+) -> Result<(), LeafError> {
+    let row = p.x.row(r);
+    match bench {
+        LeafBenchmark::Femnist { .. } => {
+            write!(w, "[")?;
+            for (j, &v) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(w, ", ")?;
+                }
+                if !v.is_finite() {
+                    return Err(LeafError::Schema(format!(
+                        "non-finite feature {v} in row {r} cannot be written as JSON"
+                    )));
+                }
+                // Rust's shortest-round-trip float formatting: parsing the
+                // text back through f64 recovers the exact f32.
+                write!(w, "{v}")?;
+            }
+            write!(w, "]")?;
+        }
+        LeafBenchmark::Sent140 { .. } => {
+            write!(w, "\"")?;
+            let mut first = true;
+            for (j, &v) in row.iter().enumerate() {
+                if !(v.fract() == 0.0 && (0.0..=100_000.0).contains(&v)) {
+                    return Err(LeafError::Schema(format!(
+                        "sent140 features must be small non-negative integer counts, \
+                         got {v} in row {r}"
+                    )));
+                }
+                for _ in 0..v as usize {
+                    if !first {
+                        write!(w, " ")?;
+                    }
+                    first = false;
+                    write!(w, "{}", sent140_token(j))?;
+                }
+            }
+            write!(w, "\"")?;
+        }
+        LeafBenchmark::Reddit { .. } => {
+            write!(w, "[")?;
+            for (j, &v) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(w, ", ")?;
+                }
+                if !(v.fract() == 0.0 && v >= 0.0 && (v as usize) < p.classes) {
+                    return Err(LeafError::Schema(format!(
+                        "reddit inputs must be token ids in [0, {}), got {v} in row {r}",
+                        p.classes
+                    )));
+                }
+                write!(w, "{}", v as u32)?;
+            }
+            write!(w, "]")?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fixture generation
+// ---------------------------------------------------------------------------
+
+/// A FEMNIST-shaped synthetic federation at the real benchmark's scale per
+/// sample: 1×28×28 grayscale images, 62 classes, Dirichlet(0.3) label skew
+/// plus a per-client "writer style" pixel shift, and uneven per-client
+/// sizes from the partitioner. Unlike [`crate::suite::femnist_like`] (8×8,
+/// sized for simulation sweeps) this matches the LEAF featurizer's default
+/// shape, so a written copy loads back through
+/// [`LeafBenchmark::femnist`](super::LeafBenchmark::femnist) verbatim.
+pub fn synth_femnist_task(n_clients: usize, per_client: usize, seed: u64) -> FedTask {
+    assert!(
+        n_clients > 0 && per_client >= 4,
+        "need clients with ≥4 samples"
+    );
+    let mut rng = rng_for(seed.wrapping_add(11), tags::DATA);
+    let spec = ImageSynthSpec {
+        channels: 1,
+        height: 28,
+        width: 28,
+        classes: 62,
+        signal: 1.0,
+        noise: 0.55,
+    };
+    let pool = synth_images(&mut rng, &spec, n_clients * per_client);
+    let mut parts = Partitioner::Dirichlet { alpha: 0.3 }.partition(&pool, n_clients, &mut rng);
+    for (i, part) in parts.iter_mut().enumerate() {
+        let mut style_rng = rng_for(seed ^ 0x1EAF ^ ((i as u64) << 24), tags::DATA);
+        let mut style = vec![0.0f32; part.features()];
+        fill_normal(&mut style_rng, &mut style, 0.0, 0.25);
+        crate::suite::apply_style(part, &style);
+    }
+    let fed = FederatedDataset::from_partitions(parts, seed.wrapping_add(11));
+    FedTask {
+        name: "femnist-leaf".to_string(),
+        fed,
+        model: ModelSpec::CnnLite {
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 62,
+        },
+        target_accuracy: 0.70,
+    }
+}
+
+/// Generates a FEMNIST-shaped fixture under `dir` and returns the task
+/// that was written. `FedTask::from_leaf_dir(dir, LeafBenchmark::femnist(),
+/// _)` reproduces it bitwise — the zero-network path CI and the
+/// `leaf_run` example train on.
+pub fn write_femnist_fixture(
+    dir: &Path,
+    n_clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> Result<FedTask, LeafError> {
+    let task = synth_femnist_task(n_clients, per_client, seed);
+    write_leaf_task(&task, &LeafBenchmark::femnist(), dir)?;
+    Ok(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(label: &str) -> Self {
+            static N: AtomicUsize = AtomicUsize::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "fedat-leaf-writer-{label}-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&path).expect("temp dir");
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn femnist_fixture_round_trips_bitwise() {
+        let tmp = TempDir::new("fixture");
+        let written = write_femnist_fixture(&tmp.0, 3, 8, 42).expect("write fixture");
+        let loaded = FedTask::from_leaf_dir(&tmp.0, LeafBenchmark::femnist(), 42).expect("reload");
+        assert_eq!(loaded.name, written.name);
+        assert_eq!(loaded.fed.num_clients(), written.fed.num_clients());
+        assert_eq!(loaded.fed.classes, 62);
+        assert_eq!(loaded.fed.features, 784);
+        for (a, b) in loaded.fed.clients.iter().zip(written.fed.clients.iter()) {
+            assert_eq!(a.train.y, b.train.y);
+            assert_eq!(a.test.y, b.test.y);
+            let bits = |d: &Dataset| d.x.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.train), bits(&b.train), "train features drifted");
+            assert_eq!(bits(&a.test), bits(&b.test), "test features drifted");
+        }
+        assert_eq!(loaded.fed.global_test.y, written.fed.global_test.y);
+    }
+
+    #[test]
+    fn fixture_is_deterministic_per_seed() {
+        let a = synth_femnist_task(4, 8, 7);
+        let b = synth_femnist_task(4, 8, 7);
+        let c = synth_femnist_task(4, 8, 8);
+        assert_eq!(a.fed.global_test.x.data(), b.fed.global_test.x.data());
+        assert_ne!(a.fed.global_test.x.data(), c.fed.global_test.x.data());
+    }
+
+    #[test]
+    fn incompatible_tasks_are_rejected_not_corrupted() {
+        let tmp = TempDir::new("compat");
+        let task = synth_femnist_task(2, 6, 1);
+        // Wrong pixel count for the benchmark.
+        let bad = LeafBenchmark::Femnist {
+            height: 8,
+            width: 8,
+            classes: 62,
+        };
+        assert!(matches!(
+            write_leaf_task(&task, &bad, &tmp.0),
+            Err(LeafError::Schema(_))
+        ));
+        // Continuous features cannot be sent140 counts.
+        assert!(matches!(
+            write_leaf_task(&task, &LeafBenchmark::sent140(), &tmp.0),
+            Err(LeafError::Schema(_))
+        ));
+    }
+}

@@ -13,17 +13,24 @@
 //!   container with per-client 80/20 train/test splits,
 //! * [`suite`] — one ready-made [`suite::FedTask`] per paper
 //!   dataset, pairing data with the matching
-//!   [`ModelSpec`](fedat_nn::models::ModelSpec).
+//!   [`ModelSpec`](fedat_nn::models::ModelSpec),
+//! * [`leaf`] — loaders for the **real** LEAF on-disk format
+//!   (FEMNIST/Sent140/Reddit) behind the same [`suite::FedTask`]
+//!   interface, preserving the natural per-user partition, plus the
+//!   [`leaf::writer`] that emits that format (and CI fixtures) offline.
 //!
-//! Everything is a deterministic function of `(generator, seed)`.
+//! Everything is a deterministic function of `(generator, seed)` — for
+//! LEAF directories, of the bytes on disk.
 
 pub mod dataset;
 pub mod federated;
+pub mod leaf;
 pub mod partition;
 pub mod suite;
 pub mod synth;
 
 pub use dataset::Dataset;
 pub use federated::{ClientData, FederatedDataset};
+pub use leaf::{LeafBenchmark, LeafError};
 pub use partition::Partitioner;
 pub use suite::FedTask;

@@ -30,6 +30,8 @@ pub struct FedTask {
 
 impl FedTask {
     /// Shrinks every client's data by `frac` (for smoke tests and docs).
+    /// Degenerate fractions are clamped into `[0, 1]` — see
+    /// [`FederatedDataset::scaled`] for the exact contract.
     pub fn scaled(mut self, frac: f64) -> FedTask {
         self.fed = self.fed.scaled(frac);
         self
@@ -222,7 +224,7 @@ fn niid_tag(classes_per_client: usize) -> String {
     }
 }
 
-fn apply_style(part: &mut Dataset, style: &[f32]) {
+pub(crate) fn apply_style(part: &mut Dataset, style: &[f32]) {
     let cols = part.features();
     for row in part.x.data_mut().chunks_mut(cols) {
         for (v, &s) in row.iter_mut().zip(style.iter()) {

@@ -1,0 +1,232 @@
+//! Malformed-input matrix for the LEAF reader: every corruption class maps
+//! to a typed [`LeafError`], and — property-tested over arbitrary and
+//! mutated bytes — parsing **never panics**.
+
+use fedat_data::leaf::{parse_split, LeafBenchmark, LeafError};
+use fedat_data::suite::FedTask;
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn femnist_small() -> LeafBenchmark {
+    LeafBenchmark::Femnist {
+        height: 4,
+        width: 4,
+        classes: 3,
+    }
+}
+
+/// A well-formed tiny FEMNIST split document.
+fn valid_doc() -> String {
+    let px: Vec<String> = (0..16).map(|i| format!("{}", i as f32 * 0.25)).collect();
+    let row = px.join(", ");
+    format!(
+        r#"{{"users": ["a", "b"], "num_samples": [2, 1],
+            "user_data": {{
+              "a": {{"x": [[{row}], [{row}]], "y": [0, 2]}},
+              "b": {{"x": [[{row}]], "y": [1]}}
+            }}}}"#
+    )
+}
+
+fn parse_bytes(bytes: &[u8]) -> Result<(), LeafError> {
+    parse_split(Cursor::new(bytes.to_vec()), &femnist_small(), None).map(|_| ())
+}
+
+#[test]
+fn the_valid_doc_is_actually_valid() {
+    parse_bytes(valid_doc().as_bytes()).expect("baseline document must parse");
+}
+
+#[test]
+fn truncated_files_error_at_every_cut() {
+    let doc = valid_doc().into_bytes();
+    for cut in (0..doc.len()).step_by(7) {
+        assert!(
+            parse_bytes(&doc[..cut]).is_err(),
+            "prefix of {cut} bytes should be rejected"
+        );
+    }
+}
+
+#[test]
+fn user_listed_but_missing_from_user_data() {
+    let doc = valid_doc()
+        .replacen(r#"["a", "b"]"#, r#"["a", "b", "ghost"]"#, 1)
+        .replacen("[2, 1]", "[2, 1, 4]", 1);
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::MissingUser(u)) if u == "ghost"
+    ));
+}
+
+#[test]
+fn num_samples_mismatch_is_typed() {
+    let doc = valid_doc().replacen("[2, 1]", "[2, 5]", 1);
+    match parse_bytes(doc.as_bytes()) {
+        Err(LeafError::NumSamplesMismatch {
+            user,
+            declared,
+            actual,
+        }) => {
+            assert_eq!(user, "b");
+            assert_eq!(declared, 5);
+            assert_eq!(actual, 1);
+        }
+        other => panic!("expected NumSamplesMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn num_samples_length_disagreement_is_schema() {
+    let doc = valid_doc().replacen("[2, 1]", "[2]", 1);
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::Schema(_))
+    ));
+}
+
+#[test]
+fn unlisted_user_in_user_data_is_schema() {
+    let doc = valid_doc()
+        .replacen(r#"["a", "b"]"#, r#"["a"]"#, 1)
+        .replacen("[2, 1]", "[2]", 1);
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::Schema(m)) if m.contains('b')
+    ));
+}
+
+#[test]
+fn overflowing_numbers_are_nonfinite_errors() {
+    let doc = valid_doc().replacen("0.25", "1e999", 1);
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::NonFinite { .. })
+    ));
+}
+
+#[test]
+fn nan_tokens_are_parse_errors() {
+    // `NaN` is not JSON; the reader must fail the literal, not produce NaN.
+    let doc = valid_doc().replacen("0.25", "NaN", 1);
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::Parse { .. })
+    ));
+}
+
+#[test]
+fn out_of_range_labels_are_typed() {
+    let doc = valid_doc().replacen("\"y\": [0, 2]", "\"y\": [0, 62]", 1);
+    match parse_bytes(doc.as_bytes()) {
+        Err(LeafError::LabelOutOfRange {
+            user,
+            label,
+            classes,
+        }) => {
+            assert_eq!(user, "a");
+            assert_eq!(label, 62.0);
+            assert_eq!(classes, 3);
+        }
+        other => panic!("expected LabelOutOfRange, got {other:?}"),
+    }
+    let frac = valid_doc().replacen("\"y\": [0, 2]", "\"y\": [0, 1.5]", 1);
+    assert!(matches!(
+        parse_bytes(frac.as_bytes()),
+        Err(LeafError::LabelOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn wrong_pixel_count_is_schema() {
+    let doc = valid_doc().replacen("[[", "[[9.0, ", 1);
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::Schema(_))
+    ));
+}
+
+#[test]
+fn x_y_length_disagreement_is_schema() {
+    let doc = valid_doc().replacen("\"y\": [0, 2]", "\"y\": [0]", 1);
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::Schema(_))
+    ));
+}
+
+#[test]
+fn adversarial_nesting_errors_instead_of_overflowing() {
+    let mut doc = String::from(r#"{"users": ["a"], "num_samples": [1], "user_data": {"a": "#);
+    doc.push_str(&"[".repeat(200_000));
+    assert!(matches!(
+        parse_bytes(doc.as_bytes()),
+        Err(LeafError::Parse { .. })
+    ));
+}
+
+#[test]
+fn non_object_top_level_is_a_parse_error() {
+    for doc in ["[]", "42", "\"hi\"", "null", "true"] {
+        assert!(matches!(
+            parse_bytes(doc.as_bytes()),
+            Err(LeafError::Parse { .. })
+        ));
+    }
+}
+
+#[test]
+fn duplicate_user_across_split_files_is_schema() {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fedat-leaf-dup-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let train = dir.join("train");
+    std::fs::create_dir_all(&train).unwrap();
+    std::fs::write(train.join("shard_a.json"), valid_doc()).unwrap();
+    std::fs::write(train.join("shard_b.json"), valid_doc()).unwrap();
+    let result = FedTask::from_leaf_dir(&dir, femnist_small(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(matches!(result, Err(LeafError::Schema(m)) if m.contains("more than one split file")));
+}
+
+#[test]
+fn missing_directory_is_io_not_panic() {
+    let ghost = std::env::temp_dir().join(format!("fedat-leaf-no-such-dir-{}", std::process::id()));
+    assert!(matches!(
+        FedTask::from_leaf_dir(&ghost, femnist_small(), 0),
+        Err(LeafError::Io(_))
+    ));
+}
+
+proptest! {
+    /// The headline robustness property: *arbitrary bytes* never panic the
+    /// parser — they parse or they return a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = parse_bytes(&bytes);
+    }
+
+    /// Mutations of a valid document (byte flips, splices, truncation)
+    /// never panic either — this walks the parser's deeper states, where
+    /// schema validation runs, not just the tokenizer.
+    #[test]
+    fn mutated_documents_never_panic(
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 0..12),
+        cut in 0usize..4096,
+        truncate in any::<bool>(),
+    ) {
+        let mut doc = valid_doc().into_bytes();
+        for (pos, byte) in flips {
+            let n = doc.len();
+            doc[pos % n] = byte;
+        }
+        if truncate {
+            doc.truncate(cut % (doc.len() + 1));
+        }
+        let _ = parse_bytes(&doc);
+    }
+}
