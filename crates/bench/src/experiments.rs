@@ -897,6 +897,134 @@ pub fn ablate_delta(ctx: &Ctx) {
     rep.emit(&dir, "ablate_delta").ok();
 }
 
+/// Robustness rows: FedAT under availability churn and compute drift, with
+/// the server-side fault layer off (static), timeouts-only, and timeouts
+/// plus dynamic re-tiering. Quantifies the two ISSUE acceptance claims:
+/// dynamic re-tiering recovers time-to-accuracy under drift, and timeouts
+/// keep every tier moving through a 30% correlated storm.
+pub fn churn(ctx: &Ctx) {
+    use fedat_core::config::{FaultPolicy, RetierPolicy};
+    use fedat_sim::churn::{ChurnConfig, DriftSpec, FlapSpec, StormSpec};
+
+    let dir = out_dir(&ctx.out, "churn");
+    let n = ctx.scale.medium_clients();
+    let task = Arc::new(suite::sent140_like(n, ctx.seed));
+    let scenario = ChurnConfig {
+        flaps: Some(FlapSpec {
+            fraction: 0.25,
+            mean_up: 300.0,
+            mean_down: 60.0,
+            horizon: 4000.0,
+        }),
+        storms: Some(StormSpec {
+            count: 2,
+            cohort_fraction: 0.3,
+            duration: 150.0,
+            horizon: 1500.0,
+        }),
+        drift: Some(DriftSpec {
+            fraction: 0.5,
+            per_round: 0.3,
+            max_factor: 10.0,
+        }),
+        ..ChurnConfig::default()
+    };
+    let timeouts_only = FaultPolicy {
+        deadline_multiplier: Some(3.0),
+        max_retries: 2,
+        backoff: 1.5,
+        quorum: 0.9,
+        retier: None,
+    };
+    let dynamic = FaultPolicy {
+        retier: Some(RetierPolicy {
+            alpha: 0.3,
+            check_every: 10,
+            drift_threshold: 0.05,
+        }),
+        ..timeouts_only
+    };
+    let variants = [
+        ("static", FaultPolicy::default()),
+        ("timeouts", timeouts_only),
+        ("dynamic re-tier", dynamic),
+    ];
+    let jobs: Vec<Job> = variants
+        .iter()
+        .map(|(name, fault)| {
+            let cluster = ClusterConfig::paper_medium(ctx.seed)
+                .with_clients(n)
+                .without_dropouts()
+                .with_churn(scenario);
+            let cfg = ExperimentConfig::builder()
+                .strategy(StrategyKind::FedAt)
+                // Generous at any scale: the shared horizon is the binding
+                // stopping rule, so cadence differences show up as updates.
+                .rounds(20_000)
+                .clients_per_round(3)
+                .local_epochs(1)
+                .eval_every(10)
+                .max_time(8_000.0)
+                .seed(ctx.seed)
+                .cluster(cluster)
+                .fault(*fault)
+                .build();
+            Job {
+                label: format!("FedAT {name}"),
+                task: task.clone(),
+                cfg,
+            }
+        })
+        .collect();
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new(
+        "Robustness — FedAT under flaps + 30% storms + 10x compute drift (8000 s horizon)",
+    );
+    let mut csv = String::from(
+        "variant,best_accuracy,time_to_target,global_updates,timeouts,retries,quorum_rounds,retier_events\n",
+    );
+    for r in &results {
+        write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        let tta = r.outcome.trace.time_to_accuracy(r.target_accuracy);
+        let fc = r.outcome.fault_counters;
+        let tiers = r.outcome.tier_updates.clone().unwrap_or_default();
+        rep.line(format!(
+            "  {:<16} best {:.3}  t→{:.2}: {}  updates {}  tiers {:?}",
+            r.label,
+            r.outcome.best_accuracy(),
+            r.target_accuracy,
+            fmt_tta(tta),
+            r.outcome.global_updates,
+            tiers,
+        ));
+        rep.line(format!(
+            "  {:<16} timeouts {}  retries {}  quorum-skips {}  re-tiers {}  fault rows {}",
+            "",
+            fc.timeouts,
+            fc.retries,
+            fc.quorum_rounds,
+            fc.retier_events,
+            r.outcome.faults.events().len(),
+        ));
+        csv.push_str(&format!(
+            "{},{:.4},{},{},{},{},{},{}\n",
+            slug(&r.label),
+            r.outcome.best_accuracy(),
+            tta.map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into()),
+            r.outcome.global_updates,
+            fc.timeouts,
+            fc.retries,
+            fc.quorum_rounds,
+            fc.retier_events,
+        ));
+    }
+    rep.blank();
+    rep.line("  (see docs/ROBUSTNESS.md for the fault model; BENCH_churn.json for the smoke run)");
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("churn.csv"), csv).ok();
+    rep.emit(&dir, "churn").ok();
+}
+
 fn dedup_keep_order<I: Iterator<Item = String>>(it: I) -> Vec<String> {
     let mut seen = Vec::new();
     for s in it {
@@ -938,6 +1066,7 @@ pub fn run(id: &str, ctx: &Ctx) {
         "fig9" => fig9(ctx),
         "fig10" => fig10(ctx),
         "leaf" => leaf(ctx),
+        "churn" => churn(ctx),
         "ablate-mistier" => ablate_mistier(ctx),
         "ablate-lambda" => ablate_lambda(ctx),
         "ablate-delta" => ablate_delta(ctx),
@@ -955,6 +1084,7 @@ pub fn run(id: &str, ctx: &Ctx) {
                 fig8(ctx);
                 fig9(ctx);
                 fig10(ctx);
+                churn(ctx);
                 ablate_mistier(ctx);
                 ablate_lambda(ctx);
                 ablate_delta(ctx);
@@ -964,7 +1094,7 @@ pub fn run(id: &str, ctx: &Ctx) {
             eprintln!("unknown experiment id: {other}");
             eprintln!(
                 "known: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 \
-                 leaf ablate-mistier ablate-lambda ablate-delta matrix all"
+                 leaf churn ablate-mistier ablate-lambda ablate-delta matrix all"
             );
             std::process::exit(2);
         }

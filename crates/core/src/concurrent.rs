@@ -6,6 +6,15 @@
 //! cross-tier protocol prescribes. Used by integration tests and the
 //! `straggler_tolerance` example to demonstrate wait-free fast-tier
 //! progress outside virtual time.
+//!
+//! This is the one intentionally nondeterministic surface in the
+//! workspace; the fault-tolerance layer (deadlines, re-dispatch, dynamic
+//! re-tiering — see `docs/ROBUSTNESS.md`) lives entirely in the
+//! virtual-time server, where a deadline is a simulator timer. In this
+//! module's real-thread setting the analogous mechanism would be a
+//! wall-clock timeout on the tier worker's join, which would break the
+//! bit-reproducibility the rest of the codebase guarantees — so the
+//! threaded server deliberately stays fault-free.
 
 use crate::aggregate::{aggregate_tiers_into, cross_tier_weights};
 use crate::config::ExperimentConfig;

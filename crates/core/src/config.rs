@@ -77,6 +77,63 @@ impl OptimizerKind {
     }
 }
 
+/// Dynamic re-tiering policy: maintain an EWMA of observed response
+/// latencies and periodically re-partition tiers when enough clients have
+/// drifted out of place (cf. the one-shot [`crate::tiering::TierAssignment::profile`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetierPolicy {
+    /// EWMA smoothing factor for observed round-trip latencies, in `(0, 1]`.
+    pub alpha: f64,
+    /// Re-evaluate tier assignments every this many concluded tier rounds.
+    pub check_every: u64,
+    /// Adopt a new assignment only when at least this fraction of clients
+    /// would change tier.
+    pub drift_threshold: f64,
+}
+
+impl Default for RetierPolicy {
+    fn default() -> Self {
+        RetierPolicy {
+            alpha: 0.3,
+            check_every: 10,
+            drift_threshold: 0.1,
+        }
+    }
+}
+
+/// Server-side fault-tolerance policy: per-dispatch deadlines with bounded,
+/// backed-off re-dispatch, quorum accounting, and optional dynamic
+/// re-tiering. The default (`deadline_multiplier: None`, `retier: None`)
+/// reproduces the legacy behavior bit-for-bit: no timers are ever
+/// scheduled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPolicy {
+    /// Deadline = multiplier × the dispatch group's nominal (expected)
+    /// latency; `None` disables timeouts entirely.
+    pub deadline_multiplier: Option<f64>,
+    /// Bounded re-dispatches per round slot after a timeout.
+    pub max_retries: u32,
+    /// Each retry's deadline is scaled by `backoff^attempt`.
+    pub backoff: f64,
+    /// A round concluding with fewer than `quorum × picked` landed updates
+    /// is recorded as degraded (it still aggregates whatever arrived).
+    pub quorum: f64,
+    /// Dynamic re-tiering; `None` keeps the one-shot profile.
+    pub retier: Option<RetierPolicy>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            deadline_multiplier: None,
+            max_retries: 2,
+            backoff: 1.5,
+            quorum: 0.5,
+            retier: None,
+        }
+    }
+}
+
 /// Full experiment configuration. Build via [`ExperimentConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -123,6 +180,9 @@ pub struct ExperimentConfig {
     /// Cluster override; `None` builds the paper's medium cluster sized to
     /// the task's client count.
     pub cluster: Option<ClusterConfig>,
+    /// Server-side fault tolerance (timeouts, retries, quorum accounting,
+    /// dynamic re-tiering). Defaults to the legacy no-op policy.
+    pub fault: FaultPolicy,
 }
 
 impl ExperimentConfig {
@@ -155,6 +215,7 @@ impl Default for ExperimentConfig {
             uniform_tier_weights: false,
             seed: 0,
             cluster: None,
+            fault: FaultPolicy::default(),
         }
     }
 }
@@ -273,6 +334,24 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the full fault-tolerance policy.
+    pub fn fault(mut self, f: FaultPolicy) -> Self {
+        self.cfg.fault = f;
+        self
+    }
+
+    /// Enables per-dispatch deadlines at `m ×` the group's nominal latency.
+    pub fn deadline_multiplier(mut self, m: f64) -> Self {
+        self.cfg.fault.deadline_multiplier = Some(m);
+        self
+    }
+
+    /// Enables dynamic re-tiering with the given policy.
+    pub fn retier(mut self, p: RetierPolicy) -> Self {
+        self.cfg.fault.retier = Some(p);
+        self
+    }
+
     /// Finalizes the config.
     ///
     /// # Panics
@@ -292,6 +371,19 @@ impl ExperimentConfigBuilder {
             (0.0..=1.0).contains(&c.mistier_fraction),
             "mistier_fraction out of range"
         );
+        if let Some(m) = c.fault.deadline_multiplier {
+            assert!(m > 0.0, "deadline_multiplier must be positive");
+        }
+        assert!(c.fault.backoff >= 1.0, "backoff must be at least 1");
+        assert!((0.0..=1.0).contains(&c.fault.quorum), "quorum out of range");
+        if let Some(r) = c.fault.retier {
+            assert!(r.alpha > 0.0 && r.alpha <= 1.0, "retier alpha out of range");
+            assert!(r.check_every > 0, "retier check_every must be positive");
+            assert!(
+                (0.0..=1.0).contains(&r.drift_threshold),
+                "retier drift_threshold out of range"
+            );
+        }
         c
     }
 }

@@ -2,11 +2,13 @@
 
 use crate::config::ExperimentConfig;
 use crate::eval::{accuracy_variance, per_client_accuracy};
-use crate::strategies::build_strategy;
+use crate::strategies::{build_strategy, FaultCounters};
 use fedat_data::suite::FedTask;
+use fedat_sim::fault::FaultLog;
 use fedat_sim::fleet::{ClusterConfig, Fleet};
-use fedat_sim::runtime::{run, EventHandler, RunLimits, SimReport};
+use fedat_sim::runtime::{run_logged, EventHandler, RunLimits, SimReport};
 use fedat_sim::trace::Trace;
+use fedat_sim::ChurnConfig;
 use std::sync::Arc;
 
 /// Everything an experiment produces.
@@ -26,6 +28,13 @@ pub struct Outcome {
     /// the Table 1 `Norm. Var.` metric ("the average variance of test
     /// accuracy among all clients").
     pub accuracy_variance: f32,
+    /// Time-ordered availability transitions and server fault-tolerance
+    /// actions (down/up/timeout/retry/quorum/re-tier).
+    pub faults: FaultLog,
+    /// Aggregate fault-tolerance counters.
+    pub fault_counters: FaultCounters,
+    /// Per-tier update counts for tiered strategies (`None` otherwise).
+    pub tier_updates: Option<Vec<u64>>,
 }
 
 impl Outcome {
@@ -64,6 +73,11 @@ pub fn run_experiment_shared(task: &Arc<FedTask>, cfg: &ExperimentConfig) -> Out
         // The paper's 10 unstable clients assume a 100-client cluster; keep
         // the same 10% rate for smaller federations.
         c.n_unstable = c.n_unstable.min(n / 10);
+        // Opt-in churn overlay (`FEDAT_CHURN=storm`) for soak lanes;
+        // explicit clusters are never overridden.
+        if let Some(churn) = ChurnConfig::from_env() {
+            c.churn = churn;
+        }
         c
     });
     assert_eq!(
@@ -77,9 +91,9 @@ pub fn run_experiment_shared(task: &Arc<FedTask>, cfg: &ExperimentConfig) -> Out
         max_time: cfg.max_time,
         max_events: 20_000_000,
     };
-    let report = {
+    let (report, faults) = {
         let handler: &mut dyn EventHandler = &mut *strategy;
-        run(handler, &fleet, cfg.seed, limits)
+        run_logged(handler, &fleet, cfg.seed, limits)
     };
     let final_weights = strategy.global_weights().to_vec();
     let per_client = per_client_accuracy(task, &final_weights, cfg.seed);
@@ -94,6 +108,9 @@ pub fn run_experiment_shared(task: &Arc<FedTask>, cfg: &ExperimentConfig) -> Out
         accuracy_variance: mean_variance,
         per_client_accuracy: per_client,
         final_weights,
+        faults,
+        fault_counters: strategy.fault_counters(),
+        tier_updates: strategy.tier_updates(),
     }
 }
 

@@ -7,22 +7,29 @@
 //! constraint (the same prox form FedAT adopts).
 
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{
+    FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy, REVIVE_BIT,
+};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// ASO-Fed server.
+///
+/// Like FedAsync, the protocol is wait-free so deadlines don't apply; the
+/// fault layer adds client *revival* — a transiently-lost client rejoins
+/// the pool at its return time instead of leaving forever.
 pub struct AsoFedStrategy {
     core: ServerCore,
     /// Per-client weight copies on the server.
     copies: Vec<Vec<f32>>,
     /// `n_k / N` aggregation weight per client.
     client_weight: Vec<f32>,
-    inflight: HashMap<usize, ClientPhase>,
+    inflight: InflightTable,
     live_dispatches: usize,
+    /// Revival timers in flight for flapped-out clients.
+    pending_revivals: usize,
 }
 
 impl AsoFedStrategy {
@@ -48,8 +55,9 @@ impl AsoFedStrategy {
             core,
             copies,
             client_weight,
-            inflight: HashMap::new(),
+            inflight: InflightTable::new(),
             live_dispatches: 0,
+            pending_revivals: 0,
         }
     }
 
@@ -58,14 +66,25 @@ impl AsoFedStrategy {
         let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
         let selection_round = ctx.dispatches_of(client);
         // Speculative launch at dispatch; `true`: ASO-Fed's local
-        // constraint.
-        self.inflight.insert(
-            client,
-            self.core
-                .launch(client, &weights, epochs, selection_round, true),
-        );
-        ctx.dispatch_with_transfer(client, 0, epochs, down_bytes);
+        // constraint. No deadline timer: the protocol is wait-free.
+        let phase = self
+            .core
+            .launch(client, &weights, epochs, selection_round, true);
+        let gen = self.inflight.begin(client, 0, 0, ctx.now(), phase);
+        ctx.dispatch_with_transfer(client, gen, epochs, down_bytes);
         self.live_dispatches += 1;
+    }
+
+    /// On a transient loss, arm a wake-up at the client's return time so it
+    /// rejoins the pool; a permanently-gone client leaves forever.
+    fn schedule_revival(&mut self, ctx: &mut SimCtx, client: usize) {
+        if self.finished() {
+            return;
+        }
+        if let Some(t_up) = ctx.fleet.next_up_time(client, ctx.now()) {
+            self.pending_revivals += 1;
+            ctx.schedule_timer(t_up, REVIVE_BIT | client as u64);
+        }
     }
 
     /// Replaces client `c`'s copy and incrementally updates the global
@@ -94,22 +113,47 @@ impl EventHandler for AsoFedStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
+        match self.inflight.advance(&self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
             PhaseEvent::Landed { weights, .. } => {
                 self.live_dispatches -= 1;
                 self.absorb(c.client, weights);
                 self.core.bump(ctx);
-                if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
-                    self.dispatch_client(ctx, c.client);
+                if !self.finished() {
+                    if ctx.fleet.is_alive(c.client, ctx.now()) {
+                        self.dispatch_client(ctx, c.client);
+                    } else {
+                        self.schedule_revival(ctx, c.client);
+                    }
                 }
             }
-            PhaseEvent::Lost => self.live_dispatches -= 1,
+            PhaseEvent::Lost { .. } => {
+                self.live_dispatches -= 1;
+                self.schedule_revival(ctx, c.client);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx, tag: u64) {
+        if tag & REVIVE_BIT == 0 {
+            return;
+        }
+        let client = (tag & !REVIVE_BIT) as usize;
+        self.pending_revivals -= 1;
+        if self.finished() || self.inflight.contains(client) {
+            return;
+        }
+        if ctx.fleet.is_alive(client, ctx.now()) {
+            self.core.faults.revivals += 1;
+            self.dispatch_client(ctx, client);
+        } else {
+            self.schedule_revival(ctx, client);
         }
     }
 
     fn finished(&self) -> bool {
-        self.core.budget_exhausted() || self.live_dispatches == 0 && self.core.updates > 0
+        self.core.budget_exhausted()
+            || self.live_dispatches == 0 && self.pending_revivals == 0 && self.core.updates > 0
     }
 }
 
@@ -132,5 +176,9 @@ impl Strategy for AsoFedStrategy {
 
     fn variance_checkpoints(&self) -> &[f32] {
         &self.core.variance_checkpoints
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.core.faults
     }
 }

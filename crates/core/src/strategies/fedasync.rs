@@ -10,7 +10,9 @@
 //! against.
 
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{
+    FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy, REVIVE_BIT,
+};
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
@@ -19,14 +21,22 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// FedAsync server.
+///
+/// Deadlines don't apply here — the protocol is wait-free, so a slow
+/// client delays nobody. The fault layer's contribution is *revival*: a
+/// client lost to a transient outage rejoins the pool when it comes back
+/// (the legacy behavior dropped it forever, which under flapping churn
+/// bled the pool dry).
 pub struct FedAsyncStrategy {
     core: ServerCore,
     alpha: f32,
     staleness: crate::staleness::StalenessFn,
     /// Global version at each in-flight client's dispatch (staleness base).
     dispatch_version: HashMap<usize, u64>,
-    inflight: HashMap<usize, ClientPhase>,
+    inflight: InflightTable,
     live_dispatches: usize,
+    /// Revival timers in flight for flapped-out clients.
+    pending_revivals: usize,
 }
 
 impl FedAsyncStrategy {
@@ -52,8 +62,9 @@ impl FedAsyncStrategy {
             alpha: cfg.fedasync_alpha,
             staleness: cfg.fedasync_staleness,
             dispatch_version: HashMap::new(),
-            inflight: HashMap::new(),
+            inflight: InflightTable::new(),
             live_dispatches: 0,
+            pending_revivals: 0,
         }
     }
 
@@ -62,14 +73,27 @@ impl FedAsyncStrategy {
         let (weights, down_bytes) = self.core.transport.download(ctx, client, &self.core.global);
         let selection_round = ctx.dispatches_of(client);
         // Speculative launch at dispatch; FedAsync trains unconstrained.
-        self.inflight.insert(
-            client,
-            self.core
-                .launch(client, &weights, epochs, selection_round, false),
-        );
+        // No deadline timer: the protocol is wait-free.
+        let phase = self
+            .core
+            .launch(client, &weights, epochs, selection_round, false);
+        let gen = self.inflight.begin(client, 0, 0, ctx.now(), phase);
         self.dispatch_version.insert(client, self.core.updates);
-        ctx.dispatch_with_transfer(client, 0, epochs, down_bytes);
+        ctx.dispatch_with_transfer(client, gen, epochs, down_bytes);
         self.live_dispatches += 1;
+    }
+
+    /// On a transient loss, arm a wake-up at the client's return time so it
+    /// rejoins the pool; a permanently-gone client has no return time and
+    /// leaves forever (the legacy behavior).
+    fn schedule_revival(&mut self, ctx: &mut SimCtx, client: usize) {
+        if self.finished() {
+            return;
+        }
+        if let Some(t_up) = ctx.fleet.next_up_time(client, ctx.now()) {
+            self.pending_revivals += 1;
+            ctx.schedule_timer(t_up, REVIVE_BIT | client as u64);
+        }
     }
 }
 
@@ -82,7 +106,7 @@ impl EventHandler for FedAsyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
+        match self.inflight.advance(&self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
             PhaseEvent::Landed { weights, .. } => {
                 self.live_dispatches -= 1;
@@ -98,21 +122,46 @@ impl EventHandler for FedAsyncStrategy {
                 // `fedasync_mixing_is_bit_identical_across_simd_and_threads`).
                 lerp_into(&mut self.core.global, &weights, alpha_t);
                 self.core.bump(ctx);
-                if !self.finished() && ctx.fleet.is_alive(c.client, ctx.now()) {
-                    self.dispatch_client(ctx, c.client);
+                if !self.finished() {
+                    if ctx.fleet.is_alive(c.client, ctx.now()) {
+                        self.dispatch_client(ctx, c.client);
+                    } else {
+                        self.schedule_revival(ctx, c.client);
+                    }
                 }
             }
-            // Dropped clients simply leave the pool (wait-free: nobody
-            // blocks).
-            PhaseEvent::Lost => {
+            // A dropped client leaves the pool (wait-free: nobody blocks)
+            // — but rejoins at its return time if the outage is transient.
+            PhaseEvent::Lost { .. } => {
                 self.live_dispatches -= 1;
                 self.dispatch_version.remove(&c.client);
+                self.schedule_revival(ctx, c.client);
             }
         }
     }
 
+    fn on_timer(&mut self, ctx: &mut SimCtx, tag: u64) {
+        if tag & REVIVE_BIT == 0 {
+            return;
+        }
+        let client = (tag & !REVIVE_BIT) as usize;
+        self.pending_revivals -= 1;
+        if self.finished() || self.inflight.contains(client) {
+            return;
+        }
+        if ctx.fleet.is_alive(client, ctx.now()) {
+            self.core.faults.revivals += 1;
+            self.dispatch_client(ctx, client);
+        } else {
+            // Went down again before the wake-up fired; chase the next
+            // return time (if any).
+            self.schedule_revival(ctx, client);
+        }
+    }
+
     fn finished(&self) -> bool {
-        self.core.budget_exhausted() || self.live_dispatches == 0 && self.core.updates > 0
+        self.core.budget_exhausted()
+            || self.live_dispatches == 0 && self.pending_revivals == 0 && self.core.updates > 0
     }
 }
 
@@ -135,5 +184,9 @@ impl Strategy for FedAsyncStrategy {
 
     fn variance_checkpoints(&self) -> &[f32] {
         &self.core.variance_checkpoints
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.core.faults
     }
 }

@@ -11,17 +11,29 @@
 //!
 //! Clients minimize the Eq. (3) surrogate `F_k(w) + λ/2‖w − w_global‖²`,
 //! and every transfer is polyline-compressed in both directions (§4.3).
+//!
+//! On top of the paper's protocol this server carries the fault-tolerance
+//! layer (see `docs/ROBUSTNESS.md`): per-dispatch deadlines with bounded,
+//! backed-off re-dispatch; quorum accounting when a round concludes
+//! under-strength; parking a fully-offline tier until its earliest member
+//! returns (instead of permanent dormancy); and optional dynamic
+//! re-tiering from an EWMA of observed response latencies. All of it is
+//! disabled under the default [`crate::config::FaultPolicy`], which keeps
+//! legacy runs bit-identical.
 
 use crate::aggregate::{
     aggregate_tiers_into, cross_tier_weights, uniform_tier_weights, weighted_client_average_into,
 };
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{
+    dispatch_tracked, retry_slot, FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy,
+    REVIVE_BIT,
+};
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
+use fedat_sim::fault::{FaultEvent, FaultKind};
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// FedAT server.
@@ -37,15 +49,31 @@ pub struct FedAtStrategy {
     tier_outstanding: Vec<usize>,
     /// Uploads received in each tier's current round.
     tier_received: Vec<Vec<(Vec<f32>, usize)>>,
-    inflight: HashMap<usize, ClientPhase>,
-    /// Tiers still running rounds (a tier goes dormant when every client
-    /// has dropped).
+    /// Clients selected for each tier's current round (quorum denominator).
+    tier_picked: Vec<usize>,
+    inflight: InflightTable,
+    /// Tiers still running rounds (a tier goes dormant only when every
+    /// member is *permanently* gone; transient outages park it instead).
     active_tiers: usize,
+    /// Parked tiers: offline right now but holding a pending revival timer.
+    tier_waiting: Vec<bool>,
+    /// Dormant tiers: every member permanently dropped.
+    tier_dormant: Vec<bool>,
+    /// Nominal round-trip latency per tier — the deadline base.
+    tier_nominal: Vec<f64>,
+    /// EWMA of observed per-client response latencies (seeded from the
+    /// profile-time expectation; drives dynamic re-tiering).
+    ewma: Vec<f64>,
+    /// Tier rounds concluded since the last re-tier check.
+    rounds_since_check: u64,
     /// Number of tier rounds started (each performs exactly one downlink
     /// encode via the broadcast path).
     tier_rounds_started: u64,
     /// Fig. 6 ablation: uniform instead of Eq. (5) weights.
     uniform_weights: bool,
+    /// Reusable buffer for alive-member filtering (hot path: one tier round
+    /// per tier arrival; avoids a fresh Vec per round).
+    alive_buf: Vec<usize>,
 }
 
 impl FedAtStrategy {
@@ -59,6 +87,10 @@ impl FedAtStrategy {
         let m = tiers.num_tiers();
         let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
         let tier_models = vec![core.global.clone(); m];
+        let ewma: Vec<f64> = (0..fleet.len())
+            .map(|c| fleet.expected_latency(c, cfg.local_epochs))
+            .collect();
+        let tier_nominal = nominal_latencies(&tiers, &ewma);
         FedAtStrategy {
             core,
             tiers,
@@ -66,10 +98,17 @@ impl FedAtStrategy {
             tier_counts: vec![0; m],
             tier_outstanding: vec![0; m],
             tier_received: (0..m).map(|_| Vec::new()).collect(),
-            inflight: HashMap::new(),
+            tier_picked: vec![0; m],
+            inflight: InflightTable::new(),
             active_tiers: m,
+            tier_waiting: vec![false; m],
+            tier_dormant: vec![false; m],
+            tier_nominal,
+            ewma,
+            rounds_since_check: 0,
             tier_rounds_started: 0,
             uniform_weights: cfg.uniform_tier_weights,
+            alive_buf: Vec::new(),
         }
     }
 
@@ -98,29 +137,64 @@ impl FedAtStrategy {
         &self.core.transport
     }
 
+    /// The current tier partition (re-tiering diagnostics).
+    pub fn tier_assignment(&self) -> &TierAssignment {
+        &self.tiers
+    }
+
     fn start_tier_round(&mut self, ctx: &mut SimCtx, tier: usize) {
         let now = ctx.now();
-        let alive: Vec<usize> = self
-            .tiers
-            .tier(tier)
-            .iter()
-            .copied()
-            .filter(|&c| ctx.fleet.is_alive(c, now))
-            .collect();
-        if alive.is_empty() {
-            // Tier dormant: every member dropped. Other tiers continue —
-            // this is exactly the wait-free property of cross-tier
-            // asynchrony.
-            self.active_tiers -= 1;
+        self.alive_buf.clear();
+        {
+            let members = self.tiers.tier(tier);
+            let table = &self.inflight;
+            self.alive_buf.extend(
+                members
+                    .iter()
+                    .copied()
+                    .filter(|&c| ctx.fleet.is_alive(c, now) && !table.contains(c)),
+            );
+        }
+        if self.alive_buf.is_empty() {
+            // Every member is offline. If any of them comes back, park the
+            // tier until the earliest return and skip this round — the
+            // skipped round simply doesn't bump `T_tier`, so the Eq. (5)
+            // staleness weights absorb it. Only a tier of *permanently*
+            // gone clients goes dormant (the legacy behavior); other tiers
+            // continue either way — exactly the wait-free property of
+            // cross-tier asynchrony.
+            let revive = self
+                .tiers
+                .tier(tier)
+                .iter()
+                .filter_map(|&c| ctx.fleet.next_up_time(c, now))
+                .fold(f64::INFINITY, f64::min);
+            if revive.is_finite() {
+                self.core.faults.quorum_rounds += 1;
+                ctx.faults.record(FaultEvent {
+                    time: now,
+                    kind: FaultKind::Quorum,
+                    client: None,
+                    tier: Some(tier),
+                    detail: 0,
+                });
+                self.tier_waiting[tier] = true;
+                ctx.schedule_timer(revive, REVIVE_BIT | tier as u64);
+            } else {
+                self.tier_dormant[tier] = true;
+                self.active_tiers -= 1;
+            }
             return;
         }
         let picks = self
             .core
-            .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
+            .sample_clients(ctx, &self.alive_buf, self.core.cfg.clients_per_round);
         self.tier_outstanding[tier] = picks.len();
+        self.tier_picked[tier] = picks.len();
         self.tier_received[tier].clear();
         self.tier_rounds_started += 1;
         let epochs = self.core.cfg.local_epochs;
+        let nominal = self.tier_nominal[tier];
         // Downlink: every selected client receives the latest *global*
         // model — encoded once, decoded once, shared by all dispatches.
         let (weights, down_bytes) = self
@@ -128,17 +202,146 @@ impl FedAtStrategy {
             .transport
             .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
-            let selection_round = ctx.dispatches_of(c);
             // Speculative launch: the client starts training on the kernel
             // pool now; the compute event only joins it. `true`: Eq. (3)
             // local constraint.
-            self.inflight.insert(
+            dispatch_tracked(
+                &self.core,
+                &mut self.inflight,
+                ctx,
                 c,
-                self.core.launch(c, &weights, epochs, selection_round, true),
+                tier as u64,
+                0,
+                nominal,
+                &weights,
+                epochs,
+                true,
+                down_bytes,
             );
-            ctx.dispatch_with_transfer(c, tier as u64, epochs, down_bytes);
         }
     }
+
+    /// Concludes tier `tier`'s round once its last slot resolves:
+    /// aggregates whatever landed, accounts quorum, runs the re-tier check,
+    /// and starts the tier's next round.
+    fn conclude_if_done(&mut self, ctx: &mut SimCtx, tier: usize) {
+        if self.tier_outstanding[tier] != 0 {
+            return;
+        }
+        if !self.tier_received[tier].is_empty() {
+            // Intra-tier synchronous aggregation (Algorithm 2 inner
+            // loop), written into the standing tier-model buffer. Both
+            // this and the cross-tier update below run the sharded
+            // `weighted_sum_into` kernel, so a tier arrival's server
+            // cost scales with cohort size across the kernel pool.
+            let refs: Vec<(&[f32], usize)> = self.tier_received[tier]
+                .iter()
+                .map(|(w, n)| (w.as_slice(), *n))
+                .collect();
+            weighted_client_average_into(&refs, &mut self.tier_models[tier]);
+            self.tier_counts[tier] += 1;
+            // Cross-tier asynchronous aggregation (Eq. 5), into the
+            // standing global buffer.
+            let weights = self.tier_weights();
+            aggregate_tiers_into(&self.tier_models, &weights, &mut self.core.global);
+            self.core.bump(ctx);
+        }
+        let received = self.tier_received[tier].len();
+        if (received as f64) < self.core.cfg.fault.quorum * self.tier_picked[tier] as f64 {
+            // Degraded round: fewer updates than the quorum fraction made
+            // it back (an empty round skips the tier update entirely —
+            // staleness accounting, not a stall).
+            self.core.faults.quorum_rounds += 1;
+            ctx.faults.record(FaultEvent {
+                time: ctx.now(),
+                kind: FaultKind::Quorum,
+                client: None,
+                tier: Some(tier),
+                detail: received as u64,
+            });
+        }
+        self.maybe_retier(ctx);
+        if !self.finished() {
+            self.start_tier_round(ctx, tier);
+        }
+    }
+
+    /// Dynamic re-tiering: every `check_every` concluded tier rounds,
+    /// re-partition by the latency EWMAs and adopt the new assignment when
+    /// enough clients have drifted out of place. In-flight clients are
+    /// pinned to their current tier so per-tier round accounting (and the
+    /// "no member in flight at round start" invariant) survives the swap.
+    fn maybe_retier(&mut self, ctx: &mut SimCtx) {
+        let Some(policy) = self.core.cfg.fault.retier else {
+            return;
+        };
+        self.rounds_since_check += 1;
+        if self.rounds_since_check < policy.check_every {
+            return;
+        }
+        self.rounds_since_check = 0;
+        let m = self.tiers.num_tiers();
+        let mut desired = TierAssignment::from_latencies(&self.ewma, m).assignments();
+        let old = self.tiers.assignments();
+        for (c, a) in desired.iter_mut().enumerate() {
+            if self.inflight.contains(c) {
+                *a = old[c];
+            }
+        }
+        let moved = desired.iter().zip(&old).filter(|(a, b)| a != b).count();
+        if moved == 0 || (moved as f64) < policy.drift_threshold * old.len() as f64 {
+            return;
+        }
+        let Some(new_tiers) = TierAssignment::from_assignments(&desired, m) else {
+            return; // pinning emptied a tier; keep the old partition
+        };
+        self.tiers = new_tiers;
+        for t in 0..m {
+            let worst = self
+                .tiers
+                .tier(t)
+                .iter()
+                .map(|&c| self.ewma[c])
+                .fold(0.0_f64, f64::max);
+            if worst > 0.0 {
+                self.tier_nominal[t] = worst;
+            }
+        }
+        self.core.faults.retier_events += 1;
+        ctx.faults.record(FaultEvent {
+            time: ctx.now(),
+            kind: FaultKind::Retier,
+            client: None,
+            tier: None,
+            detail: moved as u64,
+        });
+        // A dormant tier may have been handed live members; wake it (the
+        // round start re-parks or re-dormants it if they're gone too).
+        for t in 0..m {
+            if self.tier_dormant[t] {
+                self.tier_dormant[t] = false;
+                self.active_tiers += 1;
+                if !self.finished() {
+                    self.start_tier_round(ctx, t);
+                }
+            }
+        }
+    }
+}
+
+/// Per-tier nominal latency: the slowest member's (profiled or observed)
+/// round-trip expectation.
+fn nominal_latencies(tiers: &TierAssignment, ewma: &[f64]) -> Vec<f64> {
+    (0..tiers.num_tiers())
+        .map(|t| {
+            tiers
+                .tier(t)
+                .iter()
+                .map(|&c| ewma[c])
+                .fold(0.0_f64, f64::max)
+                .max(1e-6)
+        })
+        .collect()
 }
 
 impl EventHandler for FedAtStrategy {
@@ -151,39 +354,69 @@ impl EventHandler for FedAtStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        let tier = c.tag as usize;
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
+        match self.inflight.advance(&self.core, ctx, &c) {
             // Still outstanding until the upload arrives / stale event.
-            PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
-            PhaseEvent::Landed { weights, n_samples } => {
+            PhaseEvent::UploadScheduled | PhaseEvent::Unknown => (),
+            PhaseEvent::Landed {
+                group,
+                latency,
+                weights,
+                n_samples,
+            } => {
+                let tier = group as usize;
+                let alpha = self.core.cfg.fault.retier.map_or(0.3, |p| p.alpha);
+                self.ewma[c.client] = alpha * latency + (1.0 - alpha) * self.ewma[c.client];
                 self.tier_outstanding[tier] -= 1;
                 self.tier_received[tier].push((weights, n_samples));
+                self.conclude_if_done(ctx, tier);
             }
             // Dropped mid-compute or mid-upload: the update is lost.
-            PhaseEvent::Lost => self.tier_outstanding[tier] -= 1,
-        }
-        if self.tier_outstanding[tier] == 0 {
-            if !self.tier_received[tier].is_empty() {
-                // Intra-tier synchronous aggregation (Algorithm 2 inner
-                // loop), written into the standing tier-model buffer. Both
-                // this and the cross-tier update below run the sharded
-                // `weighted_sum_into` kernel, so a tier arrival's server
-                // cost scales with cohort size across the kernel pool.
-                let refs: Vec<(&[f32], usize)> = self.tier_received[tier]
-                    .iter()
-                    .map(|(w, n)| (w.as_slice(), *n))
-                    .collect();
-                weighted_client_average_into(&refs, &mut self.tier_models[tier]);
-                self.tier_counts[tier] += 1;
-                // Cross-tier asynchronous aggregation (Eq. 5), into the
-                // standing global buffer.
-                let weights = self.tier_weights();
-                aggregate_tiers_into(&self.tier_models, &weights, &mut self.core.global);
-                self.core.bump(ctx);
+            PhaseEvent::Lost { group } => {
+                let tier = group as usize;
+                self.tier_outstanding[tier] -= 1;
+                self.conclude_if_done(ctx, tier);
             }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx, tag: u64) {
+        if tag & REVIVE_BIT != 0 {
+            let tier = (tag & !REVIVE_BIT) as usize;
+            if !self.tier_waiting[tier] {
+                return;
+            }
+            self.tier_waiting[tier] = false;
+            self.core.faults.revivals += 1;
             if !self.finished() {
                 self.start_tier_round(ctx, tier);
             }
+            return;
+        }
+        // Deadline timer: cancel the dispatch if still pending, then hand
+        // the round slot to a replacement (bounded retries) or count it
+        // lost.
+        let Some(t) = self.inflight.timeout(tag) else {
+            return;
+        };
+        let tier = t.group as usize;
+        let nominal = self.tier_nominal[tier];
+        let epochs = self.core.cfg.local_epochs;
+        let redispatched = {
+            let members = self.tiers.tier(tier);
+            retry_slot(
+                &mut self.core,
+                &mut self.inflight,
+                ctx,
+                &t,
+                members,
+                nominal,
+                true,
+                |_| epochs,
+            )
+        };
+        if !redispatched {
+            self.tier_outstanding[tier] -= 1;
+            self.conclude_if_done(ctx, tier);
         }
     }
 
@@ -211,6 +444,14 @@ impl Strategy for FedAtStrategy {
 
     fn variance_checkpoints(&self) -> &[f32] {
         &self.core.variance_checkpoints
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.core.faults
+    }
+
+    fn tier_updates(&self) -> Option<Vec<u64>> {
+        Some(self.tier_counts.clone())
     }
 }
 

@@ -20,9 +20,32 @@ use crate::config::{default_codec, ExperimentConfig, StrategyKind};
 use crate::eval::Evaluator;
 use crate::transport::Transport;
 use fedat_data::suite::FedTask;
-use fedat_sim::runtime::{EventHandler, SimCtx};
+use fedat_sim::fault::{FaultEvent, FaultKind};
+use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::{Trace, TracePoint};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// High bit of a timer tag: marks revival wake-ups (a parked tier or a
+/// flapped-out async client coming back). Every other timer tag is a
+/// dispatch generation carrying that dispatch's deadline.
+pub(crate) const REVIVE_BIT: u64 = 1 << 63;
+
+/// Counters summarizing one run's server-side fault-tolerance activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Dispatches cancelled at their deadline.
+    pub timeouts: u64,
+    /// Timed-out slots re-dispatched to a replacement client.
+    pub retries: u64,
+    /// Rounds concluded below quorum (degraded or skipped with staleness
+    /// accounting).
+    pub quorum_rounds: u64,
+    /// Dynamic re-tier adoptions.
+    pub retier_events: u64,
+    /// Revival timers that restarted a parked tier or client.
+    pub revivals: u64,
+}
 
 /// A runnable FL method: the event handler plus result accessors.
 pub trait Strategy: EventHandler + Send {
@@ -42,6 +65,16 @@ pub trait Strategy: EventHandler + Send {
     /// Table 1 `Norm. Var.` metric averages the variance of per-client test
     /// accuracy over training checkpoints).
     fn variance_checkpoints(&self) -> &[f32];
+
+    /// Fault-tolerance activity counters (timeouts, retries, quorum
+    /// degradations, re-tiers, revivals).
+    fn fault_counters(&self) -> FaultCounters;
+
+    /// Per-tier update counts for tiered strategies (`None` otherwise) —
+    /// lets callers assert that no tier stalled.
+    fn tier_updates(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 /// Server-side state shared by every strategy implementation.
@@ -64,6 +97,8 @@ pub(crate) struct ServerCore {
     /// Per-client accuracy variance, sampled every
     /// [`VARIANCE_EVAL_STRIDE`]-th evaluation.
     pub variance_checkpoints: Vec<f32>,
+    /// Fault-tolerance activity for the whole run.
+    pub faults: FaultCounters,
     evals_done: u64,
 }
 
@@ -97,6 +132,7 @@ impl ServerCore {
             eval_stride: eval_stride.max(1),
             trace,
             variance_checkpoints: Vec::new(),
+            faults: FaultCounters::default(),
             evals_done: 0,
         }
     }
@@ -214,57 +250,258 @@ pub(crate) enum PhaseEvent {
     UploadScheduled,
     /// The client's trained update landed at the server.
     Landed {
+        /// The dispatch group (tier index for tiered strategies).
+        group: u64,
+        /// Observed dispatch→arrival latency (feeds the re-tiering EWMA).
+        latency: f64,
         /// Post-roundtrip uploaded weights.
         weights: Vec<f32>,
         /// The client's sample count (aggregation weight).
         n_samples: usize,
     },
     /// The dispatch was lost to a dropout (mid-compute or mid-upload).
-    Lost,
-    /// No in-flight entry for this client (stale event).
+    Lost {
+        /// The dispatch group (tier index for tiered strategies).
+        group: u64,
+    },
+    /// Stale event: the dispatch was already resolved (e.g. cancelled by a
+    /// deadline) or superseded by a newer generation.
     Unknown,
 }
 
-/// Advances one client's compute→upload state machine for a completion.
-///
-/// On a compute completion this *joins* the training job launched at
-/// dispatch (running it now if the inline mode is active or no worker got
-/// to it), puts the encoded update on the wire (charging the *actual*
-/// uplink payload) and schedules the upload arrival; on the arrival it
-/// hands the update back to the strategy. A dropout mid-compute discards
-/// the speculative result unjoined. Shared by all five strategies so the
-/// phase protocol cannot diverge.
-pub(crate) fn advance_phase(
-    core: &ServerCore,
-    inflight: &mut std::collections::HashMap<usize, ClientPhase>,
-    ctx: &mut SimCtx,
-    c: &fedat_sim::runtime::Completion,
-) -> PhaseEvent {
-    match inflight.remove(&c.client) {
-        Some(ClientPhase::Computing(info)) if !c.dropped => {
-            let update = info.handle.join();
-            let (w_up, up_bytes) = core.transport.upload(ctx, c.client, &update.weights);
-            inflight.insert(
-                c.client,
-                ClientPhase::Uploading {
+/// A dispatch cancelled by its deadline timer.
+pub(crate) struct TimedOut {
+    pub client: usize,
+    /// The dispatch group (tier index for tiered strategies).
+    pub group: u64,
+    /// Retries already spent on this round slot.
+    pub retries: u32,
+}
+
+/// One tracked dispatch: the phase state machine plus the bookkeeping the
+/// fault layer needs (generation, group, retry count, dispatch time).
+struct Dispatch {
+    gen: u64,
+    group: u64,
+    retries: u32,
+    dispatched_at: f64,
+    phase: ClientPhase,
+}
+
+/// The server's table of in-flight dispatches, keyed by client and by a
+/// monotonically increasing *generation*. The generation is the dispatch's
+/// event tag, so a completion or deadline timer arriving after the dispatch
+/// was cancelled (or after the client was re-dispatched under a new
+/// generation) resolves to nothing instead of corrupting round accounting.
+pub(crate) struct InflightTable {
+    by_client: HashMap<usize, Dispatch>,
+    client_of: HashMap<u64, usize>,
+    next_gen: u64,
+}
+
+impl InflightTable {
+    pub fn new() -> Self {
+        InflightTable {
+            by_client: HashMap::new(),
+            client_of: HashMap::new(),
+            // Generations start at 1 and stay below REVIVE_BIT for any
+            // conceivable run length, so tag namespaces never collide.
+            next_gen: 1,
+        }
+    }
+
+    /// Whether `client` has a dispatch in flight.
+    pub fn contains(&self, client: usize) -> bool {
+        self.by_client.contains_key(&client)
+    }
+
+    /// Registers a new dispatch and returns its generation (the tag to
+    /// dispatch under and the tag its deadline timer carries).
+    pub fn begin(
+        &mut self,
+        client: usize,
+        group: u64,
+        retries: u32,
+        now: f64,
+        phase: ClientPhase,
+    ) -> u64 {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let prev = self.by_client.insert(
+            client,
+            Dispatch {
+                gen,
+                group,
+                retries,
+                dispatched_at: now,
+                phase,
+            },
+        );
+        debug_assert!(prev.is_none(), "client {client} already in flight");
+        self.client_of.insert(gen, client);
+        gen
+    }
+
+    /// Advances one client's compute→upload state machine for a completion.
+    ///
+    /// On a compute completion this *joins* the training job launched at
+    /// dispatch (running it now if the inline mode is active or no worker
+    /// got to it), puts the encoded update on the wire (charging the
+    /// *actual* uplink payload) and schedules the upload arrival; on the
+    /// arrival it hands the update back to the strategy. A dropout
+    /// mid-compute discards the speculative result unjoined. A completion
+    /// whose tag doesn't match the client's current generation belongs to a
+    /// cancelled dispatch and is reported [`PhaseEvent::Unknown`]. Shared
+    /// by all five strategies so the phase protocol cannot diverge.
+    pub fn advance(&mut self, core: &ServerCore, ctx: &mut SimCtx, c: &Completion) -> PhaseEvent {
+        match self.by_client.get(&c.client) {
+            Some(d) if d.gen == c.tag => {}
+            _ => return PhaseEvent::Unknown,
+        }
+        let mut d = self.by_client.remove(&c.client).expect("checked above");
+        match d.phase {
+            ClientPhase::Computing(info) if !c.dropped => {
+                let update = info.handle.join();
+                let (w_up, up_bytes) = core.transport.upload(ctx, c.client, &update.weights);
+                d.phase = ClientPhase::Uploading {
                     weights: w_up,
                     n_samples: update.n_samples,
-                },
-            );
-            ctx.schedule_transfer(c.client, c.tag, up_bytes);
-            PhaseEvent::UploadScheduled
+                };
+                self.by_client.insert(c.client, d);
+                ctx.schedule_transfer(c.client, c.tag, up_bytes);
+                PhaseEvent::UploadScheduled
+            }
+            ClientPhase::Uploading { weights, n_samples } if !c.dropped => {
+                self.client_of.remove(&d.gen);
+                PhaseEvent::Landed {
+                    group: d.group,
+                    latency: ctx.now() - d.dispatched_at,
+                    weights,
+                    n_samples,
+                }
+            }
+            ClientPhase::Computing(info) => {
+                // Dropped mid-compute: the dispatch-time job is wasted work.
+                info.handle.discard();
+                self.client_of.remove(&d.gen);
+                PhaseEvent::Lost { group: d.group }
+            }
+            ClientPhase::Uploading { .. } => {
+                self.client_of.remove(&d.gen);
+                PhaseEvent::Lost { group: d.group }
+            }
         }
-        Some(ClientPhase::Uploading { weights, n_samples }) if !c.dropped => {
-            PhaseEvent::Landed { weights, n_samples }
-        }
-        Some(ClientPhase::Computing(info)) => {
-            // Dropped mid-compute: the dispatch-time job is wasted work.
-            info.handle.discard();
-            PhaseEvent::Lost
-        }
-        Some(ClientPhase::Uploading { .. }) => PhaseEvent::Lost,
-        None => PhaseEvent::Unknown,
     }
+
+    /// Cancels the dispatch whose deadline timer (tag = generation) fired.
+    /// Returns `None` when the timer is stale — the dispatch already landed
+    /// or was lost. A cancelled mid-compute job is discarded unjoined; its
+    /// eventual completion event resolves to [`PhaseEvent::Unknown`].
+    pub fn timeout(&mut self, gen: u64) -> Option<TimedOut> {
+        let client = self.client_of.remove(&gen)?;
+        let d = self.by_client.remove(&client)?;
+        debug_assert_eq!(d.gen, gen);
+        if let ClientPhase::Computing(info) = d.phase {
+            info.handle.discard();
+        }
+        Some(TimedOut {
+            client,
+            group: d.group,
+            retries: d.retries,
+        })
+    }
+}
+
+/// Launches, registers and dispatches one tracked client round trip; when
+/// the fault policy enables deadlines, also arms the deadline timer at
+/// `nominal × multiplier × backoff^retries` from now.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dispatch_tracked(
+    core: &ServerCore,
+    table: &mut InflightTable,
+    ctx: &mut SimCtx,
+    client: usize,
+    group: u64,
+    retries: u32,
+    nominal: f64,
+    weights: &Arc<[f32]>,
+    epochs: usize,
+    use_prox: bool,
+    down_bytes: usize,
+) {
+    let selection_round = ctx.dispatches_of(client);
+    let phase = core.launch(client, weights, epochs, selection_round, use_prox);
+    let gen = table.begin(client, group, retries, ctx.now(), phase);
+    ctx.dispatch_with_transfer(client, gen, epochs, down_bytes);
+    if let Some(mult) = core.cfg.fault.deadline_multiplier {
+        let deadline = nominal * mult * core.cfg.fault.backoff.powi(retries as i32);
+        ctx.schedule_timer(ctx.now() + deadline, gen);
+    }
+}
+
+/// Handles a cancelled dispatch: records the timeout, then — if retries
+/// remain and a replacement exists in `pool` (alive, idle, not the victim)
+/// — re-dispatches the round slot to it with the *current* global model and
+/// a backed-off deadline. Returns `true` when the slot was re-dispatched,
+/// `false` when the caller must account it as lost.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn retry_slot(
+    core: &mut ServerCore,
+    table: &mut InflightTable,
+    ctx: &mut SimCtx,
+    timed_out: &TimedOut,
+    pool: &[usize],
+    nominal: f64,
+    use_prox: bool,
+    epochs_for: impl Fn(usize) -> usize,
+) -> bool {
+    let now = ctx.now();
+    core.faults.timeouts += 1;
+    ctx.faults.record(FaultEvent {
+        time: now,
+        kind: FaultKind::Timeout,
+        client: Some(timed_out.client),
+        tier: Some(timed_out.group as usize),
+        detail: timed_out.retries as u64,
+    });
+    if timed_out.retries >= core.cfg.fault.max_retries {
+        return false;
+    }
+    let candidates: Vec<usize> = pool
+        .iter()
+        .copied()
+        .filter(|&c| c != timed_out.client && ctx.fleet.is_alive(c, now) && !table.contains(c))
+        .collect();
+    let Some(&replacement) = core.sample_clients(ctx, &candidates, 1).first() else {
+        return false;
+    };
+    let retries = timed_out.retries + 1;
+    let epochs = epochs_for(replacement);
+    // The replacement gets the *current* global model — a fresh unicast
+    // download, not the possibly stale round broadcast.
+    let (weights, down_bytes) = core.transport.download(ctx, replacement, &core.global);
+    dispatch_tracked(
+        core,
+        table,
+        ctx,
+        replacement,
+        timed_out.group,
+        retries,
+        nominal,
+        &weights,
+        epochs,
+        use_prox,
+        down_bytes,
+    );
+    core.faults.retries += 1;
+    ctx.faults.record(FaultEvent {
+        time: now,
+        kind: FaultKind::Retry,
+        client: Some(replacement),
+        tier: Some(timed_out.group as usize),
+        detail: retries as u64,
+    });
+    true
 }
 
 /// Builds the strategy object for a config.

@@ -4,14 +4,23 @@
 //! the proximal term `λ/2‖w − w_global‖²` on the local objective and
 //! device-capability-dependent local work (slower devices run fewer
 //! epochs — the γ-inexactness knob).
+//!
+//! Both share the fault-tolerance layer: per-dispatch deadlines with
+//! bounded re-dispatch (when the policy enables them) and parking the
+//! round loop until the earliest client returns when the whole fleet is
+//! transiently offline — permanent total loss still starves the run, as
+//! before.
 
 use crate::aggregate::weighted_client_average_into;
 use crate::config::ExperimentConfig;
-use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{
+    dispatch_tracked, retry_slot, FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy,
+    REVIVE_BIT,
+};
 use fedat_data::suite::FedTask;
+use fedat_sim::fault::{FaultEvent, FaultKind};
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// FedAvg / FedProx server.
@@ -20,10 +29,18 @@ pub struct SyncStrategy {
     use_prox: bool,
     /// Per-client local epochs (`None` = uniform `cfg.local_epochs`).
     client_epochs: Option<Vec<usize>>,
-    inflight: HashMap<usize, ClientPhase>,
+    inflight: InflightTable,
     received: Vec<(Vec<f32>, usize)>,
     outstanding: usize,
-    /// Set when no clients remain alive; terminates the run.
+    /// Clients selected for the current round (quorum denominator).
+    picked: usize,
+    /// Nominal round-trip latency of the current round's cohort — the
+    /// deadline base.
+    round_nominal: f64,
+    /// Parked: the whole fleet is offline and a revival timer is pending.
+    waiting: bool,
+    /// Set when no clients remain alive *and none will return*; terminates
+    /// the run.
     starved: bool,
 }
 
@@ -35,9 +52,12 @@ impl SyncStrategy {
             core,
             use_prox: false,
             client_epochs: None,
-            inflight: HashMap::new(),
+            inflight: InflightTable::new(),
             received: Vec::new(),
             outstanding: 0,
+            picked: 0,
+            round_nominal: 0.0,
+            waiting: false,
             starved: false,
         }
     }
@@ -56,9 +76,12 @@ impl SyncStrategy {
             core,
             use_prox: true,
             client_epochs: Some(epochs),
-            inflight: HashMap::new(),
+            inflight: InflightTable::new(),
             received: Vec::new(),
             outstanding: 0,
+            picked: 0,
+            round_nominal: 0.0,
+            waiting: false,
             starved: false,
         }
     }
@@ -73,14 +96,39 @@ impl SyncStrategy {
     fn start_round(&mut self, ctx: &mut SimCtx) {
         let alive = ctx.alive_clients();
         if alive.is_empty() {
-            self.starved = true;
+            // Park until the earliest client returns; only a fleet that is
+            // permanently gone starves the run.
+            let now = ctx.now();
+            let revive = (0..ctx.fleet.len())
+                .filter_map(|c| ctx.fleet.next_up_time(c, now))
+                .fold(f64::INFINITY, f64::min);
+            if revive.is_finite() {
+                self.core.faults.quorum_rounds += 1;
+                ctx.faults.record(FaultEvent {
+                    time: now,
+                    kind: FaultKind::Quorum,
+                    client: None,
+                    tier: None,
+                    detail: 0,
+                });
+                self.waiting = true;
+                ctx.schedule_timer(revive, REVIVE_BIT);
+            } else {
+                self.starved = true;
+            }
             return;
         }
         let picks = self
             .core
             .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
         self.outstanding = picks.len();
+        self.picked = picks.len();
         self.received.clear();
+        self.round_nominal = picks
+            .iter()
+            .map(|&c| ctx.fleet.expected_latency(c, self.epochs_for(c)))
+            .fold(0.0_f64, f64::max)
+            .max(1e-6);
         // One encode + decode for the whole cohort; clients share the
         // decoded model.
         let (weights, down_bytes) = self
@@ -89,17 +137,51 @@ impl SyncStrategy {
             .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
             let epochs = self.epochs_for(c);
-            let selection_round = ctx.dispatches_of(c);
             // Speculative launch at dispatch; the prox flag travels with
-            // the job (FedProx on, FedAvg off).
-            self.inflight.insert(
+            // the job (FedProx on, FedAvg off). Downlink transfer charged
+            // at dispatch; the uplink is charged when the trained payload
+            // is known.
+            dispatch_tracked(
+                &self.core,
+                &mut self.inflight,
+                ctx,
                 c,
-                self.core
-                    .launch(c, &weights, epochs, selection_round, self.use_prox),
+                0,
+                0,
+                self.round_nominal,
+                &weights,
+                epochs,
+                self.use_prox,
+                down_bytes,
             );
-            // Downlink transfer charged at dispatch; the uplink is charged
-            // when the trained payload is known.
-            ctx.dispatch_with_transfer(c, 0, epochs, down_bytes);
+        }
+    }
+
+    fn conclude_if_done(&mut self, ctx: &mut SimCtx) {
+        if self.outstanding != 0 {
+            return;
+        }
+        if !self.received.is_empty() {
+            let refs: Vec<(&[f32], usize)> = self
+                .received
+                .iter()
+                .map(|(w, n)| (w.as_slice(), *n))
+                .collect();
+            weighted_client_average_into(&refs, &mut self.core.global);
+        }
+        if (self.received.len() as f64) < self.core.cfg.fault.quorum * self.picked as f64 {
+            self.core.faults.quorum_rounds += 1;
+            ctx.faults.record(FaultEvent {
+                time: ctx.now(),
+                kind: FaultKind::Quorum,
+                client: None,
+                tier: None,
+                detail: self.received.len() as u64,
+            });
+        }
+        self.core.bump(ctx);
+        if !self.finished() {
+            self.start_round(ctx);
         }
     }
 }
@@ -111,27 +193,54 @@ impl EventHandler for SyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
+        match self.inflight.advance(&self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
-            PhaseEvent::Landed { weights, n_samples } => {
+            PhaseEvent::Landed {
+                weights, n_samples, ..
+            } => {
                 self.outstanding -= 1;
                 self.received.push((weights, n_samples));
             }
-            PhaseEvent::Lost => self.outstanding -= 1,
+            PhaseEvent::Lost { .. } => self.outstanding -= 1,
         }
-        if self.outstanding == 0 {
-            if !self.received.is_empty() {
-                let refs: Vec<(&[f32], usize)> = self
-                    .received
-                    .iter()
-                    .map(|(w, n)| (w.as_slice(), *n))
-                    .collect();
-                weighted_client_average_into(&refs, &mut self.core.global);
+        self.conclude_if_done(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx, tag: u64) {
+        if tag & REVIVE_BIT != 0 {
+            if !self.waiting {
+                return;
             }
-            self.core.bump(ctx);
+            self.waiting = false;
+            self.core.faults.revivals += 1;
             if !self.finished() {
                 self.start_round(ctx);
             }
+            return;
+        }
+        let Some(t) = self.inflight.timeout(tag) else {
+            return;
+        };
+        let pool = ctx.alive_clients();
+        let nominal = self.round_nominal;
+        let use_prox = self.use_prox;
+        let redispatched = {
+            let client_epochs = &self.client_epochs;
+            let default_epochs = self.core.cfg.local_epochs;
+            retry_slot(
+                &mut self.core,
+                &mut self.inflight,
+                ctx,
+                &t,
+                &pool,
+                nominal,
+                use_prox,
+                |c| client_epochs.as_ref().map_or(default_epochs, |e| e[c]),
+            )
+        };
+        if !redispatched {
+            self.outstanding -= 1;
+            self.conclude_if_done(ctx);
         }
     }
 
@@ -159,5 +268,9 @@ impl Strategy for SyncStrategy {
 
     fn variance_checkpoints(&self) -> &[f32] {
         &self.core.variance_checkpoints
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.core.faults
     }
 }

@@ -10,13 +10,16 @@
 use crate::aggregate::weighted_client_average_into;
 use crate::config::ExperimentConfig;
 use crate::eval::per_client_accuracy;
-use crate::strategies::{advance_phase, ClientPhase, PhaseEvent, ServerCore, Strategy};
+use crate::strategies::{
+    dispatch_tracked, retry_slot, FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy,
+    REVIVE_BIT,
+};
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
+use fedat_sim::fault::{FaultEvent, FaultKind};
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
 use rand::RngExt;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Rounds between re-estimations of the per-tier accuracies (the interval
@@ -33,9 +36,17 @@ pub struct TiflStrategy {
     credits: Vec<u64>,
     /// Selection probabilities (re-normalized over selectable tiers).
     probs: Vec<f64>,
-    inflight: HashMap<usize, ClientPhase>,
+    inflight: InflightTable,
     received: Vec<(Vec<f32>, usize)>,
     outstanding: usize,
+    /// Clients selected for the current round (quorum denominator).
+    picked: usize,
+    /// The tier the current round samples from (replacement pool).
+    round_tier: usize,
+    /// Nominal round-trip latency of the current round's cohort.
+    round_nominal: f64,
+    /// Parked: no selectable tier right now, revival timer pending.
+    waiting: bool,
     starved: bool,
 }
 
@@ -55,9 +66,13 @@ impl TiflStrategy {
             tiers,
             credits,
             probs: vec![1.0 / m as f64; m],
-            inflight: HashMap::new(),
+            inflight: InflightTable::new(),
             received: Vec::new(),
             outstanding: 0,
+            picked: 0,
+            round_tier: 0,
+            round_nominal: 0.0,
+            waiting: false,
             starved: false,
         }
     }
@@ -134,7 +149,26 @@ impl TiflStrategy {
             self.update_probs();
         }
         let Some(tier) = self.pick_tier(ctx) else {
-            self.starved = true;
+            // No tier has alive clients. Park until the earliest client
+            // returns; starve only when every client is permanently gone.
+            let now = ctx.now();
+            let revive = (0..ctx.fleet.len())
+                .filter_map(|c| ctx.fleet.next_up_time(c, now))
+                .fold(f64::INFINITY, f64::min);
+            if revive.is_finite() {
+                self.core.faults.quorum_rounds += 1;
+                ctx.faults.record(FaultEvent {
+                    time: now,
+                    kind: FaultKind::Quorum,
+                    client: None,
+                    tier: None,
+                    detail: 0,
+                });
+                self.waiting = true;
+                ctx.schedule_timer(revive, REVIVE_BIT);
+            } else {
+                self.starved = true;
+            }
             return;
         };
         self.credits[tier] = self.credits[tier].saturating_sub(1);
@@ -150,21 +184,62 @@ impl TiflStrategy {
             .core
             .sample_clients(ctx, &alive, self.core.cfg.clients_per_round);
         self.outstanding = picks.len();
+        self.picked = picks.len();
+        self.round_tier = tier;
         self.received.clear();
         let epochs = self.core.cfg.local_epochs;
+        self.round_nominal = picks
+            .iter()
+            .map(|&c| ctx.fleet.expected_latency(c, epochs))
+            .fold(0.0_f64, f64::max)
+            .max(1e-6);
         let (weights, down_bytes) = self
             .core
             .transport
             .broadcast(ctx, &picks, &self.core.global);
         for c in picks {
-            let selection_round = ctx.dispatches_of(c);
             // Speculative launch at dispatch; TiFL trains unconstrained.
-            self.inflight.insert(
+            dispatch_tracked(
+                &self.core,
+                &mut self.inflight,
+                ctx,
                 c,
-                self.core
-                    .launch(c, &weights, epochs, selection_round, false),
+                tier as u64,
+                0,
+                self.round_nominal,
+                &weights,
+                epochs,
+                false,
+                down_bytes,
             );
-            ctx.dispatch_with_transfer(c, 0, epochs, down_bytes);
+        }
+    }
+
+    fn conclude_if_done(&mut self, ctx: &mut SimCtx) {
+        if self.outstanding != 0 {
+            return;
+        }
+        if !self.received.is_empty() {
+            let refs: Vec<(&[f32], usize)> = self
+                .received
+                .iter()
+                .map(|(w, n)| (w.as_slice(), *n))
+                .collect();
+            weighted_client_average_into(&refs, &mut self.core.global);
+        }
+        if (self.received.len() as f64) < self.core.cfg.fault.quorum * self.picked as f64 {
+            self.core.faults.quorum_rounds += 1;
+            ctx.faults.record(FaultEvent {
+                time: ctx.now(),
+                kind: FaultKind::Quorum,
+                client: None,
+                tier: Some(self.round_tier),
+                detail: self.received.len() as u64,
+            });
+        }
+        self.core.bump(ctx);
+        if !self.finished() {
+            self.start_round(ctx);
         }
     }
 }
@@ -176,27 +251,54 @@ impl EventHandler for TiflStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match advance_phase(&self.core, &mut self.inflight, ctx, &c) {
+        match self.inflight.advance(&self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
-            PhaseEvent::Landed { weights, n_samples } => {
+            PhaseEvent::Landed {
+                weights, n_samples, ..
+            } => {
                 self.outstanding -= 1;
                 self.received.push((weights, n_samples));
             }
-            PhaseEvent::Lost => self.outstanding -= 1,
+            PhaseEvent::Lost { .. } => self.outstanding -= 1,
         }
-        if self.outstanding == 0 {
-            if !self.received.is_empty() {
-                let refs: Vec<(&[f32], usize)> = self
-                    .received
-                    .iter()
-                    .map(|(w, n)| (w.as_slice(), *n))
-                    .collect();
-                weighted_client_average_into(&refs, &mut self.core.global);
+        self.conclude_if_done(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx, tag: u64) {
+        if tag & REVIVE_BIT != 0 {
+            if !self.waiting {
+                return;
             }
-            self.core.bump(ctx);
+            self.waiting = false;
+            self.core.faults.revivals += 1;
             if !self.finished() {
                 self.start_round(ctx);
             }
+            return;
+        }
+        let Some(t) = self.inflight.timeout(tag) else {
+            return;
+        };
+        let nominal = self.round_nominal;
+        let epochs = self.core.cfg.local_epochs;
+        let redispatched = {
+            // Replacements come from the round's own tier, like the
+            // original cohort.
+            let members = self.tiers.tier(t.group as usize);
+            retry_slot(
+                &mut self.core,
+                &mut self.inflight,
+                ctx,
+                &t,
+                members,
+                nominal,
+                false,
+                |_| epochs,
+            )
+        };
+        if !redispatched {
+            self.outstanding -= 1;
+            self.conclude_if_done(ctx);
         }
     }
 
@@ -224,5 +326,9 @@ impl Strategy for TiflStrategy {
 
     fn variance_checkpoints(&self) -> &[f32] {
         &self.core.variance_checkpoints
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.core.faults
     }
 }

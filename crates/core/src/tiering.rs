@@ -19,13 +19,26 @@ impl TierAssignment {
     /// # Panics
     /// Panics if `m` is zero or exceeds the client count.
     pub fn profile(fleet: &Fleet, m: usize, epochs: usize) -> Self {
+        let latencies: Vec<f64> = (0..fleet.len())
+            .map(|c| fleet.expected_latency(c, epochs))
+            .collect();
+        Self::from_latencies(&latencies, m)
+    }
+
+    /// Splits clients into `m` near-equal tiers by the given per-client
+    /// latencies — the re-tiering entry point: dynamic re-tiering feeds
+    /// *observed* EWMA latencies where [`profile`](Self::profile) feeds the
+    /// one-shot expected ones.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero or exceeds the client count.
+    pub fn from_latencies(latencies: &[f64], m: usize) -> Self {
         assert!(m > 0, "need at least one tier");
-        assert!(m <= fleet.len(), "more tiers than clients");
-        let mut order: Vec<usize> = (0..fleet.len()).collect();
+        assert!(m <= latencies.len(), "more tiers than clients");
+        let mut order: Vec<usize> = (0..latencies.len()).collect();
         order.sort_by(|&a, &b| {
-            fleet
-                .expected_latency(a, epochs)
-                .partial_cmp(&fleet.expected_latency(b, epochs))
+            latencies[a]
+                .partial_cmp(&latencies[b])
                 .expect("latencies are finite")
                 .then(a.cmp(&b)) // stable, deterministic tie-break
         });
@@ -39,6 +52,34 @@ impl TierAssignment {
             cursor += take;
         }
         TierAssignment { tiers }
+    }
+
+    /// Flat view: `assignments()[client]` = tier index.
+    pub fn assignments(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.num_clients()];
+        for (t, tier) in self.tiers.iter().enumerate() {
+            for &c in tier {
+                out[c] = t;
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a partition from a flat assignment (clients listed in id
+    /// order within each tier). Returns `None` when any tier would end up
+    /// empty — callers treat that as "keep the old assignment".
+    pub fn from_assignments(assign: &[usize], m: usize) -> Option<Self> {
+        let mut tiers = vec![Vec::new(); m];
+        for (c, &t) in assign.iter().enumerate() {
+            if t >= m {
+                return None;
+            }
+            tiers[t].push(c);
+        }
+        if tiers.iter().any(|t| t.is_empty()) {
+            return None;
+        }
+        Some(TierAssignment { tiers })
     }
 
     /// Randomly re-assigns `fraction` of all clients to a uniformly random
@@ -232,6 +273,39 @@ mod tests {
             assert!(!t.tier(i).is_empty(), "tier {i} emptied");
         }
         assert_eq!(t.num_clients(), 10);
+    }
+
+    #[test]
+    fn assignments_round_trip() {
+        let f = fleet(37, 9);
+        let t = TierAssignment::profile(&f, 4, 3);
+        let flat = t.assignments();
+        assert_eq!(flat.len(), 37);
+        for tier in 0..4 {
+            for &c in t.tier(tier) {
+                assert_eq!(flat[c], tier);
+            }
+        }
+        let back = TierAssignment::from_assignments(&flat, 4).unwrap();
+        assert_eq!(back.assignments(), flat);
+        assert_eq!(back.num_clients(), 37);
+    }
+
+    #[test]
+    fn from_assignments_rejects_empty_tiers() {
+        assert!(TierAssignment::from_assignments(&[0, 0, 0], 2).is_none());
+        assert!(TierAssignment::from_assignments(&[0, 2, 1], 2).is_none());
+        assert!(TierAssignment::from_assignments(&[0, 1, 0], 2).is_some());
+    }
+
+    #[test]
+    fn from_latencies_matches_profile() {
+        let f = fleet(60, 10);
+        let lat: Vec<f64> = (0..60).map(|c| f.expected_latency(c, 3)).collect();
+        assert_eq!(
+            TierAssignment::profile(&f, 5, 3),
+            TierAssignment::from_latencies(&lat, 5)
+        );
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Availability churn scenarios.
+//!
+//! The paper's only fault model is §6's one-shot *permanent* dropout. Real
+//! federated fleets additionally see transient flaps (mobile clients moving
+//! in and out of coverage), diurnal waves (devices charging overnight),
+//! correlated storms (a rack, carrier, or region going down at once), and
+//! slow compute drift (thermal throttling, background load) that makes a
+//! one-shot latency profile stale. This module generates those scenarios as
+//! deterministic per-client *down intervals* layered on top of the legacy
+//! permanent-dropout draw.
+//!
+//! Every generator consumes its own seed-tagged RNG stream
+//! (`tags::CHURN_*`), so enabling a scenario can never perturb the legacy
+//! draws: `ClusterConfig::paper_medium`/`paper_large` reproduce the
+//! pre-churn dropout schedule bit-for-bit.
+
+use fedat_tensor::rng::{rng_for, sample_without_replacement, tags, uniform};
+use serde::{Deserialize, Serialize};
+
+/// Transient flapping: a fraction of clients alternates between up and down
+/// stretches with the given mean durations (uniform ±50% jitter) until
+/// `horizon`, after which they stay up.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlapSpec {
+    /// Fraction of the fleet that flaps.
+    pub fraction: f64,
+    /// Mean up-stretch duration (seconds).
+    pub mean_up: f64,
+    /// Mean down-stretch duration (seconds).
+    pub mean_down: f64,
+    /// Intervals are generated up to this virtual time.
+    pub horizon: f64,
+}
+
+/// Diurnal wave: a fraction of the fleet is down for a fixed window once
+/// per period, with a per-client random phase.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalSpec {
+    /// Wave period (seconds).
+    pub period: f64,
+    /// Fraction of each period a participating client is down.
+    pub down_fraction: f64,
+    /// Fraction of the fleet that follows the wave.
+    pub participation: f64,
+    /// Windows are generated up to this virtual time.
+    pub horizon: f64,
+}
+
+/// Correlated dropout storms: `count` events, each knocking a freshly drawn
+/// random cohort offline for `duration` seconds at a random start time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StormSpec {
+    /// Number of storm events.
+    pub count: usize,
+    /// Fraction of the fleet hit by each storm.
+    pub cohort_fraction: f64,
+    /// Outage duration per storm (seconds).
+    pub duration: f64,
+    /// Storm start times are drawn uniformly from `(0, horizon)`.
+    pub horizon: f64,
+}
+
+/// Slow compute drift: a fraction of clients gets a per-dispatch-round
+/// multiplicative compute slowdown, capped at `max_factor`. Statically
+/// profiled tiers become wrong as drifted clients slow down.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftSpec {
+    /// Fraction of the fleet whose compute drifts.
+    pub fraction: f64,
+    /// Mean multiplier growth per dispatch round (each drifting client's
+    /// rate is jittered uniformly ±50% around this).
+    pub per_round: f64,
+    /// Hard cap on the compute multiplier.
+    pub max_factor: f64,
+}
+
+/// Composable churn scenario configuration. The default (all `None`) is the
+/// legacy behavior: permanent dropouts only, no drift.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Transient up/down flapping.
+    #[serde(default)]
+    pub flaps: Option<FlapSpec>,
+    /// Diurnal availability waves.
+    #[serde(default)]
+    pub diurnal: Option<DiurnalSpec>,
+    /// Correlated dropout storms.
+    #[serde(default)]
+    pub storms: Option<StormSpec>,
+    /// Slow compute drift.
+    #[serde(default)]
+    pub drift: Option<DriftSpec>,
+}
+
+impl ChurnConfig {
+    /// True when no scenario is enabled (pure legacy fault model).
+    pub fn is_quiet(&self) -> bool {
+        self.flaps.is_none()
+            && self.diurnal.is_none()
+            && self.storms.is_none()
+            && self.drift.is_none()
+    }
+
+    /// A storm-heavy scenario used by the `FEDAT_CHURN=storm` CI lane:
+    /// two mid-run cohort storms plus light background flapping. Tuned so
+    /// the small default clusters in the core test suite still learn while
+    /// every fault-tolerance path (drop, revive, retry) gets exercised.
+    pub fn storm_heavy() -> Self {
+        ChurnConfig {
+            flaps: Some(FlapSpec {
+                fraction: 0.15,
+                mean_up: 400.0,
+                mean_down: 40.0,
+                horizon: 4000.0,
+            }),
+            diurnal: None,
+            storms: Some(StormSpec {
+                count: 2,
+                cohort_fraction: 0.3,
+                duration: 120.0,
+                horizon: 1500.0,
+            }),
+            drift: None,
+        }
+    }
+
+    /// Reads the `FEDAT_CHURN` environment toggle: `storm`/`heavy` selects
+    /// [`ChurnConfig::storm_heavy`]; anything else (or unset) is `None`.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("FEDAT_CHURN") {
+            Ok(v) if v.eq_ignore_ascii_case("storm") || v.eq_ignore_ascii_case("heavy") => {
+                Some(Self::storm_heavy())
+            }
+            _ => None,
+        }
+    }
+
+    /// Appends this scenario's down intervals to `down` (one `Vec` per
+    /// client, unsorted/unmerged — the caller normalizes). Each generator
+    /// draws from its own `tags::CHURN_*` stream of `seed`.
+    pub(crate) fn generate(&self, n: usize, seed: u64, down: &mut [Vec<(f64, f64)>]) {
+        // Hard per-client cap: keeps degenerate specs (tiny means, huge
+        // horizons) from hanging the generator.
+        const MAX_INTERVALS: usize = 10_000;
+
+        if let Some(spec) = self.flaps {
+            let mut rng = rng_for(seed, tags::CHURN_FLAPS);
+            let k = count_of(spec.fraction, n);
+            let mean_up = spec.mean_up.max(1e-3);
+            let mean_down = spec.mean_down.max(1e-3);
+            for c in sample_without_replacement(&mut rng, n, k) {
+                // Start each flapper with an up stretch so `alive_at(0)`
+                // keeps its legacy full-fleet shape.
+                let mut t = uniform(&mut rng, 0.0, 2.0 * mean_up).max(1e-6);
+                while t < spec.horizon && down[c].len() < MAX_INTERVALS {
+                    let d = uniform(&mut rng, 0.5, 1.5) * mean_down;
+                    down[c].push((t, t + d));
+                    t += d + uniform(&mut rng, 0.5, 1.5) * mean_up;
+                }
+            }
+        }
+
+        if let Some(spec) = self.diurnal {
+            let mut rng = rng_for(seed, tags::CHURN_DIURNAL);
+            let k = count_of(spec.participation, n);
+            let period = spec.period.max(1e-3);
+            let window = period * spec.down_fraction.clamp(0.0, 1.0);
+            for c in sample_without_replacement(&mut rng, n, k) {
+                let phase = uniform(&mut rng, 0.0, period);
+                if window <= 0.0 {
+                    continue;
+                }
+                let mut start = phase;
+                while start < spec.horizon && down[c].len() < MAX_INTERVALS {
+                    down[c].push((start, start + window));
+                    start += period;
+                }
+            }
+        }
+
+        if let Some(spec) = self.storms {
+            let mut rng = rng_for(seed, tags::CHURN_STORM);
+            let k = count_of(spec.cohort_fraction, n);
+            for _ in 0..spec.count {
+                let t0 = uniform(&mut rng, 0.0, spec.horizon.max(1e-6)).max(1e-6);
+                for c in sample_without_replacement(&mut rng, n, k) {
+                    down[c].push((t0, t0 + spec.duration.max(0.0)));
+                }
+            }
+        }
+    }
+
+    /// Per-client compute-drift rates (multiplier growth per round), or an
+    /// empty vector when drift is disabled.
+    pub(crate) fn drift_rates(&self, n: usize, seed: u64) -> Vec<f64> {
+        let Some(spec) = self.drift else {
+            return Vec::new();
+        };
+        let mut rates = vec![0.0f64; n];
+        let mut rng = rng_for(seed, tags::CHURN_DRIFT);
+        for c in sample_without_replacement(&mut rng, n, count_of(spec.fraction, n)) {
+            rates[c] = spec.per_round * uniform(&mut rng, 0.5, 1.5);
+        }
+        rates
+    }
+}
+
+/// Rounds `fraction × n` to a client count, clamped to `[0, n]`.
+fn count_of(fraction: f64, n: usize) -> usize {
+    ((fraction * n as f64).round().max(0.0) as usize).min(n)
+}
+
+/// Sorts and merges raw intervals into disjoint, non-touching `[start, end)`
+/// spans (infinite ends mark permanent dropouts).
+pub(crate) fn normalize(intervals: &mut Vec<(f64, f64)>) {
+    intervals.retain(|&(s, e)| e > s);
+    intervals.sort_by(|a, b| a.partial_cmp(b).expect("interval times are never NaN"));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for &(s, e) in intervals.iter() {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    *intervals = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_default() {
+        assert!(ChurnConfig::default().is_quiet());
+        assert!(!ChurnConfig::storm_heavy().is_quiet());
+    }
+
+    #[test]
+    fn normalize_merges_and_sorts() {
+        let mut v = vec![(5.0, 7.0), (1.0, 2.0), (6.0, 9.0), (2.0, 3.0), (4.0, 4.0)];
+        normalize(&mut v);
+        assert_eq!(v, vec![(1.0, 3.0), (5.0, 9.0)]);
+    }
+
+    #[test]
+    fn normalize_keeps_infinite_tail() {
+        let mut v = vec![(10.0, f64::INFINITY), (12.0, 14.0), (1.0, 2.0)];
+        normalize(&mut v);
+        assert_eq!(v, vec![(1.0, 2.0), (10.0, f64::INFINITY)]);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let cfg = ChurnConfig {
+            flaps: Some(FlapSpec {
+                fraction: 0.5,
+                mean_up: 50.0,
+                mean_down: 10.0,
+                horizon: 500.0,
+            }),
+            diurnal: Some(DiurnalSpec {
+                period: 100.0,
+                down_fraction: 0.2,
+                participation: 0.4,
+                horizon: 500.0,
+            }),
+            storms: Some(StormSpec {
+                count: 3,
+                cohort_fraction: 0.3,
+                duration: 20.0,
+                horizon: 400.0,
+            }),
+            drift: Some(DriftSpec {
+                fraction: 0.5,
+                per_round: 0.05,
+                max_factor: 4.0,
+            }),
+        };
+        let mut a = vec![Vec::new(); 20];
+        let mut b = vec![Vec::new(); 20];
+        cfg.generate(20, 7, &mut a);
+        cfg.generate(20, 7, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|v| !v.is_empty()));
+        assert_eq!(cfg.drift_rates(20, 7), cfg.drift_rates(20, 7));
+        assert!(cfg.drift_rates(20, 7).iter().any(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn storms_hit_a_cohort_at_one_instant() {
+        let cfg = ChurnConfig {
+            storms: Some(StormSpec {
+                count: 1,
+                cohort_fraction: 0.5,
+                duration: 30.0,
+                horizon: 100.0,
+            }),
+            ..ChurnConfig::default()
+        };
+        let mut down = vec![Vec::new(); 10];
+        cfg.generate(10, 3, &mut down);
+        let hit: Vec<&(f64, f64)> = down.iter().flatten().collect();
+        assert_eq!(hit.len(), 5, "half the fleet is hit");
+        assert!(
+            hit.windows(2).all(|w| w[0] == w[1]),
+            "one storm = one shared interval"
+        );
+    }
+}

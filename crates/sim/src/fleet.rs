@@ -1,5 +1,6 @@
 //! The simulated client population.
 
+use crate::churn::{normalize, ChurnConfig};
 use crate::latency::{paper_delay_parts, DelayPart, LatencyModel};
 use fedat_tensor::rng::{rng_for, sample_without_replacement, tags, uniform};
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,12 @@ pub struct ClusterConfig {
     /// adds `bytes / bandwidth` to each round's latency.
     #[serde(default)]
     pub bandwidth_bytes_per_sec: Option<f64>,
+    /// Availability churn scenarios layered on top of the permanent
+    /// dropouts. The default is quiet (legacy fault model); every scenario
+    /// draws from its own seed-tagged stream, so enabling one never
+    /// perturbs the legacy dropout schedule.
+    #[serde(default)]
+    pub churn: ChurnConfig,
 }
 
 impl ClusterConfig {
@@ -49,6 +56,7 @@ impl ClusterConfig {
             dropout_horizon: 2000.0,
             seed,
             bandwidth_bytes_per_sec: None,
+            churn: ChurnConfig::default(),
         }
     }
 
@@ -77,16 +85,26 @@ impl ClusterConfig {
         self.n_unstable = 0;
         self
     }
+
+    /// Convenience: attach churn scenarios.
+    pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = churn;
+        self
+    }
 }
 
-/// The live fleet: latency model + dropout schedule + per-client sizes.
+/// The live fleet: latency model + availability schedule + per-client sizes.
 #[derive(Clone, Debug)]
 pub struct Fleet {
     latency: LatencyModel,
     /// Training-sample count per client (`n_k`), supplied by the dataset.
     sample_counts: Vec<usize>,
-    /// `dropout_at[c]` = Some(t) if client `c` permanently leaves at `t`.
-    dropout_at: Vec<Option<f64>>,
+    /// Per-client down intervals `[start, end)`, sorted and disjoint; an
+    /// infinite end marks a permanent dropout. A client is alive at `t`
+    /// iff `t` lies in no interval — so `is_alive(c, start)` is false and
+    /// `is_alive(c, end)` is true, matching the legacy `time < t_drop`
+    /// boundary.
+    down: Vec<Vec<(f64, f64)>>,
     /// Optional per-client link bandwidth (bytes/second).
     bandwidth: Option<f64>,
 }
@@ -132,19 +150,36 @@ impl Fleet {
             }
         };
         // Unstable clients: chosen uniformly; each gets a dropout time.
-        let mut dropout_at = vec![None; config.n_clients];
+        // This draw predates the churn engine and must stay bit-for-bit
+        // stable: same stream, same call order, same clamping.
+        let mut down = vec![Vec::new(); config.n_clients];
         if config.n_unstable > 0 {
             let mut rng = rng_for(config.seed, tags::UNSTABLE);
             let unstable =
                 sample_without_replacement(&mut rng, config.n_clients, config.n_unstable);
             for c in unstable {
-                dropout_at[c] = Some(uniform(&mut rng, 0.0, config.dropout_horizon).max(1e-6));
+                let t_drop = uniform(&mut rng, 0.0, config.dropout_horizon).max(1e-6);
+                down[c].push((t_drop, f64::INFINITY));
             }
+        }
+        // Churn scenarios layer extra intervals from their own streams.
+        config
+            .churn
+            .generate(config.n_clients, config.seed, &mut down);
+        for intervals in &mut down {
+            normalize(intervals);
+        }
+        let mut latency = latency;
+        if let Some(drift) = config.churn.drift {
+            latency.set_drift(
+                config.churn.drift_rates(config.n_clients, config.seed),
+                drift.max_factor,
+            );
         }
         Fleet {
             latency,
             sample_counts,
-            dropout_at,
+            down,
             bandwidth: config.bandwidth_bytes_per_sec,
         }
     }
@@ -169,24 +204,82 @@ impl Fleet {
         self.sample_counts[client]
     }
 
-    /// Whether `client` is still online at `time`.
+    /// Whether `client` is online at `time`.
     pub fn is_alive(&self, client: usize, time: f64) -> bool {
-        match self.dropout_at[client] {
-            Some(t) => time < t,
-            None => true,
+        !self.down[client]
+            .iter()
+            .any(|&(s, e)| s <= time && time < e)
+    }
+
+    /// Permanent-dropout time of `client`: the start of its trailing
+    /// infinite down interval, if any.
+    pub fn dropout_time(&self, client: usize) -> Option<f64> {
+        match self.down[client].last() {
+            Some(&(s, e)) if e == f64::INFINITY => Some(s),
+            _ => None,
         }
     }
 
-    /// Dropout time of `client`, if it is unstable.
-    pub fn dropout_time(&self, client: usize) -> Option<f64> {
-        self.dropout_at[client]
+    /// Earliest `t >= from` at which `client` is offline: `from` itself if
+    /// the client is down now, the next interval start otherwise, `None`
+    /// if it never goes down again.
+    pub fn next_down_time(&self, client: usize, from: f64) -> Option<f64> {
+        self.down[client]
+            .iter()
+            .find(|&&(_, e)| e > from)
+            .map(|&(s, _)| if s <= from { from } else { s })
+    }
+
+    /// Earliest `t >= from` at which `client` is online: `from` itself if
+    /// alive now, the current interval's end otherwise, `None` if the
+    /// client never returns (permanent dropout).
+    pub fn next_up_time(&self, client: usize, from: f64) -> Option<f64> {
+        match self.down[client]
+            .iter()
+            .find(|&&(s, e)| s <= from && from < e)
+        {
+            None => Some(from),
+            Some(&(_, e)) if e.is_finite() => Some(e),
+            Some(_) => None,
+        }
+    }
+
+    /// All availability transitions, sorted by `(time, client)`:
+    /// `(time, client, went_down)`. Ground truth for fault logging.
+    pub fn availability_transitions(&self) -> Vec<(f64, usize, bool)> {
+        let mut out = Vec::new();
+        for (c, intervals) in self.down.iter().enumerate() {
+            for &(s, e) in intervals {
+                out.push((s, c, true));
+                if e.is_finite() {
+                    out.push((e, c, false));
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("transition times are never NaN")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        out
+    }
+
+    /// Clients alive at `time`, without allocating.
+    pub fn alive_iter(&self, time: f64) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |&c| self.is_alive(c, time))
+    }
+
+    /// Fills `out` with the clients alive at `time` (reusable-buffer form
+    /// of [`Fleet::alive_at`] for hot callers).
+    pub fn alive_into(&self, time: f64, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.alive_iter(time));
     }
 
     /// Clients alive at `time`.
     pub fn alive_at(&self, time: f64) -> Vec<usize> {
-        (0..self.len())
-            .filter(|&c| self.is_alive(c, time))
-            .collect()
+        self.alive_iter(time).collect()
     }
 
     /// Response latency of one training round (compute + injected delay).
@@ -195,10 +288,18 @@ impl Fleet {
             .response_latency(client, round, self.sample_counts[client], epochs)
     }
 
-    /// Expected (mean-delay) latency, for profiling-based tiering.
+    /// Expected (mean-delay) latency, for profiling-based tiering. This is
+    /// the *profile-time* view: compute drift is deliberately excluded, so
+    /// a one-shot profile goes stale as drifted clients slow down.
     pub fn expected_latency(&self, client: usize, epochs: usize) -> f64 {
         self.latency
             .expected_latency(client, self.sample_counts[client], epochs)
+    }
+
+    /// Compute-drift multiplier of a client at its `round`-th dispatch
+    /// (1.0 when drift is disabled).
+    pub fn drift_factor(&self, client: usize, round: u64) -> f64 {
+        self.latency.drift_factor(client, round)
     }
 
     /// Ground-truth delay part of a client.
@@ -293,6 +394,109 @@ mod tests {
         let cfg = ClusterConfig::paper_large(1).with_part_sizes(vec![200, 100, 100, 50, 50]);
         let f = Fleet::new(&cfg, vec![40; 500]);
         assert_eq!(f.latency().part_sizes(), vec![200, 100, 100, 50, 50]);
+    }
+
+    #[test]
+    fn legacy_dropout_maps_to_an_infinite_interval() {
+        let f = fleet(50, 5, 3);
+        let victim = (0..50).find(|&c| f.dropout_time(c).is_some()).unwrap();
+        let t = f.dropout_time(victim).unwrap();
+        assert_eq!(f.next_down_time(victim, 0.0), Some(t));
+        assert_eq!(f.next_down_time(victim, t + 5.0), Some(t + 5.0));
+        assert_eq!(f.next_up_time(victim, t - 0.001), Some(t - 0.001));
+        assert_eq!(f.next_up_time(victim, t), None, "never returns");
+        let stable = (0..50).find(|&c| f.dropout_time(c).is_none()).unwrap();
+        assert_eq!(f.next_down_time(stable, 0.0), None);
+        assert_eq!(f.next_up_time(stable, 123.0), Some(123.0));
+    }
+
+    #[test]
+    fn flapping_clients_come_back() {
+        let cfg = ClusterConfig {
+            n_clients: 20,
+            n_unstable: 0,
+            churn: crate::churn::ChurnConfig {
+                flaps: Some(crate::churn::FlapSpec {
+                    fraction: 1.0,
+                    mean_up: 40.0,
+                    mean_down: 10.0,
+                    horizon: 300.0,
+                }),
+                ..Default::default()
+            },
+            ..ClusterConfig::paper_medium(9)
+        };
+        let f = Fleet::new(&cfg, vec![48; 20]);
+        let c = (0..20)
+            .find(|&c| f.next_down_time(c, 0.0).is_some())
+            .expect("everyone flaps");
+        let down = f.next_down_time(c, 0.0).unwrap();
+        assert!(!f.is_alive(c, down), "down at the interval start");
+        let up = f.next_up_time(c, down).expect("flaps are transient");
+        assert!(up > down);
+        assert!(f.is_alive(c, up), "alive again at the interval end");
+        assert_eq!(f.dropout_time(c), None, "a flap is not a dropout");
+        // Past the horizon the client stays up forever.
+        assert_eq!(f.next_down_time(c, 1e9), None);
+    }
+
+    #[test]
+    fn transitions_are_sorted_and_paired() {
+        let cfg = ClusterConfig {
+            n_clients: 10,
+            n_unstable: 2,
+            churn: crate::churn::ChurnConfig {
+                storms: Some(crate::churn::StormSpec {
+                    count: 1,
+                    cohort_fraction: 0.5,
+                    duration: 25.0,
+                    horizon: 100.0,
+                }),
+                ..Default::default()
+            },
+            ..ClusterConfig::paper_medium(4)
+        };
+        let f = Fleet::new(&cfg, vec![48; 10]);
+        let tx = f.availability_transitions();
+        assert!(tx.windows(2).all(|w| w[0].0 <= w[1].0), "time-sorted");
+        let downs = tx.iter().filter(|t| t.2).count();
+        let ups = tx.iter().filter(|t| !t.2).count();
+        // 2 permanent dropouts never come back; 5 storm victims do (any
+        // overlap between the two sets merges intervals, reducing counts).
+        assert!(downs >= ups);
+        assert!(ups >= 3);
+        // alive_into matches alive_at everywhere.
+        let mut buf = Vec::new();
+        for &(t, _, _) in &tx {
+            f.alive_into(t, &mut buf);
+            assert_eq!(buf, f.alive_at(t));
+        }
+    }
+
+    #[test]
+    fn churn_never_perturbs_the_legacy_draws() {
+        let quiet = fleet(100, 10, 7);
+        let mut cfg = ClusterConfig::paper_medium(7);
+        cfg.churn = crate::churn::ChurnConfig::storm_heavy();
+        let churned = Fleet::new(&cfg, vec![48; 100]);
+        for c in 0..100 {
+            // The legacy draws are unchanged: the same clients drop out
+            // permanently, and never later than their legacy time (an
+            // overlapping storm can only *extend* an outage backwards).
+            match quiet.dropout_time(c) {
+                Some(t) => {
+                    let t2 = churned.dropout_time(c).expect("still unstable");
+                    assert!(t2 <= t);
+                    assert_eq!(churned.next_up_time(c, t), None);
+                }
+                None => assert_eq!(churned.dropout_time(c), None),
+            }
+            assert_eq!(quiet.part_of(c), churned.part_of(c));
+            assert_eq!(
+                quiet.response_latency(c, 3, 2),
+                churned.response_latency(c, 3, 2)
+            );
+        }
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct LatencyModel {
     /// Seconds of compute per training sample per epoch.
     per_sample_cost: f64,
     seed: u64,
+    /// Per-client compute-drift rate (multiplier growth per dispatch
+    /// round); empty = no drift.
+    drift_rate: Vec<f64>,
+    /// Hard cap on the drift multiplier.
+    drift_cap: f64,
 }
 
 impl LatencyModel {
@@ -80,7 +85,32 @@ impl LatencyModel {
             assignment,
             per_sample_cost,
             seed,
+            drift_rate: Vec::new(),
+            drift_cap: 1.0,
         }
+    }
+
+    /// Enables compute drift: client `c`'s compute time is multiplied by
+    /// `min(1 + rates[c] * round, cap)` at its `round`-th dispatch.
+    ///
+    /// # Panics
+    /// Panics if `rates` doesn't cover every client.
+    pub fn set_drift(&mut self, rates: Vec<f64>, cap: f64) {
+        assert_eq!(
+            rates.len(),
+            self.assignment.len(),
+            "one drift rate per client required"
+        );
+        self.drift_rate = rates;
+        self.drift_cap = cap.max(1.0);
+    }
+
+    /// Compute-drift multiplier for `(client, round)`; 1.0 without drift.
+    pub fn drift_factor(&self, client: usize, round: u64) -> f64 {
+        if self.drift_rate.is_empty() {
+            return 1.0;
+        }
+        (1.0 + self.drift_rate[client] * round as f64).min(self.drift_cap)
     }
 
     /// The paper's default: five equal parts with the §6 delay ranges.
@@ -126,7 +156,9 @@ impl LatencyModel {
         self.per_sample_cost * n_samples as f64 * epochs as f64
     }
 
-    /// Full response latency for one round: compute + injected delay.
+    /// Full response latency for one round: (drifted) compute + injected
+    /// delay. The drift-free branch keeps the exact legacy float ops so
+    /// quiet configs stay bit-identical.
     pub fn response_latency(
         &self,
         client: usize,
@@ -134,7 +166,12 @@ impl LatencyModel {
         n_samples: usize,
         epochs: usize,
     ) -> f64 {
-        self.compute_time(n_samples, epochs) + self.injected_delay(client, round)
+        if self.drift_rate.is_empty() {
+            self.compute_time(n_samples, epochs) + self.injected_delay(client, round)
+        } else {
+            self.compute_time(n_samples, epochs) * self.drift_factor(client, round)
+                + self.injected_delay(client, round)
+        }
     }
 
     /// Expected response latency (used by profilers): compute + mean delay.
@@ -237,5 +274,22 @@ mod tests {
     #[should_panic(expected = "must sum")]
     fn bad_sizes_rejected() {
         let _ = LatencyModel::with_sizes(10, paper_delay_parts(), &[1, 1, 1, 1, 1], 0.01, 1);
+    }
+
+    #[test]
+    fn drift_slows_compute_but_not_the_profile() {
+        let mut m = LatencyModel::paper_default(10, 0.02, 1);
+        // Zero-delay part: response latency is pure compute.
+        let client = (0..10).find(|&c| m.part_of(c) == 0).unwrap();
+        let base = m.response_latency(client, 0, 50, 3);
+        let expected = m.expected_latency(client, 50, 3);
+        m.set_drift(vec![0.1; 10], 2.0);
+        assert_eq!(m.drift_factor(client, 0), 1.0);
+        assert_eq!(m.response_latency(client, 0, 50, 3), base);
+        assert!(m.response_latency(client, 5, 50, 3) > base);
+        // The multiplier is capped…
+        assert!((m.response_latency(client, 1000, 50, 3) - base * 2.0).abs() < 1e-9);
+        // …and the profile-time view never moves.
+        assert_eq!(m.expected_latency(client, 50, 3), expected);
     }
 }

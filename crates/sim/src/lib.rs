@@ -8,9 +8,14 @@
 //! exact testbed as a deterministic discrete-event simulation:
 //!
 //! * [`event`] — a seeded, tie-stable event queue over virtual seconds,
+//! * [`churn`] — availability scenarios beyond the paper's permanent
+//!   dropout: flaps, diurnal waves, correlated storms, compute drift,
+//! * [`fault`] — a time-ordered log of down/up transitions and server
+//!   fault-tolerance actions (timeouts, retries, quorum, re-tiers),
 //! * [`latency`] — the paper's delay-part model plus arbitrary tier-size
 //!   distributions (Fig. 10) and per-sample compute costs,
-//! * [`fleet`] — the client population: sizes, delay parts, dropout times,
+//! * [`fleet`] — the client population: sizes, delay parts, availability
+//!   (down intervals),
 //! * [`network`] — uplink/downlink byte accounting with cumulative history
 //!   (the x-axis of Fig. 4/5/7 and the numbers in Table 2),
 //! * [`runtime`] — the event loop driving an [`EventHandler`]
@@ -24,7 +29,9 @@
 //! experiment finish in seconds while preserving every time-to-accuracy
 //! ratio (the delays *are* the paper's workload model; see DESIGN.md §2).
 
+pub mod churn;
 pub mod event;
+pub mod fault;
 pub mod fleet;
 pub mod latency;
 pub mod network;
@@ -32,7 +39,9 @@ pub mod runtime;
 pub mod threaded;
 pub mod trace;
 
+pub use churn::{ChurnConfig, DiurnalSpec, DriftSpec, FlapSpec, StormSpec};
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultKind, FaultLog};
 pub use fleet::{ClusterConfig, Fleet};
 pub use latency::{DelayPart, LatencyModel};
 pub use network::TrafficMeter;

@@ -6,6 +6,7 @@
 //! and enforces safety limits.
 
 use crate::event::EventQueue;
+use crate::fault::{FaultEvent, FaultKind, FaultLog};
 use crate::fleet::Fleet;
 use crate::network::TrafficMeter;
 use fedat_tensor::rng::{rng_for, tags};
@@ -23,16 +24,27 @@ pub struct Completion {
     pub dropped: bool,
 }
 
+/// Everything the event loop can deliver: a dispatch/transfer completion or
+/// a caller-scheduled timer (deadlines, tier revivals, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    Completion(Completion),
+    Timer { tag: u64 },
+}
+
 /// Mutable simulation state shared with the handler during callbacks.
 pub struct SimCtx<'a> {
-    /// The client population (latency + dropout schedules).
+    /// The client population (latency + availability schedules).
     pub fleet: &'a Fleet,
     /// Traffic accounting; strategies charge uploads/downloads here.
     pub traffic: &'a mut TrafficMeter,
     /// Seeded RNG for client sampling decisions.
     pub rng: &'a mut StdRng,
+    /// Fault log; the runtime emits ground-truth down/up transitions here
+    /// and strategies record timeout/retry/quorum/re-tier decisions.
+    pub faults: &'a mut FaultLog,
     now: f64,
-    queue: &'a mut EventQueue<Completion>,
+    queue: &'a mut EventQueue<Event>,
     dispatch_counts: &'a mut [u64],
 }
 
@@ -80,30 +92,39 @@ impl SimCtx<'_> {
         let latency = self.fleet.response_latency(client, round, epochs)
             + self.fleet.transfer_time(transfer_bytes);
         let done_at = self.now + latency;
-        match self.fleet.dropout_time(client) {
-            Some(t_drop) if t_drop <= done_at => {
-                // A dropout stamped before `now` still completes *now* —
+        self.queue_completion(client, tag, done_at)
+    }
+
+    /// Queues a completion at `done_at`, unless the client goes offline
+    /// first — then a `dropped` completion fires at the outage start
+    /// instead (a mid-training flap loses the round even if the client
+    /// returns before `done_at`: local training state is gone). Returns
+    /// the queued event time.
+    fn queue_completion(&mut self, client: usize, tag: u64, done_at: f64) -> f64 {
+        match self.fleet.next_down_time(client, self.now) {
+            Some(t_down) if t_down <= done_at => {
+                // An outage stamped before `now` still completes *now* —
                 // virtual time never runs backwards. Return the same
                 // clamped instant the event is queued at.
-                let at = t_drop.max(self.now);
+                let at = t_down.max(self.now);
                 self.queue.push(
                     at,
-                    Completion {
+                    Event::Completion(Completion {
                         client,
                         tag,
                         dropped: true,
-                    },
+                    }),
                 );
                 at
             }
             _ => {
                 self.queue.push(
                     done_at,
-                    Completion {
+                    Event::Completion(Completion {
                         client,
                         tag,
                         dropped: false,
-                    },
+                    }),
                 );
                 done_at
             }
@@ -127,33 +148,16 @@ impl SimCtx<'_> {
     /// dropout time instead and the payload is lost.
     pub fn schedule_transfer(&mut self, client: usize, tag: u64, bytes: usize) -> f64 {
         let done_at = self.now + self.fleet.transfer_time(bytes);
-        match self.fleet.dropout_time(client) {
-            Some(t_drop) if t_drop <= done_at => {
-                // As in `dispatch_with_transfer`: a client that dropped
-                // before `now` loses the payload *now*, not in the past.
-                let at = t_drop.max(self.now);
-                self.queue.push(
-                    at,
-                    Completion {
-                        client,
-                        tag,
-                        dropped: true,
-                    },
-                );
-                at
-            }
-            _ => {
-                self.queue.push(
-                    done_at,
-                    Completion {
-                        client,
-                        tag,
-                        dropped: false,
-                    },
-                );
-                done_at
-            }
-        }
+        self.queue_completion(client, tag, done_at)
+    }
+
+    /// Schedules a timer that fires `on_timer(tag)` at `at` (clamped to
+    /// `now`). Timers carry no client and are never dropped; strategies
+    /// use them for dispatch deadlines and tier/client revivals.
+    pub fn schedule_timer(&mut self, at: f64, tag: u64) -> f64 {
+        let at = at.max(self.now);
+        self.queue.push(at, Event::Timer { tag });
+        at
     }
 }
 
@@ -164,6 +168,10 @@ pub trait EventHandler {
 
     /// Called for every completion, in virtual-time order.
     fn on_completion(&mut self, ctx: &mut SimCtx, completion: Completion);
+
+    /// Called when a timer scheduled via [`SimCtx::schedule_timer`] fires.
+    /// Default: ignore (handlers that schedule no timers never see one).
+    fn on_timer(&mut self, _ctx: &mut SimCtx, _tag: u64) {}
 
     /// When true, the run stops before processing further events.
     fn finished(&self) -> bool;
@@ -221,18 +229,55 @@ pub fn run(
     seed: u64,
     limits: RunLimits,
 ) -> SimReport {
+    run_logged(handler, fleet, seed, limits).0
+}
+
+/// Like [`run`], additionally returning the run's [`FaultLog`]: ground-truth
+/// down/up transitions emitted by the loop as virtual time passes them,
+/// interleaved with whatever the handler recorded via `ctx.faults`.
+pub fn run_logged(
+    handler: &mut dyn EventHandler,
+    fleet: &Fleet,
+    seed: u64,
+    limits: RunLimits,
+) -> (SimReport, FaultLog) {
     let mut queue = EventQueue::new();
     let mut traffic = TrafficMeter::new(fleet.len());
     let mut rng = rng_for(seed, tags::SAMPLING);
+    let mut faults = FaultLog::new();
     let mut dispatch_counts = vec![0u64; fleet.len()];
     let mut now = 0.0f64;
     let mut events = 0u64;
 
+    let transitions = fleet.availability_transitions();
+    let mut next_transition = 0usize;
+    let mut emit_transitions = |log: &mut FaultLog, upto: f64| {
+        while let Some(&(t, client, went_down)) = transitions.get(next_transition) {
+            if t > upto {
+                break;
+            }
+            log.record(FaultEvent {
+                time: t,
+                kind: if went_down {
+                    FaultKind::Down
+                } else {
+                    FaultKind::Up
+                },
+                client: Some(client),
+                tier: None,
+                detail: 0,
+            });
+            next_transition += 1;
+        }
+    };
+
+    emit_transitions(&mut faults, now);
     {
         let mut ctx = SimCtx {
             fleet,
             traffic: &mut traffic,
             rng: &mut rng,
+            faults: &mut faults,
             now,
             queue: &mut queue,
             dispatch_counts: &mut dispatch_counts,
@@ -244,7 +289,7 @@ pub fn run(
         if handler.finished() {
             break StopReason::Finished;
         }
-        let Some((t, completion)) = queue.pop() else {
+        let Some((t, event)) = queue.pop() else {
             break StopReason::Starved;
         };
         if t > limits.max_time || events >= limits.max_events {
@@ -252,22 +297,30 @@ pub fn run(
         }
         now = t;
         events += 1;
+        emit_transitions(&mut faults, now);
         let mut ctx = SimCtx {
             fleet,
             traffic: &mut traffic,
             rng: &mut rng,
+            faults: &mut faults,
             now,
             queue: &mut queue,
             dispatch_counts: &mut dispatch_counts,
         };
-        handler.on_completion(&mut ctx, completion);
+        match event {
+            Event::Completion(completion) => handler.on_completion(&mut ctx, completion),
+            Event::Timer { tag } => handler.on_timer(&mut ctx, tag),
+        }
     };
 
-    SimReport {
-        end_time: now,
-        events,
-        reason,
-    }
+    (
+        SimReport {
+            end_time: now,
+            events,
+            reason,
+        },
+        faults,
+    )
 }
 
 #[cfg(test)]
@@ -439,20 +492,166 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut traffic = TrafficMeter::new(fleet.len());
         let mut rng = rng_for(1, tags::SAMPLING);
+        let mut faults = FaultLog::new();
         let mut dispatch_counts = vec![0u64; fleet.len()];
         let mut ctx = SimCtx {
             fleet: &fleet,
             traffic: &mut traffic,
             rng: &mut rng,
+            faults: &mut faults,
             now,
             queue: &mut queue,
             dispatch_counts: &mut dispatch_counts,
         };
         let at = ctx.schedule_transfer(client, 0, 1_000);
         assert_eq!(at, now, "returned completion time lies in the past");
-        let (t, c) = queue.pop().expect("one completion queued");
+        let (t, ev) = queue.pop().expect("one completion queued");
         assert_eq!(t, at, "returned time must match the queued event time");
+        let Event::Completion(c) = ev else {
+            panic!("a transfer schedules a completion, got {ev:?}");
+        };
         assert!(c.dropped, "the payload must be lost to the dropout");
+    }
+
+    #[test]
+    fn timers_fire_in_time_order_and_count_as_events() {
+        let cfg = ClusterConfig::paper_medium(1).without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 100]);
+        struct Timed {
+            fired: Vec<(f64, u64)>,
+            completions: usize,
+        }
+        impl EventHandler for Timed {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                ctx.schedule_timer(5.0, 7);
+                ctx.schedule_timer(1.0, 3);
+                ctx.dispatch(0, 0, 1); // compute 0.1 s + zero delay (part 0 unknown)
+            }
+            fn on_completion(&mut self, _ctx: &mut SimCtx, _c: Completion) {
+                self.completions += 1;
+            }
+            fn on_timer(&mut self, ctx: &mut SimCtx, tag: u64) {
+                self.fired.push((ctx.now(), tag));
+            }
+            fn finished(&self) -> bool {
+                self.fired.len() == 2 && self.completions == 1
+            }
+        }
+        let mut h = Timed {
+            fired: Vec::new(),
+            completions: 0,
+        };
+        let report = run(&mut h, &fleet, 1, RunLimits::default());
+        assert_eq!(report.reason, StopReason::Finished);
+        assert_eq!(h.fired, vec![(1.0, 3), (5.0, 7)]);
+        assert_eq!(report.events, 3, "timers count toward the event total");
+    }
+
+    #[test]
+    fn past_timers_clamp_to_now() {
+        let cfg = ClusterConfig::paper_medium(1)
+            .without_dropouts()
+            .with_clients(10);
+        let fleet = Fleet::new(&cfg, vec![10; 10]);
+        struct Clamper {
+            fired_at: Option<f64>,
+            started: bool,
+        }
+        impl EventHandler for Clamper {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                ctx.dispatch(0, 0, 1);
+                self.started = true;
+            }
+            fn on_completion(&mut self, ctx: &mut SimCtx, _c: Completion) {
+                let at = ctx.schedule_timer(ctx.now() - 100.0, 1);
+                assert_eq!(at, ctx.now());
+            }
+            fn on_timer(&mut self, ctx: &mut SimCtx, _tag: u64) {
+                self.fired_at = Some(ctx.now());
+            }
+            fn finished(&self) -> bool {
+                self.fired_at.is_some()
+            }
+        }
+        let mut h = Clamper {
+            fired_at: None,
+            started: false,
+        };
+        let report = run(&mut h, &fleet, 1, RunLimits::default());
+        assert_eq!(report.reason, StopReason::Finished);
+        assert_eq!(h.fired_at, Some(report.end_time));
+    }
+
+    #[test]
+    fn flaps_drop_inflight_dispatches_and_are_logged() {
+        // Every client flaps constantly; long compute guarantees each
+        // dispatch crosses a down edge and comes back dropped.
+        let cfg = ClusterConfig {
+            n_clients: 8,
+            n_unstable: 0,
+            churn: crate::churn::ChurnConfig {
+                flaps: Some(crate::churn::FlapSpec {
+                    fraction: 1.0,
+                    mean_up: 4.0,
+                    mean_down: 2.0,
+                    horizon: 1000.0,
+                }),
+                ..Default::default()
+            },
+            ..ClusterConfig::paper_medium(13)
+        };
+        let fleet = Fleet::new(&cfg, vec![500; 8]); // 500×3×0.07 ≈ 105 s compute
+        struct DropWatch {
+            drops: usize,
+            done: usize,
+            started: bool,
+        }
+        impl EventHandler for DropWatch {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                for c in ctx.alive_clients() {
+                    ctx.dispatch(c, 0, 3);
+                }
+                self.started = true;
+            }
+            fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+                assert!(
+                    c.dropped || ctx.fleet.is_alive(c.client, ctx.now()),
+                    "a non-dropped completion landed while client {} was down",
+                    c.client
+                );
+                if c.dropped {
+                    self.drops += 1;
+                } else {
+                    self.done += 1;
+                }
+            }
+            fn finished(&self) -> bool {
+                self.started && self.drops + self.done == self.dispatched()
+            }
+        }
+        impl DropWatch {
+            fn dispatched(&self) -> usize {
+                8
+            }
+        }
+        let mut h = DropWatch {
+            drops: 0,
+            done: 0,
+            started: false,
+        };
+        let (report, faults) = run_logged(&mut h, &fleet, 3, RunLimits::default());
+        assert_eq!(report.reason, StopReason::Finished);
+        assert_eq!(
+            h.drops, 8,
+            "105 s of compute cannot survive 4 s up-stretches"
+        );
+        // Ground truth appears in the log, and every Down that happened
+        // before the end has been emitted in time order.
+        assert!(faults.count(crate::fault::FaultKind::Down) > 0);
+        assert!(faults.count(crate::fault::FaultKind::Up) > 0);
+        let times: Vec<f64> = faults.events().iter().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.last().copied().unwrap_or(0.0) <= report.end_time);
     }
 
     #[test]

@@ -1,10 +1,43 @@
 //! Property-based tests for the simulator substrate.
 
+use fedat_sim::churn::{ChurnConfig, FlapSpec, StormSpec};
 use fedat_sim::event::EventQueue;
 use fedat_sim::fleet::{ClusterConfig, Fleet};
 use fedat_sim::latency::{paper_delay_parts, DelayPart, LatencyModel};
+use fedat_sim::runtime::{run, Completion, EventHandler, RunLimits, SimCtx};
 use fedat_sim::trace::{Trace, TracePoint};
 use proptest::prelude::*;
+
+/// A load generator that keeps every client busy and records any completion
+/// that lands (non-dropped) while its client is inside a down interval.
+struct ChurnProbe {
+    violations: Vec<(usize, f64)>,
+    budget: usize,
+}
+
+impl EventHandler for ChurnProbe {
+    fn on_start(&mut self, ctx: &mut SimCtx) {
+        for c in ctx.alive_clients() {
+            ctx.dispatch(c, c as u64, 1);
+            self.budget = self.budget.saturating_sub(1);
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
+        let alive = ctx.fleet.is_alive(c.client, ctx.now());
+        if !c.dropped && !alive {
+            self.violations.push((c.client, ctx.now()));
+        }
+        if alive && self.budget > 0 {
+            ctx.dispatch(c.client, c.tag, 1);
+            self.budget -= 1;
+        }
+    }
+
+    fn finished(&self) -> bool {
+        false
+    }
+}
 
 proptest! {
     #[test]
@@ -95,6 +128,45 @@ proptest! {
         for p in &s.points {
             prop_assert!(p.accuracy >= lo - 1e-5 && p.accuracy <= hi + 1e-5);
         }
+    }
+
+    #[test]
+    fn completions_never_land_while_their_client_is_down(
+        seed in 0u64..200,
+        frac in 0.1f64..1.0,
+        mean_up in 20.0f64..200.0,
+        mean_down in 5.0f64..100.0,
+        storms in 0usize..3,
+        unstable in 0usize..8,
+    ) {
+        let churn = ChurnConfig {
+            flaps: Some(FlapSpec { fraction: frac, mean_up, mean_down, horizon: 2000.0 }),
+            storms: (storms > 0).then_some(StormSpec {
+                count: storms,
+                cohort_fraction: 0.5,
+                duration: 50.0,
+                horizon: 1500.0,
+            }),
+            ..ChurnConfig::default()
+        };
+        let n = 16;
+        let mut cfg = ClusterConfig::paper_medium(seed)
+            .with_clients(n)
+            .with_churn(churn);
+        cfg.n_unstable = unstable; // mix permanent dropouts into the flaps
+        let fleet = Fleet::new(&cfg, vec![40; n]);
+        let mut probe = ChurnProbe { violations: Vec::new(), budget: 600 };
+        run(
+            &mut probe,
+            &fleet,
+            seed,
+            RunLimits { max_time: 2000.0, max_events: 100_000 },
+        );
+        prop_assert!(
+            probe.violations.is_empty(),
+            "completions landed inside a down interval: {:?}",
+            probe.violations
+        );
     }
 
     #[test]

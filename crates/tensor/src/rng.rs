@@ -56,6 +56,14 @@ pub mod tags {
     pub const UNSTABLE: u64 = 8;
     /// Evaluation-subset sampling.
     pub const EVAL: u64 = 9;
+    /// Transient up/down flapping intervals (churn engine).
+    pub const CHURN_FLAPS: u64 = 10;
+    /// Diurnal availability waves (churn engine).
+    pub const CHURN_DIURNAL: u64 = 11;
+    /// Correlated dropout storms (churn engine).
+    pub const CHURN_STORM: u64 = 12;
+    /// Slow compute-drift rates (churn engine).
+    pub const CHURN_DRIFT: u64 = 13;
 }
 
 /// Samples a standard normal value via the Box–Muller transform.
