@@ -2,6 +2,7 @@
 
 use fedat_compress::codec::CodecKind;
 use fedat_sim::fleet::ClusterConfig;
+use serde::{Deserialize, Serialize};
 
 /// Which federated-learning method to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -80,7 +81,12 @@ impl OptimizerKind {
 /// Dynamic re-tiering policy: maintain an EWMA of observed response
 /// latencies and periodically re-partition tiers when enough clients have
 /// drifted out of place (cf. the one-shot [`crate::tiering::TierAssignment::profile`]).
-#[derive(Clone, Copy, Debug, PartialEq)]
+// `#[serde(default)]` so a config file may name only the fields it changes
+// — and so a policy added later can never turn an old file into a parse
+// error (`fedat-lint` rule R6 pins this for every deserializable config
+// struct in this module).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct RetierPolicy {
     /// EWMA smoothing factor for observed round-trip latencies, in `(0, 1]`.
     pub alpha: f64,
@@ -106,7 +112,8 @@ impl Default for RetierPolicy {
 /// re-tiering. The default (`deadline_multiplier: None`, `retier: None`)
 /// reproduces the legacy behavior bit-for-bit: no timers are ever
 /// scheduled.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct FaultPolicy {
     /// Deadline = multiplier × the dispatch group's nominal (expected)
     /// latency; `None` disables timeouts entirely.

@@ -24,7 +24,11 @@
 //! [`speculative_discards`] counts those for the perf accounting in
 //! `docs/PERF.md`.
 
+use fedat_tensor::ops::{AggKernel, NtKernel};
+use fedat_tensor::parallel::SpawnMode;
+use fedat_tensor::simd::SimdKernel;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 
 /// When client training actually executes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +110,230 @@ pub(crate) fn note_discard() {
     DISCARDS.fetch_add(1, Ordering::Relaxed);
 }
 
+// ----------------------------------------------------------------------
+// ToggleGuard: RAII discipline for the process-global toggles
+// ----------------------------------------------------------------------
+
+/// One toggle's restore bookkeeping: a stack of `(guard id, prior value)`
+/// entries, one per live [`ToggleGuard`] that touched the toggle.
+///
+/// Drop order is not guaranteed to mirror creation order (tests stash
+/// guards in collections, proptest shrinking reorders scopes), so a plain
+/// "restore my prior" drop can strand an intermediate value: with guards
+/// A(prior=default) then B(prior=A's value), dropping A before B would end
+/// at A's value, not the default. Instead, dropping a *non-top* entry
+/// bequeaths its prior to the entry pushed right after it; only dropping
+/// the *top* entry restores a value. Under any drop order the last guard
+/// standing therefore restores the value captured before the first guard —
+/// the process default. `toggle_guard.rs` proptests exactly this.
+struct RestoreStack<T: Copy> {
+    entries: Mutex<Vec<(u64, T)>>,
+}
+
+impl<T: Copy> RestoreStack<T> {
+    const fn new() -> Self {
+        RestoreStack {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a guard's captured prior value; returns its entry id.
+    fn push(&self, prior: T) -> u64 {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((id, prior));
+        id
+    }
+
+    /// Removes a guard's entry. `Some(prior)` means the entry was the top
+    /// of the stack and the caller must write `prior` back to the toggle;
+    /// `None` means a later guard is still live and inherited the prior.
+    fn pop(&self, id: u64) -> Option<T> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let i = entries.iter().position(|&(eid, _)| eid == id)?;
+        let (_, prior) = entries.remove(i);
+        if i == entries.len() {
+            Some(prior)
+        } else {
+            entries[i].1 = prior;
+            None
+        }
+    }
+}
+
+static EXEC_STACK: RestoreStack<ExecMode> = RestoreStack::new();
+static SIMD_STACK: RestoreStack<SimdKernel> = RestoreStack::new();
+static AGG_STACK: RestoreStack<AggKernel> = RestoreStack::new();
+static NT_STACK: RestoreStack<NtKernel> = RestoreStack::new();
+static PORTABLE_STACK: RestoreStack<bool> = RestoreStack::new();
+static THREADS_STACK: RestoreStack<usize> = RestoreStack::new();
+static POOL_JOBS_STACK: RestoreStack<usize> = RestoreStack::new();
+static SPAWN_STACK: RestoreStack<SpawnMode> = RestoreStack::new();
+
+/// RAII guard for the process-global execution toggles (`ExecMode`,
+/// `SimdKernel`, `AggKernel`, `NtKernel`, plus the portable-only, thread-
+/// count and pool-occupancy knobs): every mutation is captured and undone
+/// on drop, on every exit path including panics and proptest shrink
+/// failures.
+///
+/// This is the only sanctioned way for *tests* to mutate the toggles —
+/// `fedat-lint` rule R5 flags raw `set_exec_mode`/`set_simd_kernel`/
+/// `set_agg_kernel`/`set_nt_kernel` calls in test and library code, so a
+/// leaked toggle can no longer bleed into tests scheduled later in the
+/// same process (the bug class the old hand-rolled `entry_kernel = ...;
+/// restore` dance in every test existed to paper over).
+///
+/// A guard captures a toggle's prior value the *first* time it touches it;
+/// repeated mutations through the same guard re-point the toggle without
+/// growing the restore state, so sweep loops are cheap:
+///
+/// ```
+/// use fedat_core::exec::{ExecMode, ToggleGuard};
+/// use fedat_tensor::simd::SimdKernel;
+///
+/// let mut g = ToggleGuard::new();
+/// for mode in [ExecMode::Speculative, ExecMode::Inline] {
+///     g.exec(mode).simd(SimdKernel::Scalar);
+///     // ... run the scenario ...
+/// }
+/// drop(g); // everything back to the pre-guard values
+/// ```
+///
+/// Guards nest (each inner guard restores the outer guard's value) and may
+/// even be dropped out of order: the restore stacks guarantee that once
+/// *all* guards are gone every toggle is back at its pre-first-guard value
+/// (proptested in `crates/core/tests/toggle_guard.rs`).
+#[derive(Default)]
+pub struct ToggleGuard {
+    exec: Option<u64>,
+    simd: Option<u64>,
+    agg: Option<u64>,
+    nt: Option<u64>,
+    portable: Option<u64>,
+    threads: Option<u64>,
+    pool_jobs: Option<u64>,
+    spawn: Option<u64>,
+}
+
+impl ToggleGuard {
+    /// A guard holding nothing yet; toggles are captured as they are set.
+    pub fn new() -> Self {
+        ToggleGuard::default()
+    }
+
+    /// Sets the [`ExecMode`], restoring the prior mode on drop.
+    pub fn exec(&mut self, mode: ExecMode) -> &mut Self {
+        if self.exec.is_none() {
+            self.exec = Some(EXEC_STACK.push(exec_mode()));
+        }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
+        set_exec_mode(mode);
+        self
+    }
+
+    /// Sets the [`SimdKernel`], restoring the prior kernel on drop.
+    pub fn simd(&mut self, kernel: SimdKernel) -> &mut Self {
+        if self.simd.is_none() {
+            self.simd = Some(SIMD_STACK.push(fedat_tensor::simd::simd_kernel()));
+        }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
+        fedat_tensor::simd::set_simd_kernel(kernel);
+        self
+    }
+
+    /// Sets the [`AggKernel`], restoring the prior kernel on drop.
+    pub fn agg(&mut self, kernel: AggKernel) -> &mut Self {
+        if self.agg.is_none() {
+            self.agg = Some(AGG_STACK.push(fedat_tensor::ops::agg_kernel()));
+        }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
+        fedat_tensor::ops::set_agg_kernel(kernel);
+        self
+    }
+
+    /// Sets the [`NtKernel`], restoring the prior kernel on drop.
+    pub fn nt(&mut self, kernel: NtKernel) -> &mut Self {
+        if self.nt.is_none() {
+            self.nt = Some(NT_STACK.push(fedat_tensor::ops::nt_kernel()));
+        }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
+        fedat_tensor::ops::set_nt_kernel(kernel);
+        self
+    }
+
+    /// Forces (or releases) the portable SIMD fallback, restoring on drop.
+    pub fn portable_only(&mut self, portable: bool) -> &mut Self {
+        if self.portable.is_none() {
+            self.portable = Some(PORTABLE_STACK.push(fedat_tensor::simd::portable_only()));
+        }
+        fedat_tensor::simd::set_portable_only(portable);
+        self
+    }
+
+    /// Sets the fork-join band thread cap, restoring the prior cap on drop.
+    pub fn max_threads(&mut self, n: usize) -> &mut Self {
+        if self.threads.is_none() {
+            self.threads = Some(THREADS_STACK.push(fedat_tensor::parallel::max_threads()));
+        }
+        fedat_tensor::parallel::set_max_threads(n);
+        self
+    }
+
+    /// Sets the pool-occupancy cap for submitted jobs, restoring on drop.
+    pub fn max_pool_jobs(&mut self, cap: usize) -> &mut Self {
+        if self.pool_jobs.is_none() {
+            self.pool_jobs = Some(POOL_JOBS_STACK.push(fedat_tensor::pool::max_pool_jobs()));
+        }
+        fedat_tensor::pool::set_max_pool_jobs(cap);
+        self
+    }
+
+    /// Sets the fork-join [`SpawnMode`], restoring the prior mode on drop.
+    pub fn spawn_mode(&mut self, mode: SpawnMode) -> &mut Self {
+        if self.spawn.is_none() {
+            self.spawn = Some(SPAWN_STACK.push(fedat_tensor::parallel::spawn_mode()));
+        }
+        fedat_tensor::parallel::set_spawn_mode(mode);
+        self
+    }
+}
+
+impl Drop for ToggleGuard {
+    fn drop(&mut self) {
+        if let Some(prior) = self.exec.take().and_then(|id| EXEC_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
+            set_exec_mode(prior);
+        }
+        if let Some(prior) = self.simd.take().and_then(|id| SIMD_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
+            fedat_tensor::simd::set_simd_kernel(prior);
+        }
+        if let Some(prior) = self.agg.take().and_then(|id| AGG_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
+            fedat_tensor::ops::set_agg_kernel(prior);
+        }
+        if let Some(prior) = self.nt.take().and_then(|id| NT_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
+            fedat_tensor::ops::set_nt_kernel(prior);
+        }
+        if let Some(prior) = self.portable.take().and_then(|id| PORTABLE_STACK.pop(id)) {
+            fedat_tensor::simd::set_portable_only(prior);
+        }
+        if let Some(prior) = self.threads.take().and_then(|id| THREADS_STACK.pop(id)) {
+            fedat_tensor::parallel::set_max_threads(prior);
+        }
+        if let Some(prior) = self.pool_jobs.take().and_then(|id| POOL_JOBS_STACK.pop(id)) {
+            fedat_tensor::pool::set_max_pool_jobs(prior);
+        }
+        if let Some(prior) = self.spawn.take().and_then(|id| SPAWN_STACK.pop(id)) {
+            fedat_tensor::parallel::set_spawn_mode(prior);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,11 +341,27 @@ mod tests {
     #[test]
     fn toggle_round_trips() {
         let entry = exec_mode();
+        // lint: allow(R5, reason = "this test exercises the raw setter itself")
         set_exec_mode(ExecMode::Inline);
         assert_eq!(exec_mode(), ExecMode::Inline);
+        // lint: allow(R5, reason = "this test exercises the raw setter itself")
         set_exec_mode(ExecMode::Speculative);
         assert_eq!(exec_mode(), ExecMode::Speculative);
+        // lint: allow(R5, reason = "this test exercises the raw setter itself")
         set_exec_mode(entry);
+    }
+
+    #[test]
+    fn guard_restores_exec_mode() {
+        let entry = exec_mode();
+        {
+            let mut g = ToggleGuard::new();
+            g.exec(ExecMode::Inline);
+            assert_eq!(exec_mode(), ExecMode::Inline);
+            g.exec(ExecMode::Speculative);
+            assert_eq!(exec_mode(), ExecMode::Speculative);
+        }
+        assert_eq!(exec_mode(), entry);
     }
 
     #[test]

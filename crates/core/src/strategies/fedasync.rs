@@ -17,7 +17,7 @@ use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
 use fedat_tensor::ops::lerp_into;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// FedAsync server.
@@ -32,7 +32,9 @@ pub struct FedAsyncStrategy {
     alpha: f32,
     staleness: crate::staleness::StalenessFn,
     /// Global version at each in-flight client's dispatch (staleness base).
-    dispatch_version: HashMap<usize, u64>,
+    /// Ordered map: all accesses are keyed today, and `BTreeMap` keeps any
+    /// future iteration deterministic (lint rule R1).
+    dispatch_version: BTreeMap<usize, u64>,
     inflight: InflightTable,
     live_dispatches: usize,
     /// Revival timers in flight for flapped-out clients.
@@ -61,7 +63,7 @@ impl FedAsyncStrategy {
             core,
             alpha: cfg.fedasync_alpha,
             staleness: cfg.fedasync_staleness,
-            dispatch_version: HashMap::new(),
+            dispatch_version: BTreeMap::new(),
             inflight: InflightTable::new(),
             live_dispatches: 0,
             pending_revivals: 0,

@@ -23,7 +23,7 @@ use fedat_data::suite::FedTask;
 use fedat_sim::fault::{FaultEvent, FaultKind};
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::{Trace, TracePoint};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// High bit of a timer tag: marks revival wake-ups (a parked tier or a
@@ -293,17 +293,24 @@ struct Dispatch {
 /// event tag, so a completion or deadline timer arriving after the dispatch
 /// was cancelled (or after the client was re-dispatched under a new
 /// generation) resolves to nothing instead of corrupting round accounting.
+///
+/// Both maps are `BTreeMap`, not `HashMap`: every lookup here is keyed, but
+/// a future `.iter()` over a RandomState-seeded map would silently order
+/// server actions nondeterministically — the exact failure mode `fedat-lint`
+/// rule R1 guards against. The ordered map makes any future iteration
+/// deterministic by construction (and the keyed-op cost is identical at
+/// in-flight sizes of tens of entries).
 pub(crate) struct InflightTable {
-    by_client: HashMap<usize, Dispatch>,
-    client_of: HashMap<u64, usize>,
+    by_client: BTreeMap<usize, Dispatch>,
+    client_of: BTreeMap<u64, usize>,
     next_gen: u64,
 }
 
 impl InflightTable {
     pub fn new() -> Self {
         InflightTable {
-            by_client: HashMap::new(),
-            client_of: HashMap::new(),
+            by_client: BTreeMap::new(),
+            client_of: BTreeMap::new(),
             // Generations start at 1 and stay below REVIVE_BIT for any
             // conceivable run length, so tag namespaces never collide.
             next_gen: 1,

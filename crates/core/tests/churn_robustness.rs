@@ -174,7 +174,7 @@ fn fedat_with_timeouts_rides_out_a_storm_without_stalling() {
 /// observable.
 #[test]
 fn timeout_paths_are_bit_identical_across_exec_modes_and_workers() {
-    use fedat_core::exec::{exec_mode, set_exec_mode, ExecMode};
+    use fedat_core::exec::{ExecMode, ToggleGuard};
     use fedat_tensor::pool;
     let _exec_guard = EXEC_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     pool::ensure_workers(8);
@@ -184,15 +184,10 @@ fn timeout_paths_are_bit_identical_across_exec_modes_and_workers() {
     let mut cfg = robust_cfg(60, 41, stormy_cluster(n, 41));
     cfg.max_time = 15_000.0;
 
-    let entry_mode = exec_mode();
-    let entry_cap = pool::max_pool_jobs();
     let run_with = |mode: ExecMode, workers: usize| {
-        set_exec_mode(mode);
-        pool::set_max_pool_jobs(workers - 1);
-        let out = fedat_core::run_experiment(&task, &cfg);
-        pool::set_max_pool_jobs(entry_cap);
-        set_exec_mode(entry_mode);
-        out
+        let mut g = ToggleGuard::new();
+        g.exec(mode).max_pool_jobs(workers - 1);
+        fedat_core::run_experiment(&task, &cfg)
     };
 
     let base = run_with(ExecMode::Speculative, 8);

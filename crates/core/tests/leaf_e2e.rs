@@ -6,12 +6,12 @@
 //! extending the sweep contract of `strategy_behavior.rs` from synthetic
 //! tasks to the disk-loaded natural-partition path.
 
-use fedat_core::exec::{exec_mode, set_exec_mode, ExecMode};
+use fedat_core::exec::{ExecMode, ToggleGuard};
 use fedat_core::prelude::*;
 use fedat_data::leaf::{writer, LeafBenchmark};
 use fedat_data::suite::FedTask;
 use fedat_sim::fleet::ClusterConfig;
-use fedat_tensor::simd::{set_simd_kernel, simd_kernel, SimdKernel};
+use fedat_tensor::simd::SimdKernel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -66,15 +66,10 @@ fn leaf_loaded_fedat_run_is_bit_identical_across_exec_and_simd_modes() {
         .cluster(cluster)
         .build();
 
-    let entry_mode = exec_mode();
-    let entry_kernel = simd_kernel();
     let run_with = |mode: ExecMode, kernel: SimdKernel| {
-        set_exec_mode(mode);
-        set_simd_kernel(kernel);
-        let out = run_experiment_shared(&task, &cfg);
-        set_simd_kernel(entry_kernel);
-        set_exec_mode(entry_mode);
-        out
+        let mut g = ToggleGuard::new();
+        g.exec(mode).simd(kernel);
+        run_experiment_shared(&task, &cfg)
     };
 
     let base = run_with(ExecMode::Speculative, SimdKernel::Auto);

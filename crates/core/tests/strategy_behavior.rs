@@ -261,20 +261,17 @@ fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
     // counts; neither can change a bit because training jobs are pure and
     // virtual time never observes where they ran.
     {
-        use fedat_core::exec::{exec_mode, set_exec_mode, ExecMode};
+        use fedat_core::exec::{ExecMode, ToggleGuard};
         use fedat_tensor::pool;
         let _exec_guard = EXEC_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         pool::ensure_workers(8);
-        let entry_mode = exec_mode();
-        let entry_cap = pool::max_pool_jobs();
         for mode in [ExecMode::Speculative, ExecMode::Inline] {
             for workers in [1usize, 2, 4, 8] {
-                set_exec_mode(mode);
+                let mut g = ToggleGuard::new();
                 // "W workers" = the joining main thread + W−1 pool helpers.
-                pool::set_max_pool_jobs(workers - 1);
+                g.exec(mode).max_pool_jobs(workers - 1);
                 let out = run_at(1);
-                pool::set_max_pool_jobs(entry_cap);
-                set_exec_mode(entry_mode);
+                drop(g);
                 assert_eq!(
                     out.final_weights, base.final_weights,
                     "final weights diverged under {mode:?} with {workers} workers"
@@ -295,15 +292,16 @@ fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
         }
     }
     // The SIMD micro-kernel layer must be equally invisible: the whole
-    // trace is pinned under the forced-scalar kernel too. Restore the
-    // entry kernel afterwards (not a hard-coded Auto) so the
+    // trace is pinned under the forced-scalar kernel too. The guard
+    // restores the entry kernel (not a hard-coded Auto) so the
     // FEDAT_SIMD=scalar CI lane keeps its scalar coverage for tests
     // scheduled after this one.
-    use fedat_tensor::simd::{set_simd_kernel, simd_kernel, SimdKernel};
-    let entry_kernel = simd_kernel();
-    set_simd_kernel(SimdKernel::Scalar);
-    let scalar = run_at(1);
-    set_simd_kernel(entry_kernel);
+    use fedat_tensor::simd::SimdKernel;
+    let scalar = {
+        let mut g = fedat_core::exec::ToggleGuard::new();
+        g.simd(SimdKernel::Scalar);
+        run_at(1)
+    };
     assert_eq!(
         scalar.final_weights, base.final_weights,
         "final weights diverged under SimdKernel::Scalar"
@@ -330,7 +328,7 @@ fn speculative_dropout_discards_are_trace_invisible() {
     // client unstable over a horizon shorter than the run, so both
     // mid-compute and mid-upload losses occur (dispatches outlive their
     // clients while uploads race the dropout clock).
-    use fedat_core::exec::{exec_mode, set_exec_mode, speculative_discards, ExecMode};
+    use fedat_core::exec::{speculative_discards, ExecMode, ToggleGuard};
     use fedat_tensor::pool;
     let _exec_guard = EXEC_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     pool::ensure_workers(4);
@@ -342,12 +340,10 @@ fn speculative_dropout_discards_are_trace_invisible() {
     let mut c = cfg(StrategyKind::FedAt, 200, 29, cluster);
     c.max_time = 2000.0;
     c.eval_every = 10;
-    let entry_mode = exec_mode();
     let run_with = |mode: ExecMode| {
-        set_exec_mode(mode);
-        let out = fedat_core::run_experiment(&task, &c);
-        set_exec_mode(entry_mode);
-        out
+        let mut g = ToggleGuard::new();
+        g.exec(mode);
+        fedat_core::run_experiment(&task, &c)
     };
     let discards_before = speculative_discards();
     let spec = run_with(ExecMode::Speculative);
@@ -381,22 +377,18 @@ fn fedasync_mixing_is_bit_identical_across_simd_and_threads() {
     // arrival) runs sharded on the kernel pool with the vectorized inner
     // loop: neither the SIMD kernel nor the thread count may change a bit
     // of the trace or the final model.
-    use fedat_tensor::parallel;
-    use fedat_tensor::simd::{set_simd_kernel, simd_kernel, SimdKernel};
+    use fedat_core::exec::ToggleGuard;
+    use fedat_tensor::simd::SimdKernel;
     let n = 12;
     let task = suite::sent140_like(n, 31);
     let cluster = ClusterConfig::paper_medium(31)
         .with_clients(n)
         .without_dropouts();
     let c = cfg(StrategyKind::FedAsync, 20, 31, cluster);
-    let entry_kernel = simd_kernel();
     let run_with = |kernel: SimdKernel, threads: usize| {
-        set_simd_kernel(kernel);
-        parallel::set_max_threads(threads);
-        let out = fedat_core::run_experiment(&task, &c);
-        parallel::set_max_threads(1);
-        set_simd_kernel(entry_kernel);
-        out
+        let mut g = ToggleGuard::new();
+        g.simd(kernel).max_threads(threads);
+        fedat_core::run_experiment(&task, &c)
     };
     let base = run_with(SimdKernel::Auto, 1);
     assert!(!base.trace.points.is_empty());

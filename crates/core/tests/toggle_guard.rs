@@ -1,0 +1,195 @@
+//! Property tests for [`fedat_core::exec::ToggleGuard`]: under *any*
+//! interleaving of guard creation, toggle mutation, and guard drop — LIFO
+//! nesting, FIFO draining, or arbitrary shuffles — once every guard is
+//! gone, every process-global toggle is back at its pre-first-guard value.
+//!
+//! This is the contract that lets `fedat-lint` rule R5 forbid raw toggle
+//! setters in tests: a guard can be stashed in a collection, dropped by a
+//! panicking proptest shrink, or released in whatever order the test finds
+//! convenient, and the process defaults still survive.
+
+use fedat_core::exec::{exec_mode, ExecMode, ToggleGuard};
+use fedat_tensor::ops::{agg_kernel, nt_kernel, AggKernel, NtKernel};
+use fedat_tensor::parallel::max_threads;
+use fedat_tensor::pool::max_pool_jobs;
+use fedat_tensor::simd::{portable_only, simd_kernel, SimdKernel};
+use proptest::prelude::*;
+
+/// Serializes every test in this binary: they all mutate and then assert
+/// on the same process-global toggles.
+static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Snapshot of every toggle the guard manages (spawn mode is covered by
+/// the deterministic test below; it stays at its default here so the
+/// proptest can't leave the pool in scoped-spawn mode on failure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Snapshot {
+    exec: ExecMode,
+    simd: SimdKernel,
+    agg: AggKernel,
+    nt: NtKernel,
+    portable: bool,
+    threads: usize,
+    pool_jobs: usize,
+}
+
+fn snapshot() -> Snapshot {
+    Snapshot {
+        exec: exec_mode(),
+        simd: simd_kernel(),
+        agg: agg_kernel(),
+        nt: nt_kernel(),
+        portable: portable_only(),
+        threads: max_threads(),
+        pool_jobs: max_pool_jobs(),
+    }
+}
+
+/// One step of the guard workout. Indices are taken modulo the number of
+/// live guards (or guard slots), so every generated sequence is valid.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Create,
+    SetExec(usize, bool),
+    SetSimd(usize, bool),
+    SetAgg(usize, bool),
+    SetNt(usize, bool),
+    SetPortable(usize, bool),
+    SetThreads(usize, usize),
+    SetPoolJobs(usize, usize),
+    Drop(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Tagged-tuple encoding (the vendored proptest has no `prop_oneof`):
+    // two tags apiece for Create and Drop so interleavings stay lively.
+    (0u8..11, any::<usize>(), 0usize..8, any::<bool>()).prop_map(|(tag, i, n, b)| match tag {
+        0 | 1 => Op::Create,
+        2 => Op::SetExec(i, b),
+        3 => Op::SetSimd(i, b),
+        4 => Op::SetAgg(i, b),
+        5 => Op::SetNt(i, b),
+        6 => Op::SetPortable(i, b),
+        7 => Op::SetThreads(i, n + 1),
+        8 => Op::SetPoolJobs(i, n),
+        _ => Op::Drop(i),
+    })
+}
+
+proptest! {
+    #[test]
+    fn any_interleaving_of_guards_restores_every_toggle(
+        ops in prop::collection::vec(op_strategy(), 1..40)
+    ) {
+        let _lock = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = snapshot();
+        let mut guards: Vec<ToggleGuard> = Vec::new();
+        for op in ops {
+            let live = guards.len();
+            match op {
+                Op::Create => guards.push(ToggleGuard::new()),
+                Op::Drop(i) if live > 0 => {
+                    guards.swap_remove(i % live);
+                }
+                Op::Drop(_) => {}
+                _ if live == 0 => {}
+                Op::SetExec(i, b) => {
+                    guards[i % live].exec(if b { ExecMode::Inline } else { ExecMode::Speculative });
+                }
+                Op::SetSimd(i, b) => {
+                    guards[i % live].simd(if b { SimdKernel::Scalar } else { SimdKernel::Auto });
+                }
+                Op::SetAgg(i, b) => {
+                    guards[i % live].agg(if b {
+                        AggKernel::FusedSerial
+                    } else {
+                        AggKernel::ShardedAxpy
+                    });
+                }
+                Op::SetNt(i, b) => {
+                    guards[i % live].nt(if b {
+                        NtKernel::DotProduct
+                    } else {
+                        NtKernel::TransposedScratch
+                    });
+                }
+                Op::SetPortable(i, b) => {
+                    guards[i % live].portable_only(b);
+                }
+                Op::SetThreads(i, n) => {
+                    guards[i % live].max_threads(n);
+                }
+                Op::SetPoolJobs(i, n) => {
+                    guards[i % live].max_pool_jobs(n);
+                }
+            }
+        }
+        // `swap_remove` above already dropped guards in arbitrary order
+        // relative to creation; this drops the survivors newest-first.
+        guards.clear();
+        prop_assert_eq!(snapshot(), entry, "a toggle leaked past the last guard");
+    }
+}
+
+/// The specific hazard the restore stacks exist for: dropping an *outer*
+/// guard before an *inner* one must not resurrect the outer guard's value.
+#[test]
+fn out_of_order_drop_restores_the_process_default() {
+    let _lock = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let entry = exec_mode();
+    let flipped = match entry {
+        ExecMode::Speculative => ExecMode::Inline,
+        ExecMode::Inline => ExecMode::Speculative,
+    };
+
+    let mut a = ToggleGuard::new();
+    a.exec(flipped);
+    let mut b = ToggleGuard::new();
+    b.exec(entry);
+    assert_eq!(exec_mode(), entry);
+    // Outer guard first: b inherits a's prior (the true entry value)…
+    drop(a);
+    assert_eq!(
+        exec_mode(),
+        entry,
+        "dropping the outer guard moved the toggle"
+    );
+    // …so the last guard standing restores the entry value, not `flipped`.
+    drop(b);
+    assert_eq!(exec_mode(), entry, "stranded the intermediate value");
+}
+
+/// Spawn-mode coverage (kept out of the proptest so a failure there can
+/// never leave the whole binary running in scoped-spawn mode).
+#[test]
+fn spawn_mode_round_trips_through_a_guard() {
+    use fedat_tensor::parallel::{spawn_mode, SpawnMode};
+    let _lock = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let entry = spawn_mode();
+    {
+        let mut g = ToggleGuard::new();
+        g.spawn_mode(SpawnMode::ScopedSpawn);
+        assert_eq!(spawn_mode(), SpawnMode::ScopedSpawn);
+        g.spawn_mode(SpawnMode::PersistentPool);
+    }
+    assert_eq!(spawn_mode(), entry);
+}
+
+/// A guard that sets the same toggle many times still restores the value
+/// captured at its *first* touch, not any intermediate one.
+#[test]
+fn repeated_sets_through_one_guard_restore_the_first_prior() {
+    let _lock = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let entry = snapshot();
+    {
+        let mut g = ToggleGuard::new();
+        for n in 1..=8 {
+            g.max_threads(n).simd(if n % 2 == 0 {
+                SimdKernel::Scalar
+            } else {
+                SimdKernel::Auto
+            });
+        }
+    }
+    assert_eq!(snapshot(), entry);
+}

@@ -1,0 +1,29 @@
+//! `fedat-lint` binary: scan the workspace, print findings, write
+//! `LINT_REPORT.json` at the workspace root, exit non-zero on violations.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => fedat_lint::workspace_root(),
+    };
+    let report = match fedat_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fedat-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    let json_path = root.join("LINT_REPORT.json");
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("fedat-lint: failed to write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

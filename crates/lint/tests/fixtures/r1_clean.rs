@@ -1,0 +1,12 @@
+//! R1 fixture: ordered containers keep aggregation order pinned.
+//! A doc-comment mention of HashMap must not trip the rule, and neither
+//! must a string literal: "HashMap".
+use std::collections::BTreeMap;
+
+pub struct InflightTable {
+    pub by_version: BTreeMap<u64, Vec<f32>>,
+}
+
+pub fn label() -> &'static str {
+    "prefer BTreeMap over HashMap"
+}

@@ -1,0 +1,4 @@
+//! R1 fixture: an acknowledged exception with an audited reason.
+
+// lint: allow(R1, reason = "diagnostic cache; never iterated during aggregation")
+pub type DiagCache = std::collections::HashMap<u64, String>;

@@ -1,0 +1,6 @@
+//! R1 fixture: RandomState-ordered containers in library code.
+use std::collections::HashMap;
+
+pub struct InflightTable {
+    pub by_version: HashMap<u64, Vec<f32>>,
+}

@@ -1,0 +1,12 @@
+//! R2 fixture: two-rounding-step arithmetic matches the scalar reference.
+//! Mentioning mul_add in a comment is fine; defining one is fine too.
+
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = a * xi + *yi;
+    }
+}
+
+pub trait MulAdd {
+    fn mul_add(self, a: f32, b: f32) -> f32;
+}

@@ -1,0 +1,8 @@
+//! R2 fixture: an acknowledged fused site with an audited reason.
+
+pub fn horner(c: &[f32], x: f32) -> f32 {
+    c.iter().rev().fold(0.0f32, |acc, &ci| {
+        // lint: allow(R2, reason = "fixture: pretend this polynomial is not on the pinned path")
+        acc.mul_add(x, ci)
+    })
+}

@@ -1,0 +1,13 @@
+//! R2 fixture: fused multiply-add outside the pinned-lane sanctuary.
+
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(a, *yi);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub unsafe fn lane(acc: core::arch::x86_64::__m256, a: core::arch::x86_64::__m256) {
+    // SAFETY: fixture text only.
+    let _ = core::arch::x86_64::_mm256_fmadd_ps(acc, a, acc);
+}

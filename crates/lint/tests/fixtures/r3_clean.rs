@@ -1,0 +1,21 @@
+//! R3 fixture: every unsafe carries its invariant, even across attribute
+//! lines and rustfmt-split assignments.
+
+pub fn head(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: asserted non-empty above, so index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+// SAFETY: requires AVX2 — callers dispatch through a runtime feature check.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn lane_sum(_x: &[f32]) {}
+
+pub fn split_assignment(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: asserted non-empty above; the comment covers the whole RHS.
+    let value =
+        unsafe { *xs.get_unchecked(0) };
+    value
+}

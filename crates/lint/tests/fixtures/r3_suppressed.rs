@@ -1,0 +1,6 @@
+//! R3 fixture: a suppression is accepted, though SAFETY is the better fix.
+
+pub fn head(xs: &[f32]) -> f32 {
+    // lint: allow(R3, reason = "fixture: migration stopgap tracked in the audit log")
+    unsafe { *xs.get_unchecked(0) }
+}

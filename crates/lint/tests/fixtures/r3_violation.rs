@@ -1,0 +1,5 @@
+//! R3 fixture: unsafe without a SAFETY rationale.
+
+pub fn head(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! R4 fixture: simulated time from the event queue; Duration values are
+//! fine — only clock *reads* and ad-hoc spawns are banned.
+use std::time::Duration;
+
+pub fn horizon(rounds: u64, per_round: Duration) -> Duration {
+    per_round * rounds as u32
+}

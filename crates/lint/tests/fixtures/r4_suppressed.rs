@@ -1,0 +1,8 @@
+//! R4 fixture: a sanctioned real-thread site with an audited reason.
+
+pub fn demo() {
+    // lint: allow(R4, reason = "fixture: demonstration harness, feeds no pinned trace")
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}

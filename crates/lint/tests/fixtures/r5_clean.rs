@@ -1,0 +1,15 @@
+//! R5 fixture: toggles flow through the RAII guard; importing a setter or
+//! defining one is fine — only raw *calls* are flagged.
+use fedat_core::exec::ToggleGuard;
+use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
+
+pub fn set_exec_mode(_mode: u8) {
+    // a same-named local definition is not a raw call
+}
+
+#[test]
+fn scalar_matches_auto() {
+    let mut g = ToggleGuard::new();
+    g.simd(SimdKernel::Scalar);
+    // guard drop restores the prior kernel on every exit path
+}

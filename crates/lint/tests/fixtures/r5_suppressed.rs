@@ -1,0 +1,8 @@
+//! R5 fixture: the setter's own test suite may call it raw, with a reason.
+use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
+
+#[test]
+fn raw_setter_round_trips() {
+    // lint: allow(R5, reason = "fixture: this test exercises the raw setter itself")
+    set_simd_kernel(SimdKernel::Auto);
+}

@@ -1,0 +1,9 @@
+//! R5 fixture: raw toggle mutators leak state into later tests.
+use fedat_tensor::simd::{set_simd_kernel, SimdKernel};
+
+#[test]
+fn scalar_matches_auto() {
+    set_simd_kernel(SimdKernel::Scalar);
+    // ... if the assertion below panics, the toggle never resets ...
+    set_simd_kernel(SimdKernel::Auto);
+}

@@ -1,0 +1,26 @@
+//! R6 fixture: container-level serde(default) keeps old configs loading;
+//! enums and serde-free structs are out of scope.
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RetierPolicy {
+    pub interval: u64,
+}
+
+impl Default for RetierPolicy {
+    fn default() -> Self {
+        Self { interval: 10 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Strategy {
+    FedAvg,
+    FedAsync,
+}
+
+#[derive(Clone, Debug)]
+pub struct NotSerialized {
+    pub scratch: Vec<f32>,
+}

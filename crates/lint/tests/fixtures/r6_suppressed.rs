@@ -1,0 +1,8 @@
+//! R6 fixture: a struct that genuinely wants strict parsing, acknowledged.
+use serde::Deserialize;
+
+// lint: allow(R6, reason = "fixture: strict parse is intentional; missing fields must error")
+#[derive(Clone, Debug, Deserialize)]
+pub struct StrictHeader {
+    pub magic: u32,
+}

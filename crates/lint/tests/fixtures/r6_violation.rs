@@ -1,0 +1,7 @@
+//! R6 fixture: a Deserialize config struct with no container default.
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RetierPolicy {
+    pub interval: u64,
+}

@@ -1,0 +1,37 @@
+//! The lint gate: `cargo test` fails if the workspace violates the
+//! bit-identity contract's static rules. This is the same scan the
+//! `fedat-lint` binary and the CI lint lane run.
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = fedat_lint::workspace_root();
+    let report = fedat_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files found under {}",
+        report.files_scanned,
+        root.display()
+    );
+    assert!(
+        report.findings.is_empty(),
+        "fedat-lint found determinism-contract violations:\n{}\nFix the code, or — for an \
+         audited exception — add `// lint: allow(RX, reason = \"..\")` above the line \
+         (see docs/LINTS.md).",
+        report.render_text()
+    );
+}
+
+#[test]
+fn every_suppression_in_the_workspace_carries_a_reason() {
+    let root = fedat_lint::workspace_root();
+    let report = fedat_lint::lint_workspace(&root).expect("workspace scan");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{} suppresses {} with an empty reason",
+            s.file,
+            s.line,
+            s.rule
+        );
+    }
+}

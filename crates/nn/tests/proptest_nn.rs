@@ -161,10 +161,8 @@ fn training_is_bit_identical_across_simd_kernels() {
     // End-to-end pin for the rewired nn sweeps (activations, dropout,
     // loss, optimizer steps) on both model families: forcing the scalar
     // kernel must reproduce the Auto weights bit-for-bit.
-    use fedat_tensor::simd::{set_simd_kernel, simd_kernel, SimdKernel};
-    // Restore the entry kernel after each run (not a hard-coded Auto) so
-    // the FEDAT_SIMD=scalar CI lane keeps its coverage for later tests.
-    let entry_kernel = simd_kernel();
+    use fedat_core::exec::ToggleGuard;
+    use fedat_tensor::simd::SimdKernel;
     let specs = [
         ModelSpec::Mlp {
             input: 10,
@@ -180,7 +178,11 @@ fn training_is_bit_identical_across_simd_kernels() {
     ];
     for spec in specs {
         let run = |kernel: SimdKernel| {
-            set_simd_kernel(kernel);
+            // The guard restores the entry kernel after each run (not a
+            // hard-coded Auto) so the FEDAT_SIMD=scalar CI lane keeps its
+            // coverage for later tests.
+            let mut g = ToggleGuard::new();
+            g.simd(kernel);
             let mut m = spec.build(11);
             let mut rng = rng_for(6, 6);
             let feat = match spec {
@@ -205,7 +207,6 @@ fn training_is_bit_identical_across_simd_kernels() {
             for _ in 0..3 {
                 m.train_batch(&x, &y, &mut sgd, None);
             }
-            set_simd_kernel(entry_kernel);
             m.weights()
         };
         let auto = run(SimdKernel::Auto);

@@ -40,12 +40,14 @@ where
     F: Fn(usize, u64) + Sync,
 {
     let (tx, rx) = unbounded::<(usize, u64)>();
+    // lint: allow(R4, reason = "this module exists to demonstrate real concurrent tiers against the deterministic event-driven simulator; nothing here feeds a pinned trace")
     std::thread::scope(|scope| {
         for (tier_id, spec) in tiers.iter().enumerate() {
             let tx = tx.clone();
             let step = &step;
             scope.spawn(move || {
                 for round in 0..spec.rounds {
+                    // lint: allow(R4, reason = "real latency is the point of the threaded demonstration harness")
                     std::thread::sleep(spec.round_latency);
                     step(tier_id, round);
                     tx.send((tier_id, round)).expect("collector alive");

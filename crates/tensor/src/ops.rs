@@ -551,9 +551,14 @@ mod tests {
             .collect();
         let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
         let weights: Vec<f32> = (0..40).map(|i| (i as f32 + 1.0) / 820.0).collect();
+        // In-crate unit test: `ToggleGuard` lives in fedat-core, whose
+        // fedat-tensor is a different instance than this `lib test` build,
+        // so the manual set/restore is the only correct form here.
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_agg_kernel(AggKernel::FusedSerial);
         let mut fused = vec![0.0f32; dim];
         weighted_sum_into(&refs, &weights, &mut fused);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_agg_kernel(AggKernel::ShardedAxpy);
         for threads in [1, 4] {
             parallel::set_max_threads(threads);

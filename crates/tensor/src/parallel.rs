@@ -96,6 +96,7 @@ fn run_region(chunks: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     match spawn_mode() {
         SpawnMode::PersistentPool => pool::run_tasks(chunks, threads - 1, task),
         SpawnMode::ScopedSpawn => {
+            // lint: allow(R4, reason = "the scoped-spawn baseline mode is the measured pre-pool reference; threads never touch simulator state")
             std::thread::scope(|scope| {
                 for t in 0..chunks {
                     scope.spawn(move || task(t));

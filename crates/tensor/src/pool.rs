@@ -92,9 +92,12 @@ struct Batch {
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-// The raw closure pointer is only dereferenced while the caller's barrier
-// holds the underlying borrow alive, and the closure itself is `Sync`.
+// SAFETY: the raw closure pointer is only dereferenced while the caller's
+// barrier holds the underlying borrow alive, and the closure itself is
+// `Sync`; every other field is already `Send`.
 unsafe impl Send for Batch {}
+// SAFETY: shared access is safe for the same reason — `func` is only read
+// through a `&(dyn Fn + Sync)`, and all mutable state is atomic or locked.
 unsafe impl Sync for Batch {}
 
 impl Batch {
@@ -321,6 +324,7 @@ where
 /// speculative jobs from one run cannot contaminate the next measurement.
 pub fn quiesce() {
     while POOL_JOBS.load(Ordering::Acquire) > 0 {
+        // lint: allow(R4, reason = "quiesce is a between-measurements barrier for the wall-clock benches; the backoff never feeds simulated time")
         std::thread::sleep(std::time::Duration::from_micros(50));
     }
 }
@@ -338,6 +342,7 @@ struct Pool {
 static POOL: OnceLock<Pool> = OnceLock::new();
 
 fn spawn_worker(index: usize, rx: crossbeam::channel::Receiver<Message>) {
+    // lint: allow(R4, reason = "the kernel pool is the one sanctioned home of real threads; workers never touch simulator state or wall-clock time")
     std::thread::Builder::new()
         .name(format!("fedat-kernel-{index}"))
         .spawn(move || {

@@ -119,6 +119,12 @@ pub fn set_portable_only(portable: bool) {
     PORTABLE_ONLY.store(portable as u8, Ordering::Relaxed);
 }
 
+/// Whether the portable-fallback override is in force (restore hook for
+/// `fedat_core::exec::ToggleGuard`).
+pub fn portable_only() -> bool {
+    PORTABLE_ONLY.load(Ordering::Relaxed) != 0
+}
+
 #[cfg(target_arch = "x86_64")]
 fn avx2_available() -> bool {
     static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
@@ -170,6 +176,10 @@ macro_rules! dispatch_elementwise {
     ($scalar:expr, $avx2:expr) => {
         match active() {
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `active()` returns `Avx2` only when `avx2_available()`
+            // confirmed AVX2+FMA at runtime, which is each `avx2::*` fn's
+            // sole `#[target_feature]` precondition; slice-length contracts
+            // are asserted by the public wrapper before dispatch.
             Backend::Avx2 => unsafe { $avx2 },
             _ => $scalar,
         }
@@ -352,6 +362,9 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
     match active() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` returns `Avx2` only after `avx2_available()`
+        // confirmed the target features at runtime; equal lengths are
+        // asserted above.
         Backend::Avx2 => unsafe { avx2::dot(x, y) },
         _ => scalar::dot(x, y),
     }
@@ -366,6 +379,9 @@ pub fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dist_sq length mismatch");
     match active() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` returns `Avx2` only after `avx2_available()`
+        // confirmed the target features at runtime; equal lengths are
+        // asserted above.
         Backend::Avx2 => unsafe { avx2::dist_sq(x, y) },
         _ => scalar::dist_sq(x, y),
     }
@@ -402,10 +418,16 @@ impl Lhs<'_> {
     /// `i` and `p` must be in range for the operand's `[rows, cols]`
     /// extent — guaranteed by the dimension asserts in the `matmul_*_into`
     /// wrappers.
+    // SAFETY: see `# Safety` — callers prove `i`/`p` in range, so both
+    // index expressions below are in-bounds by the stride layout.
     #[inline(always)]
     unsafe fn at_unchecked(&self, i: usize, p: usize) -> f32 {
         match *self {
+            // SAFETY: `i * k + p` is in-bounds for a `[rows, k]` row-major
+            // operand when `i < rows` and `p < k` (caller contract).
             Lhs::RowMajor(a, k) => unsafe { *a.get_unchecked(i * k + p) },
+            // SAFETY: `p * m + i` is in-bounds for a `[k, m]` col-read
+            // operand when `p < k` and `i < m` (caller contract).
             Lhs::ColMajor(a, m) => unsafe { *a.get_unchecked(p * m + i) },
         }
     }
@@ -453,6 +475,9 @@ pub fn matmul_block(lhs: Lhs, b: &[f32], band: &mut [f32], first_row: usize, k: 
     match active() {
         Backend::Scalar => scalar::matmul_block(&lhs, b, band, first_row, k, n),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` returns `Avx2` only after `avx2_available()`
+        // confirmed the target features at runtime, and the shape asserts
+        // above prove the extents the AVX2 kernel reads unchecked.
         Backend::Avx2 => unsafe { avx2::matmul_block(&lhs, b, band, first_row, k, n) },
         Backend::Portable => portable::matmul_block(&lhs, b, band, first_row, k, n),
     }
@@ -790,6 +815,9 @@ mod avx2 {
     // exact scalar expression tree (unfused mul+add), then finishes the
     // tail with the scalar expression itself.
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
         let n = x.len();
@@ -808,6 +836,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
         let n = x.len();
@@ -827,6 +858,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn lerp(a: &mut [f32], b: &[f32], t: f32) {
         let s = 1.0 - t;
@@ -847,6 +881,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn scale(x: &mut [f32], alpha: f32) {
         let n = x.len();
@@ -863,6 +900,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn mul_assign(y: &mut [f32], m: &[f32]) {
         let n = y.len();
@@ -879,6 +919,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
         let n = y.len();
@@ -895,6 +938,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn add_scalar(x: &mut [f32], c: f32) {
         let n = x.len();
@@ -911,6 +957,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn wsum_first(out: &mut [f32], x: &[f32], w: f32) {
         let n = out.len();
@@ -928,6 +977,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn relu(x: &mut [f32]) {
         let n = x.len();
@@ -944,6 +996,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn tanh_grad(g: &mut [f32], y: &[f32]) {
         let n = g.len();
@@ -962,6 +1017,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn sigmoid_grad(g: &mut [f32], y: &[f32]) {
         let n = g.len();
@@ -980,6 +1038,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn prox_grad(grad: &mut [f32], w: &[f32], global: &[f32], lambda: f32) {
         let n = grad.len();
@@ -998,6 +1059,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn sgd_momentum_step(
         w: &mut [f32],
@@ -1027,6 +1091,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn adam_step(
         w: &mut [f32],
@@ -1078,6 +1145,9 @@ mod avx2 {
 
     /// Sums the two f64 accumulator vectors into the pinned 8-lane array
     /// (lanes 0..4 from the low f32 half, 4..8 from the high half).
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn spill_lanes(lo: __m256d, hi: __m256d) -> [f64; 8] {
         let mut lanes = [0.0f64; 8];
@@ -1086,6 +1156,9 @@ mod avx2 {
         lanes
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn dot(x: &[f32], y: &[f32]) -> f32 {
         let n = x.len();
@@ -1114,6 +1187,9 @@ mod avx2 {
         acc as f32
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn dist_sq(x: &[f32], y: &[f32]) -> f32 {
         let n = x.len();
@@ -1140,6 +1216,9 @@ mod avx2 {
         acc as f32
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn matmul_block(
         lhs: &Lhs,
@@ -1166,6 +1245,9 @@ mod avx2 {
     /// row load is reused by all `R` rows. Unfused mul+add per lane and the
     /// per-`(i,p)` zero-skip keep every lane's op sequence identical to the
     /// scalar reference.
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn rows_tile<const R: usize>(
         lhs: &Lhs,
@@ -1264,20 +1346,29 @@ mod tests {
         assert_eq!(t[5 * r + 3], src[3 * c + 5]);
     }
 
+    // In-crate unit tests cannot use `fedat_core::exec::ToggleGuard`: the
+    // `lib test` build of this crate is a distinct instance from the one
+    // fedat-core links, so the guard would flip the *other* instance's
+    // statics. The manual entry/restore dance is the only correct form
+    // here; the allows below record that audit.
+
     #[test]
     fn dot_matches_lane_definition_on_all_backends() {
         let entry = simd_kernel();
         let x = filled(1003, 2);
         let y = filled(1003, 3);
         let reference = {
+            // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
             set_simd_kernel(SimdKernel::Scalar);
             dot(&x, &y)
         };
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_simd_kernel(SimdKernel::Auto);
         assert_eq!(dot(&x, &y).to_bits(), reference.to_bits());
         set_portable_only(true);
         assert_eq!(dot(&x, &y).to_bits(), reference.to_bits());
         set_portable_only(false);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_simd_kernel(entry);
     }
 
@@ -1293,11 +1384,13 @@ mod tests {
             let a = filled(m * k, (m * k) as u64);
             let b = filled(k * n, (k * n) as u64 ^ 5);
             let run = |kernel: SimdKernel, portable: bool| {
+                // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
                 set_simd_kernel(kernel);
                 set_portable_only(portable);
                 let mut c = filled(m * n, 99);
                 matmul_block(Lhs::RowMajor(&a, k), &b, &mut c, 0, k, n);
                 set_portable_only(false);
+                // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
                 set_simd_kernel(entry);
                 c
             };
@@ -1323,12 +1416,15 @@ mod tests {
         }
         let b = filled(k * n, 6);
         let entry = simd_kernel();
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_simd_kernel(SimdKernel::Scalar);
         let mut want = vec![0.0f32; m * n];
         matmul_block(Lhs::RowMajor(&a, k), &b, &mut want, 0, k, n);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_simd_kernel(SimdKernel::Auto);
         let mut got = vec![0.0f32; m * n];
         matmul_block(Lhs::RowMajor(&a, k), &b, &mut got, 0, k, n);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_simd_kernel(entry);
         assert_eq!(want, got);
     }

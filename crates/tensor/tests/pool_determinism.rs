@@ -6,10 +6,10 @@
 //! it — harmless by construction: thread-count invariance is exactly the
 //! property under test, so concurrent cap changes cannot alter any result.
 
+use fedat_core::exec::ToggleGuard;
 use fedat_tensor::conv::{conv2d_forward, Conv2dSpec};
 use fedat_tensor::ops::{
-    matmul_into, matmul_nt_into, matmul_tn_into, set_agg_kernel, weighted_sum_into, AggKernel,
-    AGG_SHARD,
+    matmul_into, matmul_nt_into, matmul_tn_into, weighted_sum_into, AggKernel, AGG_SHARD,
 };
 use fedat_tensor::parallel::{self, SpawnMode};
 use fedat_tensor::pool;
@@ -32,11 +32,12 @@ fn assert_thread_invariant(
     out_len: usize,
     kernel: impl Fn(&mut [f32]),
 ) -> Result<(), TestCaseError> {
-    parallel::set_max_threads(1);
+    let mut g = ToggleGuard::new();
+    g.max_threads(1);
     let mut serial = vec![0.0f32; out_len];
     kernel(&mut serial);
     for &t in &THREAD_SWEEP[1..] {
-        parallel::set_max_threads(t);
+        g.max_threads(t);
         let mut par = vec![0.0f32; out_len];
         kernel(&mut par);
         prop_assert_eq!(
@@ -46,7 +47,6 @@ fn assert_thread_invariant(
             t
         );
     }
-    parallel::set_max_threads(1);
     Ok(())
 }
 
@@ -88,14 +88,14 @@ proptest! {
         let weight = Tensor::from_vec(filled(cout * cin * 9, seed ^ 4), &[cout, cin * 9]);
         let bias = Tensor::from_vec(filled(cout, seed ^ 5), &[cout]);
 
-        parallel::set_max_threads(1);
+        let mut g = ToggleGuard::new();
+        g.max_threads(1);
         let (serial, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
         for &t in &THREAD_SWEEP[1..] {
-            parallel::set_max_threads(t);
+            g.max_threads(t);
             let (par, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
             prop_assert_eq!(serial.data(), par.data(), "conv diverged at {} threads", t);
         }
-        parallel::set_max_threads(1);
     }
 
     #[test]
@@ -113,13 +113,13 @@ proptest! {
         let weights: Vec<f32> = (0..n_inputs)
             .map(|j| (j + 1) as f32 / (n_inputs * (n_inputs + 1) / 2) as f32)
             .collect();
-        set_agg_kernel(AggKernel::FusedSerial);
-        parallel::set_max_threads(1);
+        let mut g = ToggleGuard::new();
+        g.agg(AggKernel::FusedSerial).max_threads(1);
         let mut serial = vec![0.0f32; dim];
         weighted_sum_into(&refs, &weights, &mut serial);
-        set_agg_kernel(AggKernel::ShardedAxpy);
+        g.agg(AggKernel::ShardedAxpy);
         for &t in &THREAD_SWEEP {
-            parallel::set_max_threads(t);
+            g.max_threads(t);
             let mut sharded = vec![0.0f32; dim];
             weighted_sum_into(&refs, &weights, &mut sharded);
             prop_assert_eq!(
@@ -129,7 +129,6 @@ proptest! {
                 t
             );
         }
-        parallel::set_max_threads(1);
     }
 
     /// Executor torture test: interleaved `submit`/`join` of whole jobs
@@ -173,9 +172,9 @@ proptest! {
             assert_eq!(nested, 6, "nested region lost tasks");
             expected(i)
         };
-        let entry_cap = pool::max_pool_jobs();
         for &workers in &THREAD_SWEEP {
-            pool::set_max_pool_jobs(workers - 1);
+            let mut g = ToggleGuard::new();
+            g.max_pool_jobs(workers - 1);
             let mut deferred: Vec<(usize, pool::JobHandle<u64>)> = Vec::new();
             let mut results: Vec<(usize, u64)> = Vec::new();
             for (i, &join_immediately) in join_now.iter().enumerate().take(n_jobs) {
@@ -201,7 +200,7 @@ proptest! {
             for (i, h) in deferred.into_iter().rev() {
                 results.push((i, h.join()));
             }
-            pool::set_max_pool_jobs(entry_cap);
+            drop(g);
             prop_assert_eq!(results.len(), n_jobs);
             for (i, got) in results {
                 prop_assert_eq!(
@@ -221,15 +220,14 @@ proptest! {
     ) {
         let a = filled(m * k, seed);
         let b = filled(k * n, seed ^ 6);
-        parallel::set_max_threads(8);
-        parallel::set_spawn_mode(SpawnMode::PersistentPool);
+        let mut g = ToggleGuard::new();
+        g.max_threads(8).spawn_mode(SpawnMode::PersistentPool);
         let mut pooled = vec![0.0f32; m * n];
         matmul_into(&a, &b, &mut pooled, m, k, n);
-        parallel::set_spawn_mode(SpawnMode::ScopedSpawn);
+        g.spawn_mode(SpawnMode::ScopedSpawn);
         let mut scoped = vec![0.0f32; m * n];
         matmul_into(&a, &b, &mut scoped, m, k, n);
-        parallel::set_spawn_mode(SpawnMode::PersistentPool);
-        parallel::set_max_threads(1);
+        drop(g);
         prop_assert_eq!(pooled, scoped);
     }
 }

@@ -8,12 +8,12 @@
 //! tests in this binary may race on — harmless by construction, because
 //! kernel invariance is exactly the property under test.
 
+use fedat_core::exec::ToggleGuard;
 use fedat_tensor::conv::{conv2d_forward, Conv2dSpec};
 use fedat_tensor::ops::{
     axpby, axpy, dist_sq, dot, lerp_into, matmul_into, matmul_nt_into, matmul_tn_into, scale,
     weighted_sum_into,
 };
-use fedat_tensor::parallel;
 use fedat_tensor::rng::rng_for;
 use fedat_tensor::simd::{self, AdamParams, SimdKernel};
 use fedat_tensor::Tensor;
@@ -46,18 +46,18 @@ fn sparsify(v: &mut [f32], seed: u64) {
 /// (ISA path and portable fallback) across the thread sweep, asserting
 /// bitwise equality throughout.
 fn assert_simd_invariant(out_len: usize, kernel: impl Fn(&mut [f32])) -> Result<(), TestCaseError> {
-    // Restore the entry kernel on exit (not a hard-coded Auto) so the
-    // FEDAT_SIMD=scalar CI lane keeps its scalar coverage for later tests.
-    let entry_kernel = simd::simd_kernel();
-    simd::set_simd_kernel(SimdKernel::Scalar);
-    parallel::set_max_threads(1);
+    // The guard restores the entry kernel on every exit path (not a
+    // hard-coded Auto), so the FEDAT_SIMD=scalar CI lane keeps its scalar
+    // coverage for later tests even when a case fails mid-sweep.
+    let mut g = ToggleGuard::new();
+    g.simd(SimdKernel::Scalar).max_threads(1);
     let mut reference = vec![0.0f32; out_len];
     kernel(&mut reference);
-    simd::set_simd_kernel(SimdKernel::Auto);
+    g.simd(SimdKernel::Auto);
     for portable in [false, true] {
-        simd::set_portable_only(portable);
+        g.portable_only(portable);
         for &t in &THREAD_SWEEP {
-            parallel::set_max_threads(t);
+            g.max_threads(t);
             let mut got = vec![0.0f32; out_len];
             kernel(&mut got);
             prop_assert_eq!(
@@ -69,9 +69,6 @@ fn assert_simd_invariant(out_len: usize, kernel: impl Fn(&mut [f32])) -> Result<
             );
         }
     }
-    simd::set_portable_only(false);
-    simd::set_simd_kernel(entry_kernel);
-    parallel::set_max_threads(1);
     Ok(())
 }
 
@@ -125,17 +122,15 @@ proptest! {
         let input = Tensor::from_vec(filled(batch * cin * h * w, seed), &[batch, cin, h, w]);
         let weight = Tensor::from_vec(filled(cout * cin * 9, seed ^ 5), &[cout, cin * 9]);
         let bias = Tensor::from_vec(filled(cout, seed ^ 6), &[cout]);
-        let entry_kernel = simd::simd_kernel();
-        simd::set_simd_kernel(SimdKernel::Scalar);
+        let mut g = ToggleGuard::new();
+        g.simd(SimdKernel::Scalar);
         let (reference, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
-        simd::set_simd_kernel(SimdKernel::Auto);
+        g.simd(SimdKernel::Auto);
         for &t in &THREAD_SWEEP {
-            parallel::set_max_threads(t);
+            g.max_threads(t);
             let (got, _) = conv2d_forward(&input, &weight, &bias, h, w, &spec);
             prop_assert_eq!(reference.data(), got.data(), "conv diverged at {} threads", t);
         }
-        simd::set_simd_kernel(entry_kernel);
-        parallel::set_max_threads(1);
     }
 
     #[test]
@@ -144,12 +139,12 @@ proptest! {
     ) {
         let x = filled(len, seed);
         let base = filled(len, seed ^ 7);
-        let entry_kernel = simd::simd_kernel();
         let sweep = |f: &dyn Fn(&mut [f32])| -> (Vec<f32>, Vec<f32>) {
-            simd::set_simd_kernel(SimdKernel::Scalar);
+            let mut g = ToggleGuard::new();
+            g.simd(SimdKernel::Scalar);
             let mut a = base.clone();
             f(&mut a);
-            simd::set_simd_kernel(SimdKernel::Auto);
+            g.simd(SimdKernel::Auto);
             let mut b = base.clone();
             f(&mut b);
             (a, b)
@@ -173,7 +168,6 @@ proptest! {
             let (want, got) = sweep(f);
             prop_assert_eq!(want, got, "{} diverged from scalar", name);
         }
-        simd::set_simd_kernel(entry_kernel);
     }
 
     #[test]
@@ -183,13 +177,12 @@ proptest! {
         let s0 = filled(len, seed ^ 9);
         let v0: Vec<f32> = filled(len, seed ^ 10).iter().map(|v| v * v).collect();
         let adam = AdamParams { lr: 0.01, beta1: 0.9, beta2: 0.999, bc1: 0.1, bc2: 0.001, eps: 1e-8 };
-        let entry_kernel = simd::simd_kernel();
         let run = |kernel: SimdKernel| {
-            simd::set_simd_kernel(kernel);
+            let mut guard = ToggleGuard::new();
+            guard.simd(kernel);
             let (mut w, mut s, mut v) = (w0.clone(), s0.clone(), v0.clone());
             simd::sgd_momentum_step(&mut w, &g, &mut s, 0.9, 0.05);
             simd::adam_step(&mut w, &g, &mut s, &mut v, &adam);
-            simd::set_simd_kernel(entry_kernel);
             (w, s, v)
         };
         prop_assert_eq!(run(SimdKernel::Scalar), run(SimdKernel::Auto));
@@ -199,17 +192,15 @@ proptest! {
     fn reductions_simd_match_scalar_bitwise(len in 1usize..200, seed in 0u64..500) {
         let x = filled(len, seed);
         let y = filled(len, seed ^ 11);
-        let entry_kernel = simd::simd_kernel();
-        simd::set_simd_kernel(SimdKernel::Scalar);
+        let mut g = ToggleGuard::new();
+        g.simd(SimdKernel::Scalar);
         let (d_ref, q_ref) = (dot(&x, &y), dist_sq(&x, &y));
-        simd::set_simd_kernel(SimdKernel::Auto);
+        g.simd(SimdKernel::Auto);
         for portable in [false, true] {
-            simd::set_portable_only(portable);
+            g.portable_only(portable);
             prop_assert_eq!(dot(&x, &y).to_bits(), d_ref.to_bits(), "dot (portable={})", portable);
             prop_assert_eq!(dist_sq(&x, &y).to_bits(), q_ref.to_bits(), "dist_sq (portable={})", portable);
         }
-        simd::set_portable_only(false);
-        simd::set_simd_kernel(entry_kernel);
     }
 
     #[test]

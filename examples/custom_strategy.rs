@@ -20,14 +20,14 @@ use fedat::nn::metrics::evaluate_batched;
 use fedat::sim::fleet::{ClusterConfig, Fleet};
 use fedat::sim::runtime::{run, Completion, EventHandler, RunLimits, SimCtx};
 use fedat::tensor::rng::sample_without_replacement;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 struct PowerOfTwoChoices {
     task: FedTask,
     cfg: ExperimentConfig,
     global: Vec<f32>,
-    inflight: HashMap<usize, (Arc<[f32]>, u64)>,
+    inflight: BTreeMap<usize, (Arc<[f32]>, u64)>,
     outstanding: usize,
     received: Vec<(Vec<f32>, usize)>,
     rounds_done: u64,
@@ -137,7 +137,7 @@ fn main() {
         task: task.clone(),
         cfg: cfg.clone(),
         global,
-        inflight: HashMap::new(),
+        inflight: BTreeMap::new(),
         outstanding: 0,
         received: Vec::new(),
         rounds_done: 0,

@@ -12,6 +12,10 @@
 //! cargo run --release --example large_cohort [-- --full] [-- --serial]
 //! ```
 
+// This example reports the run's wall-clock time — the R4 clippy mirror
+// (docs/LINTS.md) does not apply to demonstration timing.
+#![allow(clippy::disallowed_methods)]
+
 use fedat::core::prelude::*;
 use fedat::nn::metrics::set_pooled_eval;
 use fedat::sim::fleet::ClusterConfig;

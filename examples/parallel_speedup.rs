@@ -18,6 +18,10 @@
 //! cargo run --release --example parallel_speedup [-- --full] [-- --workers N]
 //! ```
 
+// This example *measures* wall-clock time — that is its whole point — so the
+// R4 clippy mirror (docs/LINTS.md) does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use fedat::core::exec::{set_exec_mode, speculative_discards, speculative_launches, ExecMode};
 use fedat::core::prelude::*;
 use fedat::sim::fleet::ClusterConfig;
