@@ -13,7 +13,7 @@ fn main() {
     if args.is_empty() {
         eprintln!("usage: repro <experiment-id> [--quick] [--seed N] [--threads N] [--out DIR]");
         eprintln!("ids: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10");
-        eprintln!("     leaf churn ablate-mistier ablate-lambda ablate-delta matrix all");
+        eprintln!("     leaf churn corrupt ablate-mistier ablate-lambda ablate-delta matrix all");
         eprintln!("     (leaf reads FEDAT_LEAF_DIR / FEDAT_LEAF_BENCH, or generates a fixture)");
         std::process::exit(2);
     }

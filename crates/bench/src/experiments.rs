@@ -6,7 +6,7 @@
 //! `repro all` therefore computes that matrix once.
 
 use crate::harness::{run_jobs, Job, JobResult, Scale};
-use crate::report::{fmt_mb, fmt_tta, out_dir, slug, write_trace, TextReport};
+use crate::report::{fmt_mb, fmt_tta, out_dir, slug, write_fault_log, write_trace, TextReport};
 use fedat_compress::codec::CodecKind;
 use fedat_core::config::{ExperimentConfig, StrategyKind};
 use fedat_data::federated::FederatedDataset;
@@ -985,6 +985,7 @@ pub fn churn(ctx: &Ctx) {
     );
     for r in &results {
         write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        write_fault_log(&dir, &slug(&r.label), &r.outcome.faults).ok();
         let tta = r.outcome.trace.time_to_accuracy(r.target_accuracy);
         let fc = r.outcome.fault_counters;
         let tiers = r.outcome.tier_updates.clone().unwrap_or_default();
@@ -1023,6 +1024,126 @@ pub fn churn(ctx: &Ctx) {
     std::fs::create_dir_all(&dir).ok();
     std::fs::write(dir.join("churn.csv"), csv).ok();
     rep.emit(&dir, "churn").ok();
+}
+
+/// Robustness rows: FedAT under corrupted client uplinks (30% of clients
+/// uploading 5×-scaled models half the time), with the guard layer off,
+/// norm-screen clipping, and clipping plus quarantine + coordinate-median
+/// aggregation. The per-variant fault logs land next to the traces for
+/// forensics; `BENCH_robust.json` holds the FedAvg posture × fraction
+/// curve and the bit-identity sweep.
+pub fn corrupt(ctx: &Ctx) {
+    use fedat_core::aggregate::AggRule;
+    use fedat_core::config::{GuardPolicy, NormScreen};
+    use fedat_sim::churn::{ChurnConfig, CorruptMode, CorruptSpec};
+
+    let dir = out_dir(&ctx.out, "corrupt");
+    let n = ctx.scale.medium_clients();
+    let task = Arc::new(suite::sent140_like(n, ctx.seed));
+    let scenario = ChurnConfig {
+        corrupt: Some(CorruptSpec {
+            fraction: 0.3,
+            probability: 0.5,
+            mode: CorruptMode::Scale { factor: 5.0 },
+        }),
+        ..ChurnConfig::default()
+    };
+    let clip = GuardPolicy {
+        finite_check: true,
+        norm_screen: Some(NormScreen {
+            alpha: 0.2,
+            threshold: 2.0,
+            clip: true,
+        }),
+        ..GuardPolicy::default()
+    };
+    let full = GuardPolicy {
+        quarantine_after: Some(3),
+        quarantine_secs: 600.0,
+        agg_rule: AggRule::CoordinateMedian,
+        norm_screen: Some(NormScreen {
+            clip: false,
+            ..clip.norm_screen.expect("clip screen set")
+        }),
+        ..clip
+    };
+    let variants = [
+        ("undefended", GuardPolicy::default()),
+        ("clip", clip),
+        ("median+quarantine", full),
+    ];
+    let jobs: Vec<Job> = variants
+        .iter()
+        .map(|(name, guard)| {
+            let cluster = ClusterConfig::paper_medium(ctx.seed)
+                .with_clients(n)
+                .without_dropouts()
+                .with_churn(scenario);
+            let cfg = ExperimentConfig::builder()
+                .strategy(StrategyKind::FedAt)
+                .rounds(20_000)
+                .clients_per_round(5)
+                .local_epochs(1)
+                .eval_every(10)
+                .max_time(8_000.0)
+                .seed(ctx.seed)
+                .cluster(cluster)
+                .guard(*guard)
+                .build();
+            Job {
+                label: format!("FedAT {name}"),
+                task: task.clone(),
+                cfg,
+            }
+        })
+        .collect();
+    let results = run_jobs(jobs, ctx.threads);
+    let mut rep = TextReport::new(
+        "Robustness — FedAT under 30% corrupted uplinks (scale-by-5, half of selections)",
+    );
+    let mut csv = String::from(
+        "variant,best_accuracy,final_finite,global_updates,corrupt,rejects,clips,stale,quarantines\n",
+    );
+    for r in &results {
+        write_trace(&dir, &slug(&r.label), &r.outcome.trace, SMOOTH_WINDOW).ok();
+        write_fault_log(&dir, &slug(&r.label), &r.outcome.faults).ok();
+        let fc = r.outcome.fault_counters;
+        let finite = r.outcome.final_weights.iter().all(|w| w.is_finite());
+        rep.line(format!(
+            "  {:<24} best {:.3}  finite {}  updates {}",
+            r.label,
+            r.outcome.best_accuracy(),
+            finite,
+            r.outcome.global_updates,
+        ));
+        rep.line(format!(
+            "  {:<24} corrupt {}  rejects {}  clips {}  stale {}  quarantines {}  fault rows {}",
+            "",
+            fc.corrupt,
+            fc.rejects,
+            fc.clips,
+            fc.stale,
+            fc.quarantines,
+            r.outcome.faults.events().len(),
+        ));
+        csv.push_str(&format!(
+            "{},{:.4},{},{},{},{},{},{},{}\n",
+            slug(&r.label),
+            r.outcome.best_accuracy(),
+            finite,
+            r.outcome.global_updates,
+            fc.corrupt,
+            fc.rejects,
+            fc.clips,
+            fc.stale,
+            fc.quarantines,
+        ));
+    }
+    rep.blank();
+    rep.line("  (see docs/ROBUSTNESS.md §Corrupted updates; BENCH_robust.json for the curve)");
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join("corrupt.csv"), csv).ok();
+    rep.emit(&dir, "corrupt").ok();
 }
 
 fn dedup_keep_order<I: Iterator<Item = String>>(it: I) -> Vec<String> {
@@ -1067,6 +1188,7 @@ pub fn run(id: &str, ctx: &Ctx) {
         "fig10" => fig10(ctx),
         "leaf" => leaf(ctx),
         "churn" => churn(ctx),
+        "corrupt" => corrupt(ctx),
         "ablate-mistier" => ablate_mistier(ctx),
         "ablate-lambda" => ablate_lambda(ctx),
         "ablate-delta" => ablate_delta(ctx),
@@ -1085,6 +1207,7 @@ pub fn run(id: &str, ctx: &Ctx) {
                 fig9(ctx);
                 fig10(ctx);
                 churn(ctx);
+                corrupt(ctx);
                 ablate_mistier(ctx);
                 ablate_lambda(ctx);
                 ablate_delta(ctx);
@@ -1094,7 +1217,7 @@ pub fn run(id: &str, ctx: &Ctx) {
             eprintln!("unknown experiment id: {other}");
             eprintln!(
                 "known: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 \
-                 leaf churn ablate-mistier ablate-lambda ablate-delta matrix all"
+                 leaf churn corrupt ablate-mistier ablate-lambda ablate-delta matrix all"
             );
             std::process::exit(2);
         }

@@ -67,6 +67,19 @@ pub fn write_trace(
     trace.smoothed(smooth_window).write_csv(&mut w)
 }
 
+/// Writes a run's fault log as `<dir>/<name>_faults.csv` — one row per
+/// timeout/retry/corruption/rejection/... event, for post-hoc forensics.
+pub fn write_fault_log(
+    dir: &Path,
+    name: &str,
+    faults: &fedat_sim::fault::FaultLog,
+) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let file = fs::File::create(dir.join(format!("{name}_faults.csv")))?;
+    let mut w = std::io::BufWriter::new(file);
+    faults.write_csv(&mut w)
+}
+
 /// Sanitizes a label into a file-name-safe slug.
 pub fn slug(label: &str) -> String {
     label

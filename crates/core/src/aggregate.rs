@@ -7,12 +7,78 @@
 //! size while staying bit-identical to the serial baseline for any thread
 //! count (see `fedat_tensor::ops::AggKernel`).
 
-use fedat_tensor::ops::weighted_sum_into;
+use fedat_tensor::ops::{robust_reduce_into, weighted_sum_into, RobustRule};
+use serde::{Deserialize, Serialize};
+
+/// How client updates are combined into a (tier-)round average.
+///
+/// `WeightedMean` is the paper's `n_k/N_c` rule; the robust rules trade its
+/// sample weighting for resistance to corrupted updates (the standard
+/// Byzantine-robust estimators are unweighted order statistics). All three
+/// are bit-identical across AggKernel × SimdKernel × thread counts, and the
+/// robust rules are additionally invariant under client-update permutation
+/// (see `fedat_tensor::ops::robust_reduce_into` for the argument).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum AggRule {
+    /// Sample-count-weighted mean (`Σ_k (n_k/N_c) · w_k`) — the default.
+    #[default]
+    WeightedMean,
+    /// Per-coordinate trimmed mean: drop the `⌊frac·k⌋` smallest and
+    /// largest values at each coordinate, average the rest.
+    TrimmedMean {
+        /// Fraction trimmed from *each* end, in `[0, 0.5)`.
+        frac: f64,
+    },
+    /// Per-coordinate median (even counts average the two middle values).
+    CoordinateMedian,
+}
+
+/// Aggregates client updates under the configured [`AggRule`], written into
+/// a reusable buffer.
+///
+/// `WeightedMean` delegates to [`weighted_client_average_into`]; the robust
+/// rules ignore the sample counts and take the per-coordinate order
+/// statistic over the raw updates (`TrimmedMean`'s trim count is clamped so
+/// at least one value survives per coordinate). A single update passes
+/// through every rule unchanged up to rounding (the robust rules return it
+/// bitwise).
+///
+/// # Panics
+/// Panics if `updates` is empty or lengths mismatch.
+pub fn aggregate_clients_into(rule: AggRule, updates: &[(&[f32], usize)], out: &mut Vec<f32>) {
+    assert!(!updates.is_empty(), "cannot aggregate zero client updates");
+    match rule {
+        AggRule::WeightedMean => weighted_client_average_into(updates, out),
+        AggRule::TrimmedMean { frac } => {
+            let k = updates.len();
+            let trim = ((frac.max(0.0) * k as f64).floor() as usize).min((k - 1) / 2);
+            let inputs: Vec<&[f32]> = updates.iter().map(|(w, _)| *w).collect();
+            out.clear();
+            out.resize(inputs[0].len(), 0.0);
+            robust_reduce_into(&inputs, RobustRule::TrimmedMean { trim }, out);
+        }
+        AggRule::CoordinateMedian => {
+            let inputs: Vec<&[f32]> = updates.iter().map(|(w, _)| *w).collect();
+            out.clear();
+            out.resize(inputs[0].len(), 0.0);
+            robust_reduce_into(&inputs, RobustRule::Median, out);
+        }
+    }
+}
 
 /// Sample-count-weighted average of client weight vectors, written into a
 /// reusable buffer: `out = Σ_k (n_k / N_c) · w_k` — the FedAvg/TiFL/FedAT
 /// intra-tier rule. `out` is resized to the model dimension; strategies keep
 /// one buffer per tier and aggregate every round without allocating.
+///
+/// Guard-layer contract: this function trusts its inputs. Finiteness and
+/// magnitude screening happen upstream, per update, as each uplink lands
+/// (`GuardPolicy` in the strategy completion path) — a single NaN/Inf or
+/// magnitude-exploded update reaching this sum poisons every output
+/// coordinate, which is exactly what `AggRule`'s robust alternatives and
+/// the guard's reject/clip screens exist to prevent. With the default
+/// (inert) guard the caller gets the paper's behavior: whatever the clients
+/// sent is averaged verbatim.
 ///
 /// # Panics
 /// Panics if `updates` is empty or lengths mismatch.
@@ -178,6 +244,62 @@ mod tests {
         for v in g {
             assert!((v - 0.75).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn robust_rules_resist_one_hostile_update() {
+        let good1 = vec![1.0f32, -1.0, 0.5];
+        let good2 = vec![1.2f32, -0.8, 0.4];
+        let good3 = vec![0.8f32, -1.2, 0.6];
+        let evil = vec![1.0e6f32, -1.0e6, f32::INFINITY];
+        let updates: Vec<(&[f32], usize)> =
+            vec![(&good1, 10), (&evil, 10), (&good2, 10), (&good3, 10)];
+        let mut out = Vec::new();
+        aggregate_clients_into(AggRule::CoordinateMedian, &updates, &mut out);
+        assert!(
+            out.iter().all(|v| v.is_finite() && v.abs() < 2.0),
+            "{out:?}"
+        );
+        aggregate_clients_into(AggRule::TrimmedMean { frac: 0.25 }, &updates, &mut out);
+        assert!(
+            out.iter().all(|v| v.is_finite() && v.abs() < 2.0),
+            "{out:?}"
+        );
+        // The weighted mean is poisoned — that is the point of the guard.
+        aggregate_clients_into(AggRule::WeightedMean, &updates, &mut out);
+        assert!(out.iter().any(|v| !v.is_finite() || v.abs() > 1000.0));
+    }
+
+    #[test]
+    fn robust_rules_pass_a_single_update_through() {
+        let w = vec![1.5f32, -2.0, 0.25];
+        let updates: Vec<(&[f32], usize)> = vec![(&w, 7)];
+        let mut out = Vec::new();
+        for rule in [
+            AggRule::WeightedMean,
+            AggRule::TrimmedMean { frac: 0.4 },
+            AggRule::CoordinateMedian,
+        ] {
+            aggregate_clients_into(rule, &updates, &mut out);
+            for (x, y) in out.iter().zip(w.iter()) {
+                assert!((x - y).abs() < 1e-6, "{rule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_clamps_to_keep_at_least_one_value() {
+        // frac 0.49 of k=2 floors to 0 trimmed; k=3 → ⌊1.47⌋ = 1 = (k-1)/2.
+        let a = vec![0.0f32];
+        let b = vec![1.0f32];
+        let c = vec![100.0f32];
+        let mut out = Vec::new();
+        aggregate_clients_into(
+            AggRule::TrimmedMean { frac: 0.49 },
+            &[(&a, 1), (&b, 1), (&c, 1)],
+            &mut out,
+        );
+        assert_eq!(out, vec![1.0]);
     }
 
     #[test]

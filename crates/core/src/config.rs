@@ -141,6 +141,96 @@ impl Default for FaultPolicy {
     }
 }
 
+/// L2-norm screen: each landed update's *displacement* from the current
+/// global model is compared against `threshold ×` a deterministic EWMA of
+/// previously *accepted* displacement norms. (Uploads are full models;
+/// screening the displacement instead of the raw weights bounds a
+/// magnitude attack additively rather than letting it compound.) The first
+/// accepted update initializes the EWMA; over-threshold updates are
+/// clipped down to the limit (`clip: true`) or rejected outright.
+// `#[serde(default)]` — same R6 rationale as [`RetierPolicy`] above.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct NormScreen {
+    /// EWMA smoothing factor for accepted displacement norms, in `(0, 1]`.
+    pub alpha: f64,
+    /// An update whose displacement norm exceeds `threshold × EWMA` trips
+    /// the screen (must be ≥ 1).
+    pub threshold: f64,
+    /// Trip response: `true` rescales the update to the limit (`Clip`),
+    /// `false` discards it (`Reject`).
+    pub clip: bool,
+}
+
+impl Default for NormScreen {
+    fn default() -> Self {
+        NormScreen {
+            alpha: 0.2,
+            threshold: 3.0,
+            clip: true,
+        }
+    }
+}
+
+/// Server-side guard layer against corrupted updates: per-update screens
+/// applied as each uplink lands, a staleness bound for the async
+/// strategies, quarantine of repeat offenders, and the aggregation rule.
+///
+/// The default is **inert**: no check runs, no norm is computed, every
+/// strategy reproduces its unguarded trace bit-for-bit, and legacy configs
+/// parse unchanged (container-level `#[serde(default)]`, lint R6).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct GuardPolicy {
+    /// Reject updates containing NaN/Inf before they touch any reduction.
+    pub finite_check: bool,
+    /// L2-norm screen against the accepted-norm EWMA; `None` disables it.
+    pub norm_screen: Option<NormScreen>,
+    /// Async strategies (FedAsync/ASO-Fed) discard updates staler than
+    /// this many global model versions; `None` disables the bound.
+    pub max_staleness: Option<u64>,
+    /// Quarantine a client after this many rejected updates; `None`
+    /// disables quarantine. Stale discards do not count — slowness is not
+    /// an offense.
+    pub quarantine_after: Option<u32>,
+    /// How long (virtual seconds) a quarantined client sits out of the
+    /// dispatch pools before its offense count restarts from zero.
+    pub quarantine_secs: f64,
+    /// How landed updates are combined each (tier-)round.
+    pub agg_rule: crate::aggregate::AggRule,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            finite_check: false,
+            norm_screen: None,
+            max_staleness: None,
+            quarantine_after: None,
+            quarantine_secs: 600.0,
+            agg_rule: crate::aggregate::AggRule::WeightedMean,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// True when landed updates need per-update screening (finite check,
+    /// norm screen, or offense tracking for quarantine). The inert default
+    /// returns false, letting the completion path skip the guard entirely
+    /// — no norm computation, no state, bit-identical legacy behavior.
+    pub fn screens_updates(&self) -> bool {
+        self.finite_check || self.norm_screen.is_some() || self.quarantine_after.is_some()
+    }
+
+    /// True when the whole policy is the inert default shape (used by
+    /// tests and the bench to label variants).
+    pub fn is_inert(&self) -> bool {
+        !self.screens_updates()
+            && self.max_staleness.is_none()
+            && self.agg_rule == crate::aggregate::AggRule::WeightedMean
+    }
+}
+
 /// Full experiment configuration. Build via [`ExperimentConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -190,6 +280,9 @@ pub struct ExperimentConfig {
     /// Server-side fault tolerance (timeouts, retries, quorum accounting,
     /// dynamic re-tiering). Defaults to the legacy no-op policy.
     pub fault: FaultPolicy,
+    /// Guard layer against corrupted updates (finite check, norm screen,
+    /// staleness bound, quarantine, robust aggregation). Defaults inert.
+    pub guard: GuardPolicy,
 }
 
 impl ExperimentConfig {
@@ -223,6 +316,7 @@ impl Default for ExperimentConfig {
             seed: 0,
             cluster: None,
             fault: FaultPolicy::default(),
+            guard: GuardPolicy::default(),
         }
     }
 }
@@ -359,6 +453,18 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the full corrupted-update guard policy.
+    pub fn guard(mut self, g: GuardPolicy) -> Self {
+        self.cfg.guard = g;
+        self
+    }
+
+    /// Sets the aggregation rule (leaving the rest of the guard as-is).
+    pub fn agg_rule(mut self, rule: crate::aggregate::AggRule) -> Self {
+        self.cfg.guard.agg_rule = rule;
+        self
+    }
+
     /// Finalizes the config.
     ///
     /// # Panics
@@ -389,6 +495,29 @@ impl ExperimentConfigBuilder {
             assert!(
                 (0.0..=1.0).contains(&r.drift_threshold),
                 "retier drift_threshold out of range"
+            );
+        }
+        if let Some(s) = c.guard.norm_screen {
+            assert!(
+                s.alpha > 0.0 && s.alpha <= 1.0,
+                "norm-screen alpha out of range"
+            );
+            assert!(
+                s.threshold >= 1.0,
+                "norm-screen threshold must be at least 1"
+            );
+        }
+        if let Some(k) = c.guard.quarantine_after {
+            assert!(k > 0, "quarantine_after must be positive");
+            assert!(
+                c.guard.quarantine_secs > 0.0,
+                "quarantine_secs must be positive"
+            );
+        }
+        if let crate::aggregate::AggRule::TrimmedMean { frac } = c.guard.agg_rule {
+            assert!(
+                (0.0..0.5).contains(&frac),
+                "trimmed-mean frac must be in [0, 0.5)"
             );
         }
         c
@@ -462,5 +591,37 @@ mod tests {
     #[should_panic(expected = "rounds must be positive")]
     fn zero_rounds_rejected() {
         let _ = ExperimentConfig::builder().rounds(0).build();
+    }
+
+    #[test]
+    fn guard_default_is_inert() {
+        let c = ExperimentConfig::builder().build();
+        assert!(c.guard.is_inert());
+        assert!(!c.guard.screens_updates());
+        assert_eq!(c.guard.agg_rule, crate::aggregate::AggRule::WeightedMean);
+        // Any single knob wakes the screen.
+        let g = GuardPolicy {
+            finite_check: true,
+            ..GuardPolicy::default()
+        };
+        assert!(g.screens_updates() && !g.is_inert());
+        let g = GuardPolicy {
+            norm_screen: Some(NormScreen::default()),
+            ..GuardPolicy::default()
+        };
+        assert!(g.screens_updates());
+        let g = GuardPolicy {
+            quarantine_after: Some(3),
+            ..GuardPolicy::default()
+        };
+        assert!(g.screens_updates());
+    }
+
+    #[test]
+    #[should_panic(expected = "trimmed-mean frac")]
+    fn out_of_range_trim_rejected() {
+        let _ = ExperimentConfig::builder()
+            .agg_rule(crate::aggregate::AggRule::TrimmedMean { frac: 0.5 })
+            .build();
     }
 }

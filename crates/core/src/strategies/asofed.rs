@@ -13,6 +13,7 @@ use crate::strategies::{
 use fedat_data::suite::FedTask;
 use fedat_sim::runtime::{Completion, EventHandler, SimCtx};
 use fedat_sim::trace::Trace;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// ASO-Fed server.
@@ -26,6 +27,11 @@ pub struct AsoFedStrategy {
     copies: Vec<Vec<f32>>,
     /// `n_k / N` aggregation weight per client.
     client_weight: Vec<f32>,
+    /// Global version at each in-flight client's dispatch (staleness base
+    /// for the guard's `max_staleness` bound). Ordered map: accesses are
+    /// keyed, and `BTreeMap` keeps any future iteration deterministic
+    /// (lint rule R1).
+    dispatch_version: BTreeMap<usize, u64>,
     inflight: InflightTable,
     live_dispatches: usize,
     /// Revival timers in flight for flapped-out clients.
@@ -55,6 +61,7 @@ impl AsoFedStrategy {
             core,
             copies,
             client_weight,
+            dispatch_version: BTreeMap::new(),
             inflight: InflightTable::new(),
             live_dispatches: 0,
             pending_revivals: 0,
@@ -71,19 +78,33 @@ impl AsoFedStrategy {
             .core
             .launch(client, &weights, epochs, selection_round, true);
         let gen = self.inflight.begin(client, 0, 0, ctx.now(), phase);
+        self.dispatch_version.insert(client, self.core.updates);
         ctx.dispatch_with_transfer(client, gen, epochs, down_bytes);
         self.live_dispatches += 1;
     }
 
-    /// On a transient loss, arm a wake-up at the client's return time so it
-    /// rejoins the pool; a permanently-gone client leaves forever.
+    /// On a transient loss (or a quarantine), arm a wake-up at the later of
+    /// the client's return time and its quarantine release so it rejoins
+    /// the pool; a permanently-gone client leaves forever.
     fn schedule_revival(&mut self, ctx: &mut SimCtx, client: usize) {
         if self.finished() {
             return;
         }
         if let Some(t_up) = ctx.fleet.next_up_time(client, ctx.now()) {
             self.pending_revivals += 1;
-            ctx.schedule_timer(t_up, REVIVE_BIT | client as u64);
+            let wake = t_up.max(self.core.guard_release_time(client));
+            ctx.schedule_timer(wake, REVIVE_BIT | client as u64);
+        }
+    }
+
+    /// Puts `client` back to work: dispatches immediately when it is alive
+    /// and out of quarantine, otherwise parks it on a revival timer.
+    fn redispatch_or_park(&mut self, ctx: &mut SimCtx, client: usize) {
+        let now = ctx.now();
+        if ctx.fleet.is_alive(client, now) && !self.core.is_quarantined(client, now) {
+            self.dispatch_client(ctx, client);
+        } else {
+            self.schedule_revival(ctx, client);
         }
     }
 
@@ -113,22 +134,46 @@ impl EventHandler for AsoFedStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match self.inflight.advance(&self.core, ctx, &c) {
+        match self.inflight.advance(&mut self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
             PhaseEvent::Landed { weights, .. } => {
                 self.live_dispatches -= 1;
+                let version = self.dispatch_version.remove(&c.client).unwrap_or(0);
+                let staleness = self.core.updates - version;
+                if self
+                    .core
+                    .cfg
+                    .guard
+                    .max_staleness
+                    .is_some_and(|bound| staleness > bound)
+                {
+                    // Over the staleness bound: don't replace the server's
+                    // copy with ancient weights; re-seed the client with
+                    // the current global model instead.
+                    self.core.note_stale(ctx, c.client, 0, staleness);
+                    if !self.finished() {
+                        self.redispatch_or_park(ctx, c.client);
+                    }
+                    return;
+                }
                 self.absorb(c.client, weights);
                 self.core.bump(ctx);
                 if !self.finished() {
-                    if ctx.fleet.is_alive(c.client, ctx.now()) {
-                        self.dispatch_client(ctx, c.client);
-                    } else {
-                        self.schedule_revival(ctx, c.client);
-                    }
+                    self.redispatch_or_park(ctx, c.client);
+                }
+            }
+            // Guard-rejected: the client is alive; back to work (or to
+            // quarantine parking).
+            PhaseEvent::Rejected { .. } => {
+                self.live_dispatches -= 1;
+                self.dispatch_version.remove(&c.client);
+                if !self.finished() {
+                    self.redispatch_or_park(ctx, c.client);
                 }
             }
             PhaseEvent::Lost { .. } => {
                 self.live_dispatches -= 1;
+                self.dispatch_version.remove(&c.client);
                 self.schedule_revival(ctx, c.client);
             }
         }
@@ -143,7 +188,8 @@ impl EventHandler for AsoFedStrategy {
         if self.finished() || self.inflight.contains(client) {
             return;
         }
-        if ctx.fleet.is_alive(client, ctx.now()) {
+        let now = ctx.now();
+        if ctx.fleet.is_alive(client, now) && !self.core.is_quarantined(client, now) {
             self.core.faults.revivals += 1;
             self.dispatch_client(ctx, client);
         } else {

@@ -85,16 +85,29 @@ impl FedAsyncStrategy {
         self.live_dispatches += 1;
     }
 
-    /// On a transient loss, arm a wake-up at the client's return time so it
-    /// rejoins the pool; a permanently-gone client has no return time and
-    /// leaves forever (the legacy behavior).
+    /// On a transient loss (or a quarantine), arm a wake-up at the later of
+    /// the client's return time and its quarantine release so it rejoins
+    /// the pool; a permanently-gone client has no return time and leaves
+    /// forever (the legacy behavior).
     fn schedule_revival(&mut self, ctx: &mut SimCtx, client: usize) {
         if self.finished() {
             return;
         }
         if let Some(t_up) = ctx.fleet.next_up_time(client, ctx.now()) {
             self.pending_revivals += 1;
-            ctx.schedule_timer(t_up, REVIVE_BIT | client as u64);
+            let wake = t_up.max(self.core.guard_release_time(client));
+            ctx.schedule_timer(wake, REVIVE_BIT | client as u64);
+        }
+    }
+
+    /// Puts `client` back to work: dispatches immediately when it is alive
+    /// and out of quarantine, otherwise parks it on a revival timer.
+    fn redispatch_or_park(&mut self, ctx: &mut SimCtx, client: usize) {
+        let now = ctx.now();
+        if ctx.fleet.is_alive(client, now) && !self.core.is_quarantined(client, now) {
+            self.dispatch_client(ctx, client);
+        } else {
+            self.schedule_revival(ctx, client);
         }
     }
 }
@@ -108,13 +121,30 @@ impl EventHandler for FedAsyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match self.inflight.advance(&self.core, ctx, &c) {
+        match self.inflight.advance(&mut self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => {}
             PhaseEvent::Landed { weights, .. } => {
                 self.live_dispatches -= 1;
                 // Staleness measured when the update *lands* at the server.
                 let version = self.dispatch_version.remove(&c.client).unwrap_or(0);
                 let staleness = self.core.updates - version;
+                if self
+                    .core
+                    .cfg
+                    .guard
+                    .max_staleness
+                    .is_some_and(|bound| staleness > bound)
+                {
+                    // Over the staleness bound: the attenuated weight would
+                    // be tiny anyway, and a corrupted-but-clipped stale
+                    // update can still steer the model — drop it outright
+                    // and put the client back to work on fresh weights.
+                    self.core.note_stale(ctx, c.client, 0, staleness);
+                    if !self.finished() {
+                        self.redispatch_or_park(ctx, c.client);
+                    }
+                    return;
+                }
                 let alpha_t = self.alpha * self.staleness.factor(staleness);
                 // The mixing sweep runs over the full model on *every*
                 // arrival — `lerp_into` shards it across the kernel pool
@@ -125,11 +155,16 @@ impl EventHandler for FedAsyncStrategy {
                 lerp_into(&mut self.core.global, &weights, alpha_t);
                 self.core.bump(ctx);
                 if !self.finished() {
-                    if ctx.fleet.is_alive(c.client, ctx.now()) {
-                        self.dispatch_client(ctx, c.client);
-                    } else {
-                        self.schedule_revival(ctx, c.client);
-                    }
+                    self.redispatch_or_park(ctx, c.client);
+                }
+            }
+            // A guard-rejected update: the client is still alive, so it
+            // goes straight back to work (or to quarantine parking).
+            PhaseEvent::Rejected { .. } => {
+                self.live_dispatches -= 1;
+                self.dispatch_version.remove(&c.client);
+                if !self.finished() {
+                    self.redispatch_or_park(ctx, c.client);
                 }
             }
             // A dropped client leaves the pool (wait-free: nobody blocks)
@@ -151,12 +186,13 @@ impl EventHandler for FedAsyncStrategy {
         if self.finished() || self.inflight.contains(client) {
             return;
         }
-        if ctx.fleet.is_alive(client, ctx.now()) {
+        let now = ctx.now();
+        if ctx.fleet.is_alive(client, now) && !self.core.is_quarantined(client, now) {
             self.core.faults.revivals += 1;
             self.dispatch_client(ctx, client);
         } else {
-            // Went down again before the wake-up fired; chase the next
-            // return time (if any).
+            // Went down again (or got re-quarantined) before the wake-up
+            // fired; chase the next return time (if any).
             self.schedule_revival(ctx, client);
         }
     }

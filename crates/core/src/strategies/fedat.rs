@@ -22,12 +22,12 @@
 //! legacy runs bit-identical.
 
 use crate::aggregate::{
-    aggregate_tiers_into, cross_tier_weights, uniform_tier_weights, weighted_client_average_into,
+    aggregate_clients_into, aggregate_tiers_into, cross_tier_weights, uniform_tier_weights,
 };
 use crate::config::ExperimentConfig;
 use crate::strategies::{
-    dispatch_tracked, retry_slot, FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy,
-    REVIVE_BIT,
+    dispatch_tracked, earliest_return, retry_slot, FaultCounters, InflightTable, PhaseEvent,
+    ServerCore, Strategy, REVIVE_BIT,
 };
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
@@ -148,12 +148,10 @@ impl FedAtStrategy {
         {
             let members = self.tiers.tier(tier);
             let table = &self.inflight;
-            self.alive_buf.extend(
-                members
-                    .iter()
-                    .copied()
-                    .filter(|&c| ctx.fleet.is_alive(c, now) && !table.contains(c)),
-            );
+            let core = &self.core;
+            self.alive_buf.extend(members.iter().copied().filter(|&c| {
+                ctx.fleet.is_alive(c, now) && !table.contains(c) && !core.is_quarantined(c, now)
+            }));
         }
         if self.alive_buf.is_empty() {
             // Every member is offline. If any of them comes back, park the
@@ -163,12 +161,9 @@ impl FedAtStrategy {
             // gone clients goes dormant (the legacy behavior); other tiers
             // continue either way — exactly the wait-free property of
             // cross-tier asynchrony.
-            let revive = self
-                .tiers
-                .tier(tier)
-                .iter()
-                .filter_map(|&c| ctx.fleet.next_up_time(c, now))
-                .fold(f64::INFINITY, f64::min);
+            let revive =
+                earliest_return(&self.core, ctx, self.tiers.tier(tier).iter().copied(), now)
+                    .unwrap_or(f64::INFINITY);
             if revive.is_finite() {
                 self.core.faults.quorum_rounds += 1;
                 ctx.faults.record(FaultEvent {
@@ -238,7 +233,15 @@ impl FedAtStrategy {
                 .iter()
                 .map(|(w, n)| (w.as_slice(), *n))
                 .collect();
-            weighted_client_average_into(&refs, &mut self.tier_models[tier]);
+            // The robust rule (when configured) applies here, at the
+            // intra-tier step where individual client updates meet; the
+            // cross-tier Eq. (5) average mixes *tier models*, which the
+            // guard already screened, and keeps its staleness weighting.
+            aggregate_clients_into(
+                self.core.cfg.guard.agg_rule,
+                &refs,
+                &mut self.tier_models[tier],
+            );
             self.tier_counts[tier] += 1;
             // Cross-tier asynchronous aggregation (Eq. 5), into the
             // standing global buffer.
@@ -354,7 +357,7 @@ impl EventHandler for FedAtStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match self.inflight.advance(&self.core, ctx, &c) {
+        match self.inflight.advance(&mut self.core, ctx, &c) {
             // Still outstanding until the upload arrives / stale event.
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => (),
             PhaseEvent::Landed {
@@ -370,8 +373,9 @@ impl EventHandler for FedAtStrategy {
                 self.tier_received[tier].push((weights, n_samples));
                 self.conclude_if_done(ctx, tier);
             }
-            // Dropped mid-compute or mid-upload: the update is lost.
-            PhaseEvent::Lost { group } => {
+            // Dropped mid-compute or mid-upload, or discarded by the
+            // guard: either way the round slot resolves without an update.
+            PhaseEvent::Lost { group } | PhaseEvent::Rejected { group } => {
                 let tier = group as usize;
                 self.tier_outstanding[tier] -= 1;
                 self.conclude_if_done(ctx, tier);

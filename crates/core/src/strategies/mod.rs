@@ -45,6 +45,18 @@ pub struct FaultCounters {
     pub retier_events: u64,
     /// Revival timers that restarted a parked tier or client.
     pub revivals: u64,
+    /// Uplink payloads mangled by the corrupted-update scenario (ground
+    /// truth — the server cannot observe this directly).
+    pub corrupt: u64,
+    /// Updates discarded by the guard (non-finite, or over the norm screen
+    /// with clipping disabled).
+    pub rejects: u64,
+    /// Updates clipped down to the norm-screen threshold.
+    pub clips: u64,
+    /// Async updates discarded for exceeding the staleness bound.
+    pub stale: u64,
+    /// Clients quarantined for repeat offenses.
+    pub quarantines: u64,
 }
 
 /// A runnable FL method: the event handler plus result accessors.
@@ -99,7 +111,33 @@ pub(crate) struct ServerCore {
     pub variance_checkpoints: Vec<f32>,
     /// Fault-tolerance activity for the whole run.
     pub faults: FaultCounters,
+    /// Guard-layer state (norm EWMA, offense counts, quarantine clocks).
+    guard: GuardState,
     evals_done: u64,
+}
+
+/// Mutable guard-layer state. All of it is a pure function of the landed
+/// updates' values and order in virtual time, so it preserves the
+/// bit-identity contract across ExecMode × SimdKernel × thread counts.
+#[derive(Default)]
+struct GuardState {
+    /// EWMA of accepted (post-clip) update L2 norms; `None` until the
+    /// first accepted update initializes it.
+    ewma_norm: Option<f64>,
+    /// Per-client rejected-update counts since the last quarantine
+    /// (indexed by client, grown on demand).
+    offenses: Vec<u32>,
+    /// Per-client quarantine release times (0 = never quarantined).
+    quarantined_until: Vec<f64>,
+}
+
+impl GuardState {
+    fn ensure(&mut self, client: usize) {
+        if self.offenses.len() <= client {
+            self.offenses.resize(client + 1, 0);
+            self.quarantined_until.resize(client + 1, 0.0);
+        }
+    }
 }
 
 /// Per-client variance is sampled every this many global evaluations (a
@@ -133,6 +171,7 @@ impl ServerCore {
             trace,
             variance_checkpoints: Vec::new(),
             faults: FaultCounters::default(),
+            guard: GuardState::default(),
             evals_done: 0,
         }
     }
@@ -140,6 +179,17 @@ impl ServerCore {
     /// Records one global update; evaluates on the configured cadence.
     pub fn bump(&mut self, ctx: &mut SimCtx) {
         self.updates += 1;
+        // With a value-screening guard active every accepted update is
+        // finite, so a non-finite global model means the guard leaked — a
+        // bug, not a scenario outcome. (Undefended corrupt runs and
+        // quarantine-only configs legitimately go non-finite; no assert.)
+        if self.cfg.guard.finite_check || self.cfg.guard.norm_screen.is_some() {
+            debug_assert!(
+                self.global.iter().all(|w| w.is_finite()),
+                "guard leaked a non-finite update into the global model at t={}",
+                self.updates
+            );
+        }
         if self.updates.is_multiple_of(self.eval_stride) {
             self.eval_now(ctx);
         }
@@ -208,8 +258,173 @@ impl ServerCore {
                 selection_round,
                 use_prox,
             }),
+            selection_round,
         })
     }
+
+    /// Screens one landed update against the guard policy, mutating it in
+    /// place when clipping. Returns `true` to accept, `false` to discard.
+    ///
+    /// Runs at the Uploading→Landed seam, in virtual-time event order, on
+    /// values that are already bit-identical across execution modes — so
+    /// every decision (and the EWMA it feeds) is deterministic.
+    pub fn screen_update(
+        &mut self,
+        ctx: &mut SimCtx,
+        client: usize,
+        group: u64,
+        weights: &mut [f32],
+    ) -> bool {
+        if !self.cfg.guard.screens_updates() {
+            return true;
+        }
+        if self.cfg.guard.finite_check && !weights.iter().all(|w| w.is_finite()) {
+            self.reject_update(ctx, client, group, 0);
+            return false;
+        }
+        if let Some(screen) = self.cfg.guard.norm_screen {
+            // The screen measures the L2 norm of the update's *displacement*
+            // from the current global model, not of the raw weights: client
+            // uploads are full models, and a scaled-up model has a huge
+            // displacement but the same direction, so bounding the
+            // displacement bounds the damage additively. (Screening raw
+            // norms lets a magnitude attack inflate the aggregate — and the
+            // EWMA with it — a little every round, compounding into a
+            // frozen, blown-up model.) Sequential f64 fold: bit-identical
+            // for every kernel/thread count by construction.
+            let norm = weights
+                .iter()
+                .zip(self.global.iter())
+                .map(|(w, g)| {
+                    let d = (*w - *g) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt();
+            if !norm.is_finite() {
+                // Finite coordinates can still overflow the squared norm;
+                // nothing sane survives that magnitude.
+                self.reject_update(ctx, client, group, 1);
+                return false;
+            }
+            match self.guard.ewma_norm {
+                None => {
+                    // First accepted update seeds the EWMA. Guard against a
+                    // zero seed (a no-op first update would make every later
+                    // norm infinite-relative).
+                    self.guard.ewma_norm = Some(norm.max(1e-12));
+                }
+                Some(ewma) => {
+                    let limit = screen.threshold * ewma;
+                    let accepted_norm = if norm <= limit {
+                        norm
+                    } else if screen.clip {
+                        // Shrink the displacement to the limit; the update's
+                        // direction survives, its magnitude is bounded.
+                        let s = (limit / norm) as f32;
+                        for (w, g) in weights.iter_mut().zip(self.global.iter()) {
+                            *w = *g + (*w - *g) * s;
+                        }
+                        self.faults.clips += 1;
+                        let now = ctx.now();
+                        ctx.faults.record(FaultEvent {
+                            time: now,
+                            kind: FaultKind::Clip,
+                            client: Some(client),
+                            tier: Some(group as usize),
+                            detail: norm as u64,
+                        });
+                        limit
+                    } else {
+                        self.reject_update(ctx, client, group, 1);
+                        return false;
+                    };
+                    self.guard.ewma_norm =
+                        Some(screen.alpha * accepted_norm + (1.0 - screen.alpha) * ewma);
+                }
+            }
+        }
+        true
+    }
+
+    /// Records one rejected update and advances the offender's quarantine
+    /// clock when the policy asks for one.
+    fn reject_update(&mut self, ctx: &mut SimCtx, client: usize, group: u64, detail: u64) {
+        self.faults.rejects += 1;
+        let now = ctx.now();
+        ctx.faults.record(FaultEvent {
+            time: now,
+            kind: FaultKind::Reject,
+            client: Some(client),
+            tier: Some(group as usize),
+            detail,
+        });
+        if let Some(after) = self.cfg.guard.quarantine_after {
+            self.guard.ensure(client);
+            self.guard.offenses[client] += 1;
+            if self.guard.offenses[client] >= after {
+                self.guard.offenses[client] = 0;
+                self.guard.quarantined_until[client] = now + self.cfg.guard.quarantine_secs;
+                self.faults.quarantines += 1;
+                ctx.faults.record(FaultEvent {
+                    time: now,
+                    kind: FaultKind::Quarantine,
+                    client: Some(client),
+                    tier: Some(group as usize),
+                    detail: self.cfg.guard.quarantine_secs as u64,
+                });
+            }
+        }
+    }
+
+    /// Whether `client` is currently serving a quarantine.
+    pub fn is_quarantined(&self, client: usize, now: f64) -> bool {
+        self.guard
+            .quarantined_until
+            .get(client)
+            .is_some_and(|&until| now < until)
+    }
+
+    /// When `client`'s quarantine lifts (0.0 if never quarantined).
+    pub fn guard_release_time(&self, client: usize) -> f64 {
+        self.guard
+            .quarantined_until
+            .get(client)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Records one async update discarded for exceeding the staleness
+    /// bound. Staleness is a timing property, not a value property, so it
+    /// does not count toward quarantine offenses.
+    pub fn note_stale(&mut self, ctx: &mut SimCtx, client: usize, group: u64, staleness: u64) {
+        self.faults.stale += 1;
+        let now = ctx.now();
+        ctx.faults.record(FaultEvent {
+            time: now,
+            kind: FaultKind::Stale,
+            client: Some(client),
+            tier: Some(group as usize),
+            detail: staleness,
+        });
+    }
+}
+
+/// Earliest virtual time at which any of `clients` is both alive and out of
+/// quarantine — the park-until time for a pool with nothing dispatchable
+/// right now. `None` when no client ever returns (all gone for good).
+pub(crate) fn earliest_return(
+    core: &ServerCore,
+    ctx: &SimCtx,
+    clients: impl Iterator<Item = usize>,
+    now: f64,
+) -> Option<f64> {
+    clients
+        .filter_map(|c| {
+            let up = ctx.fleet.next_up_time(c, now)?;
+            Some(up.max(core.guard_release_time(c)))
+        })
+        .min_by(f64::total_cmp)
 }
 
 /// One in-flight client computation, launched at dispatch time.
@@ -219,6 +434,10 @@ pub(crate) struct Inflight {
     /// the job when it launched — no simulator state can leak in later,
     /// which is what makes speculative execution trace-invisible.
     pub handle: crate::local::TrainHandle,
+    /// This dispatch's selection round (the client's dispatch ordinal) —
+    /// the corruption scenario keys its per-event draw on it so the decision
+    /// is a pure function of the dispatch, independent of event order.
+    pub selection_round: u64,
 }
 
 /// Where one client currently is in its round trip.
@@ -261,6 +480,13 @@ pub(crate) enum PhaseEvent {
     },
     /// The dispatch was lost to a dropout (mid-compute or mid-upload).
     Lost {
+        /// The dispatch group (tier index for tiered strategies).
+        group: u64,
+    },
+    /// The update arrived but the guard discarded it (non-finite or over
+    /// the norm screen). For round/slot accounting this is a loss; the
+    /// reject/quarantine bookkeeping already happened inside the screen.
+    Rejected {
         /// The dispatch group (tier index for tiered strategies).
         group: u64,
     },
@@ -355,12 +581,19 @@ impl InflightTable {
     /// dispatch (running it now if the inline mode is active or no worker
     /// got to it), puts the encoded update on the wire (charging the
     /// *actual* uplink payload) and schedules the upload arrival; on the
-    /// arrival it hands the update back to the strategy. A dropout
-    /// mid-compute discards the speculative result unjoined. A completion
-    /// whose tag doesn't match the client's current generation belongs to a
-    /// cancelled dispatch and is reported [`PhaseEvent::Unknown`]. Shared
-    /// by all five strategies so the phase protocol cannot diverge.
-    pub fn advance(&mut self, core: &ServerCore, ctx: &mut SimCtx, c: &Completion) -> PhaseEvent {
+    /// arrival it hands the update back to the strategy, after the
+    /// corruption scenario (if active) mangled the payload and the guard
+    /// layer (if active) screened it. A dropout mid-compute discards the
+    /// speculative result unjoined. A completion whose tag doesn't match
+    /// the client's current generation belongs to a cancelled dispatch and
+    /// is reported [`PhaseEvent::Unknown`]. Shared by all five strategies
+    /// so the phase protocol cannot diverge.
+    pub fn advance(
+        &mut self,
+        core: &mut ServerCore,
+        ctx: &mut SimCtx,
+        c: &Completion,
+    ) -> PhaseEvent {
         match self.by_client.get(&c.client) {
             Some(d) if d.gen == c.tag => {}
             _ => return PhaseEvent::Unknown,
@@ -369,7 +602,25 @@ impl InflightTable {
         match d.phase {
             ClientPhase::Computing(info) if !c.dropped => {
                 let update = info.handle.join();
-                let (w_up, up_bytes) = core.transport.upload(ctx, c.client, &update.weights);
+                // Uplink bytes are charged on the *honest* encoded payload
+                // first: corruption mangles the values in flight, it does
+                // not change what the client transmitted or the traffic
+                // meter's view of it.
+                let (mut w_up, up_bytes) = core.transport.upload(ctx, c.client, &update.weights);
+                if let Some(mode) =
+                    ctx.fleet
+                        .corrupt_update(c.client, info.selection_round, &mut w_up)
+                {
+                    core.faults.corrupt += 1;
+                    let now = ctx.now();
+                    ctx.faults.record(FaultEvent {
+                        time: now,
+                        kind: FaultKind::Corrupt,
+                        client: Some(c.client),
+                        tier: Some(d.group as usize),
+                        detail: mode,
+                    });
+                }
                 d.phase = ClientPhase::Uploading {
                     weights: w_up,
                     n_samples: update.n_samples,
@@ -378,8 +629,14 @@ impl InflightTable {
                 ctx.schedule_transfer(c.client, c.tag, up_bytes);
                 PhaseEvent::UploadScheduled
             }
-            ClientPhase::Uploading { weights, n_samples } if !c.dropped => {
+            ClientPhase::Uploading {
+                mut weights,
+                n_samples,
+            } if !c.dropped => {
                 self.client_of.remove(&d.gen);
+                if !core.screen_update(ctx, c.client, d.group, &mut weights) {
+                    return PhaseEvent::Rejected { group: d.group };
+                }
                 PhaseEvent::Landed {
                     group: d.group,
                     latency: ctx.now() - d.dispatched_at,

@@ -11,11 +11,11 @@
 //! transiently offline — permanent total loss still starves the run, as
 //! before.
 
-use crate::aggregate::weighted_client_average_into;
+use crate::aggregate::aggregate_clients_into;
 use crate::config::ExperimentConfig;
 use crate::strategies::{
-    dispatch_tracked, retry_slot, FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy,
-    REVIVE_BIT,
+    dispatch_tracked, earliest_return, retry_slot, FaultCounters, InflightTable, PhaseEvent,
+    ServerCore, Strategy, REVIVE_BIT,
 };
 use fedat_data::suite::FedTask;
 use fedat_sim::fault::{FaultEvent, FaultKind};
@@ -94,14 +94,18 @@ impl SyncStrategy {
     }
 
     fn start_round(&mut self, ctx: &mut SimCtx) {
-        let alive = ctx.alive_clients();
+        let now = ctx.now();
+        let alive: Vec<usize> = ctx
+            .alive_clients()
+            .into_iter()
+            .filter(|&c| !self.core.is_quarantined(c, now))
+            .collect();
         if alive.is_empty() {
-            // Park until the earliest client returns; only a fleet that is
-            // permanently gone starves the run.
-            let now = ctx.now();
-            let revive = (0..ctx.fleet.len())
-                .filter_map(|c| ctx.fleet.next_up_time(c, now))
-                .fold(f64::INFINITY, f64::min);
+            // Park until the earliest client returns (alive *and* out of
+            // quarantine); only a fleet that is permanently gone starves
+            // the run.
+            let revive =
+                earliest_return(&self.core, ctx, 0..ctx.fleet.len(), now).unwrap_or(f64::INFINITY);
             if revive.is_finite() {
                 self.core.faults.quorum_rounds += 1;
                 ctx.faults.record(FaultEvent {
@@ -167,7 +171,7 @@ impl SyncStrategy {
                 .iter()
                 .map(|(w, n)| (w.as_slice(), *n))
                 .collect();
-            weighted_client_average_into(&refs, &mut self.core.global);
+            aggregate_clients_into(self.core.cfg.guard.agg_rule, &refs, &mut self.core.global);
         }
         if (self.received.len() as f64) < self.core.cfg.fault.quorum * self.picked as f64 {
             self.core.faults.quorum_rounds += 1;
@@ -193,7 +197,7 @@ impl EventHandler for SyncStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match self.inflight.advance(&self.core, ctx, &c) {
+        match self.inflight.advance(&mut self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
             PhaseEvent::Landed {
                 weights, n_samples, ..
@@ -201,7 +205,7 @@ impl EventHandler for SyncStrategy {
                 self.outstanding -= 1;
                 self.received.push((weights, n_samples));
             }
-            PhaseEvent::Lost { .. } => self.outstanding -= 1,
+            PhaseEvent::Lost { .. } | PhaseEvent::Rejected { .. } => self.outstanding -= 1,
         }
         self.conclude_if_done(ctx);
     }

@@ -7,12 +7,12 @@
 //! lower-accuracy tiers, under per-tier credit budgets (both from the TiFL
 //! paper). This is also the tiering scheme FedAT borrows (§2.1).
 
-use crate::aggregate::weighted_client_average_into;
+use crate::aggregate::aggregate_clients_into;
 use crate::config::ExperimentConfig;
 use crate::eval::per_client_accuracy;
 use crate::strategies::{
-    dispatch_tracked, retry_slot, FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy,
-    REVIVE_BIT,
+    dispatch_tracked, earliest_return, retry_slot, FaultCounters, InflightTable, PhaseEvent,
+    ServerCore, Strategy, REVIVE_BIT,
 };
 use crate::tiering::TierAssignment;
 use fedat_data::suite::FedTask;
@@ -106,26 +106,19 @@ impl TiflStrategy {
     fn pick_tier(&mut self, ctx: &mut SimCtx) -> Option<usize> {
         let m = self.tiers.num_tiers();
         let now = ctx.now();
+        let usable = |core: &ServerCore, c: usize| {
+            ctx.fleet.is_alive(c, now) && !core.is_quarantined(c, now)
+        };
         let selectable: Vec<usize> = (0..m)
             .filter(|&t| {
-                self.credits[t] > 0
-                    && self
-                        .tiers
-                        .tier(t)
-                        .iter()
-                        .any(|&c| ctx.fleet.is_alive(c, now))
+                self.credits[t] > 0 && self.tiers.tier(t).iter().any(|&c| usable(&self.core, c))
             })
             .collect();
         // Credits exhausted everywhere: fall back to any tier with alive
         // clients (uniform), so training can use the full round budget.
         let pool: Vec<usize> = if selectable.is_empty() {
             (0..m)
-                .filter(|&t| {
-                    self.tiers
-                        .tier(t)
-                        .iter()
-                        .any(|&c| ctx.fleet.is_alive(c, now))
-                })
+                .filter(|&t| self.tiers.tier(t).iter().any(|&c| usable(&self.core, c)))
                 .collect()
         } else {
             selectable
@@ -149,12 +142,12 @@ impl TiflStrategy {
             self.update_probs();
         }
         let Some(tier) = self.pick_tier(ctx) else {
-            // No tier has alive clients. Park until the earliest client
-            // returns; starve only when every client is permanently gone.
+            // No tier has usable clients. Park until the earliest client
+            // returns (alive and out of quarantine); starve only when every
+            // client is permanently gone.
             let now = ctx.now();
-            let revive = (0..ctx.fleet.len())
-                .filter_map(|c| ctx.fleet.next_up_time(c, now))
-                .fold(f64::INFINITY, f64::min);
+            let revive =
+                earliest_return(&self.core, ctx, 0..ctx.fleet.len(), now).unwrap_or(f64::INFINITY);
             if revive.is_finite() {
                 self.core.faults.quorum_rounds += 1;
                 ctx.faults.record(FaultEvent {
@@ -178,7 +171,7 @@ impl TiflStrategy {
             .tier(tier)
             .iter()
             .copied()
-            .filter(|&c| ctx.fleet.is_alive(c, now))
+            .filter(|&c| ctx.fleet.is_alive(c, now) && !self.core.is_quarantined(c, now))
             .collect();
         let picks = self
             .core
@@ -225,7 +218,7 @@ impl TiflStrategy {
                 .iter()
                 .map(|(w, n)| (w.as_slice(), *n))
                 .collect();
-            weighted_client_average_into(&refs, &mut self.core.global);
+            aggregate_clients_into(self.core.cfg.guard.agg_rule, &refs, &mut self.core.global);
         }
         if (self.received.len() as f64) < self.core.cfg.fault.quorum * self.picked as f64 {
             self.core.faults.quorum_rounds += 1;
@@ -251,7 +244,7 @@ impl EventHandler for TiflStrategy {
     }
 
     fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
-        match self.inflight.advance(&self.core, ctx, &c) {
+        match self.inflight.advance(&mut self.core, ctx, &c) {
             PhaseEvent::UploadScheduled | PhaseEvent::Unknown => return,
             PhaseEvent::Landed {
                 weights, n_samples, ..
@@ -259,7 +252,7 @@ impl EventHandler for TiflStrategy {
                 self.outstanding -= 1;
                 self.received.push((weights, n_samples));
             }
-            PhaseEvent::Lost { .. } => self.outstanding -= 1,
+            PhaseEvent::Lost { .. } | PhaseEvent::Rejected { .. } => self.outstanding -= 1,
         }
         self.conclude_if_done(ctx);
     }

@@ -234,11 +234,14 @@ fn rule_r5(ctx: &FileContext, lines: &[Line], out: &mut Vec<RawFinding>) {
     }
 }
 
-/// R6: config structs in `crates/core/src/config.rs` that derive
-/// `Deserialize` must carry container-level `#[serde(default)]`, so configs
-/// written by older binaries keep loading when fields are added.
+/// R6: config structs in the serde-facing config files — the experiment
+/// config (`crates/core/src/config.rs`, home of `FaultPolicy` and
+/// `GuardPolicy`) and the churn scenario specs (`crates/sim/src/churn.rs`,
+/// home of `CorruptSpec` and friends) — that derive `Deserialize` must
+/// carry container-level `#[serde(default)]`, so configs written by older
+/// binaries keep loading when fields are added.
 fn rule_r6(ctx: &FileContext, lines: &[Line], out: &mut Vec<RawFinding>) {
-    if ctx.rel != "crates/core/src/config.rs" {
+    if ctx.rel != "crates/core/src/config.rs" && ctx.rel != "crates/sim/src/churn.rs" {
         return;
     }
     for (i, line) in lines.iter().enumerate() {

@@ -212,12 +212,29 @@ fn r6_accepts_defaults_enums_and_serde_free_structs() {
         include_str!("fixtures/r6_clean.rs"),
     );
     assert!(f.is_empty(), "clean fixture flagged: {f:?}");
-    // The rule is scoped to config.rs alone.
+    // The rule is scoped to the serde-facing config files alone.
     let (f, _) = lint(
         "crates/core/src/other.rs",
         include_str!("fixtures/r6_violation.rs"),
     );
-    assert!(f.is_empty(), "R6 must be scoped to config.rs: {f:?}");
+    assert!(f.is_empty(), "R6 must be scoped to the config files: {f:?}");
+}
+
+#[test]
+fn r6_covers_the_churn_scenario_specs() {
+    // `CorruptSpec` and the other churn scenario structs are part of the
+    // on-disk config surface; the rule applies to them like to
+    // `GuardPolicy`/`FaultPolicy` in core's config.rs.
+    let (f, _) = lint(
+        "crates/sim/src/churn.rs",
+        include_str!("fixtures/r6_violation.rs"),
+    );
+    assert_eq!(rules_of(&f), ["R6"], "{f:?}");
+    let (f, _) = lint(
+        "crates/sim/src/churn.rs",
+        include_str!("fixtures/r6_clean.rs"),
+    );
+    assert!(f.is_empty(), "clean fixture flagged in churn.rs: {f:?}");
 }
 
 #[test]

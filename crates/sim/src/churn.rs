@@ -20,7 +20,11 @@ use serde::{Deserialize, Serialize};
 /// Transient flapping: a fraction of clients alternates between up and down
 /// stretches with the given mean durations (uniform ±50% jitter) until
 /// `horizon`, after which they stay up.
+///
+/// Container-level `serde(default)` (lint R6): fields absent from a config
+/// file fall back to the inert [`Default`], never to a deserializer error.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct FlapSpec {
     /// Fraction of the fleet that flaps.
     pub fraction: f64,
@@ -32,9 +36,25 @@ pub struct FlapSpec {
     pub horizon: f64,
 }
 
+impl Default for FlapSpec {
+    /// Inert: a zero fraction selects no flappers.
+    fn default() -> Self {
+        FlapSpec {
+            fraction: 0.0,
+            mean_up: 300.0,
+            mean_down: 30.0,
+            horizon: 0.0,
+        }
+    }
+}
+
 /// Diurnal wave: a fraction of the fleet is down for a fixed window once
 /// per period, with a per-client random phase.
+///
+/// Container-level `serde(default)` (lint R6): missing fields fall back to
+/// the inert [`Default`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct DiurnalSpec {
     /// Wave period (seconds).
     pub period: f64,
@@ -46,9 +66,25 @@ pub struct DiurnalSpec {
     pub horizon: f64,
 }
 
+impl Default for DiurnalSpec {
+    /// Inert: zero participation selects no wave followers.
+    fn default() -> Self {
+        DiurnalSpec {
+            period: 86_400.0,
+            down_fraction: 0.0,
+            participation: 0.0,
+            horizon: 0.0,
+        }
+    }
+}
+
 /// Correlated dropout storms: `count` events, each knocking a freshly drawn
 /// random cohort offline for `duration` seconds at a random start time.
+///
+/// Container-level `serde(default)` (lint R6): missing fields fall back to
+/// the inert [`Default`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct StormSpec {
     /// Number of storm events.
     pub count: usize,
@@ -60,10 +96,26 @@ pub struct StormSpec {
     pub horizon: f64,
 }
 
+impl Default for StormSpec {
+    /// Inert: zero storm events.
+    fn default() -> Self {
+        StormSpec {
+            count: 0,
+            cohort_fraction: 0.0,
+            duration: 0.0,
+            horizon: 0.0,
+        }
+    }
+}
+
 /// Slow compute drift: a fraction of clients gets a per-dispatch-round
 /// multiplicative compute slowdown, capped at `max_factor`. Statically
 /// profiled tiers become wrong as drifted clients slow down.
+///
+/// Container-level `serde(default)` (lint R6): missing fields fall back to
+/// the inert [`Default`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct DriftSpec {
     /// Fraction of the fleet whose compute drifts.
     pub fraction: f64,
@@ -74,22 +126,91 @@ pub struct DriftSpec {
     pub max_factor: f64,
 }
 
+impl Default for DriftSpec {
+    /// Inert: a zero fraction selects no drifting clients.
+    fn default() -> Self {
+        DriftSpec {
+            fraction: 0.0,
+            per_round: 0.0,
+            max_factor: 1.0,
+        }
+    }
+}
+
+/// How a corrupted uplink mangles the update payload.
+///
+/// Ordered roughly by nastiness: `NanPoke` is the classic soft-error /
+/// serialization-bug failure (non-finite values that poison any mean),
+/// `SignFlip` is the model-replacement poisoning primitive, `Scale` is the
+/// magnitude-explosion attack (and what unbounded local divergence looks
+/// like), `Noise` models a flaky link or quantization bug.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CorruptMode {
+    /// Overwrite a deterministic subset of coordinates with NaN/±Inf.
+    NanPoke,
+    /// Negate every coordinate (sends the update in the worst direction).
+    SignFlip,
+    /// Multiply every coordinate by `factor`.
+    Scale {
+        /// Magnitude multiplier (the classic boosted-update attack).
+        factor: f32,
+    },
+    /// Add i.i.d. Gaussian noise with the given standard deviation.
+    Noise {
+        /// Noise standard deviation.
+        sigma: f32,
+    },
+}
+
+/// Corrupted-uplink scenario: a fixed `fraction` of the fleet is
+/// corrupt-capable (drawn once per fleet under `tags::CHURN_CORRUPT`), and
+/// each of their uplinks is independently mangled with `probability` at
+/// completion time. Corruption touches only the update payload — traffic
+/// accounting and the event trace are untouched, exactly as if the bytes
+/// went bad in transit.
+///
+/// Container-level `serde(default)` (lint R6): missing fields fall back to
+/// the inert [`Default`] (zero fraction/probability — no uplink is ever
+/// touched, and no RNG stream advances differently).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CorruptSpec {
+    /// Fraction of the fleet that is corrupt-capable.
+    pub fraction: f64,
+    /// Per-selection probability that a capable client's uplink is mangled.
+    pub probability: f64,
+    /// How a mangled payload is transformed.
+    pub mode: CorruptMode,
+}
+
+impl Default for CorruptSpec {
+    /// Inert: no client is corrupt-capable.
+    fn default() -> Self {
+        CorruptSpec {
+            fraction: 0.0,
+            probability: 0.0,
+            mode: CorruptMode::SignFlip,
+        }
+    }
+}
+
 /// Composable churn scenario configuration. The default (all `None`) is the
 /// legacy behavior: permanent dropouts only, no drift.
+// Container-level `serde(default)` (lint R6): a config written before any
+// of these scenarios existed keeps loading as the quiet legacy scenario.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct ChurnConfig {
     /// Transient up/down flapping.
-    #[serde(default)]
     pub flaps: Option<FlapSpec>,
     /// Diurnal availability waves.
-    #[serde(default)]
     pub diurnal: Option<DiurnalSpec>,
     /// Correlated dropout storms.
-    #[serde(default)]
     pub storms: Option<StormSpec>,
     /// Slow compute drift.
-    #[serde(default)]
     pub drift: Option<DriftSpec>,
+    /// Corrupted uplinks.
+    pub corrupt: Option<CorruptSpec>,
 }
 
 impl ChurnConfig {
@@ -99,6 +220,7 @@ impl ChurnConfig {
             && self.diurnal.is_none()
             && self.storms.is_none()
             && self.drift.is_none()
+            && self.corrupt.is_none()
     }
 
     /// A storm-heavy scenario used by the `FEDAT_CHURN=storm` CI lane:
@@ -121,16 +243,37 @@ impl ChurnConfig {
                 horizon: 1500.0,
             }),
             drift: None,
+            corrupt: None,
+        }
+    }
+
+    /// A light corrupted-uplink scenario used by the `FEDAT_CHURN=corrupt`
+    /// CI lane: 10% of the fleet occasionally adds mild Gaussian noise to
+    /// its uplink. Tuned so the core test suite's accuracy and finiteness
+    /// assertions keep holding *with the guard at its inert default* — the
+    /// lane proves the injection path is live and harmless defaults stay
+    /// harmless, not that undefended training survives hostile clients
+    /// (that is `bench_robust`'s job).
+    pub fn corrupt_light() -> Self {
+        ChurnConfig {
+            corrupt: Some(CorruptSpec {
+                fraction: 0.1,
+                probability: 0.5,
+                mode: CorruptMode::Noise { sigma: 0.02 },
+            }),
+            ..ChurnConfig::default()
         }
     }
 
     /// Reads the `FEDAT_CHURN` environment toggle: `storm`/`heavy` selects
-    /// [`ChurnConfig::storm_heavy`]; anything else (or unset) is `None`.
+    /// [`ChurnConfig::storm_heavy`], `corrupt` selects
+    /// [`ChurnConfig::corrupt_light`]; anything else (or unset) is `None`.
     pub fn from_env() -> Option<Self> {
         match std::env::var("FEDAT_CHURN") {
             Ok(v) if v.eq_ignore_ascii_case("storm") || v.eq_ignore_ascii_case("heavy") => {
                 Some(Self::storm_heavy())
             }
+            Ok(v) if v.eq_ignore_ascii_case("corrupt") => Some(Self::corrupt_light()),
             _ => None,
         }
     }
@@ -206,7 +349,7 @@ impl ChurnConfig {
 }
 
 /// Rounds `fraction × n` to a client count, clamped to `[0, n]`.
-fn count_of(fraction: f64, n: usize) -> usize {
+pub(crate) fn count_of(fraction: f64, n: usize) -> usize {
     ((fraction * n as f64).round().max(0.0) as usize).min(n)
 }
 
@@ -233,6 +376,8 @@ mod tests {
     fn quiet_default() {
         assert!(ChurnConfig::default().is_quiet());
         assert!(!ChurnConfig::storm_heavy().is_quiet());
+        assert!(!ChurnConfig::corrupt_light().is_quiet());
+        assert!(CorruptSpec::default().fraction == 0.0);
     }
 
     #[test]
@@ -275,6 +420,7 @@ mod tests {
                 per_round: 0.05,
                 max_factor: 4.0,
             }),
+            corrupt: None,
         };
         let mut a = vec![Vec::new(); 20];
         let mut b = vec![Vec::new(); 20];

@@ -25,6 +25,19 @@ pub enum FaultKind {
     Quorum,
     /// Tier membership was re-assigned from observed latencies.
     Retier,
+    /// A client's uplink payload was mangled in transit (ground truth,
+    /// emitted at injection — the server never sees this row's cause).
+    Corrupt,
+    /// The guard layer rejected an update (non-finite or over the norm
+    /// screen with clipping disabled).
+    Reject,
+    /// The guard layer clipped an over-norm update to the screen threshold.
+    Clip,
+    /// An async strategy discarded an update older than `max_staleness`
+    /// model versions.
+    Stale,
+    /// A repeat offender was quarantined out of the dispatch pool.
+    Quarantine,
 }
 
 impl fmt::Display for FaultKind {
@@ -36,6 +49,11 @@ impl fmt::Display for FaultKind {
             FaultKind::Retry => "retry",
             FaultKind::Quorum => "quorum",
             FaultKind::Retier => "retier",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Reject => "reject",
+            FaultKind::Clip => "clip",
+            FaultKind::Stale => "stale",
+            FaultKind::Quarantine => "quarantine",
         };
         f.write_str(s)
     }

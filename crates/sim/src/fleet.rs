@@ -1,8 +1,10 @@
 //! The simulated client population.
 
-use crate::churn::{normalize, ChurnConfig};
+use crate::churn::{count_of, normalize, ChurnConfig, CorruptMode, CorruptSpec};
 use crate::latency::{paper_delay_parts, DelayPart, LatencyModel};
-use fedat_tensor::rng::{rng_for, sample_without_replacement, tags, uniform};
+use fedat_tensor::rng::{
+    rng_for, sample_without_replacement, split_seed, standard_normal, tags, uniform,
+};
 use serde::{Deserialize, Serialize};
 
 /// Static description of the simulated cluster, mirroring the paper's
@@ -107,6 +109,18 @@ pub struct Fleet {
     down: Vec<Vec<(f64, f64)>>,
     /// Optional per-client link bandwidth (bytes/second).
     bandwidth: Option<f64>,
+    /// Corrupted-uplink schedule, when the scenario is enabled.
+    corrupt: Option<CorruptState>,
+}
+
+/// Materialized corrupted-uplink scenario: the spec, the master seed the
+/// per-event decisions are keyed on, and the corrupt-capable membership
+/// (drawn once under `tags::CHURN_CORRUPT`).
+#[derive(Clone, Debug)]
+struct CorruptState {
+    spec: CorruptSpec,
+    seed: u64,
+    capable: Vec<bool>,
 }
 
 impl Fleet {
@@ -176,11 +190,27 @@ impl Fleet {
                 drift.max_factor,
             );
         }
+        // Corrupt-capable membership: its own tagged stream, so enabling
+        // the scenario perturbs no other draw.
+        let corrupt = config.churn.corrupt.map(|spec| {
+            let mut capable = vec![false; config.n_clients];
+            let k = count_of(spec.fraction, config.n_clients);
+            let mut rng = rng_for(config.seed, tags::CHURN_CORRUPT);
+            for c in sample_without_replacement(&mut rng, config.n_clients, k) {
+                capable[c] = true;
+            }
+            CorruptState {
+                spec,
+                seed: config.seed,
+                capable,
+            }
+        });
         Fleet {
             latency,
             sample_counts,
             down,
             bandwidth: config.bandwidth_bytes_per_sec,
+            corrupt,
         }
     }
 
@@ -305,6 +335,72 @@ impl Fleet {
     /// Ground-truth delay part of a client.
     pub fn part_of(&self, client: usize) -> usize {
         self.latency.part_of(client)
+    }
+
+    /// Whether `client` belongs to the corrupt-capable cohort (always
+    /// false when the corrupted-uplink scenario is disabled).
+    pub fn is_corrupt_capable(&self, client: usize) -> bool {
+        self.corrupt
+            .as_ref()
+            .is_some_and(|state| state.capable[client])
+    }
+
+    /// Applies the corrupted-uplink scenario to one completed update.
+    ///
+    /// Returns the corruption-mode code when the payload was mangled
+    /// (0 = NaN poke, 1 = sign flip, 2 = scale, 3 = noise); `None` means
+    /// the uplink is clean. The decision and any noise come from a fresh
+    /// RNG keyed on `(seed, client, selection_round)`, so the outcome is a
+    /// pure function of the dispatch — independent of event interleaving,
+    /// thread count, and every other RNG stream.
+    pub fn corrupt_update(
+        &self,
+        client: usize,
+        selection_round: u64,
+        weights: &mut [f32],
+    ) -> Option<u64> {
+        let state = self.corrupt.as_ref()?;
+        if !state.capable[client] {
+            return None;
+        }
+        let base = split_seed(state.seed, tags::CHURN_CORRUPT);
+        let mut rng = rng_for(split_seed(base, client as u64), selection_round);
+        if uniform(&mut rng, 0.0, 1.0) >= state.spec.probability {
+            return None;
+        }
+        match state.spec.mode {
+            CorruptMode::NanPoke => {
+                // Poke a fixed stride of coordinates with cycling non-finite
+                // values: enough to poison any mean, sparse enough that a
+                // magnitude screen alone cannot explain the damage.
+                for (i, w) in weights.iter_mut().enumerate().step_by(7) {
+                    *w = match (i / 7) % 3 {
+                        0 => f32::NAN,
+                        1 => f32::INFINITY,
+                        _ => f32::NEG_INFINITY,
+                    };
+                }
+                Some(0)
+            }
+            CorruptMode::SignFlip => {
+                for w in weights.iter_mut() {
+                    *w = -*w;
+                }
+                Some(1)
+            }
+            CorruptMode::Scale { factor } => {
+                for w in weights.iter_mut() {
+                    *w *= factor;
+                }
+                Some(2)
+            }
+            CorruptMode::Noise { sigma } => {
+                for w in weights.iter_mut() {
+                    *w += sigma * standard_normal(&mut rng);
+                }
+                Some(3)
+            }
+        }
     }
 
     /// Time to move `bytes` over one client link (0 with infinite
@@ -497,6 +593,103 @@ mod tests {
                 churned.response_latency(c, 3, 2)
             );
         }
+    }
+
+    #[test]
+    fn corrupt_scenario_never_perturbs_the_legacy_draws() {
+        let quiet = fleet(100, 10, 7);
+        let mut cfg = ClusterConfig::paper_medium(7);
+        cfg.churn = crate::churn::ChurnConfig::corrupt_light();
+        let f = Fleet::new(&cfg, vec![48; 100]);
+        for c in 0..100 {
+            assert_eq!(quiet.dropout_time(c), f.dropout_time(c));
+            assert_eq!(quiet.part_of(c), f.part_of(c));
+            assert_eq!(quiet.response_latency(c, 3, 2), f.response_latency(c, 3, 2));
+            assert!(!quiet.is_corrupt_capable(c), "quiet fleet has no cohort");
+        }
+        let capable = (0..100).filter(|&c| f.is_corrupt_capable(c)).count();
+        assert_eq!(capable, 10, "fraction 0.1 of 100 clients");
+    }
+
+    #[test]
+    fn corrupt_update_is_a_pure_function_of_the_dispatch() {
+        let mut cfg = ClusterConfig::paper_medium(5).with_clients(20);
+        cfg.n_unstable = 0;
+        cfg.churn = crate::churn::ChurnConfig {
+            corrupt: Some(crate::churn::CorruptSpec {
+                fraction: 0.5,
+                probability: 0.5,
+                mode: crate::churn::CorruptMode::Noise { sigma: 0.1 },
+            }),
+            ..Default::default()
+        };
+        let f = Fleet::new(&cfg, vec![48; 20]);
+        let c = (0..20).find(|&c| f.is_corrupt_capable(c)).unwrap();
+        // Same (client, round) → same decision and same noise, regardless
+        // of what other calls happened in between.
+        let mut a = vec![1.0f32; 16];
+        let r_a = f.corrupt_update(c, 3, &mut a);
+        let mut scratch = vec![2.0f32; 16];
+        for round in 0..10 {
+            f.corrupt_update(c, round, &mut scratch);
+        }
+        let mut b = vec![1.0f32; 16];
+        let r_b = f.corrupt_update(c, 3, &mut b);
+        assert_eq!(r_a, r_b);
+        assert_eq!(a, b);
+        // With probability 0.5, 64 selection rounds corrupt at least once
+        // and stay clean at least once.
+        let hits = (0..64)
+            .filter(|&r| f.corrupt_update(c, r, &mut scratch).is_some())
+            .count();
+        assert!(hits > 0 && hits < 64, "got {hits}/64 corruptions");
+        // Non-capable clients are never touched.
+        let clean = (0..20).find(|&c| !f.is_corrupt_capable(c)).unwrap();
+        let mut w = vec![1.0f32; 16];
+        for round in 0..64 {
+            assert_eq!(f.corrupt_update(clean, round, &mut w), None);
+        }
+        assert_eq!(w, vec![1.0f32; 16]);
+    }
+
+    #[test]
+    fn corrupt_modes_transform_the_payload() {
+        let spec = |mode| crate::churn::ChurnConfig {
+            corrupt: Some(crate::churn::CorruptSpec {
+                fraction: 1.0,
+                probability: 1.0,
+                mode,
+            }),
+            ..Default::default()
+        };
+        let build = |mode| {
+            let mut cfg = ClusterConfig::paper_medium(2).with_clients(4);
+            cfg.n_unstable = 0;
+            cfg.churn = spec(mode);
+            Fleet::new(&cfg, vec![48; 4])
+        };
+
+        let f = build(crate::churn::CorruptMode::SignFlip);
+        let mut w = vec![1.0f32, -2.0, 3.0];
+        assert_eq!(f.corrupt_update(0, 0, &mut w), Some(1));
+        assert_eq!(w, vec![-1.0, 2.0, -3.0]);
+
+        let f = build(crate::churn::CorruptMode::Scale { factor: 10.0 });
+        let mut w = vec![1.0f32, -2.0];
+        assert_eq!(f.corrupt_update(1, 5, &mut w), Some(2));
+        assert_eq!(w, vec![10.0, -20.0]);
+
+        let f = build(crate::churn::CorruptMode::NanPoke);
+        let mut w = vec![1.0f32; 15];
+        assert_eq!(f.corrupt_update(2, 1, &mut w), Some(0));
+        assert!(w.iter().any(|v| !v.is_finite()), "pokes landed");
+        assert!(w.iter().any(|v| v.is_finite()), "pokes are sparse");
+
+        let f = build(crate::churn::CorruptMode::Noise { sigma: 0.5 });
+        let mut w = vec![0.0f32; 32];
+        assert_eq!(f.corrupt_update(3, 2, &mut w), Some(3));
+        assert!(w.iter().all(|v| v.is_finite()));
+        assert!(w.iter().any(|v| *v != 0.0));
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod runtime;
 pub mod threaded;
 pub mod trace;
 
-pub use churn::{ChurnConfig, DiurnalSpec, DriftSpec, FlapSpec, StormSpec};
+pub use churn::{
+    ChurnConfig, CorruptMode, CorruptSpec, DiurnalSpec, DriftSpec, FlapSpec, StormSpec,
+};
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultLog};
 pub use fleet::{ClusterConfig, Fleet};

@@ -413,6 +413,90 @@ pub fn weighted_sum_into(inputs: &[&[f32]], weights: &[f32], out: &mut [f32]) {
     });
 }
 
+/// Selects the per-coordinate order statistic taken by [`robust_reduce_into`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RobustRule {
+    /// Drop the `trim` smallest and `trim` largest values at each coordinate
+    /// and average the rest (requires `2 * trim < k`).
+    TrimmedMean {
+        /// Values trimmed from *each* end of the sorted column.
+        trim: usize,
+    },
+    /// The per-coordinate median; even counts average the two middle values.
+    Median,
+}
+
+/// Per-coordinate robust reduction of `k` equally-shaped slices into `out`.
+///
+/// `out[i] = statistic(inputs[0][i], …, inputs[k-1][i])` where the statistic
+/// is the trimmed mean or median selected by `rule`. This is the selection
+/// kernel behind `AggRule::{TrimmedMean, CoordinateMedian}` in the server's
+/// guard layer.
+///
+/// The model dimension is sharded into [`AGG_SHARD`]-element chunks on the
+/// kernel pool exactly like [`weighted_sum_into`] — shard boundaries depend
+/// only on the constant, never on the thread count. Within a shard each
+/// coordinate gathers its `k` values into a scratch column and sorts with
+/// `f32::total_cmp`, a total order (it ranks every NaN bit pattern, so the
+/// kernel is deterministic even if non-finite values slip past the guard).
+/// The sorted column is a pure function of the input *multiset*: bitwise-
+/// equal ties are interchangeable in every downstream statistic, so the
+/// result is invariant under any permutation of the inputs (the tie-break
+/// contract — "ties broken by client index" — is satisfied vacuously).
+/// The kept values are summed left-to-right in f64 in sorted order, which
+/// is likewise permutation- and thread-count-invariant.
+///
+/// # Panics
+/// Panics if lengths are inconsistent, no inputs are given, or a trimmed
+/// mean would drop every value.
+pub fn robust_reduce_into(inputs: &[&[f32]], rule: RobustRule, out: &mut [f32]) {
+    assert!(
+        !inputs.is_empty(),
+        "robust_reduce_into needs at least one input"
+    );
+    for input in inputs {
+        assert_eq!(input.len(), out.len(), "input length mismatch");
+    }
+    let k = inputs.len();
+    if let RobustRule::TrimmedMean { trim } = rule {
+        assert!(
+            2 * trim < k,
+            "TrimmedMean {{ trim: {trim} }} drops all {k} inputs"
+        );
+    }
+    // Cost per output element: k gathers + an O(k log k) sort.
+    let threads = parallel::plan_threads(out.len(), 4 * k);
+    parallel::for_each_chunk(out, AGG_SHARD, threads, |start, shard| {
+        let mut column = vec![0.0f32; k];
+        for (i, o) in shard.iter_mut().enumerate() {
+            for (slot, input) in column.iter_mut().zip(inputs.iter()) {
+                *slot = input[start + i];
+            }
+            // Determinism: `f32::total_cmp` is a total order over all bit
+            // patterns, so the sorted column — and every statistic below —
+            // is a pure function of the value multiset.
+            column.sort_unstable_by(f32::total_cmp);
+            *o = match rule {
+                RobustRule::TrimmedMean { trim } => {
+                    let kept = &column[trim..k - trim];
+                    let mut acc = 0.0f64;
+                    for &v in kept {
+                        acc += v as f64;
+                    }
+                    (acc / kept.len() as f64) as f32
+                }
+                RobustRule::Median => {
+                    if k % 2 == 1 {
+                        column[k / 2]
+                    } else {
+                        ((column[k / 2 - 1] as f64 + column[k / 2] as f64) * 0.5) as f32
+                    }
+                }
+            };
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,5 +666,45 @@ mod tests {
     fn dot_and_dist() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn robust_reduce_statistics() {
+        // 5 inputs, 2 coordinates. Columns: [1, 2, 3, 4, 100] and
+        // [-50, 0, 0, 1, 2] once sorted.
+        let a = [1.0f32, 2.0];
+        let b = [2.0f32, 0.0];
+        let c = [3.0f32, -50.0];
+        let d = [4.0f32, 1.0];
+        let e = [100.0f32, 0.0];
+        let inputs: Vec<&[f32]> = vec![&a, &b, &c, &d, &e];
+        let mut out = vec![0.0f32; 2];
+        robust_reduce_into(&inputs, RobustRule::Median, &mut out);
+        assert_eq!(out, vec![3.0, 0.0]);
+        robust_reduce_into(&inputs, RobustRule::TrimmedMean { trim: 1 }, &mut out);
+        assert_eq!(out, vec![3.0, 1.0 / 3.0]);
+        // Even count: the median averages the two middle values.
+        let inputs4: Vec<&[f32]> = vec![&a, &b, &c, &d];
+        robust_reduce_into(&inputs4, RobustRule::Median, &mut out);
+        assert_eq!(out, vec![2.5, 0.5]);
+    }
+
+    #[test]
+    fn robust_reduce_ignores_input_order() {
+        use rand::RngExt;
+        let mut rng = rng_for(11, 3);
+        let dim = 3 * AGG_SHARD + 17;
+        let cohort: Vec<Vec<f32>> = (0..7)
+            .map(|_| (0..dim).map(|_| rng.random_range(-4.0..4.0)).collect())
+            .collect();
+        let fwd: Vec<&[f32]> = cohort.iter().map(|v| v.as_slice()).collect();
+        let rev: Vec<&[f32]> = cohort.iter().rev().map(|v| v.as_slice()).collect();
+        for rule in [RobustRule::Median, RobustRule::TrimmedMean { trim: 2 }] {
+            let mut x = vec![0.0f32; dim];
+            let mut y = vec![0.0f32; dim];
+            robust_reduce_into(&fwd, rule, &mut x);
+            robust_reduce_into(&rev, rule, &mut y);
+            assert_eq!(x, y, "{rule:?} depended on input order");
+        }
     }
 }

@@ -64,6 +64,8 @@ pub mod tags {
     pub const CHURN_STORM: u64 = 12;
     /// Slow compute-drift rates (churn engine).
     pub const CHURN_DRIFT: u64 = 13;
+    /// Corrupted-uplink decisions (churn engine).
+    pub const CHURN_CORRUPT: u64 = 14;
 }
 
 /// Samples a standard normal value via the Box–Muller transform.
