@@ -3,7 +3,8 @@
 //! Fig. 5).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fedat_compress::codec::{Codec, NoCompression, PolylineCodec, QuantizeCodec};
+use fedat_compress::codec::{NoCompression, PolylineCodec, QuantizeCodec, WireCodec};
+use fedat_compress::{DeltaRleCodec, QuantizedCodec, TopKCodec};
 use std::hint::black_box;
 
 fn model_weights(n: usize) -> Vec<f32> {
@@ -32,6 +33,23 @@ fn bench_encode(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("quantize-i8", 0), &weights, |b, w| {
         b.iter(|| black_box(quant.encode(black_box(w))))
     });
+    // Reference-aware uplink codecs: encode the post-training model
+    // against the broadcast it started from, like `upload_with_ref`.
+    let reference = model_weights(22_000);
+    let trained: Vec<f32> = reference.iter().map(|w| w + 1e-3).collect();
+    group.bench_with_input(BenchmarkId::new("delta-rle", 0), &trained, |b, w| {
+        b.iter(|| black_box(DeltaRleCodec.encode_with_ref(black_box(w), Some(&reference))))
+    });
+    for bits in [4u8, 8] {
+        let codec = QuantizedCodec::new(bits);
+        group.bench_with_input(BenchmarkId::new("quantized", bits), &trained, |b, w| {
+            b.iter(|| black_box(codec.encode_with_ref(black_box(w), Some(&reference))))
+        });
+    }
+    let topk = TopKCodec::new(50);
+    group.bench_with_input(BenchmarkId::new("topk-50pm", 0), &trained, |b, w| {
+        b.iter(|| black_box(topk.encode_with_ref(black_box(w), Some(&reference))))
+    });
     group.finish();
 }
 
@@ -45,6 +63,26 @@ fn bench_decode(c: &mut Criterion) {
         let blob = codec.encode(&weights);
         group.bench_with_input(BenchmarkId::new("polyline", p), &blob, |b, blob| {
             b.iter(|| black_box(codec.decode(black_box(blob))))
+        });
+    }
+    let reference = model_weights(22_000);
+    let trained: Vec<f32> = reference.iter().map(|w| w + 1e-3).collect();
+    for (name, blob) in [
+        (
+            "delta-rle",
+            DeltaRleCodec.encode_with_ref(&trained, Some(&reference)),
+        ),
+        (
+            "quantized8",
+            QuantizedCodec::new(8).encode_with_ref(&trained, Some(&reference)),
+        ),
+    ] {
+        let codec: Box<dyn WireCodec> = match name {
+            "delta-rle" => Box::new(DeltaRleCodec),
+            _ => Box::new(QuantizedCodec::new(8)),
+        };
+        group.bench_with_input(BenchmarkId::new(name, 0), &blob, |b, blob| {
+            b.iter(|| black_box(codec.decode_with_ref(black_box(blob), Some(&reference))))
         });
     }
     group.finish();

@@ -367,7 +367,7 @@ pub fn fig5(ctx: &Ctx) {
                 delta: true,
             }),
         ),
-        ("no-compression".into(), Some(CodecKind::Raw)),
+        ("no-compression".into(), Some(CodecKind::None)),
     ];
     let jobs: Vec<Job> = variants
         .iter()

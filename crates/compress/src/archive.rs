@@ -6,7 +6,7 @@
 //! [`WeightArchive`] reproduces that framing and charges the dimension
 //! sideband to the wire size.
 
-use crate::codec::{Codec, CompressedBlob};
+use crate::codec::{CompressedBlob, WireCodec};
 
 /// Shape metadata of one marshalled layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,7 +45,7 @@ impl WeightArchive {
     ///
     /// # Panics
     /// Panics if any layer's slice length disagrees with its dims.
-    pub fn marshal(codec: &dyn Codec, layers: &[(&[f32], Vec<usize>)]) -> WeightArchive {
+    pub fn marshal(codec: &dyn WireCodec, layers: &[(&[f32], Vec<usize>)]) -> WeightArchive {
         let total: usize = layers.iter().map(|(w, _)| w.len()).sum();
         let mut flat = Vec::with_capacity(total);
         let mut dims = Vec::with_capacity(layers.len());
@@ -65,7 +65,7 @@ impl WeightArchive {
     ///
     /// # Panics
     /// Panics if the blob length disagrees with the dimension table.
-    pub fn unmarshal(&self, codec: &dyn Codec) -> Vec<Vec<f32>> {
+    pub fn unmarshal(&self, codec: &dyn WireCodec) -> Vec<Vec<f32>> {
         let flat = codec.decode(&self.blob);
         let expected: usize = self.layers.iter().map(|l| l.len()).sum();
         assert_eq!(flat.len(), expected, "archive length mismatch");

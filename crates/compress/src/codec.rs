@@ -1,13 +1,34 @@
-//! The codec abstraction used by the FL transport.
+//! The wire-codec abstraction used by the FL transport.
+//!
+//! A [`WireCodec`] turns a weight vector into a [`CompressedBlob`] (what the
+//! simulator's traffic meter charges to the network) and back. Codecs come
+//! in two families:
+//!
+//! * **absolute** codecs encode the weight vector alone
+//!   ([`NoCompression`], [`PolylineCodec`], [`QuantizeCodec`]),
+//! * **reference-aware** codecs encode against a model both endpoints
+//!   already hold — the decoded broadcast the client trained from —
+//!   via [`WireCodec::encode_with_ref`]
+//!   ([`crate::delta_rle::DeltaRleCodec`],
+//!   [`crate::quantized::QuantizedCodec`], [`crate::topk::TopKCodec`]).
+//!
+//! Every decoder is total: [`WireCodec::try_decode_with_ref`] returns
+//! [`CodecError`] on arbitrary corrupt bytes instead of panicking (pinned by
+//! proptest). The panicking [`WireCodec::decode`]/[`WireCodec::decode_with_ref`]
+//! conveniences exist because inside the simulator a decode failure is a
+//! programming error, not a recoverable condition.
 
+use crate::delta_rle::DeltaRleCodec;
 use crate::polyline::{decode_stream, encode_stream};
+use crate::quantized::QuantizedCodec;
+use crate::topk::TopKCodec;
 use bytes::Bytes;
 
 /// Identifies how a blob was encoded (carried in the blob header).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CodecKind {
-    /// Raw little-endian `f32`s.
-    Raw,
+    /// Raw little-endian `f32`s — 4 bytes per value, bit-exact, inert.
+    None,
     /// Polyline at a given precision; `delta` selects difference coding.
     Polyline {
         /// Decimal precision (1–7).
@@ -15,9 +36,48 @@ pub enum CodecKind {
         /// Difference coding enabled.
         delta: bool,
     },
-    /// Per-blob linear int8 quantization.
+    /// Per-blob linear int8 quantization (absolute, reference-free).
     QuantizeI8,
+    /// Lossless bit-delta vs the reference + byte-plane RLE packing.
+    DeltaRle,
+    /// Linear quantization of the delta vs the reference at `bits` ∈ {4, 8}.
+    Quantized {
+        /// Quantizer width in bits per weight (4 or 8).
+        bits: u8,
+    },
+    /// Sparse top-k delta: the `per_mille`/1000 largest-magnitude delta
+    /// coordinates travel as exact values, the rest decode to the reference.
+    TopK {
+        /// Selected fraction in thousandths (1–1000).
+        per_mille: u16,
+    },
 }
+
+/// Values per codec shard: encode/decode work is split into fixed
+/// `CODEC_CHUNK`-value chunks whose boundaries depend on nothing but this
+/// constant, so sharding across the kernel pool is thread-count invariant
+/// (same argument as `fedat_tensor::parallel::for_each_chunk`).
+pub const CODEC_CHUNK: usize = 4096;
+
+/// A decode failure: the blob's bytes are inconsistent with its header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// `blob.kind` does not name a blob this codec can decode.
+    WrongKind,
+    /// Payload, aux, or count are inconsistent with the claimed kind.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::WrongKind => write!(f, "blob kind does not match this codec"),
+            CodecError::Malformed(why) => write!(f, "malformed blob: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
 
 /// An encoded weight vector plus the header a receiver needs to decode it.
 ///
@@ -33,7 +93,7 @@ pub struct CompressedBlob {
     pub count: usize,
     /// Codec identification for decode.
     pub kind: CodecKind,
-    /// Extra decode parameters (quantization range for int8).
+    /// Extra decode parameters (quantization range for the quantizers).
     pub aux: Vec<f32>,
 }
 
@@ -48,27 +108,93 @@ impl CompressedBlob {
 }
 
 /// A lossy or lossless weight-vector codec.
-pub trait Codec: Send + Sync {
-    /// Encodes a weight vector.
-    fn encode(&self, weights: &[f32]) -> CompressedBlob;
+///
+/// The `reference` is the model both endpoints already hold (the decoded
+/// broadcast a client trained from). Absolute codecs ignore it; the
+/// reference-aware codecs encode the difference against it, which is why
+/// the transport threads the same reference through both
+/// [`encode_with_ref`](WireCodec::encode_with_ref) and
+/// [`try_decode_with_ref`](WireCodec::try_decode_with_ref).
+pub trait WireCodec: Send + Sync {
+    /// Encodes a weight vector, optionally against a reference model.
+    ///
+    /// # Panics
+    /// Panics if `reference` is present with a different length than
+    /// `weights` — that is a caller bug, not a data condition.
+    fn encode_with_ref(&self, weights: &[f32], reference: Option<&[f32]>) -> CompressedBlob;
 
-    /// Decodes a blob produced by this codec.
+    /// Decodes a blob, optionally against the reference it was encoded
+    /// with. Never panics on corrupt payload bytes: any inconsistency
+    /// surfaces as a [`CodecError`].
+    fn try_decode_with_ref(
+        &self,
+        blob: &CompressedBlob,
+        reference: Option<&[f32]>,
+    ) -> Result<Vec<f32>, CodecError>;
+
+    /// Short name for reports (e.g. `polyline-p4`).
+    fn name(&self) -> String;
+
+    /// Encodes without a reference.
+    fn encode(&self, weights: &[f32]) -> CompressedBlob {
+        self.encode_with_ref(weights, None)
+    }
+
+    /// Decodes a blob produced by [`WireCodec::encode`].
     ///
     /// # Panics
     /// Panics on corrupt input — a decode failure in the simulator is a
     /// programming error, not a recoverable condition.
-    fn decode(&self, blob: &CompressedBlob) -> Vec<f32>;
+    fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
+        self.decode_with_ref(blob, None)
+    }
 
-    /// Short name for reports (e.g. `polyline-p4`).
-    fn name(&self) -> String;
+    /// Decodes against a reference, panicking on corrupt input (the
+    /// in-simulator convenience over [`WireCodec::try_decode_with_ref`]).
+    ///
+    /// # Panics
+    /// Panics on corrupt input.
+    fn decode_with_ref(&self, blob: &CompressedBlob, reference: Option<&[f32]>) -> Vec<f32> {
+        match self.try_decode_with_ref(blob, reference) {
+            Ok(w) => w,
+            Err(e) => panic!("{} blob failed to decode: {e}", self.name()),
+        }
+    }
 }
 
-/// Identity codec: 4 bytes per value on the wire.
+/// Checks the encode-side reference contract shared by every codec.
+pub(crate) fn check_reference(weights: &[f32], reference: Option<&[f32]>) {
+    if let Some(r) = reference {
+        assert_eq!(
+            r.len(),
+            weights.len(),
+            "encode reference length mismatch: {} vs {} weights",
+            r.len(),
+            weights.len()
+        );
+    }
+}
+
+/// Validates the decode-side reference length without panicking.
+pub(crate) fn decode_reference(
+    count: usize,
+    reference: Option<&[f32]>,
+) -> Result<Option<&[f32]>, CodecError> {
+    match reference {
+        Some(r) if r.len() != count => Err(CodecError::Malformed("reference length mismatch")),
+        other => Ok(other),
+    }
+}
+
+/// Identity codec: 4 bytes per value on the wire, bit-exact. The inert
+/// default — `CodecKind::None` runs charge exactly the pre-codec byte
+/// counts (16-byte header + 4·n payload).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoCompression;
 
-impl Codec for NoCompression {
-    fn encode(&self, weights: &[f32]) -> CompressedBlob {
+impl WireCodec for NoCompression {
+    fn encode_with_ref(&self, weights: &[f32], reference: Option<&[f32]>) -> CompressedBlob {
+        check_reference(weights, reference);
         let mut payload = Vec::with_capacity(weights.len() * 4);
         for w in weights {
             payload.extend_from_slice(&w.to_le_bytes());
@@ -76,18 +202,27 @@ impl Codec for NoCompression {
         CompressedBlob {
             payload: Bytes::from(payload),
             count: weights.len(),
-            kind: CodecKind::Raw,
+            kind: CodecKind::None,
             aux: Vec::new(),
         }
     }
 
-    fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
-        assert_eq!(blob.kind, CodecKind::Raw, "blob was not raw-encoded");
-        assert_eq!(blob.payload.len(), blob.count * 4, "raw blob size mismatch");
-        blob.payload
+    fn try_decode_with_ref(
+        &self,
+        blob: &CompressedBlob,
+        _reference: Option<&[f32]>,
+    ) -> Result<Vec<f32>, CodecError> {
+        if blob.kind != CodecKind::None {
+            return Err(CodecError::WrongKind);
+        }
+        if blob.count.checked_mul(4) != Some(blob.payload.len()) {
+            return Err(CodecError::Malformed("raw blob size mismatch"));
+        }
+        Ok(blob
+            .payload
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+            .collect())
     }
 
     fn name(&self) -> String {
@@ -96,6 +231,7 @@ impl Codec for NoCompression {
 }
 
 /// The FedAT polyline codec (§4.3). The paper's default is precision 4.
+/// Absolute: the reference is ignored.
 #[derive(Clone, Copy, Debug)]
 pub struct PolylineCodec {
     precision: u8,
@@ -128,8 +264,9 @@ impl PolylineCodec {
     }
 }
 
-impl Codec for PolylineCodec {
-    fn encode(&self, weights: &[f32]) -> CompressedBlob {
+impl WireCodec for PolylineCodec {
+    fn encode_with_ref(&self, weights: &[f32], reference: Option<&[f32]>) -> CompressedBlob {
+        check_reference(weights, reference);
         let payload = encode_stream(weights, self.precision, self.delta);
         CompressedBlob {
             payload: Bytes::from(payload),
@@ -142,13 +279,17 @@ impl Codec for PolylineCodec {
         }
     }
 
-    fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
+    fn try_decode_with_ref(
+        &self,
+        blob: &CompressedBlob,
+        _reference: Option<&[f32]>,
+    ) -> Result<Vec<f32>, CodecError> {
         match blob.kind {
             CodecKind::Polyline { precision, delta } => {
                 decode_stream(&blob.payload, blob.count, precision, delta)
-                    .expect("corrupt polyline blob")
+                    .ok_or(CodecError::Malformed("corrupt polyline stream"))
             }
-            _ => panic!("blob was not polyline-encoded"),
+            _ => Err(CodecError::WrongKind),
         }
     }
 
@@ -163,11 +304,14 @@ impl Codec for PolylineCodec {
 
 /// Linear int8 quantization over the blob's own min/max range — the classic
 /// quantization baseline the paper's related work discusses (§2.2, §4.3).
+/// Absolute: the reference is ignored (the reference-aware variant is
+/// [`crate::quantized::QuantizedCodec`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QuantizeCodec;
 
-impl Codec for QuantizeCodec {
-    fn encode(&self, weights: &[f32]) -> CompressedBlob {
+impl WireCodec for QuantizeCodec {
+    fn encode_with_ref(&self, weights: &[f32], reference: Option<&[f32]>) -> CompressedBlob {
+        check_reference(weights, reference);
         let lo = weights.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = weights.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let (lo, hi) = if lo.is_finite() && hi.is_finite() && hi > lo {
@@ -188,15 +332,23 @@ impl Codec for QuantizeCodec {
         }
     }
 
-    fn decode(&self, blob: &CompressedBlob) -> Vec<f32> {
-        assert_eq!(
-            blob.kind,
-            CodecKind::QuantizeI8,
-            "blob was not int8-quantized"
-        );
+    fn try_decode_with_ref(
+        &self,
+        blob: &CompressedBlob,
+        _reference: Option<&[f32]>,
+    ) -> Result<Vec<f32>, CodecError> {
+        if blob.kind != CodecKind::QuantizeI8 {
+            return Err(CodecError::WrongKind);
+        }
+        if blob.payload.len() != blob.count {
+            return Err(CodecError::Malformed("quantize payload size mismatch"));
+        }
+        if blob.aux.len() < 2 {
+            return Err(CodecError::Malformed("quantize range missing"));
+        }
         let (lo, hi) = (blob.aux[0], blob.aux[1]);
         let inv = (hi - lo) / 255.0;
-        blob.payload.iter().map(|&b| lo + b as f32 * inv).collect()
+        Ok(blob.payload.iter().map(|&b| lo + b as f32 * inv).collect())
     }
 
     fn name(&self) -> String {
@@ -206,13 +358,16 @@ impl Codec for QuantizeCodec {
 
 /// Builds a codec from a kind tag (the reverse of blob headers; useful for
 /// config files and the bench harness).
-pub fn codec_for(kind: CodecKind) -> Box<dyn Codec> {
+pub fn codec_for(kind: CodecKind) -> Box<dyn WireCodec> {
     match kind {
-        CodecKind::Raw => Box::new(NoCompression),
+        CodecKind::None => Box::new(NoCompression),
         CodecKind::Polyline { precision, delta } => {
             Box::new(PolylineCodec::with_mode(precision, delta))
         }
         CodecKind::QuantizeI8 => Box::new(QuantizeCodec),
+        CodecKind::DeltaRle => Box::new(DeltaRleCodec),
+        CodecKind::Quantized { bits } => Box::new(QuantizedCodec::new(bits)),
+        CodecKind::TopK { per_mille } => Box::new(TopKCodec::new(per_mille)),
     }
 }
 
@@ -294,18 +449,26 @@ mod tests {
         assert_eq!(PolylineCodec::new(4).name(), "polyline-p4");
         assert_eq!(PolylineCodec::with_mode(3, false).name(), "polyline-p3-abs");
         assert_eq!(QuantizeCodec.name(), "quantize-i8");
+        assert_eq!(DeltaRleCodec.name(), "delta-rle");
+        assert_eq!(QuantizedCodec::new(8).name(), "quantized8");
+        assert_eq!(QuantizedCodec::new(4).name(), "quantized4");
+        assert_eq!(TopKCodec::new(50).name(), "topk-50pm");
     }
 
     #[test]
     fn codec_for_roundtrips_kind() {
         let w = wiggly(64);
         for kind in [
-            CodecKind::Raw,
+            CodecKind::None,
             CodecKind::Polyline {
                 precision: 4,
                 delta: true,
             },
             CodecKind::QuantizeI8,
+            CodecKind::DeltaRle,
+            CodecKind::Quantized { bits: 8 },
+            CodecKind::Quantized { bits: 4 },
+            CodecKind::TopK { per_mille: 100 },
         ] {
             let c = codec_for(kind);
             let blob = c.encode(&w);
@@ -316,8 +479,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not raw-encoded")]
-    fn decoding_with_wrong_codec_panics() {
+    fn decoding_with_wrong_codec_errors() {
+        let blob = PolylineCodec::new(4).encode(&[1.0]);
+        assert_eq!(
+            NoCompression.try_decode_with_ref(&blob, None),
+            Err(CodecError::WrongKind)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to decode")]
+    fn panicking_decode_names_the_codec() {
         let blob = PolylineCodec::new(4).encode(&[1.0]);
         let _ = NoCompression.decode(&blob);
     }

@@ -1,25 +1,36 @@
-//! # fedat-compress — the Encoded Polyline weight codec
+//! # fedat-compress — the compressed wire path
 //!
-//! FedAT compresses every uplink and downlink model transfer with the
-//! Encoded Polyline Algorithm (paper §4.3): each weight is rounded to a
-//! configurable decimal precision, zig-zag shifted, split into 5-bit chunks,
-//! and emitted as printable ASCII — exactly Google's polyline format
-//! generalized from lat/lng pairs to arbitrary `f32` streams.
+//! FedAT compresses every uplink and downlink model transfer; the paper's
+//! codec is the Encoded Polyline Algorithm (§4.3): each weight is rounded
+//! to a configurable decimal precision, zig-zag shifted, split into 5-bit
+//! chunks, and emitted as printable ASCII — exactly Google's polyline
+//! format generalized from lat/lng pairs to arbitrary `f32` streams. This
+//! crate holds that codec plus the rest of the pluggable [`codec::WireCodec`]
+//! family the transport layer charges real wire bytes through:
 //!
-//! * [`polyline`] — the wire format: value/stream encode + decode, in both
-//!   *delta* mode (successive differences, as in the original algorithm)
-//!   and *absolute* mode (weights are unordered, so deltas are an ablation —
-//!   see DESIGN.md §5),
-//! * [`codec`] — the [`codec::Codec`] trait with
-//!   [`codec::NoCompression`],
-//!   [`codec::PolylineCodec`] (precision 1–7) and an int8
+//! * [`polyline`] — the polyline wire format: value/stream encode + decode,
+//!   in both *delta* mode (successive differences, as in the original
+//!   algorithm) and *absolute* mode (see DESIGN.md §5),
+//! * [`codec`] — the [`codec::WireCodec`] trait with the absolute codecs
+//!   [`codec::NoCompression`] (the inert default),
+//!   [`codec::PolylineCodec`] (precision 1–7) and the int8
 //!   [`codec::QuantizeCodec`] baseline,
+//! * [`delta_rle`] — lossless bit-delta vs the broadcast reference +
+//!   byte-plane RLE (bitwise round-trip, proptest-pinned),
+//! * [`quantized`] — reference-aware 4/8-bit linear delta quantization,
+//! * [`topk`] — sparse top-k delta selection with exact values,
 //! * [`archive`] — marshalling/unmarshalling of per-layer weight tensors
 //!   with their dimensions (paper §4.3 steps 1–3),
 //! * [`stats`] — compression ratio and reconstruction-error accounting.
 //!
+//! Encode/decode inner loops (delta, quantize/dequantize, magnitude) run on
+//! the bit-exact [`fedat_tensor::simd`] kernels and shard across the
+//! persistent kernel pool on fixed [`codec::CODEC_CHUNK`] boundaries, so
+//! lossless codecs round-trip bit-identically and lossy codecs are exactly
+//! reproducible for any worker count, `ExecMode`, or `SimdKernel`.
+//!
 //! ```
-//! use fedat_compress::codec::{Codec, PolylineCodec};
+//! use fedat_compress::codec::{PolylineCodec, WireCodec};
 //!
 //! let weights = vec![0.12345_f32, -0.5, 0.000071, 2.5];
 //! let codec = PolylineCodec::new(4);
@@ -32,7 +43,20 @@
 
 pub mod archive;
 pub mod codec;
+pub mod delta_rle;
 pub mod polyline;
+pub mod quantized;
 pub mod stats;
+pub mod topk;
 
-pub use codec::{Codec, CodecKind, CompressedBlob, NoCompression, PolylineCodec, QuantizeCodec};
+pub use codec::{
+    codec_for, CodecError, CodecKind, CompressedBlob, NoCompression, PolylineCodec, QuantizeCodec,
+    WireCodec,
+};
+pub use delta_rle::DeltaRleCodec;
+pub use quantized::QuantizedCodec;
+pub use topk::TopKCodec;
+
+/// Back-compat alias: the trait was renamed to [`WireCodec`] when the
+/// reference-aware wire path landed.
+pub use codec::WireCodec as Codec;

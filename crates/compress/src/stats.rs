@@ -1,6 +1,6 @@
 //! Compression-quality accounting: ratio and reconstruction error.
 
-use crate::codec::Codec;
+use crate::codec::WireCodec;
 
 /// Measured quality of one encode/decode cycle.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -22,7 +22,7 @@ pub struct CompressionReport {
 ///
 /// # Panics
 /// Panics if `weights` is empty.
-pub fn measure(codec: &dyn Codec, weights: &[f32]) -> CompressionReport {
+pub fn measure(codec: &dyn WireCodec, weights: &[f32]) -> CompressionReport {
     assert!(!weights.is_empty(), "cannot measure an empty weight vector");
     let blob = codec.encode(weights);
     let decoded = codec.decode(&blob);

@@ -1,8 +1,36 @@
-//! Property-based tests for the polyline wire format and codecs.
+//! Property-based tests for the polyline wire format and every codec in
+//! the [`WireCodec`] family: lossless round-trips are bitwise (including
+//! `-0.0`, subnormals, `3e38`, and NaN payloads — mirroring the LEAF writer
+//! tests), lossy round-trips bound max per-weight error by the configured
+//! precision, and arbitrary bytes never panic a decoder.
 
-use fedat_compress::codec::{Codec, NoCompression, PolylineCodec, QuantizeCodec};
+use bytes::Bytes;
+use fedat_compress::codec::{
+    codec_for, CodecKind, CompressedBlob, NoCompression, PolylineCodec, QuantizeCodec, WireCodec,
+    BLOB_HEADER_BYTES,
+};
 use fedat_compress::polyline::{decode_int, decode_stream, encode_int, encode_stream};
+use fedat_compress::quantized::QuantizedCodec;
+use fedat_compress::topk::{k_for, TopKCodec};
+use fedat_compress::DeltaRleCodec;
 use proptest::prelude::*;
+
+/// Fully arbitrary `f32` bit patterns: normals, subnormals, ±0, ±inf, NaNs
+/// with payloads — the lossless codecs must round-trip all of them.
+fn any_bits_vec(len: impl Into<prop::collection::SizeRange>) -> BoxedStrategy<Vec<f32>> {
+    prop::collection::vec(any::<u32>().prop_map(f32::from_bits), len).boxed()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The boundary specials every lossless strategy run must include at least
+/// once (prepended rather than hoped-for): -0.0, a subnormal, and 3e38.
+fn with_specials(mut v: Vec<f32>) -> Vec<f32> {
+    v.extend_from_slice(&[-0.0, f32::MIN_POSITIVE / 4.0, 3e38, -3e38]);
+    v
+}
 
 proptest! {
     #[test]
@@ -53,9 +81,37 @@ proptest! {
     }
 
     #[test]
-    fn raw_codec_is_lossless(values in prop::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 1..100)) {
+    fn raw_codec_is_bitwise_lossless(values in any_bits_vec(0..100)) {
+        let values = with_specials(values);
         let c = NoCompression;
-        prop_assert_eq!(c.decode(&c.encode(&values)), values);
+        let blob = c.encode(&values);
+        prop_assert_eq!(blob.wire_bytes(), BLOB_HEADER_BYTES + 4 * values.len());
+        prop_assert_eq!(bits(&c.decode(&blob)), bits(&values));
+    }
+
+    #[test]
+    fn delta_rle_is_bitwise_lossless(values in any_bits_vec(0..300)) {
+        let values = with_specials(values);
+        let c = DeltaRleCodec;
+        prop_assert_eq!(bits(&c.decode(&c.encode(&values))), bits(&values));
+    }
+
+    #[test]
+    fn delta_rle_is_bitwise_lossless_against_reference(
+        values in any_bits_vec(1..300),
+        seed in any::<u32>(),
+    ) {
+        let values = with_specials(values);
+        // A reference with its own arbitrary-ish bit patterns.
+        let reference: Vec<f32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| f32::from_bits(v.to_bits() ^ seed.rotate_left(i as u32)))
+            .collect();
+        let c = DeltaRleCodec;
+        let blob = c.encode_with_ref(&values, Some(&reference));
+        let back = c.decode_with_ref(&blob, Some(&reference));
+        prop_assert_eq!(bits(&back), bits(&values));
     }
 
     #[test]
@@ -67,6 +123,99 @@ proptest! {
         let step = ((hi - lo) / 255.0).max(f32::EPSILON);
         for (a, b) in values.iter().zip(dec.iter()) {
             prop_assert!((a - b).abs() <= step * 0.51 + 1e-5, "{} vs {} step {}", a, b, step);
+        }
+    }
+
+    #[test]
+    fn quantized_error_bounded_by_width(
+        values in prop::collection::vec(-2.0f32..2.0, 1..300),
+        deltas in prop::collection::vec(-0.05f32..0.05, 300),
+        wide in any::<bool>(),
+    ) {
+        let bits_cfg = if wide { 8u8 } else { 4 };
+        let reference = values.clone();
+        let weights: Vec<f32> = values
+            .iter()
+            .zip(deltas.iter())
+            .map(|(v, d)| v + d)
+            .collect();
+        let c = QuantizedCodec::new(bits_cfg);
+        let blob = c.encode_with_ref(&weights, Some(&reference));
+        let back = c.decode_with_ref(&blob, Some(&reference));
+        let levels = ((1u32 << bits_cfg) - 1) as f32;
+        let step = (blob.aux[1] - blob.aux[0]) / levels;
+        // Half a step of quantization error plus float slack from the two
+        // rounded adds (delta and reconstruction).
+        let tol = step * 0.51 + 1e-5;
+        for (a, b) in weights.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() <= tol, "{} vs {} (step {}, b{})", a, b, step, bits_cfg);
+        }
+    }
+
+    #[test]
+    fn topk_is_reference_except_k_exact_coords(
+        reference in prop::collection::vec(-1.0f32..1.0, 10..200),
+        per_mille in 1u16..=1000,
+        seed in any::<u64>(),
+    ) {
+        let n = reference.len();
+        let weights: Vec<f32> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let h = (seed ^ i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                r + ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.2
+            })
+            .collect();
+        let c = TopKCodec::new(per_mille);
+        let blob = c.encode_with_ref(&weights, Some(&reference));
+        let back = c.decode_with_ref(&blob, Some(&reference));
+        let k = k_for(n, per_mille);
+        let mut exact = 0usize;
+        for i in 0..n {
+            if back[i].to_bits() == weights[i].to_bits() {
+                exact += 1;
+            } else {
+                // Unselected coordinates decode to the reference, bitwise.
+                prop_assert_eq!(back[i].to_bits(), reference[i].to_bits(), "coord {}", i);
+            }
+        }
+        // At least k coords are exact (more if reference coords equal the
+        // weight by chance).
+        prop_assert!(exact >= k, "{} exact < k {}", exact, k);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        aux in prop::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..4),
+        count in 0usize..600,
+        kind_sel in 0usize..8,
+        with_ref in any::<bool>(),
+    ) {
+        let kinds = [
+            CodecKind::None,
+            CodecKind::Polyline { precision: 4, delta: true },
+            CodecKind::QuantizeI8,
+            CodecKind::DeltaRle,
+            CodecKind::Quantized { bits: 8 },
+            CodecKind::Quantized { bits: 4 },
+            CodecKind::TopK { per_mille: 100 },
+            CodecKind::TopK { per_mille: 1000 },
+        ];
+        let kind = kinds[kind_sel];
+        let blob = CompressedBlob {
+            payload: Bytes::from(payload),
+            count,
+            kind,
+            aux,
+        };
+        let reference = vec![0.25f32; count];
+        let r = if with_ref { Some(reference.as_slice()) } else { None };
+        for probe in kinds {
+            // Every decoder must return (Ok or Err), never panic, on every
+            // kind/byte combination — including mismatched kinds.
+            let _ = codec_for(probe).try_decode_with_ref(&blob, r);
         }
     }
 

@@ -16,7 +16,7 @@ pub mod fedat;
 pub mod sync;
 pub mod tifl;
 
-use crate::config::{default_codec, ExperimentConfig, StrategyKind};
+use crate::config::{ExperimentConfig, StrategyKind};
 use crate::eval::Evaluator;
 use crate::transport::Transport;
 use fedat_data::suite::FedTask;
@@ -154,7 +154,7 @@ pub const ASYNC_FILL: u64 = 20;
 
 impl ServerCore {
     pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, budget: u64, eval_stride: u64) -> Self {
-        let codec = cfg.codec.unwrap_or_else(|| default_codec(cfg.strategy));
+        let codec = crate::config::resolve_codec(cfg.codec, cfg.strategy);
         let transport = Transport::new(codec);
         let evaluator = Evaluator::new(&task, cfg.eval_subset, cfg.seed);
         let global = task.model.build(cfg.seed).weights();
@@ -259,6 +259,7 @@ impl ServerCore {
                 use_prox,
             }),
             selection_round,
+            reference: Arc::clone(weights),
         })
     }
 
@@ -438,6 +439,12 @@ pub(crate) struct Inflight {
     /// the corruption scenario keys its per-event draw on it so the decision
     /// is a pure function of the dispatch, independent of event order.
     pub selection_round: u64,
+    /// The decoded broadcast this dispatch trained from — the shared
+    /// reference model for delta-family uplink codecs. Both ends hold it
+    /// (the client received it on the downlink; the server keeps this `Arc`
+    /// in its standing in-flight table), so encoding the uplink against it
+    /// costs no extra traffic and decoding is trivially consistent.
+    pub reference: std::sync::Arc<[f32]>,
 }
 
 /// Where one client currently is in its round trip.
@@ -606,7 +613,12 @@ impl InflightTable {
                 // first: corruption mangles the values in flight, it does
                 // not change what the client transmitted or the traffic
                 // meter's view of it.
-                let (mut w_up, up_bytes) = core.transport.upload(ctx, c.client, &update.weights);
+                let (mut w_up, up_bytes) = core.transport.upload_with_ref(
+                    ctx,
+                    c.client,
+                    &update.weights,
+                    Some(&info.reference),
+                );
                 if let Some(mode) =
                     ctx.fleet
                         .corrupt_update(c.client, info.selection_round, &mut w_up)

@@ -14,7 +14,7 @@
 //! cloned the decoded vector per dispatch. Encode counters expose this
 //! invariant to the regression tests.
 
-use fedat_compress::codec::{codec_for, Codec, CodecKind};
+use fedat_compress::codec::{codec_for, CodecKind, WireCodec};
 use fedat_sim::runtime::SimCtx;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,9 +34,29 @@ pub fn broadcast_enabled() -> bool {
     BROADCAST_ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether a codec kind is reference-aware (delta-family): it encodes
+/// against a model both endpoints hold, which only the *uplink* has (the
+/// broadcast the client trained from). The downlink broadcast is shared by
+/// a whole cohort and reference-free, so these kinds apply to the uplink
+/// leg only and the broadcast travels uncompressed.
+pub fn is_delta_family(kind: CodecKind) -> bool {
+    matches!(
+        kind,
+        CodecKind::DeltaRle | CodecKind::Quantized { .. } | CodecKind::TopK { .. }
+    )
+}
+
 /// The uplink/downlink channel of one experiment.
+///
+/// Absolute codecs (`None`, `Polyline`, `QuantizeI8`) apply to both legs.
+/// Delta-family codecs ([`is_delta_family`]) apply to the uplink only: the
+/// downlink broadcast has no reference model to encode against — absolute
+/// 4-bit quantization of the full global model every round would destroy
+/// training, while the uplink's *delta* vs the just-received broadcast is
+/// narrow and quantizes almost for free.
 pub struct Transport {
-    codec: Box<dyn Codec>,
+    codec: Box<dyn WireCodec>,
+    down_codec: Box<dyn WireCodec>,
     kind: CodecKind,
     downlink_encodes: AtomicU64,
     uplink_encodes: AtomicU64,
@@ -45,8 +65,14 @@ pub struct Transport {
 impl Transport {
     /// Builds the transport for a codec kind.
     pub fn new(kind: CodecKind) -> Self {
+        let down_codec = if is_delta_family(kind) {
+            codec_for(CodecKind::None)
+        } else {
+            codec_for(kind)
+        };
         Transport {
             codec: codec_for(kind),
+            down_codec,
             kind,
             downlink_encodes: AtomicU64::new(0),
             uplink_encodes: AtomicU64::new(0),
@@ -96,21 +122,21 @@ impl Transport {
             let mut decoded: Option<Vec<f32>> = None;
             let mut bytes = 0usize;
             for &c in clients {
-                let blob = self.codec.encode(weights);
+                let blob = self.down_codec.encode(weights);
                 self.downlink_encodes.fetch_add(1, Ordering::Relaxed);
                 bytes = blob.wire_bytes();
                 ctx.traffic.record_download(c, bytes);
-                decoded = Some(self.codec.decode(&blob));
+                decoded = Some(self.down_codec.decode(&blob));
             }
             return (decoded.expect("at least one client").into(), bytes);
         }
-        let blob = self.codec.encode(weights);
+        let blob = self.down_codec.encode(weights);
         self.downlink_encodes.fetch_add(1, Ordering::Relaxed);
         let bytes = blob.wire_bytes();
         for &c in clients {
             ctx.traffic.record_download(c, bytes);
         }
-        (self.codec.decode(&blob).into(), bytes)
+        (self.down_codec.decode(&blob).into(), bytes)
     }
 
     /// Server → client transfer: [`Transport::broadcast`] to one client.
@@ -127,11 +153,31 @@ impl Transport {
     /// weights as the server will see them plus the wire size (so the
     /// strategy can charge the uplink transfer time at completion).
     pub fn upload(&self, ctx: &mut SimCtx, client: usize, weights: &[f32]) -> (Vec<f32>, usize) {
-        let blob = self.codec.encode(weights);
+        self.upload_with_ref(ctx, client, weights, None)
+    }
+
+    /// Client → server transfer against a shared reference model.
+    ///
+    /// Delta-family codecs ([`CodecKind::DeltaRle`], [`CodecKind::Quantized`],
+    /// [`CodecKind::TopK`], and polyline in delta mode via its own stream
+    /// format) shrink dramatically when encoding *against the broadcast the
+    /// client trained from*. Both ends hold that reference: the client keeps
+    /// the decoded downlink it received at dispatch, and the server keeps the
+    /// same `Arc` in its in-flight table — so no extra reference traffic is
+    /// ever charged. The downlink [`Transport::broadcast`] stays
+    /// reference-free because its payload is shared by the whole cohort.
+    pub fn upload_with_ref(
+        &self,
+        ctx: &mut SimCtx,
+        client: usize,
+        weights: &[f32],
+        reference: Option<&[f32]>,
+    ) -> (Vec<f32>, usize) {
+        let blob = self.codec.encode_with_ref(weights, reference);
         self.uplink_encodes.fetch_add(1, Ordering::Relaxed);
         let bytes = blob.wire_bytes();
         ctx.traffic.record_upload(client, bytes);
-        (self.codec.decode(&blob), bytes)
+        (self.codec.decode_with_ref(&blob, reference), bytes)
     }
 }
 
@@ -230,7 +276,7 @@ mod tests {
             }
         }
         let mut h = Broadcaster {
-            transport: Transport::new(CodecKind::Raw),
+            transport: Transport::new(CodecKind::None),
             done: false,
         };
         run(&mut h, &fleet, 2, RunLimits::default());
@@ -239,10 +285,58 @@ mod tests {
 
     #[test]
     fn raw_transport_is_lossless() {
-        let t = Transport::new(CodecKind::Raw);
+        let t = Transport::new(CodecKind::None);
         let w: Vec<f32> = (0..64).map(|i| i as f32 * 0.125).collect();
         assert_eq!(t.payload_bytes(&w), 16 + 64 * 4);
         assert_eq!(t.codec_name(), "none");
+    }
+
+    #[test]
+    fn delta_family_codecs_apply_to_the_uplink_only() {
+        let cfg = ClusterConfig::paper_medium(1)
+            .with_clients(2)
+            .without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 2]);
+        struct Split {
+            transport: Transport,
+            done: bool,
+        }
+        impl EventHandler for Split {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                let w: Vec<f32> = (0..512).map(|i| (i as f32 * 0.013).sin() * 0.1).collect();
+                // Downlink: uncompressed and bit-exact.
+                let (shared, down_bytes) = self.transport.download(ctx, 0, &w);
+                assert_eq!(down_bytes, 16 + 512 * 4, "broadcast must travel raw");
+                for (a, b) in shared.iter().zip(w.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                // Uplink: quantized delta vs the broadcast reference —
+                // roughly one byte per weight instead of four.
+                let trained: Vec<f32> = shared.iter().map(|v| v + 0.001).collect();
+                let (_, up_bytes) = self
+                    .transport
+                    .upload_with_ref(ctx, 0, &trained, Some(&shared));
+                assert!(up_bytes < down_bytes / 3, "{up_bytes} vs {down_bytes}");
+                self.done = true;
+            }
+            fn on_completion(&mut self, _ctx: &mut SimCtx, _c: Completion) {}
+            fn finished(&self) -> bool {
+                self.done
+            }
+        }
+        let mut h = Split {
+            transport: Transport::new(CodecKind::Quantized { bits: 8 }),
+            done: false,
+        };
+        run(&mut h, &fleet, 3, RunLimits::default());
+        assert!(h.done);
+        assert!(is_delta_family(CodecKind::DeltaRle));
+        assert!(is_delta_family(CodecKind::TopK { per_mille: 50 }));
+        assert!(!is_delta_family(CodecKind::None));
+        assert!(!is_delta_family(CodecKind::Polyline {
+            precision: 4,
+            delta: true
+        }));
     }
 
     #[test]
@@ -253,7 +347,7 @@ mod tests {
         });
         assert_eq!(t.codec_name(), "polyline-p3");
         let w = vec![0.001f32; 512];
-        let raw = Transport::new(CodecKind::Raw);
+        let raw = Transport::new(CodecKind::None);
         assert!(t.payload_bytes(&w) < raw.payload_bytes(&w));
     }
 }

@@ -165,7 +165,7 @@ fn fedat_equals_fedavg_in_degenerate_setting() {
             .local_epochs(1)
             .lambda(0.0)
             .num_tiers(1)
-            .codec(CodecKind::Raw)
+            .codec(CodecKind::None)
             .eval_every(1)
             .seed(55)
             .cluster(cluster.clone())

@@ -166,7 +166,7 @@ fn compression_codec_flows_into_traffic_totals() {
     // needs 5 polyline bytes per value and *loses* to raw — so the
     // comparison uses p4 and p3, which stay below 4 B/value.
     let sizes: Vec<u64> = [
-        CodecKind::Raw,
+        CodecKind::None,
         CodecKind::Polyline {
             precision: 4,
             delta: true,

@@ -12,7 +12,7 @@ use crate::workspace::FileKind;
 /// Crates that carry the bit-identity contract. `bench` is deliberately
 /// absent: wall-clock benchmarks measure time, so they may read clocks and
 /// spawn threads freely.
-pub const GATED_CRATES: &[&str] = &["core", "sim", "tensor", "nn"];
+pub const GATED_CRATES: &[&str] = &["core", "sim", "tensor", "nn", "compress"];
 
 /// The toggle mutators that [R5] reserves for `fedat_core::exec::ToggleGuard`.
 pub const RAW_SETTERS: &[&str] = &[

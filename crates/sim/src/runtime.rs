@@ -328,6 +328,12 @@ mod tests {
     use super::*;
     use crate::fleet::ClusterConfig;
 
+    /// Uncompressed wire size of the toy strategy's 246-weight model:
+    /// 16 B blob header + 4 B per weight = 1000 B — the same formula the
+    /// transport's `CodecKind::None` path charges, so the fixture's traffic
+    /// stays consistent with the real wire accounting.
+    const TOY_MODEL_BYTES: usize = 16 + 4 * 246;
+
     /// A toy synchronous strategy: each round select the first `k` alive
     /// clients, wait for all, count rounds.
     struct ToySync {
@@ -348,7 +354,7 @@ mod tests {
             self.outstanding = picks.len();
             self.round_start = ctx.now();
             for c in picks {
-                ctx.traffic.record_download(c, 1000);
+                ctx.traffic.record_download(c, TOY_MODEL_BYTES);
                 ctx.dispatch(c, self.rounds_done, 3);
             }
         }
@@ -361,7 +367,7 @@ mod tests {
 
         fn on_completion(&mut self, ctx: &mut SimCtx, c: Completion) {
             if !c.dropped {
-                ctx.traffic.record_upload(c.client, 1000);
+                ctx.traffic.record_upload(c.client, TOY_MODEL_BYTES);
             }
             self.final_up_bytes = ctx.traffic.uplink_bytes();
             self.final_down_bytes = ctx.traffic.downlink_bytes();
@@ -407,9 +413,9 @@ mod tests {
             assert!(rt >= 20.0, "full-participation round took only {rt}s");
         }
         assert_eq!(report.events, 200);
-        // Traffic: 100 clients × 2 rounds × 1000 B each way.
-        assert_eq!(h.final_down_bytes, 100 * 2 * 1000);
-        assert_eq!(h.final_up_bytes, 100 * 2 * 1000);
+        // Traffic: 100 clients × 2 rounds × one model each way.
+        assert_eq!(h.final_down_bytes, 100 * 2 * TOY_MODEL_BYTES as u64);
+        assert_eq!(h.final_up_bytes, 100 * 2 * TOY_MODEL_BYTES as u64);
         assert_eq!(h.observed_round_times.len(), 2);
     }
 

@@ -135,23 +135,28 @@ impl Trace {
 mod tests {
     use super::*;
 
-    fn pt(time: f64, acc: f32, up: u64) -> TracePoint {
+    /// Uncompressed wire size of the fixture's 21-weight model: 16 B blob
+    /// header + 4 B per weight = 100 B — derived from the same formula the
+    /// transport's `CodecKind::None` path charges, not a free literal.
+    const RAW_MODEL_BYTES: u64 = 16 + 4 * 21;
+
+    fn pt(time: f64, acc: f32, uploads: u64) -> TracePoint {
         TracePoint {
             time,
             round: time as u64,
             accuracy: acc,
             loss: 1.0 - acc,
-            up_bytes: up,
-            down_bytes: up / 2,
+            up_bytes: uploads * RAW_MODEL_BYTES,
+            down_bytes: uploads * RAW_MODEL_BYTES / 2,
         }
     }
 
     #[test]
     fn accuracy_queries() {
         let mut t = Trace::new("x");
-        t.push(pt(1.0, 0.2, 100));
-        t.push(pt(2.0, 0.5, 200));
-        t.push(pt(3.0, 0.4, 300));
+        t.push(pt(1.0, 0.2, 1));
+        t.push(pt(2.0, 0.5, 2));
+        t.push(pt(3.0, 0.4, 3));
         assert_eq!(t.final_accuracy(), 0.4);
         assert_eq!(t.best_accuracy(), 0.5);
         assert_eq!(t.time_to_accuracy(0.45), Some(2.0));
@@ -180,7 +185,7 @@ mod tests {
     #[test]
     fn csv_has_header_and_rows() {
         let mut t = Trace::new("x");
-        t.push(pt(1.0, 0.25, 64));
+        t.push(pt(1.0, 0.25, 1));
         let mut buf = Vec::new();
         t.write_csv(&mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();

@@ -221,6 +221,45 @@ where
     });
 }
 
+/// Runs `f(slot_index, &mut slot)` over every element of `slots`,
+/// distributing slots across up to `threads` threads.
+///
+/// This is the variable-width sibling of [`for_each_chunk`] for work whose
+/// per-item output is not a fixed-size `f32` range — e.g. the wire codecs
+/// produce one byte segment per weight chunk. The slot assignment is a
+/// function of the slot index alone, so results are bit-identical for any
+/// thread count.
+pub fn for_each_slot<T, F>(slots: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = slots.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+    let per_group = n.div_ceil(threads);
+    let groups = n.div_ceil(per_group);
+    let base = slots.as_mut_ptr() as usize;
+    run_region(groups, threads, &|g| {
+        for i in (g * per_group)..((g + 1) * per_group).min(n) {
+            // SAFETY: each slot index belongs to exactly one group, so the
+            // reconstituted `&mut T`s are disjoint, in-bounds elements of
+            // `slots`, which the enclosing call borrows mutably for the
+            // whole region.
+            let slot = unsafe { &mut *(base as *mut T).add(i) };
+            f(i, slot);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +343,19 @@ mod tests {
             assert_eq!(starts, vec![(0, 4), (4, 4), (8, 2)]);
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_each_visited_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut slots: Vec<Vec<u8>> = vec![Vec::new(); 11];
+            for_each_slot(&mut slots, threads, |i, slot| {
+                slot.push(i as u8);
+            });
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(slot.as_slice(), &[i as u8], "threads={threads}");
             }
         }
     }

@@ -340,6 +340,98 @@ pub fn adam_step(w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], p: &Ada
 }
 
 // ----------------------------------------------------------------------
+// Wire-codec kernels
+//
+// The inner loops of the transport codecs (fedat-compress): delta against
+// the broadcast reference, magnitude for top-k selection, and the
+// quantize/dequantize sweeps. All stay inside the bit-identity contract:
+// the float kernels use the exact scalar expression tree per lane
+// (`floor`/`max`/`min` are IEEE-exact and operand-ordered identically),
+// and the bit-pattern kernels are integer ops with one result.
+// ----------------------------------------------------------------------
+
+/// `out[i] = a[i] - b[i]` — the uplink delta against the decoded broadcast
+/// reference.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sub_into(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len(), "sub_into length mismatch");
+    assert_eq!(out.len(), b.len(), "sub_into length mismatch");
+    dispatch_elementwise!(scalar::sub_into(out, a, b), avx2::sub_into(out, a, b))
+}
+
+/// `out[i] = |x[i]|` — clears the sign bit (NaN payloads included), the
+/// magnitude pass of top-k selection.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn abs_into(out: &mut [f32], x: &[f32]) {
+    assert_eq!(out.len(), x.len(), "abs_into length mismatch");
+    dispatch_elementwise!(scalar::abs_into(out, x), avx2::abs_into(out, x))
+}
+
+/// `out[i] = b + a * x[i]` — the dequantization sweep (`lo + q·step`).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn affine_into(out: &mut [f32], x: &[f32], a: f32, b: f32) {
+    assert_eq!(out.len(), x.len(), "affine_into length mismatch");
+    dispatch_elementwise!(
+        scalar::affine_into(out, x, a, b),
+        avx2::affine_into(out, x, a, b)
+    )
+}
+
+/// `out[i] = min(max(floor((x[i] - lo) * scale + 0.5), 0), levels)` — the
+/// round-half-up linear quantizer. `floor(t + 0.5)` is used instead of
+/// `round` deliberately: scalar `f32::round` is half-away-from-zero while
+/// the vector rounding instruction is half-to-even, so only the
+/// floor formulation is backend-invariant.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn quantize_into(out: &mut [f32], x: &[f32], lo: f32, scale: f32, levels: f32) {
+    assert_eq!(out.len(), x.len(), "quantize_into length mismatch");
+    dispatch_elementwise!(
+        scalar::quantize_into(out, x, lo, scale, levels),
+        avx2::quantize_into(out, x, lo, scale, levels)
+    )
+}
+
+/// `out[i] = w[i].to_bits() ^ r[i].to_bits()` — the lossless bit-level
+/// delta of the DeltaRle codec. Pure integer ops: exact on every backend.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn delta_bits_into(out: &mut [u32], w: &[f32], r: &[f32]) {
+    assert_eq!(out.len(), w.len(), "delta_bits_into length mismatch");
+    assert_eq!(out.len(), r.len(), "delta_bits_into length mismatch");
+    dispatch_elementwise!(
+        scalar::delta_bits_into(out, w, r),
+        avx2::delta_bits_into(out, w, r)
+    )
+}
+
+/// `out[i] = f32::from_bits(bits[i] ^ r[i].to_bits())` — inverse of
+/// [`delta_bits_into`].
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn apply_delta_bits_into(out: &mut [f32], bits: &[u32], r: &[f32]) {
+    assert_eq!(
+        out.len(),
+        bits.len(),
+        "apply_delta_bits_into length mismatch"
+    );
+    assert_eq!(out.len(), r.len(), "apply_delta_bits_into length mismatch");
+    dispatch_elementwise!(
+        scalar::apply_delta_bits_into(out, bits, r),
+        avx2::apply_delta_bits_into(out, bits, r)
+    )
+}
+
+// ----------------------------------------------------------------------
 // Reductions (pinned 8-lane decomposition)
 // ----------------------------------------------------------------------
 
@@ -640,6 +732,43 @@ mod scalar {
             let m_hat = *mi / p.bc1;
             let v_hat = *vi / p.bc2;
             *wi -= p.lr * m_hat / (v_hat.sqrt() + p.eps);
+        }
+    }
+
+    pub fn sub_into(out: &mut [f32], a: &[f32], b: &[f32]) {
+        for ((o, &ai), &bi) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *o = ai - bi;
+        }
+    }
+
+    pub fn abs_into(out: &mut [f32], x: &[f32]) {
+        for (o, &xi) in out.iter_mut().zip(x.iter()) {
+            *o = xi.abs();
+        }
+    }
+
+    pub fn affine_into(out: &mut [f32], x: &[f32], a: f32, b: f32) {
+        for (o, &xi) in out.iter_mut().zip(x.iter()) {
+            *o = b + a * xi;
+        }
+    }
+
+    pub fn quantize_into(out: &mut [f32], x: &[f32], lo: f32, scale: f32, levels: f32) {
+        for (o, &xi) in out.iter_mut().zip(x.iter()) {
+            let t = (xi - lo) * scale + 0.5;
+            *o = t.floor().max(0.0).min(levels);
+        }
+    }
+
+    pub fn delta_bits_into(out: &mut [u32], w: &[f32], r: &[f32]) {
+        for ((o, &wi), &ri) in out.iter_mut().zip(w.iter()).zip(r.iter()) {
+            *o = wi.to_bits() ^ ri.to_bits();
+        }
+    }
+
+    pub fn apply_delta_bits_into(out: &mut [f32], bits: &[u32], r: &[f32]) {
+        for ((o, &bi), &ri) in out.iter_mut().zip(bits.iter()).zip(r.iter()) {
+            *o = f32::from_bits(bi ^ ri.to_bits());
         }
     }
 
@@ -1143,6 +1272,136 @@ mod avx2 {
         }
     }
 
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sub_into(out: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = out.len();
+        let (op, ap, bp) = (out.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(op.add(i), d);
+            i += 8;
+        }
+        while i < n {
+            out[i] = a[i] - b[i];
+            i += 1;
+        }
+    }
+
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn abs_into(out: &mut [f32], x: &[f32]) {
+        let n = out.len();
+        // `abs` is the sign bit cleared — exactly what scalar `f32::abs`
+        // does, NaN payloads preserved.
+        let mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let (op, xp) = (out.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(op.add(i), _mm256_and_ps(_mm256_loadu_ps(xp.add(i)), mask));
+            i += 8;
+        }
+        while i < n {
+            out[i] = x[i].abs();
+            i += 1;
+        }
+    }
+
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn affine_into(out: &mut [f32], x: &[f32], a: f32, b: f32) {
+        let n = out.len();
+        let (av, bv) = (_mm256_set1_ps(a), _mm256_set1_ps(b));
+        let (op, xp) = (out.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_add_ps(bv, _mm256_mul_ps(av, _mm256_loadu_ps(xp.add(i))));
+            _mm256_storeu_ps(op.add(i), v);
+            i += 8;
+        }
+        while i < n {
+            out[i] = b + a * x[i];
+            i += 1;
+        }
+    }
+
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn quantize_into(out: &mut [f32], x: &[f32], lo: f32, scale: f32, levels: f32) {
+        let n = out.len();
+        let lov = _mm256_set1_ps(lo);
+        let sv = _mm256_set1_ps(scale);
+        let half = _mm256_set1_ps(0.5);
+        let zero = _mm256_setzero_ps();
+        let lvv = _mm256_set1_ps(levels);
+        let (op, xp) = (out.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), lov);
+            let t = _mm256_add_ps(_mm256_mul_ps(d, sv), half);
+            // floor is IEEE-exact; max/min keep the scalar operand order
+            // (value first, bound second) so the clamp is bit-identical.
+            let f = _mm256_floor_ps(t);
+            let c = _mm256_min_ps(_mm256_max_ps(f, zero), lvv);
+            _mm256_storeu_ps(op.add(i), c);
+            i += 8;
+        }
+        while i < n {
+            let t = (x[i] - lo) * scale + 0.5;
+            out[i] = t.floor().max(0.0).min(levels);
+            i += 1;
+        }
+    }
+
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn delta_bits_into(out: &mut [u32], w: &[f32], r: &[f32]) {
+        let n = out.len();
+        let (op, wp, rp) = (out.as_mut_ptr(), w.as_ptr(), r.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let wv = _mm256_loadu_si256(wp.add(i) as *const __m256i);
+            let rv = _mm256_loadu_si256(rp.add(i) as *const __m256i);
+            _mm256_storeu_si256(op.add(i) as *mut __m256i, _mm256_xor_si256(wv, rv));
+            i += 8;
+        }
+        while i < n {
+            out[i] = w[i].to_bits() ^ r[i].to_bits();
+            i += 1;
+        }
+    }
+
+    // SAFETY: requires AVX2+FMA — every call path reaches here through a
+    // dispatcher that checked `avx2_available()` first. Pointer arithmetic
+    // stays within the slice extents checked by the safe wrappers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn apply_delta_bits_into(out: &mut [f32], bits: &[u32], r: &[f32]) {
+        let n = out.len();
+        let (op, bp, rp) = (out.as_mut_ptr(), bits.as_ptr(), r.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let bv = _mm256_loadu_si256(bp.add(i) as *const __m256i);
+            let rv = _mm256_loadu_si256(rp.add(i) as *const __m256i);
+            _mm256_storeu_si256(op.add(i) as *mut __m256i, _mm256_xor_si256(bv, rv));
+            i += 8;
+        }
+        while i < n {
+            out[i] = f32::from_bits(bits[i] ^ r[i].to_bits());
+            i += 1;
+        }
+    }
+
     /// Sums the two f64 accumulator vectors into the pinned 8-lane array
     /// (lanes 0..4 from the low f32 half, 4..8 from the high half).
     // SAFETY: requires AVX2+FMA — every call path reaches here through a
@@ -1402,6 +1661,41 @@ mod tests {
                 "{m}x{k}x{n} portable"
             );
         }
+    }
+
+    #[test]
+    fn codec_kernels_are_backend_invariant() {
+        let entry = simd_kernel();
+        let w = filled(1003, 11);
+        let r = filled(1003, 12);
+        let run = |kernel: SimdKernel, portable: bool| {
+            // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
+            set_simd_kernel(kernel);
+            set_portable_only(portable);
+            let mut sub = vec![0.0f32; w.len()];
+            sub_into(&mut sub, &w, &r);
+            let mut abs = vec![0.0f32; w.len()];
+            abs_into(&mut abs, &sub);
+            let mut q = vec![0.0f32; w.len()];
+            quantize_into(&mut q, &sub, -3.0, 255.0 / 6.0, 255.0);
+            let mut deq = vec![0.0f32; w.len()];
+            affine_into(&mut deq, &q, 6.0 / 255.0, -3.0);
+            let mut bits = vec![0u32; w.len()];
+            delta_bits_into(&mut bits, &w, &r);
+            let mut back = vec![0.0f32; w.len()];
+            apply_delta_bits_into(&mut back, &bits, &r);
+            set_portable_only(false);
+            // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
+            set_simd_kernel(entry);
+            (sub, abs, q, deq, bits, back)
+        };
+        let reference = run(SimdKernel::Scalar, false);
+        assert_eq!(reference, run(SimdKernel::Auto, false), "isa backend");
+        assert_eq!(reference, run(SimdKernel::Auto, true), "portable backend");
+        // The bit-delta roundtrip is exact by construction.
+        let w_bits: Vec<u32> = w.iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u32> = reference.5.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(w_bits, back_bits);
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn compression_cuts_bytes_without_killing_accuracy() {
     use fedat::compress::codec::CodecKind;
     let task = suite::sent140_like(20, 35);
     let mut raw_cfg = base_cfg(StrategyKind::FedAt, 40, 35);
-    raw_cfg.codec = Some(CodecKind::Raw);
+    raw_cfg.codec = Some(CodecKind::None);
     let raw = run_experiment(&task, &raw_cfg);
     let mut p4_cfg = base_cfg(StrategyKind::FedAt, 40, 35);
     p4_cfg.codec = Some(CodecKind::Polyline {

@@ -37,6 +37,17 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// A new buffer holding a copy of the given subrange.
+    ///
+    /// The real `bytes` crate shares the allocation here; the offline
+    /// stand-in copies, which only matters for performance.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Bytes::copy_from_slice(&self.data[range])
+    }
 }
 
 impl Default for Bytes {
