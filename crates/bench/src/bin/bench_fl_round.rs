@@ -309,6 +309,18 @@ fn main() {
         i += 1;
     }
 
+    let host_cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    if host_cores == 1 {
+        eprintln!(
+            "[bench_fl_round] WARNING: single-core host — kernel fan-out, the \
+             persistent pool, and speculative execution have no parallelism to \
+             exploit, so the optimized-vs-naive speedups measure the serial \
+             regime only. The record carries host_cores = 1."
+        );
+    }
+
     // Let individual kernels fan out across all cores — the regime where
     // spawn overhead vs. a persistent pool matters most.
     parallel::set_max_threads(0);
@@ -352,6 +364,12 @@ fn main() {
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"clients\": {n_clients},\n"));
     json.push_str(&format!("  \"task\": \"{}\",\n", task.name));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    if host_cores == 1 {
+        json.push_str(
+            "  \"host_warning\": \"single-core host: no parallelism for the pool or speculative executor to exploit; speedups reflect the serial regime only\",\n",
+        );
+    }
     json.push_str(&format!(
         "  \"kernel_threads\": {},\n",
         fedat_tensor::parallel::max_threads()

@@ -1,0 +1,244 @@
+//! Wall-clock benchmark of the concurrent experiment grid.
+//!
+//! Two measurements, identity asserted before either is timed:
+//!
+//! 1. **Identity gate** — all six strategies run once serially and once as
+//!    one concurrent grid on the kernel pool; every trace point and the
+//!    final weights must be bit-identical. A grid that changes a single bit
+//!    fails here and nothing is timed.
+//! 2. **Throughput** — a 4-run FedAT grid (four seeds) timed as one
+//!    concurrent grid against the same four runs executed serially;
+//!    aggregate rounds/sec for both and the speedup are recorded in
+//!    `BENCH_grid.json`.
+//!
+//! The speedup is only meaningful on a multi-core host: with one core the
+//! pool has zero workers, every grid job is stolen and run inline by the
+//! joining thread, and the grid *is* the serial loop (speedup ≈ 1.0). The
+//! record carries `host_cores` so readers can tell which regime produced
+//! it, and the bench warns loudly on single-core hosts.
+//!
+//! ```text
+//! cargo run --release -p fedat-bench --bin bench_grid -- \
+//!     [--out FILE] [--seed N] [--grid N] [--quick]
+//! ```
+//!
+//! See `docs/PERF.md` ("Pipelined server and experiment grids") for how to
+//! read the output.
+
+use fedat_bench::grid::run_grid;
+use fedat_bench::harness::Job;
+use fedat_core::{run_experiment_shared, ExperimentConfig, Outcome, StrategyKind};
+use fedat_data::suite::{self, FedTask};
+use fedat_sim::fleet::ClusterConfig;
+use fedat_tensor::pool;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+}
+
+fn grid_cfg(strategy: StrategyKind, seed: u64, rounds: u64, n_clients: usize) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .strategy(strategy)
+        .rounds(rounds)
+        .clients_per_round(4)
+        .local_epochs(1)
+        .eval_every(5)
+        .eval_subset(64)
+        .seed(seed)
+        .cluster(
+            ClusterConfig::paper_medium(seed)
+                .with_clients(n_clients)
+                .without_dropouts(),
+        )
+        .build()
+}
+
+fn job(task: &Arc<FedTask>, strategy: StrategyKind, seed: u64, rounds: u64) -> Job {
+    Job {
+        label: format!("{} seed {seed}", strategy.name()),
+        task: task.clone(),
+        cfg: grid_cfg(strategy, seed, rounds, task.fed.num_clients()),
+    }
+}
+
+/// Asserts a grid member is bit-identical to its serial counterpart: the
+/// final weights and every field of every trace point.
+fn assert_identical(label: &str, grid: &Outcome, serial: &Outcome) {
+    assert_eq!(
+        grid.final_weights, serial.final_weights,
+        "{label}: final weights diverged between concurrent grid and serial"
+    );
+    assert_eq!(grid.global_updates, serial.global_updates, "{label}");
+    assert_eq!(
+        grid.trace.points.len(),
+        serial.trace.points.len(),
+        "{label}: trace length diverged"
+    );
+    for (p, q) in grid.trace.points.iter().zip(serial.trace.points.iter()) {
+        assert_eq!(p.time, q.time, "{label}: virtual time diverged");
+        assert_eq!(p.round, q.round, "{label}");
+        assert_eq!(p.accuracy, q.accuracy, "{label}: accuracy diverged");
+        assert_eq!(p.loss, q.loss, "{label}: loss diverged");
+        assert_eq!(p.up_bytes, q.up_bytes, "{label}: uplink traffic diverged");
+        assert_eq!(p.down_bytes, q.down_bytes, "{label}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_grid.json");
+    let mut seed = 9u64;
+    let mut grid_size = 4usize;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--grid" => {
+                i += 1;
+                grid_size = args[i].parse().expect("--grid takes an integer");
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cores = host_cores();
+    if cores == 1 {
+        eprintln!(
+            "[bench_grid] WARNING: single-core host — the pool has no helper \
+             workers, every grid job runs inline at its join, and the grid \
+             speedup honestly reads ~1.0. Identity is still asserted; the \
+             throughput numbers measure the serial regime."
+        );
+    }
+
+    let (n_clients, rounds) = if quick { (8, 4) } else { (15, 10) };
+    let task = Arc::new(suite::sent140_like(n_clients, seed));
+
+    // ---- Identity gate: all six strategies, concurrent grid vs serial ----
+    eprintln!("[bench_grid] identity gate: six strategies, grid vs serial ...");
+    let serial_outcomes: Vec<(StrategyKind, Outcome)> = StrategyKind::all()
+        .into_iter()
+        .map(|s| {
+            let j = job(&task, s, seed, rounds);
+            (s, run_experiment_shared(&j.task, &j.cfg))
+        })
+        .collect();
+    let grid_jobs: Vec<Job> = StrategyKind::all()
+        .into_iter()
+        .map(|s| job(&task, s, seed, rounds))
+        .collect();
+    let grid_results = run_grid(grid_jobs, 0);
+    for ((s, serial), g) in serial_outcomes.iter().zip(grid_results.iter()) {
+        assert_identical(s.name(), &g.outcome, serial);
+    }
+    eprintln!("[bench_grid] identity gate passed: all six strategies bit-identical");
+
+    // ---- Throughput: N-run FedAT grid vs the same runs serially ----
+    // Warm-up pass so pool workers, model caches and scratch arenas exist
+    // before either timed window.
+    let warm = job(&task, StrategyKind::FedAt, seed, rounds);
+    let _ = run_experiment_shared(&warm.task, &warm.cfg);
+    pool::quiesce();
+
+    let seeds: Vec<u64> = (0..grid_size as u64).map(|i| seed + i).collect();
+
+    // Identity for the timed configurations too, before any timing.
+    let timed_serial: Vec<Outcome> = seeds
+        .iter()
+        .map(|&s| {
+            let j = job(&task, StrategyKind::FedAt, s, rounds);
+            run_experiment_shared(&j.task, &j.cfg)
+        })
+        .collect();
+    let check_jobs: Vec<Job> = seeds
+        .iter()
+        .map(|&s| job(&task, StrategyKind::FedAt, s, rounds))
+        .collect();
+    let check = run_grid(check_jobs, 0);
+    for (g, serial) in check.iter().zip(timed_serial.iter()) {
+        assert_identical(&g.label, &g.outcome, serial);
+    }
+    pool::quiesce();
+
+    eprintln!("[bench_grid] timing {grid_size}-run grid vs serial ...");
+    let started = Instant::now();
+    let mut serial_updates = 0u64;
+    for &s in &seeds {
+        let j = job(&task, StrategyKind::FedAt, s, rounds);
+        serial_updates += run_experiment_shared(&j.task, &j.cfg).global_updates;
+        pool::quiesce();
+    }
+    let serial_secs = started.elapsed().as_secs_f64();
+
+    let timed_jobs: Vec<Job> = seeds
+        .iter()
+        .map(|&s| job(&task, StrategyKind::FedAt, s, rounds))
+        .collect();
+    let started = Instant::now();
+    let timed_grid = run_grid(timed_jobs, 0);
+    pool::quiesce();
+    let grid_secs = started.elapsed().as_secs_f64();
+    let grid_updates: u64 = timed_grid.iter().map(|r| r.outcome.global_updates).sum();
+    assert_eq!(
+        serial_updates, grid_updates,
+        "schedulers changed the schedule"
+    );
+
+    let serial_rps = serial_updates as f64 / serial_secs.max(1e-9);
+    let grid_rps = grid_updates as f64 / grid_secs.max(1e-9);
+    let speedup = grid_rps / serial_rps.max(1e-12);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"grid\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"task\": \"{}\",\n", task.name));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!("  \"pool_workers\": {},\n", pool::worker_count()));
+    if cores == 1 {
+        json.push_str(
+            "  \"host_warning\": \"single-core host: zero pool workers, grid degrades to the serial loop, speedup ~1.0 expected; re-run on a multi-core host for a meaningful number\",\n",
+        );
+    }
+    json.push_str(
+        "  \"identity\": \"all six strategies bit-identical (full trace + final weights) between concurrent grid and serial, asserted before timing\",\n",
+    );
+    json.push_str("  \"throughput\": {\n");
+    json.push_str("    \"strategy\": \"FedAT\",\n");
+    json.push_str(&format!("    \"grid_runs\": {grid_size},\n"));
+    json.push_str(&format!("    \"rounds_per_run\": {rounds},\n"));
+    json.push_str(&format!("    \"total_updates\": {grid_updates},\n"));
+    json.push_str(&format!("    \"serial_secs\": {serial_secs:.4},\n"));
+    json.push_str(&format!("    \"grid_secs\": {grid_secs:.4},\n"));
+    json.push_str(&format!(
+        "    \"serial_aggregate_rounds_per_sec\": {serial_rps:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"grid_aggregate_rounds_per_sec\": {grid_rps:.3},\n"
+    ));
+    json.push_str(&format!("    \"speedup\": {speedup:.3}\n"));
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("writing benchmark record");
+
+    println!("{json}");
+    println!(
+        "grid {grid_size} runs: serial {serial_rps:.2} r/s, concurrent {grid_rps:.2} r/s, speedup {speedup:.2}x ({cores} cores)"
+    );
+    eprintln!("[bench_grid] wrote {out_path}");
+}

@@ -1,10 +1,12 @@
 //! Parallel experiment execution.
 //!
-//! Each simulation run is single-threaded and deterministic, so the harness
-//! simply fans independent runs out over a worker pool sized to the host.
+//! Each simulation run is deterministic in its config alone, so the harness
+//! fans independent runs out as concurrent kernel-pool jobs (see
+//! [`crate::grid`]): whole-experiment parallelism and the kernels' own
+//! fork-join parallelism share one scheduler instead of oversubscribing
+//! the host with a second thread pool.
 
-use crossbeam::channel::unbounded;
-use fedat_core::{run_experiment_shared, ExperimentConfig, Outcome};
+use fedat_core::{ExperimentConfig, Outcome};
 use fedat_data::suite::FedTask;
 use std::sync::Arc;
 
@@ -32,56 +34,11 @@ pub struct JobResult {
     pub outcome: Outcome,
 }
 
-/// Runs all jobs across `threads` workers (0 = all cores minus two),
-/// returning results in the original job order.
+/// Runs all jobs as concurrent kernel-pool jobs (`threads` is the pool-size
+/// hint: 0 = all cores minus one, the pool's ambient default), returning
+/// results in the original job order.
 pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<JobResult> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|c| c.get().saturating_sub(2).max(1))
-            .unwrap_or(4)
-    } else {
-        threads
-    }
-    .min(jobs.len().max(1));
-
-    let (job_tx, job_rx) = unbounded::<(usize, Job)>();
-    let (res_tx, res_rx) = unbounded::<(usize, JobResult)>();
-    let total = jobs.len();
-    for (i, j) in jobs.into_iter().enumerate() {
-        job_tx.send((i, j)).expect("queue open");
-    }
-    drop(job_tx);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok((i, job)) = job_rx.recv() {
-                    // Jobs share one Arc per dataset — no corpus clone per run.
-                    let outcome = run_experiment_shared(&job.task, &job.cfg);
-                    let result = JobResult {
-                        label: job.label,
-                        task_name: job.task.name.clone(),
-                        strategy: job.cfg.strategy.name(),
-                        target_accuracy: job.task.target_accuracy,
-                        outcome,
-                    };
-                    res_tx.send((i, result)).expect("collector open");
-                }
-            });
-        }
-        drop(res_tx);
-    });
-
-    let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
-    for (i, r) in res_rx.iter() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every job completed"))
-        .collect()
+    crate::grid::run_grid(jobs, threads)
 }
 
 /// Scale selector: full reproduces the paper's setup, quick shrinks it for

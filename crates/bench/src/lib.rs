@@ -17,5 +17,6 @@
 //! [`experiments::core_matrix`] and post-processed per artifact.
 
 pub mod experiments;
+pub mod grid;
 pub mod harness;
 pub mod report;

@@ -57,6 +57,74 @@ fn read_varint(bytes: &[u8], cursor: &mut usize) -> Result<u64, CodecError> {
     }
 }
 
+/// Error-feedback accumulator for one uplink sender (EF-TopK).
+///
+/// Pure top-k sparsification *silently drops* the unselected coordinates
+/// every round; a coordinate whose per-round delta never cracks the top k
+/// simply stops training, and accuracy collapses as `per_mille` shrinks.
+/// Error feedback is the standard fix: the dropped mass is carried as a
+/// *residual* and added back before the next round's selection, so
+/// suppressed coordinates accumulate until they win a slot — updates
+/// arrive late, never never.
+///
+/// Per upload: `compensated = weights + residual`, the codec encodes
+/// `compensated` against the shared reference, and the new residual is
+/// `compensated − decoded` — which is exactly `+0.0` at every transmitted
+/// coordinate (the wire carries the exact f32 bits of the compensated
+/// value) and the suppressed displacement elsewhere.
+///
+/// ## Determinism
+///
+/// Both steps are elementwise f32 arithmetic in index order — no
+/// reductions, no partition sensitivity — so the residual sequence is a
+/// pure function of the upload sequence and is bit-identical across
+/// kernels, thread counts, and execution modes. One accumulator serves one
+/// sender: the transport layer keys them per client.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorFeedback {
+    residual: Vec<f32>,
+}
+
+impl ErrorFeedback {
+    /// A fresh accumulator with no carried error.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `weights + residual`, the vector the codec should encode.
+    /// A model-size change (never expected mid-run) voids the residual.
+    pub fn compensate(&mut self, weights: &[f32]) -> Vec<f32> {
+        if self.residual.len() != weights.len() {
+            self.residual = vec![0.0; weights.len()];
+        }
+        weights
+            .iter()
+            .zip(self.residual.iter())
+            .map(|(w, r)| w + r)
+            .collect()
+    }
+
+    /// Stores `compensated − decoded` as the next upload's residual.
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree.
+    pub fn absorb(&mut self, compensated: &[f32], decoded: &[f32]) {
+        assert_eq!(
+            compensated.len(),
+            decoded.len(),
+            "encode/decode length mismatch"
+        );
+        self.residual.clear();
+        self.residual
+            .extend(compensated.iter().zip(decoded.iter()).map(|(c, d)| c - d));
+    }
+
+    /// The currently carried residual (empty before the first upload).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+}
+
 /// The sparse top-k wire codec. See the module docs for the format.
 #[derive(Clone, Copy, Debug)]
 pub struct TopKCodec {
@@ -251,6 +319,25 @@ mod tests {
         let mut bad_pm = good;
         bad_pm.kind = CodecKind::TopK { per_mille: 0 };
         assert!(c.try_decode_with_ref(&bad_pm, None).is_err());
+    }
+
+    #[test]
+    fn error_feedback_accumulates_and_clears() {
+        let mut fb = ErrorFeedback::new();
+        assert!(fb.residual().is_empty());
+        // Coordinate 0 is "suppressed" (decoded kept the reference 0.0),
+        // coordinate 1 transmitted exactly.
+        let c1 = fb.compensate(&[1.0, 2.0]);
+        assert_eq!(c1, vec![1.0, 2.0]);
+        fb.absorb(&c1, &[0.0, 2.0]);
+        assert_eq!(fb.residual(), &[1.0, 0.0]);
+        // The carried error re-offers the suppressed coordinate.
+        let c2 = fb.compensate(&[1.0, 2.0]);
+        assert_eq!(c2, vec![2.0, 2.0]);
+        // A model-size change voids the stale residual.
+        let c3 = fb.compensate(&[5.0, 5.0, 5.0]);
+        assert_eq!(c3, vec![5.0, 5.0, 5.0]);
+        assert_eq!(fb.residual(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

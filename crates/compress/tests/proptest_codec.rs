@@ -11,7 +11,7 @@ use fedat_compress::codec::{
 };
 use fedat_compress::polyline::{decode_int, decode_stream, encode_int, encode_stream};
 use fedat_compress::quantized::QuantizedCodec;
-use fedat_compress::topk::{k_for, TopKCodec};
+use fedat_compress::topk::{k_for, ErrorFeedback, TopKCodec};
 use fedat_compress::DeltaRleCodec;
 use proptest::prelude::*;
 
@@ -183,6 +183,107 @@ proptest! {
         // At least k coords are exact (more if reference coords equal the
         // weight by chance).
         prop_assert!(exact >= k, "{} exact < k {}", exact, k);
+    }
+
+    #[test]
+    fn error_feedback_residual_is_exactly_compensated_minus_decoded(
+        reference in prop::collection::vec(-1.0f32..1.0, 8..120),
+        per_mille in 1u16..=1000,
+        seed in any::<u64>(),
+        rounds in 1usize..5,
+    ) {
+        let n = reference.len();
+        let c = TopKCodec::new(per_mille);
+        let mut fb = ErrorFeedback::new();
+        for round in 0..rounds {
+            let weights: Vec<f32> = reference
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let h = (seed ^ ((round as u64) << 32) ^ i as u64)
+                        .wrapping_mul(0x9E3779B97F4A7C15);
+                    r + ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.2
+                })
+                .collect();
+            let compensated = fb.compensate(&weights);
+            let blob = c.encode_with_ref(&compensated, Some(&reference));
+            let decoded = c.decode_with_ref(&blob, Some(&reference));
+            fb.absorb(&compensated, &decoded);
+            for i in 0..n {
+                // The invariant the accumulator exists for, bitwise.
+                prop_assert_eq!(
+                    fb.residual()[i].to_bits(),
+                    (compensated[i] - decoded[i]).to_bits(),
+                    "coord {} round {}", i, round
+                );
+                // Transmitted coordinates carry exact bits, so their
+                // residual clears to +0.0 exactly.
+                if decoded[i].to_bits() == compensated[i].to_bits() {
+                    prop_assert_eq!(
+                        fb.residual()[i].to_bits(), 0u32,
+                        "transmitted coord {} must clear", i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_feedback_pipeline_is_bitwise_deterministic(
+        reference in prop::collection::vec(-1.0f32..1.0, 8..120),
+        per_mille in 1u16..=500,
+        seed in any::<u64>(),
+    ) {
+        let c = TopKCodec::new(per_mille);
+        let run = || {
+            let mut fb = ErrorFeedback::new();
+            let mut outputs: Vec<Vec<u32>> = Vec::new();
+            for round in 0u64..4 {
+                let weights: Vec<f32> = reference
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        let h = (seed ^ (round << 32) ^ i as u64)
+                            .wrapping_mul(0x9E3779B97F4A7C15);
+                        r + ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.2
+                    })
+                    .collect();
+                let compensated = fb.compensate(&weights);
+                let blob = c.encode_with_ref(&compensated, Some(&reference));
+                let decoded = c.decode_with_ref(&blob, Some(&reference));
+                fb.absorb(&compensated, &decoded);
+                outputs.push(bits(&decoded));
+                outputs.push(bits(fb.residual()));
+            }
+            outputs
+        };
+        prop_assert_eq!(run(), run(), "same upload sequence, different bits");
+    }
+
+    #[test]
+    fn error_feedback_at_full_density_is_lossless_with_zero_residual(
+        weights in prop::collection::vec(-3.0f32..3.0, 1..150),
+        seed in any::<u32>(),
+    ) {
+        // per_mille = 1000 keeps every coordinate: the roundtrip is exact
+        // and nothing is ever carried.
+        let reference: Vec<f32> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w + ((seed ^ i as u32) % 7) as f32 * 0.01)
+            .collect();
+        let c = TopKCodec::new(1000);
+        let mut fb = ErrorFeedback::new();
+        let compensated = fb.compensate(&weights);
+        prop_assert_eq!(&compensated, &weights, "fresh accumulator must be the identity");
+        let blob = c.encode_with_ref(&compensated, Some(&reference));
+        let decoded = c.decode_with_ref(&blob, Some(&reference));
+        prop_assert_eq!(bits(&decoded), bits(&compensated));
+        fb.absorb(&compensated, &decoded);
+        prop_assert!(
+            fb.residual().iter().all(|r| r.to_bits() == 0),
+            "lossless roundtrip left a residual"
+        );
     }
 
     #[test]

@@ -2,6 +2,9 @@
 
 use fedat_compress::codec::CodecKind;
 use fedat_sim::fleet::ClusterConfig;
+use fedat_tensor::ops::{AggKernel, NtKernel};
+use fedat_tensor::parallel::SpawnMode;
+use fedat_tensor::simd::SimdKernel;
 use serde::{Deserialize, Serialize};
 
 /// Which federated-learning method to run.
@@ -231,6 +234,35 @@ impl GuardPolicy {
     }
 }
 
+/// Per-run execution overrides: every field is `None` = "inherit the
+/// process default" (the env-initialized globals, possibly scoped by a
+/// `ToggleGuard`). A run resolves these once at start into an
+/// [`ExecCtx`](crate::exec::ExecCtx) — see
+/// [`ExecCtx::resolve`](crate::exec::ExecCtx::resolve) — so two concurrent
+/// runs with different overrides never read each other's settings.
+///
+/// Every override selects between bit-identical implementations, so none
+/// of them can change a trace — only wall-clock behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecOverrides {
+    /// Speculative vs. inline client training.
+    pub mode: Option<crate::exec::ExecMode>,
+    /// SIMD backend selection.
+    pub simd: Option<SimdKernel>,
+    /// Force the portable fallback over the ISA path.
+    pub portable_only: Option<bool>,
+    /// `A·Bᵀ` matmul formulation.
+    pub nt: Option<NtKernel>,
+    /// Aggregation kernel formulation.
+    pub agg: Option<AggKernel>,
+    /// Per-kernel fork-join thread cap.
+    pub max_threads: Option<usize>,
+    /// Parallel-region execution mode (pool vs. scoped spawn).
+    pub spawn: Option<SpawnMode>,
+    /// Cap on pool-resident submitted jobs.
+    pub max_pool_jobs: Option<usize>,
+}
+
 /// Full experiment configuration. Build via [`ExperimentConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -284,6 +316,9 @@ pub struct ExperimentConfig {
     /// Guard layer against corrupted updates (finite check, norm screen,
     /// staleness bound, quarantine, robust aggregation). Defaults inert.
     pub guard: GuardPolicy,
+    /// Per-run execution overrides (exec mode, kernel selections, worker
+    /// hints). Defaults to inheriting the process defaults.
+    pub exec: ExecOverrides,
 }
 
 impl ExperimentConfig {
@@ -318,6 +353,7 @@ impl Default for ExperimentConfig {
             cluster: None,
             fault: FaultPolicy::default(),
             guard: GuardPolicy::default(),
+            exec: ExecOverrides::default(),
         }
     }
 }
@@ -463,6 +499,60 @@ impl ExperimentConfigBuilder {
     /// Sets the aggregation rule (leaving the rest of the guard as-is).
     pub fn agg_rule(mut self, rule: crate::aggregate::AggRule) -> Self {
         self.cfg.guard.agg_rule = rule;
+        self
+    }
+
+    /// Sets the full per-run execution override block.
+    pub fn exec(mut self, e: ExecOverrides) -> Self {
+        self.cfg.exec = e;
+        self
+    }
+
+    /// Pins this run's execution mode (speculative vs. inline).
+    pub fn exec_mode(mut self, m: crate::exec::ExecMode) -> Self {
+        self.cfg.exec.mode = Some(m);
+        self
+    }
+
+    /// Pins this run's SIMD backend.
+    pub fn simd_kernel(mut self, k: SimdKernel) -> Self {
+        self.cfg.exec.simd = Some(k);
+        self
+    }
+
+    /// Pins this run's aggregation kernel.
+    pub fn agg_kernel(mut self, k: AggKernel) -> Self {
+        self.cfg.exec.agg = Some(k);
+        self
+    }
+
+    /// Pins this run's `A·Bᵀ` formulation.
+    pub fn nt_kernel(mut self, k: NtKernel) -> Self {
+        self.cfg.exec.nt = Some(k);
+        self
+    }
+
+    /// Pins whether this run forces the portable SIMD fallback.
+    pub fn portable_only(mut self, p: bool) -> Self {
+        self.cfg.exec.portable_only = Some(p);
+        self
+    }
+
+    /// Pins this run's fork-join thread cap.
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.cfg.exec.max_threads = Some(n);
+        self
+    }
+
+    /// Pins this run's parallel-region spawn mode.
+    pub fn spawn_mode(mut self, m: SpawnMode) -> Self {
+        self.cfg.exec.spawn = Some(m);
+        self
+    }
+
+    /// Pins this run's cap on pool-resident submitted jobs.
+    pub fn max_pool_jobs(mut self, n: usize) -> Self {
+        self.cfg.exec.max_pool_jobs = Some(n);
         self
     }
 

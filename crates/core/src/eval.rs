@@ -211,12 +211,12 @@ mod tests {
         fedat_nn::metrics::set_pooled_eval(false);
         let serial = per_client_accuracy(&task, &w, 4);
         fedat_nn::metrics::set_pooled_eval(true);
+        let mut g = crate::exec::ToggleGuard::new();
         for threads in [1usize, 4] {
-            parallel::set_max_threads(threads);
+            g.max_threads(threads);
             let pooled = per_client_accuracy(&task, &w, 4);
             assert_eq!(serial, pooled, "sweep diverged at {threads} threads");
         }
-        parallel::set_max_threads(1);
     }
 
     #[test]

@@ -111,6 +111,89 @@ pub(crate) fn note_discard() {
 }
 
 // ----------------------------------------------------------------------
+// ExecCtx: per-run execution configuration
+// ----------------------------------------------------------------------
+
+/// The complete execution configuration of *one* experiment run: the
+/// [`ExecMode`] plus a snapshot of every tensor-layer kernel toggle
+/// ([`fedat_tensor::ctx::KernelCtx`]).
+///
+/// Resolution happens **once**, at run start
+/// ([`run_experiment_shared`](crate::experiment::run_experiment_shared)):
+///
+/// 1. [`ExecCtx::from_env`] reads the *default layer* — the process
+///    globals, which carry the `FEDAT_EXEC`/`FEDAT_SIMD` env defaults and
+///    any [`ToggleGuard`] scoping in force on the calling thread,
+/// 2. the config's [`ExecOverrides`](crate::config::ExecOverrides) are
+///    applied field-by-field on top.
+///
+/// The result is immutable for the run's lifetime: it is installed as the
+/// thread-local kernel overlay ([`ExecCtx::enter`]) so every kernel the run
+/// touches — including work it ships across the pool — reads *this* run's
+/// configuration, and it is threaded through `ServerCore` so the training
+/// launch path never consults the process-global [`exec_mode`] again.
+/// Two concurrent `run_experiment_shared` calls therefore cannot read each
+/// other's toggles — the cross-talk bug this type exists to fix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecCtx {
+    /// When client training executes (speculative vs. inline).
+    pub mode: ExecMode,
+    /// The tensor-layer kernel selections and worker hints.
+    pub kernels: fedat_tensor::ctx::KernelCtx,
+}
+
+impl ExecCtx {
+    /// The default layer: the effective process-wide settings at call time
+    /// (env-initialized globals, any `ToggleGuard` scoping, or an already
+    /// installed overlay on this thread).
+    pub fn from_env() -> Self {
+        ExecCtx {
+            mode: exec_mode(),
+            kernels: fedat_tensor::ctx::snapshot(),
+        }
+    }
+
+    /// Resolves a run's execution context: [`ExecCtx::from_env`] with the
+    /// config's overrides applied on top.
+    pub fn resolve(cfg: &crate::config::ExperimentConfig) -> Self {
+        let mut ctx = ExecCtx::from_env();
+        let o = cfg.exec;
+        if let Some(m) = o.mode {
+            ctx.mode = m;
+        }
+        if let Some(k) = o.simd {
+            ctx.kernels.simd = k;
+        }
+        if let Some(p) = o.portable_only {
+            ctx.kernels.portable_only = p;
+        }
+        if let Some(k) = o.nt {
+            ctx.kernels.nt = k;
+        }
+        if let Some(k) = o.agg {
+            ctx.kernels.agg = k;
+        }
+        if let Some(n) = o.max_threads {
+            ctx.kernels.max_threads = n.max(1);
+        }
+        if let Some(s) = o.spawn {
+            ctx.kernels.spawn = s;
+        }
+        if let Some(n) = o.max_pool_jobs {
+            ctx.kernels.max_pool_jobs = n;
+        }
+        ctx
+    }
+
+    /// Installs this context's kernel configuration as the calling thread's
+    /// overlay for the guard's lifetime. Work submitted to the pool while
+    /// the guard is live inherits the overlay automatically.
+    pub fn enter(&self) -> fedat_tensor::ctx::OverlayGuard {
+        fedat_tensor::ctx::install(self.kernels)
+    }
+}
+
+// ----------------------------------------------------------------------
 // ToggleGuard: RAII discipline for the process-global toggles
 // ----------------------------------------------------------------------
 
@@ -269,6 +352,7 @@ impl ToggleGuard {
         if self.portable.is_none() {
             self.portable = Some(PORTABLE_STACK.push(fedat_tensor::simd::portable_only()));
         }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
         fedat_tensor::simd::set_portable_only(portable);
         self
     }
@@ -278,6 +362,7 @@ impl ToggleGuard {
         if self.threads.is_none() {
             self.threads = Some(THREADS_STACK.push(fedat_tensor::parallel::max_threads()));
         }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
         fedat_tensor::parallel::set_max_threads(n);
         self
     }
@@ -287,6 +372,7 @@ impl ToggleGuard {
         if self.pool_jobs.is_none() {
             self.pool_jobs = Some(POOL_JOBS_STACK.push(fedat_tensor::pool::max_pool_jobs()));
         }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
         fedat_tensor::pool::set_max_pool_jobs(cap);
         self
     }
@@ -296,6 +382,7 @@ impl ToggleGuard {
         if self.spawn.is_none() {
             self.spawn = Some(SPAWN_STACK.push(fedat_tensor::parallel::spawn_mode()));
         }
+        // lint: allow(R5, reason = "ToggleGuard is the audited home of the raw setters")
         fedat_tensor::parallel::set_spawn_mode(mode);
         self
     }
@@ -320,15 +407,19 @@ impl Drop for ToggleGuard {
             fedat_tensor::ops::set_nt_kernel(prior);
         }
         if let Some(prior) = self.portable.take().and_then(|id| PORTABLE_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
             fedat_tensor::simd::set_portable_only(prior);
         }
         if let Some(prior) = self.threads.take().and_then(|id| THREADS_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
             fedat_tensor::parallel::set_max_threads(prior);
         }
         if let Some(prior) = self.pool_jobs.take().and_then(|id| POOL_JOBS_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
             fedat_tensor::pool::set_max_pool_jobs(prior);
         }
         if let Some(prior) = self.spawn.take().and_then(|id| SPAWN_STACK.pop(id)) {
+            // lint: allow(R5, reason = "ToggleGuard restore path — the raw setters' audited home")
             fedat_tensor::parallel::set_spawn_mode(prior);
         }
     }

@@ -86,7 +86,16 @@ pub fn run_experiment_shared(task: &Arc<FedTask>, cfg: &ExperimentConfig) -> Out
         "cluster size must match the federation"
     );
     let fleet = Fleet::new(&cluster, task.fed.client_sizes());
-    let mut strategy = build_strategy(Arc::clone(task), cfg, &fleet);
+    // Resolve the run's execution context ONCE — process-global toggles and
+    // env are only the default layer under any per-config overrides — and
+    // install its kernel overlay for the run's scope. Every thread-crossing
+    // point below (speculative training jobs, pipelined evals, fork-join
+    // regions) re-installs the overlay on the executing thread, so
+    // concurrent runs with different contexts never read each other's
+    // toggles.
+    let exec = crate::exec::ExecCtx::resolve(cfg);
+    let _overlay = exec.enter();
+    let mut strategy = build_strategy(Arc::clone(task), cfg, &fleet, exec);
     let limits = RunLimits {
         max_time: cfg.max_time,
         max_events: 20_000_000,
@@ -95,6 +104,8 @@ pub fn run_experiment_shared(task: &Arc<FedTask>, cfg: &ExperimentConfig) -> Out
         let handler: &mut dyn EventHandler = &mut *strategy;
         run_logged(handler, &fleet, cfg.seed, limits)
     };
+    // Join the pipelined-eval straggler before reading any result.
+    strategy.flush_evals();
     let final_weights = strategy.global_weights().to_vec();
     let per_client = per_client_accuracy(task, &final_weights, cfg.seed);
     // Mean of the in-training variance checkpoints plus the final state.

@@ -22,7 +22,7 @@
 //!   See [`crate::exec`] for the mode toggle and the determinism argument.
 
 use crate::config::ExperimentConfig;
-use crate::exec::{exec_mode, ExecMode};
+use crate::exec::ExecMode;
 use fedat_data::suite::FedTask;
 use fedat_nn::model::Model;
 use fedat_nn::optim::ProxTerm;
@@ -110,9 +110,12 @@ enum HandleKind {
 }
 
 impl TrainHandle {
-    /// Starts `job` according to the active [`ExecMode`].
-    pub fn launch(job: TrainJob) -> TrainHandle {
-        TrainHandle(Some(match exec_mode() {
+    /// Starts `job` under the caller's [`ExecMode`] — the mode travels
+    /// explicitly from the run's [`crate::exec::ExecCtx`] rather than being
+    /// read from the process-wide toggle, so concurrent runs with different
+    /// modes cannot cross-talk.
+    pub fn launch(job: TrainJob, mode: ExecMode) -> TrainHandle {
+        TrainHandle(Some(match mode {
             ExecMode::Speculative => {
                 crate::exec::note_launch();
                 HandleKind::Speculative(fedat_tensor::pool::submit(move || job.run()))

@@ -7,6 +7,7 @@
 //! constraint (the same prox form FedAT adopts).
 
 use crate::config::ExperimentConfig;
+use crate::exec::ExecCtx;
 use crate::strategies::{
     FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy, REVIVE_BIT,
 };
@@ -40,11 +41,12 @@ pub struct AsoFedStrategy {
 
 impl AsoFedStrategy {
     /// Builds the ASO-Fed server (budget and eval scaling as in FedAsync).
-    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig) -> Self {
+    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, exec: ExecCtx) -> Self {
         let k = cfg.clients_per_round as u64;
         let core = ServerCore::new(
             task.clone(),
             cfg,
+            exec,
             cfg.rounds * k * super::ASYNC_FILL,
             cfg.eval_every * k,
         );
@@ -226,5 +228,9 @@ impl Strategy for AsoFedStrategy {
 
     fn fault_counters(&self) -> FaultCounters {
         self.core.faults
+    }
+
+    fn flush_evals(&mut self) {
+        self.core.flush_evals();
     }
 }

@@ -10,6 +10,7 @@
 //! against.
 
 use crate::config::ExperimentConfig;
+use crate::exec::ExecCtx;
 use crate::strategies::{
     FaultCounters, InflightTable, PhaseEvent, ServerCore, Strategy, REVIVE_BIT,
 };
@@ -51,11 +52,12 @@ impl FedAsyncStrategy {
     /// faster in wall time; the shared `max_time` horizon is the effective
     /// stopping rule, exactly as in the paper's timeline figures. The
     /// evaluation stride is scaled likewise.
-    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig) -> Self {
+    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, exec: ExecCtx) -> Self {
         let k = cfg.clients_per_round as u64;
         let core = ServerCore::new(
             task,
             cfg,
+            exec,
             cfg.rounds * k * super::ASYNC_FILL,
             cfg.eval_every * k,
         );
@@ -226,5 +228,9 @@ impl Strategy for FedAsyncStrategy {
 
     fn fault_counters(&self) -> FaultCounters {
         self.core.faults
+    }
+
+    fn flush_evals(&mut self) {
+        self.core.flush_evals();
     }
 }

@@ -25,6 +25,7 @@ use crate::aggregate::{
     aggregate_clients_into, aggregate_tiers_into, cross_tier_weights, uniform_tier_weights,
 };
 use crate::config::ExperimentConfig;
+use crate::exec::ExecCtx;
 use crate::strategies::{
     dispatch_tracked, earliest_return, retry_slot, FaultCounters, InflightTable, PhaseEvent,
     ServerCore, Strategy, REVIVE_BIT,
@@ -79,13 +80,18 @@ pub struct FedAtStrategy {
 impl FedAtStrategy {
     /// Builds the FedAT server: profiles tiers, initializes every tier
     /// model to `w⁰`, and zeroes the update counters.
-    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Self {
+    pub fn new(
+        task: Arc<FedTask>,
+        cfg: &ExperimentConfig,
+        fleet: &fedat_sim::Fleet,
+        exec: ExecCtx,
+    ) -> Self {
         let mut tiers = TierAssignment::profile(fleet, cfg.num_tiers, cfg.local_epochs);
         if cfg.mistier_fraction > 0.0 {
             tiers.mistier(cfg.mistier_fraction, cfg.seed);
         }
         let m = tiers.num_tiers();
-        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+        let core = ServerCore::new(task, cfg, exec, cfg.rounds, cfg.eval_every);
         let tier_models = vec![core.global.clone(); m];
         let ewma: Vec<f64> = (0..fleet.len())
             .map(|c| fleet.expected_latency(c, cfg.local_epochs))
@@ -454,6 +460,10 @@ impl Strategy for FedAtStrategy {
         self.core.faults
     }
 
+    fn flush_evals(&mut self) {
+        self.core.flush_evals();
+    }
+
     fn tier_updates(&self) -> Option<Vec<u64>> {
         Some(self.tier_counts.clone())
     }
@@ -485,7 +495,12 @@ mod tests {
             .cluster(cluster.clone())
             .build();
         let fleet = Fleet::new(&cluster, task.fed.client_sizes());
-        let mut s = FedAtStrategy::new(Arc::new(task), &cfg, &fleet);
+        let mut s = FedAtStrategy::new(
+            Arc::new(task),
+            &cfg,
+            &fleet,
+            crate::exec::ExecCtx::resolve(&cfg),
+        );
         {
             let h: &mut dyn EventHandler = &mut s;
             run(h, &fleet, cfg.seed, RunLimits::default());

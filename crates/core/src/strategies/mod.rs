@@ -18,6 +18,7 @@ pub mod tifl;
 
 use crate::config::{ExperimentConfig, StrategyKind};
 use crate::eval::Evaluator;
+use crate::exec::{ExecCtx, ExecMode};
 use crate::transport::Transport;
 use fedat_data::suite::FedTask;
 use fedat_sim::fault::{FaultEvent, FaultKind};
@@ -82,6 +83,13 @@ pub trait Strategy: EventHandler + Send {
     /// degradations, re-tiers, revivals).
     fn fault_counters(&self) -> FaultCounters;
 
+    /// Joins the in-flight pipelined evaluation, if any, so the trace and
+    /// variance checkpoints are complete. Must be called after the event
+    /// loop exits and before [`Strategy::take_trace`] /
+    /// [`Strategy::variance_checkpoints`]; a no-op under
+    /// [`crate::exec::ExecMode::Inline`] or when nothing is pending.
+    fn flush_evals(&mut self);
+
     /// Per-tier update counts for tiered strategies (`None` otherwise) —
     /// lets callers assert that no tier stalled.
     fn tier_updates(&self) -> Option<Vec<u64>> {
@@ -96,7 +104,17 @@ pub(crate) struct ServerCore {
     /// pool worker without cloning it per dispatch.
     pub cfg: Arc<ExperimentConfig>,
     pub transport: Transport,
-    pub evaluator: Evaluator,
+    /// This run's execution context (exec mode + kernel toggles), resolved
+    /// once at run start — never read back from the process globals, so
+    /// concurrent runs with different contexts cannot cross-talk.
+    pub exec: ExecCtx,
+    /// `None` exactly while a pipelined evaluation is in flight on the
+    /// kernel pool (the job owns the evaluator and hands it back at the
+    /// join).
+    evaluator: Option<Evaluator>,
+    /// The at-most-one in-flight pipelined evaluation (Speculative mode
+    /// only; see [`ServerCore::eval_now`]).
+    pending_eval: Option<PendingEval>,
     /// Current global weights `w^t`.
     pub global: Vec<f32>,
     /// Global update counter `t`.
@@ -140,6 +158,19 @@ impl GuardState {
     }
 }
 
+/// One round-boundary evaluation running as a kernel-pool job while the
+/// event loop trains the next round (PR 4's follow-up: eval used to
+/// serialize the event-loop thread). Everything a trace point needs besides
+/// accuracy/loss was snapshotted at the cadence point, so the joined point
+/// is bit-identical to the one the synchronous path would have pushed.
+struct PendingEval {
+    handle: fedat_tensor::pool::JobHandle<(Evaluator, fedat_nn::model::EvalResult, Option<f32>)>,
+    time: f64,
+    round: u64,
+    up_bytes: u64,
+    down_bytes: u64,
+}
+
 /// Per-client variance is sampled every this many global evaluations (a
 /// full per-client sweep costs about one extra global evaluation).
 pub const VARIANCE_EVAL_STRIDE: u64 = 5;
@@ -153,7 +184,13 @@ pub const VARIANCE_EVAL_STRIDE: u64 = 5;
 pub const ASYNC_FILL: u64 = 20;
 
 impl ServerCore {
-    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, budget: u64, eval_stride: u64) -> Self {
+    pub fn new(
+        task: Arc<FedTask>,
+        cfg: &ExperimentConfig,
+        exec: ExecCtx,
+        budget: u64,
+        eval_stride: u64,
+    ) -> Self {
         let codec = crate::config::resolve_codec(cfg.codec, cfg.strategy);
         let transport = Transport::new(codec);
         let evaluator = Evaluator::new(&task, cfg.eval_subset, cfg.seed);
@@ -163,7 +200,9 @@ impl ServerCore {
             task,
             cfg: Arc::new(cfg.clone()),
             transport,
-            evaluator,
+            exec,
+            evaluator: Some(evaluator),
+            pending_eval: None,
             global,
             updates: 0,
             budget,
@@ -200,22 +239,101 @@ impl ServerCore {
     /// metric. Both run on the kernel pool (streaming mini-batches and
     /// sharded client bands) and are bit-identical to a serial sweep for
     /// any thread count.
+    ///
+    /// Under [`ExecMode::Speculative`] the evaluation is *pipelined*: the
+    /// trace-point context (virtual time, update count, traffic meters) is
+    /// snapshotted here, the sweep itself is submitted as a kernel-pool job,
+    /// and the event loop immediately returns to dispatching the next
+    /// round — eval overlaps training instead of serializing the event-loop
+    /// thread. At most one evaluation is in flight; the next cadence point
+    /// (or the end-of-run [`ServerCore::flush_evals`]) joins it and appends
+    /// its trace point *before* anything newer, so trace order is the
+    /// submission order and every value in the point was fixed at submit
+    /// time. The weights are cloned into the job, the variance-sweep
+    /// decision is made here from `evals_done`, and the evaluator round-trips
+    /// through the job — nothing about the result depends on when a worker
+    /// gets to it, which is what keeps the pipelined trace bit-identical to
+    /// the [`ExecMode::Inline`] synchronous baseline.
     pub fn eval_now(&mut self, ctx: &mut SimCtx) {
-        let r = self.evaluator.evaluate(&self.global);
+        let time = ctx.now();
+        let up_bytes = ctx.traffic.uplink_bytes();
+        let down_bytes = ctx.traffic.downlink_bytes();
+        self.evals_done += 1;
+        let sweep_variance = self.evals_done.is_multiple_of(VARIANCE_EVAL_STRIDE);
+        if self.exec.mode == ExecMode::Speculative {
+            // Join (and record) the previous round's eval first: trace
+            // points must land in submission order.
+            self.join_pending_eval();
+            let mut evaluator = self
+                .evaluator
+                .take()
+                .expect("evaluator is with a joined job");
+            let weights = self.global.clone();
+            let sweep = sweep_variance.then(|| (Arc::clone(&self.task), self.cfg.seed));
+            let handle = fedat_tensor::pool::submit(move || {
+                let r = evaluator.evaluate(&weights);
+                let variance = sweep.map(|(task, seed)| {
+                    let accs = crate::eval::per_client_accuracy(&task, &weights, seed);
+                    crate::eval::accuracy_variance(&accs)
+                });
+                (evaluator, r, variance)
+            });
+            self.pending_eval = Some(PendingEval {
+                handle,
+                time,
+                round: self.updates,
+                up_bytes,
+                down_bytes,
+            });
+        } else {
+            let evaluator = self
+                .evaluator
+                .as_mut()
+                .expect("no eval in flight under Inline");
+            let r = evaluator.evaluate(&self.global);
+            self.trace.push(TracePoint {
+                time,
+                round: self.updates,
+                accuracy: r.accuracy,
+                loss: r.loss,
+                up_bytes,
+                down_bytes,
+            });
+            if sweep_variance {
+                let accs =
+                    crate::eval::per_client_accuracy(&self.task, &self.global, self.cfg.seed);
+                self.variance_checkpoints
+                    .push(crate::eval::accuracy_variance(&accs));
+            }
+        }
+    }
+
+    /// Joins the in-flight pipelined evaluation (if any), appending its
+    /// trace point and variance checkpoint and taking the evaluator back.
+    fn join_pending_eval(&mut self) {
+        let Some(pending) = self.pending_eval.take() else {
+            return;
+        };
+        let (evaluator, r, variance) = pending.handle.join();
+        self.evaluator = Some(evaluator);
         self.trace.push(TracePoint {
-            time: ctx.now(),
-            round: self.updates,
+            time: pending.time,
+            round: pending.round,
             accuracy: r.accuracy,
             loss: r.loss,
-            up_bytes: ctx.traffic.uplink_bytes(),
-            down_bytes: ctx.traffic.downlink_bytes(),
+            up_bytes: pending.up_bytes,
+            down_bytes: pending.down_bytes,
         });
-        self.evals_done += 1;
-        if self.evals_done.is_multiple_of(VARIANCE_EVAL_STRIDE) {
-            let accs = crate::eval::per_client_accuracy(&self.task, &self.global, self.cfg.seed);
-            self.variance_checkpoints
-                .push(crate::eval::accuracy_variance(&accs));
+        if let Some(v) = variance {
+            self.variance_checkpoints.push(v);
         }
+    }
+
+    /// End-of-run barrier for the eval pipeline: joins the straggler so the
+    /// trace and variance checkpoints are complete. Strategies delegate
+    /// their [`Strategy::flush_evals`] here.
+    pub fn flush_evals(&mut self) {
+        self.join_pending_eval();
     }
 
     /// Whether the update budget is exhausted.
@@ -249,15 +367,18 @@ impl ServerCore {
         use_prox: bool,
     ) -> ClientPhase {
         ClientPhase::Computing(Inflight {
-            handle: crate::local::TrainHandle::launch(crate::local::TrainJob {
-                task: Arc::clone(&self.task),
-                client,
-                global: Arc::clone(weights),
-                cfg: Arc::clone(&self.cfg),
-                epochs,
-                selection_round,
-                use_prox,
-            }),
+            handle: crate::local::TrainHandle::launch(
+                crate::local::TrainJob {
+                    task: Arc::clone(&self.task),
+                    client,
+                    global: Arc::clone(weights),
+                    cfg: Arc::clone(&self.cfg),
+                    epochs,
+                    selection_round,
+                    use_prox,
+                },
+                self.exec.mode,
+            ),
             selection_round,
             reference: Arc::clone(weights),
         })
@@ -780,18 +901,21 @@ pub(crate) fn retry_slot(
     true
 }
 
-/// Builds the strategy object for a config.
+/// Builds the strategy object for a config, running under `exec` — the
+/// per-run execution context resolved once by the caller (see
+/// [`crate::exec::ExecCtx::resolve`]).
 pub fn build_strategy(
     task: Arc<FedTask>,
     cfg: &ExperimentConfig,
     fleet: &fedat_sim::Fleet,
+    exec: ExecCtx,
 ) -> Box<dyn Strategy> {
     match cfg.strategy {
-        StrategyKind::FedAvg => Box::new(sync::SyncStrategy::fedavg(task, cfg)),
-        StrategyKind::FedProx => Box::new(sync::SyncStrategy::fedprox(task, cfg, fleet)),
-        StrategyKind::TiFL => Box::new(tifl::TiflStrategy::new(task, cfg, fleet)),
-        StrategyKind::FedAsync => Box::new(fedasync::FedAsyncStrategy::new(task, cfg)),
-        StrategyKind::AsoFed => Box::new(asofed::AsoFedStrategy::new(task, cfg)),
-        StrategyKind::FedAt => Box::new(fedat::FedAtStrategy::new(task, cfg, fleet)),
+        StrategyKind::FedAvg => Box::new(sync::SyncStrategy::fedavg(task, cfg, exec)),
+        StrategyKind::FedProx => Box::new(sync::SyncStrategy::fedprox(task, cfg, fleet, exec)),
+        StrategyKind::TiFL => Box::new(tifl::TiflStrategy::new(task, cfg, fleet, exec)),
+        StrategyKind::FedAsync => Box::new(fedasync::FedAsyncStrategy::new(task, cfg, exec)),
+        StrategyKind::AsoFed => Box::new(asofed::AsoFedStrategy::new(task, cfg, exec)),
+        StrategyKind::FedAt => Box::new(fedat::FedAtStrategy::new(task, cfg, fleet, exec)),
     }
 }

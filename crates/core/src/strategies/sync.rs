@@ -13,6 +13,7 @@
 
 use crate::aggregate::aggregate_clients_into;
 use crate::config::ExperimentConfig;
+use crate::exec::ExecCtx;
 use crate::strategies::{
     dispatch_tracked, earliest_return, retry_slot, FaultCounters, InflightTable, PhaseEvent,
     ServerCore, Strategy, REVIVE_BIT,
@@ -46,8 +47,8 @@ pub struct SyncStrategy {
 
 impl SyncStrategy {
     /// Plain FedAvg: uniform epochs, no proximal term.
-    pub fn fedavg(task: Arc<FedTask>, cfg: &ExperimentConfig) -> Self {
-        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+    pub fn fedavg(task: Arc<FedTask>, cfg: &ExperimentConfig, exec: ExecCtx) -> Self {
+        let core = ServerCore::new(task, cfg, exec, cfg.rounds, cfg.eval_every);
         SyncStrategy {
             core,
             use_prox: false,
@@ -63,7 +64,12 @@ impl SyncStrategy {
     }
 
     /// FedProx: prox term on, slower delay-parts run fewer local epochs.
-    pub fn fedprox(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Self {
+    pub fn fedprox(
+        task: Arc<FedTask>,
+        cfg: &ExperimentConfig,
+        fleet: &fedat_sim::Fleet,
+        exec: ExecCtx,
+    ) -> Self {
         let epochs: Vec<usize> = (0..fleet.len())
             .map(|c| {
                 // Part 0 (fastest) runs the full E epochs; each slower part
@@ -71,7 +77,7 @@ impl SyncStrategy {
                 cfg.local_epochs.saturating_sub(fleet.part_of(c)).max(1)
             })
             .collect();
-        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+        let core = ServerCore::new(task, cfg, exec, cfg.rounds, cfg.eval_every);
         SyncStrategy {
             core,
             use_prox: true,
@@ -276,5 +282,9 @@ impl Strategy for SyncStrategy {
 
     fn fault_counters(&self) -> FaultCounters {
         self.core.faults
+    }
+
+    fn flush_evals(&mut self) {
+        self.core.flush_evals();
     }
 }

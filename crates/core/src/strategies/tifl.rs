@@ -10,6 +10,7 @@
 use crate::aggregate::aggregate_clients_into;
 use crate::config::ExperimentConfig;
 use crate::eval::per_client_accuracy;
+use crate::exec::ExecCtx;
 use crate::strategies::{
     dispatch_tracked, earliest_return, retry_slot, FaultCounters, InflightTable, PhaseEvent,
     ServerCore, Strategy, REVIVE_BIT,
@@ -52,7 +53,12 @@ pub struct TiflStrategy {
 
 impl TiflStrategy {
     /// Builds the TiFL server with profiled tiers and equal initial credits.
-    pub fn new(task: Arc<FedTask>, cfg: &ExperimentConfig, fleet: &fedat_sim::Fleet) -> Self {
+    pub fn new(
+        task: Arc<FedTask>,
+        cfg: &ExperimentConfig,
+        fleet: &fedat_sim::Fleet,
+        exec: ExecCtx,
+    ) -> Self {
         let mut tiers = TierAssignment::profile(fleet, cfg.num_tiers, cfg.local_epochs);
         if cfg.mistier_fraction > 0.0 {
             tiers.mistier(cfg.mistier_fraction, cfg.seed);
@@ -60,7 +66,7 @@ impl TiflStrategy {
         let m = tiers.num_tiers();
         // Credits: rounds split evenly, like TiFL's credit initialization.
         let credits = vec![cfg.rounds / m as u64 + 1; m];
-        let core = ServerCore::new(task, cfg, cfg.rounds, cfg.eval_every);
+        let core = ServerCore::new(task, cfg, exec, cfg.rounds, cfg.eval_every);
         TiflStrategy {
             core,
             tiers,
@@ -323,5 +329,9 @@ impl Strategy for TiflStrategy {
 
     fn fault_counters(&self) -> FaultCounters {
         self.core.faults
+    }
+
+    fn flush_evals(&mut self) {
+        self.core.flush_evals();
     }
 }

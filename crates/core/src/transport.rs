@@ -15,9 +15,11 @@
 //! invariant to the regression tests.
 
 use fedat_compress::codec::{codec_for, CodecKind, WireCodec};
+use fedat_compress::topk::ErrorFeedback;
 use fedat_sim::runtime::SimCtx;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Whether [`Transport::broadcast`] encodes once per cohort (the default)
 /// or once per client (the seed's behavior, kept as the measured naive
@@ -60,6 +62,14 @@ pub struct Transport {
     kind: CodecKind,
     downlink_encodes: AtomicU64,
     uplink_encodes: AtomicU64,
+    /// Per-client error-feedback accumulators, engaged for
+    /// [`CodecKind::TopK`] uplinks only: top-k is the one codec that
+    /// silently *drops* coordinates, so the suppressed mass is carried as a
+    /// residual and re-offered at the next upload (see
+    /// [`fedat_compress::topk::ErrorFeedback`]). BTreeMap keeps iteration
+    /// deterministic; the mutex exists because uploads take `&self`, and it
+    /// is uncontended (the event loop is single-threaded).
+    feedback: Mutex<BTreeMap<usize, ErrorFeedback>>,
 }
 
 impl Transport {
@@ -76,6 +86,7 @@ impl Transport {
             kind,
             downlink_encodes: AtomicU64::new(0),
             uplink_encodes: AtomicU64::new(0),
+            feedback: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -166,6 +177,11 @@ impl Transport {
     /// same `Arc` in its in-flight table — so no extra reference traffic is
     /// ever charged. The downlink [`Transport::broadcast`] stays
     /// reference-free because its payload is shared by the whole cohort.
+    ///
+    /// [`CodecKind::TopK`] uplinks additionally run per-client error
+    /// feedback: the client's carried residual is added to `weights` before
+    /// encoding and the post-roundtrip loss becomes the next residual, so
+    /// coordinates the sparsifier suppresses arrive late instead of never.
     pub fn upload_with_ref(
         &self,
         ctx: &mut SimCtx,
@@ -173,6 +189,18 @@ impl Transport {
         weights: &[f32],
         reference: Option<&[f32]>,
     ) -> (Vec<f32>, usize) {
+        if matches!(self.kind, CodecKind::TopK { .. }) {
+            let mut feedback = self.feedback.lock().expect("feedback map poisoned");
+            let fb = feedback.entry(client).or_default();
+            let compensated = fb.compensate(weights);
+            let blob = self.codec.encode_with_ref(&compensated, reference);
+            self.uplink_encodes.fetch_add(1, Ordering::Relaxed);
+            let bytes = blob.wire_bytes();
+            ctx.traffic.record_upload(client, bytes);
+            let decoded = self.codec.decode_with_ref(&blob, reference);
+            fb.absorb(&compensated, &decoded);
+            return (decoded, bytes);
+        }
         let blob = self.codec.encode_with_ref(weights, reference);
         self.uplink_encodes.fetch_add(1, Ordering::Relaxed);
         let bytes = blob.wire_bytes();
@@ -337,6 +365,64 @@ mod tests {
             precision: 4,
             delta: true
         }));
+    }
+
+    #[test]
+    fn topk_uplink_error_feedback_recovers_suppressed_coordinates() {
+        let cfg = ClusterConfig::paper_medium(4)
+            .with_clients(2)
+            .without_dropouts();
+        let fleet = Fleet::new(&cfg, vec![10; 2]);
+        struct Ef {
+            transport: Transport,
+            done: bool,
+        }
+        impl EventHandler for Ef {
+            fn on_start(&mut self, ctx: &mut SimCtx) {
+                // k = 1 of 8: each upload transmits only the largest-delta
+                // coordinate. Coordinate 0 (delta 1.0) always beats
+                // coordinate 7 (delta 0.1) in a memoryless sparsifier.
+                let mut w = vec![0.0f32; 8];
+                w[0] = 1.0;
+                w[7] = 0.1;
+                let reference = vec![0.0f32; 8];
+                let kind = CodecKind::TopK { per_mille: 125 };
+                // Without feedback (raw codec): dropped forever.
+                let raw = codec_for(kind);
+                for _ in 0..15 {
+                    let blob = raw.encode_with_ref(&w, Some(&reference));
+                    let decoded = raw.decode_with_ref(&blob, Some(&reference));
+                    assert_eq!(decoded[7], 0.0, "raw top-k must keep dropping it");
+                }
+                // With feedback: the carried residual grows by 0.1 per
+                // upload until coordinate 7 outranks the spike and arrives.
+                let mut recovered = None;
+                for round in 0..15 {
+                    let (decoded, _) = self.transport.upload_with_ref(ctx, 0, &w, Some(&reference));
+                    if decoded[7] != 0.0 {
+                        recovered = Some(round);
+                        break;
+                    }
+                }
+                let round = recovered.expect("feedback never recovered the coordinate");
+                assert!(round >= 5, "recovery needs rounds of accumulation: {round}");
+                // Residuals are per-client: client 1's first upload still
+                // suppresses coordinate 7.
+                let (other, _) = self.transport.upload_with_ref(ctx, 1, &w, Some(&reference));
+                assert_eq!(other[7], 0.0, "residuals leaked across clients");
+                self.done = true;
+            }
+            fn on_completion(&mut self, _ctx: &mut SimCtx, _c: Completion) {}
+            fn finished(&self) -> bool {
+                self.done
+            }
+        }
+        let mut h = Ef {
+            transport: Transport::new(CodecKind::TopK { per_mille: 125 }),
+            done: false,
+        };
+        run(&mut h, &fleet, 4, RunLimits::default());
+        assert!(h.done);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Per-run execution contexts: concurrent experiments with *different*
+//! exec modes and kernel toggles must not cross-talk.
+//!
+//! The process-wide toggles (`ExecMode`, `SimdKernel`, …) are only the
+//! default layer now: `run_experiment_shared` resolves an
+//! [`fedat_core::exec::ExecCtx`] once from config + environment and installs
+//! it as a per-thread overlay that follows the run across every
+//! thread-crossing point (speculative training jobs, pipelined evals,
+//! fork-join kernel regions). These tests pin the property the refactor
+//! exists for: N concurrent runs, each under a different context, each
+//! bit-identical to its own serial counterpart.
+
+use fedat_core::exec::{ExecCtx, ExecMode, ToggleGuard};
+use fedat_core::{run_experiment, ExperimentConfig, Outcome, StrategyKind};
+use fedat_data::suite;
+use fedat_sim::fleet::ClusterConfig;
+use fedat_tensor::simd::SimdKernel;
+
+fn cfg_with(mode: ExecMode, simd: SimdKernel, n: usize, seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .strategy(StrategyKind::FedAt)
+        .rounds(12)
+        .clients_per_round(3)
+        .local_epochs(1)
+        .eval_every(3)
+        .seed(seed)
+        .cluster(
+            ClusterConfig::paper_medium(seed)
+                .with_clients(n)
+                .without_dropouts(),
+        )
+        .exec_mode(mode)
+        .simd_kernel(simd)
+        .build()
+}
+
+fn assert_same(label: &str, a: &Outcome, b: &Outcome) {
+    assert_eq!(
+        a.final_weights, b.final_weights,
+        "{label}: weights diverged"
+    );
+    assert_eq!(a.global_updates, b.global_updates, "{label}");
+    assert_eq!(
+        a.trace.points.len(),
+        b.trace.points.len(),
+        "{label}: trace length diverged"
+    );
+    for (p, q) in a.trace.points.iter().zip(b.trace.points.iter()) {
+        assert_eq!(p.time, q.time, "{label}: virtual time diverged");
+        assert_eq!(p.round, q.round, "{label}");
+        assert_eq!(p.accuracy, q.accuracy, "{label}: accuracy diverged");
+        assert_eq!(p.loss, q.loss, "{label}: loss diverged");
+        assert_eq!(p.up_bytes, q.up_bytes, "{label}: uplink diverged");
+        assert_eq!(p.down_bytes, q.down_bytes, "{label}: downlink diverged");
+    }
+}
+
+/// The four contexts of the grid: {Speculative, Inline} × {Auto, Scalar}.
+const COMBOS: [(ExecMode, SimdKernel, &str); 4] = [
+    (ExecMode::Speculative, SimdKernel::Auto, "spec/auto"),
+    (ExecMode::Speculative, SimdKernel::Scalar, "spec/scalar"),
+    (ExecMode::Inline, SimdKernel::Auto, "inline/auto"),
+    (ExecMode::Inline, SimdKernel::Scalar, "inline/scalar"),
+];
+
+#[test]
+fn concurrent_runs_with_different_contexts_match_their_serial_counterparts() {
+    let n = 12;
+    let task = suite::sent140_like(n, 41);
+
+    // Serial baselines, one per context, on this thread.
+    let serial: Vec<Outcome> = COMBOS
+        .iter()
+        .map(|&(mode, simd, _)| run_experiment(&task, &cfg_with(mode, simd, n, 41)))
+        .collect();
+
+    // All four contexts at once, each from its own OS thread — the exact
+    // scenario the process-global toggles used to corrupt (one run's
+    // `set_exec_mode` silently flipping a concurrent run's executor).
+    let concurrent: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = COMBOS
+            .iter()
+            .map(|&(mode, simd, _)| {
+                let task = &task;
+                scope.spawn(move || run_experiment(task, &cfg_with(mode, simd, n, 41)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for ((s, c), &(_, _, label)) in serial.iter().zip(concurrent.iter()).zip(COMBOS.iter()) {
+        assert_same(label, c, s);
+    }
+    // The bit-identity contract also pins the four contexts to *each
+    // other*: mode and kernel choice are performance levers, not semantics.
+    for (s, &(_, _, label)) in serial.iter().skip(1).zip(COMBOS.iter().skip(1)) {
+        assert_same(label, s, &serial[0]);
+    }
+}
+
+#[test]
+fn config_overrides_beat_the_global_default_layer() {
+    // A run whose config pins Inline must stay inline even while the
+    // process-wide default says Speculative: no launches may be recorded.
+    let _guard = {
+        let mut g = ToggleGuard::new();
+        g.exec(ExecMode::Speculative);
+        g
+    };
+    let n = 8;
+    let task = suite::sent140_like(n, 43);
+    let before = fedat_core::exec::speculative_launches();
+    let cfg = cfg_with(ExecMode::Inline, SimdKernel::Auto, n, 43);
+    let out = run_experiment(&task, &cfg);
+    assert!(out.global_updates > 0);
+    assert_eq!(
+        fedat_core::exec::speculative_launches(),
+        before,
+        "an Inline-pinned run launched speculative jobs"
+    );
+}
+
+#[test]
+fn resolve_layers_config_over_env_defaults() {
+    // ToggleGuard mutations (the test/bench default layer) are visible to
+    // from_env/resolve; explicit config overrides beat them field by field.
+    let mut g = ToggleGuard::new();
+    g.simd(SimdKernel::Scalar).max_threads(3);
+    let base = ExecCtx::from_env();
+    assert_eq!(base.kernels.simd, SimdKernel::Scalar);
+    assert_eq!(base.kernels.max_threads, 3);
+
+    let cfg = ExperimentConfig::builder()
+        .simd_kernel(SimdKernel::Auto)
+        .max_threads(0) // clamped to 1
+        .build();
+    let resolved = ExecCtx::resolve(&cfg);
+    assert_eq!(resolved.kernels.simd, SimdKernel::Auto, "config must win");
+    assert_eq!(resolved.kernels.max_threads, 1, "zero clamps to one");
+    assert_eq!(
+        resolved.kernels.agg, base.kernels.agg,
+        "untouched fields keep the env default"
+    );
+}

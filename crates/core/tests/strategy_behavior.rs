@@ -41,11 +41,14 @@ fn run_strategy(
         .without_dropouts();
     let c = cfg(strategy, rounds, seed, cluster.clone());
     let fleet = Fleet::new(&cluster, task.fed.client_sizes());
-    let mut s = build_strategy(Arc::new(task.clone()), &c, &fleet);
+    let exec = fedat_core::exec::ExecCtx::resolve(&c);
+    let _overlay = exec.enter();
+    let mut s = build_strategy(Arc::new(task.clone()), &c, &fleet, exec);
     {
         let h: &mut dyn EventHandler = &mut *s;
         run(h, &fleet, seed, RunLimits::default());
     }
+    s.flush_evals();
     (s, task)
 }
 
@@ -216,7 +219,6 @@ fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
     // evaluation, per-client sweeps — must be invisible to results: the
     // whole accuracy/loss/time trace, the final weights and the per-client
     // accuracies are pinned bitwise across kernel thread counts.
-    use fedat_tensor::parallel;
     let n = 15;
     let task = suite::cifar10_like(n, 2, 23);
     let cluster = ClusterConfig::paper_medium(23)
@@ -226,10 +228,9 @@ fn fedat_trace_is_bit_identical_across_aggregation_thread_counts() {
     c.eval_every = 2;
     c.eval_subset = 48; // capped → exercises the shuffled-subset path too
     let run_at = |threads: usize| {
-        parallel::set_max_threads(threads);
-        let out = fedat_core::run_experiment(&task, &c);
-        parallel::set_max_threads(1);
-        out
+        let mut g = fedat_core::exec::ToggleGuard::new();
+        g.max_threads(threads);
+        fedat_core::run_experiment(&task, &c)
     };
     let base = run_at(1);
     assert!(!base.trace.points.is_empty());

@@ -14,12 +14,21 @@ use crate::workspace::FileKind;
 /// spawn threads freely.
 pub const GATED_CRATES: &[&str] = &["core", "sim", "tensor", "nn", "compress"];
 
-/// The toggle mutators that [R5] reserves for `fedat_core::exec::ToggleGuard`.
+/// The toggle mutators that [R5] reserves for the sanctioned default-layer
+/// homes: `fedat_core::exec::ToggleGuard` (RAII restore for tests/benches)
+/// and `fedat_core::exec::ExecCtx`, which *reads* the globals these set as
+/// its environment layer and carries the per-run values in a thread-local
+/// overlay instead of mutating process state. Covers every knob the guard
+/// and the overlay snapshot, not just the original four kernel selectors.
 pub const RAW_SETTERS: &[&str] = &[
     "set_exec_mode",
     "set_simd_kernel",
     "set_agg_kernel",
     "set_nt_kernel",
+    "set_portable_only",
+    "set_max_threads",
+    "set_max_pool_jobs",
+    "set_spawn_mode",
 ];
 
 /// Wall-clock and threading APIs banned from library code by [R4].
@@ -211,9 +220,12 @@ fn rule_r4(ctx: &FileContext, lines: &[Line], out: &mut Vec<RawFinding>) {
     }
 }
 
-/// R5: the raw toggle mutators are reserved for `fedat_core::exec`'s
-/// `ToggleGuard`; call sites elsewhere (library *or* test code) must go
-/// through a guard so the prior value is always restored.
+/// R5: the raw toggle mutators are reserved for the default layer —
+/// `fedat_core::exec::ToggleGuard` (which restores the prior value on every
+/// exit path) and the environment-reading side of `ExecCtx`. Call sites
+/// elsewhere (library *or* test code) must go through a guard, or carry the
+/// per-run configuration in an `ExecCtx` overlay instead of mutating
+/// process-wide state a concurrent run would observe.
 fn rule_r5(ctx: &FileContext, lines: &[Line], out: &mut Vec<RawFinding>) {
     if !gated(ctx) || !matches!(ctx.kind, FileKind::Lib | FileKind::Test) {
         return;
@@ -225,8 +237,9 @@ fn rule_r5(ctx: &FileContext, lines: &[Line], out: &mut Vec<RawFinding>) {
                     line_idx: i,
                     rule: "R5",
                     message: format!(
-                        "raw `{setter}(..)` call; use fedat_core::exec::ToggleGuard so the \
-                         prior value is restored on every exit path"
+                        "raw `{setter}(..)` call mutates process-wide state; use \
+                         fedat_core::exec::ToggleGuard (restores on every exit path) or \
+                         carry the value in a per-run ExecCtx overlay"
                     ),
                 });
             }

@@ -204,6 +204,7 @@ mod tests {
         let serial = evaluate_batched(model.as_mut(), &x, &y, 32);
         let mut streaming = StreamingEvaluator::new(spec, 3, 32);
         for threads in [1usize, 2, 4, 8] {
+            // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
             parallel::set_max_threads(threads);
             let pooled = streaming.evaluate(&weights, &x, &y);
             assert_eq!(
@@ -213,6 +214,7 @@ mod tests {
             assert_eq!(serial.accuracy, pooled.accuracy);
             assert_eq!(serial.count, pooled.count);
         }
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         parallel::set_max_threads(1);
     }
 

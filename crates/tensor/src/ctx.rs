@@ -1,0 +1,196 @@
+//! Per-thread kernel-configuration overlay — the mechanism behind per-run
+//! execution contexts.
+//!
+//! Every kernel toggle in this crate ([`simd::SimdKernel`], the
+//! portable-only override, [`ops::NtKernel`], [`ops::AggKernel`], the
+//! [`parallel`] thread cap and spawn mode, and the [`pool`] job cap) is a
+//! process-wide atomic. That is the right *default layer* — env overrides
+//! and `ToggleGuard`-style test scoping live there — but it makes two
+//! concurrent experiment runs read each other's settings. The fix is this
+//! overlay: an optional [`KernelCtx`] stored in a thread-local that every
+//! toggle *getter* consults before falling back to the process global.
+//!
+//! ## Propagation
+//!
+//! The overlay is thread-local, so it must travel with work that hops
+//! threads. All three thread-crossing paths in this crate propagate it
+//! automatically, capturing the submitter's overlay at publication time and
+//! installing it around execution (worker-side *and* steal-on-join):
+//!
+//! * [`pool::submit`] — the runner closure carries the overlay,
+//! * [`pool::run_tasks`] — the batch carries it; every claiming thread
+//!   (workers and the participating caller) installs it in `Batch::work`,
+//! * [`parallel`]'s scoped-spawn baseline — each scoped thread installs it.
+//!
+//! A `None` overlay propagates too: work submitted from a thread running
+//! on process defaults runs on process defaults wherever it executes, even
+//! when the executing thread happens to hold an overlay of its own
+//! (steal-on-join from inside another run).
+//!
+//! ## Determinism
+//!
+//! The overlay only selects between kernels that are bit-identical by
+//! construction, so installing or dropping one can never change a result —
+//! it changes which (equivalent) code path computes it, and how many
+//! threads help.
+
+use crate::ops::{AggKernel, NtKernel};
+use crate::parallel::SpawnMode;
+use crate::simd::SimdKernel;
+use std::cell::Cell;
+
+/// A complete per-run snapshot of every kernel toggle in this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelCtx {
+    /// SIMD backend selection ([`crate::simd::simd_kernel`]).
+    pub simd: SimdKernel,
+    /// Portable-fallback override ([`crate::simd::portable_only`]).
+    pub portable_only: bool,
+    /// `A·Bᵀ` formulation ([`crate::ops::nt_kernel`]).
+    pub nt: NtKernel,
+    /// Aggregation formulation ([`crate::ops::agg_kernel`]).
+    pub agg: AggKernel,
+    /// Per-kernel thread cap ([`crate::parallel::max_threads`]); ≥ 1.
+    pub max_threads: usize,
+    /// Parallel-region execution mode ([`crate::parallel::spawn_mode`]).
+    pub spawn: SpawnMode,
+    /// Pool-resident submitted-job cap ([`crate::pool::max_pool_jobs`]).
+    pub max_pool_jobs: usize,
+}
+
+thread_local! {
+    /// The active overlay for this thread, if any.
+    static OVERLAY: Cell<Option<KernelCtx>> = const { Cell::new(None) };
+}
+
+/// The overlay active on this thread, if one is installed.
+pub fn current() -> Option<KernelCtx> {
+    OVERLAY.with(Cell::get)
+}
+
+/// The effective kernel configuration on this thread: the overlay when one
+/// is installed, the process defaults otherwise. (The defaults read the
+/// same lazily-env-initialized globals the toggle setters write, so a
+/// snapshot taken before any override sees `FEDAT_SIMD` et al.)
+pub fn snapshot() -> KernelCtx {
+    KernelCtx {
+        simd: crate::simd::simd_kernel(),
+        portable_only: crate::simd::portable_only(),
+        nt: crate::ops::nt_kernel(),
+        agg: crate::ops::agg_kernel(),
+        max_threads: crate::parallel::max_threads(),
+        spawn: crate::parallel::spawn_mode(),
+        max_pool_jobs: crate::pool::max_pool_jobs(),
+    }
+}
+
+/// Installs `overlay` (including `None`, which *clears* any overlay) on
+/// this thread and returns a guard that restores the previous state on
+/// drop. This is the propagation primitive: pass exactly what [`current`]
+/// returned at capture time.
+pub fn set_overlay(overlay: Option<KernelCtx>) -> OverlayGuard {
+    let prev = OVERLAY.with(|slot| slot.replace(overlay));
+    OverlayGuard { prev }
+}
+
+/// Installs `ctx` as this thread's overlay for the guard's lifetime.
+pub fn install(ctx: KernelCtx) -> OverlayGuard {
+    set_overlay(Some(ctx))
+}
+
+/// RAII restore for [`set_overlay`]/[`install`].
+pub struct OverlayGuard {
+    prev: Option<KernelCtx>,
+}
+
+impl Drop for OverlayGuard {
+    fn drop(&mut self) {
+        OVERLAY.with(|slot| slot.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelCtx {
+        KernelCtx {
+            simd: SimdKernel::Scalar,
+            portable_only: true,
+            nt: NtKernel::DotProduct,
+            agg: AggKernel::FusedSerial,
+            max_threads: 3,
+            spawn: SpawnMode::PersistentPool,
+            max_pool_jobs: 2,
+        }
+    }
+
+    #[test]
+    fn install_and_restore_nest() {
+        assert_eq!(current(), None);
+        {
+            let _a = install(sample());
+            assert_eq!(current(), Some(sample()));
+            {
+                let mut inner = sample();
+                inner.max_threads = 7;
+                let _b = install(inner);
+                assert_eq!(current().unwrap().max_threads, 7);
+            }
+            assert_eq!(current(), Some(sample()));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn none_overlay_clears_and_restores() {
+        let _a = install(sample());
+        {
+            let _b = set_overlay(None);
+            assert_eq!(current(), None);
+        }
+        assert_eq!(current(), Some(sample()));
+    }
+
+    #[test]
+    fn overlay_wins_over_globals_in_getters() {
+        // The getters must consult the overlay before the process globals.
+        let ctx = sample();
+        let _g = install(ctx);
+        assert_eq!(crate::simd::simd_kernel(), SimdKernel::Scalar);
+        assert!(crate::simd::portable_only());
+        assert_eq!(crate::ops::nt_kernel(), NtKernel::DotProduct);
+        assert_eq!(crate::ops::agg_kernel(), AggKernel::FusedSerial);
+        assert_eq!(crate::parallel::max_threads(), 3);
+        assert_eq!(crate::pool::max_pool_jobs(), 2);
+    }
+
+    #[test]
+    fn overlay_crosses_submitted_jobs_and_regions() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        crate::pool::ensure_workers(2);
+        let _g = install(sample());
+        // Submitted job: the worker (or stealing joiner) sees the overlay.
+        let h = crate::pool::submit(|| current().map(|c| c.max_threads));
+        assert_eq!(h.join(), Some(3));
+        // Fork-join region: every participating thread sees the overlay.
+        let misses = AtomicUsize::new(0);
+        crate::pool::run_tasks(8, 2, &|_| {
+            if current() != Some(sample()) {
+                misses.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(misses.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn absent_overlay_propagates_as_absent() {
+        crate::pool::ensure_workers(1);
+        assert_eq!(current(), None);
+        let h = crate::pool::submit(|| current().is_none());
+        // Steal-on-join under an overlay must still run the job overlay-free.
+        let _g = install(sample());
+        assert!(h.join());
+        assert_eq!(current(), Some(sample()));
+    }
+}

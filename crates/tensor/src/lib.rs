@@ -36,6 +36,7 @@
 //! ```
 
 pub mod conv;
+pub mod ctx;
 pub mod ops;
 pub mod parallel;
 pub mod pool;

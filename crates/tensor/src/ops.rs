@@ -200,8 +200,12 @@ pub fn set_nt_kernel(kernel: NtKernel) {
     );
 }
 
-/// The active [`NtKernel`].
+/// The active [`NtKernel`]: the thread's [`crate::ctx`] overlay when one
+/// is installed, the process global otherwise.
 pub fn nt_kernel() -> NtKernel {
+    if let Some(c) = crate::ctx::current() {
+        return c.nt;
+    }
     if NT_KERNEL_NAIVE.load(std::sync::atomic::Ordering::Relaxed) {
         NtKernel::DotProduct
     } else {
@@ -345,8 +349,12 @@ pub fn set_agg_kernel(kernel: AggKernel) {
     );
 }
 
-/// The active [`AggKernel`].
+/// The active [`AggKernel`]: the thread's [`crate::ctx`] overlay when one
+/// is installed, the process global otherwise.
 pub fn agg_kernel() -> AggKernel {
+    if let Some(c) = crate::ctx::current() {
+        return c.agg;
+    }
     if AGG_KERNEL_SERIAL.load(std::sync::atomic::Ordering::Relaxed) {
         AggKernel::FusedSerial
     } else {
@@ -562,10 +570,13 @@ mod tests {
         let mut rng = rng_for(7, 2);
         let a = Tensor::randn(&mut rng, &[64, 96], 0.0, 1.0);
         let b = Tensor::randn(&mut rng, &[96, 80], 0.0, 1.0);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         parallel::set_max_threads(1);
         let serial = a.matmul(&b);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         parallel::set_max_threads(8);
         let par = a.matmul(&b);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         parallel::set_max_threads(1);
         assert_eq!(
             serial.data(),
@@ -645,11 +656,13 @@ mod tests {
         // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_agg_kernel(AggKernel::ShardedAxpy);
         for threads in [1, 4] {
+            // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
             parallel::set_max_threads(threads);
             let mut sharded = vec![0.0f32; dim];
             weighted_sum_into(&refs, &weights, &mut sharded);
             assert_eq!(fused, sharded, "kernels diverged at {threads} threads");
         }
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         parallel::set_max_threads(1);
     }
 

@@ -51,8 +51,13 @@ pub fn set_spawn_mode(mode: SpawnMode) {
     );
 }
 
-/// Current execution mode for parallel regions.
+/// Current execution mode for parallel regions: the thread's
+/// [`crate::ctx`] overlay when one is installed, the process global
+/// otherwise.
 pub fn spawn_mode() -> SpawnMode {
+    if let Some(c) = crate::ctx::current() {
+        return c.spawn;
+    }
     match SPAWN_MODE.load(Ordering::Relaxed) {
         0 => SpawnMode::PersistentPool,
         _ => SpawnMode::ScopedSpawn,
@@ -71,8 +76,12 @@ pub fn set_max_threads(n: usize) {
     MAX_THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Current per-kernel thread cap.
+/// Current per-kernel thread cap: the thread's [`crate::ctx`] overlay when
+/// one is installed, the process global otherwise.
 pub fn max_threads() -> usize {
+    if let Some(c) = crate::ctx::current() {
+        return c.max_threads.max(1);
+    }
     MAX_THREADS.load(Ordering::Relaxed).max(1)
 }
 
@@ -96,10 +105,16 @@ fn run_region(chunks: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     match spawn_mode() {
         SpawnMode::PersistentPool => pool::run_tasks(chunks, threads - 1, task),
         SpawnMode::ScopedSpawn => {
+            // Scoped threads inherit the caller's kernel-ctx overlay so a
+            // per-run configuration survives the baseline spawn path too.
+            let overlay = crate::ctx::current();
             // lint: allow(R4, reason = "the scoped-spawn baseline mode is the measured pre-pool reference; threads never touch simulator state")
             std::thread::scope(|scope| {
                 for t in 0..chunks {
-                    scope.spawn(move || task(t));
+                    scope.spawn(move || {
+                        let _ctx = crate::ctx::set_overlay(overlay);
+                        task(t)
+                    });
                 }
             });
         }
@@ -266,14 +281,17 @@ mod tests {
 
     #[test]
     fn serial_plan_when_cap_is_one() {
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_max_threads(1);
         assert_eq!(plan_threads(1_000_000, 1_000), 1);
     }
 
     #[test]
     fn small_work_stays_serial_even_with_threads() {
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_max_threads(8);
         assert_eq!(plan_threads(4, 4), 1);
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_max_threads(1);
     }
 
@@ -373,10 +391,13 @@ mod tests {
             });
             out
         };
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_spawn_mode(SpawnMode::PersistentPool);
         let pooled = run();
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_spawn_mode(SpawnMode::ScopedSpawn);
         let scoped = run();
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_spawn_mode(SpawnMode::PersistentPool);
         assert_eq!(pooled, scoped);
     }

@@ -95,9 +95,13 @@ pub fn set_simd_kernel(kernel: SimdKernel) {
     );
 }
 
-/// The active [`SimdKernel`]. Defaults to `Auto`; the environment variable
-/// `FEDAT_SIMD=scalar` flips the process default before any override.
+/// The active [`SimdKernel`]: the thread's [`crate::ctx`] overlay when one
+/// is installed, the process default otherwise. The default is `Auto`; the
+/// environment variable `FEDAT_SIMD=scalar` flips it before any override.
 pub fn simd_kernel() -> SimdKernel {
+    if let Some(c) = crate::ctx::current() {
+        return c.simd;
+    }
     let mut v = KERNEL.load(Ordering::Relaxed);
     if v == K_UNSET {
         v = match std::env::var("FEDAT_SIMD").as_deref() {
@@ -119,9 +123,13 @@ pub fn set_portable_only(portable: bool) {
     PORTABLE_ONLY.store(portable as u8, Ordering::Relaxed);
 }
 
-/// Whether the portable-fallback override is in force (restore hook for
-/// `fedat_core::exec::ToggleGuard`).
+/// Whether the portable-fallback override is in force: the thread's
+/// [`crate::ctx`] overlay when installed, else the process global (the
+/// restore hook for `fedat_core::exec::ToggleGuard`).
 pub fn portable_only() -> bool {
+    if let Some(c) = crate::ctx::current() {
+        return c.portable_only;
+    }
     PORTABLE_ONLY.load(Ordering::Relaxed) != 0
 }
 
@@ -146,7 +154,7 @@ fn active() -> Backend {
         return Backend::Scalar;
     }
     #[cfg(target_arch = "x86_64")]
-    if PORTABLE_ONLY.load(Ordering::Relaxed) == 0 && avx2_available() {
+    if !portable_only() && avx2_available() {
         return Backend::Avx2;
     }
     Backend::Portable
@@ -1624,8 +1632,10 @@ mod tests {
         // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_simd_kernel(SimdKernel::Auto);
         assert_eq!(dot(&x, &y).to_bits(), reference.to_bits());
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_portable_only(true);
         assert_eq!(dot(&x, &y).to_bits(), reference.to_bits());
+        // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_portable_only(false);
         // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
         set_simd_kernel(entry);
@@ -1645,9 +1655,11 @@ mod tests {
             let run = |kernel: SimdKernel, portable: bool| {
                 // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
                 set_simd_kernel(kernel);
+                // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
                 set_portable_only(portable);
                 let mut c = filled(m * n, 99);
                 matmul_block(Lhs::RowMajor(&a, k), &b, &mut c, 0, k, n);
+                // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
                 set_portable_only(false);
                 // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
                 set_simd_kernel(entry);
@@ -1671,6 +1683,7 @@ mod tests {
         let run = |kernel: SimdKernel, portable: bool| {
             // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
             set_simd_kernel(kernel);
+            // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
             set_portable_only(portable);
             let mut sub = vec![0.0f32; w.len()];
             sub_into(&mut sub, &w, &r);
@@ -1684,6 +1697,7 @@ mod tests {
             delta_bits_into(&mut bits, &w, &r);
             let mut back = vec![0.0f32; w.len()];
             apply_delta_bits_into(&mut back, &bits, &r);
+            // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
             set_portable_only(false);
             // lint: allow(R5, reason = "in-crate unit test below the ToggleGuard layer")
             set_simd_kernel(entry);

@@ -168,11 +168,14 @@ fn tier_update_counts_follow_latency_order() {
         c
     };
     let fleet = Fleet::new(cfg.cluster.as_ref().unwrap(), task.fed.client_sizes());
-    let mut strategy = build_strategy(Arc::new(task), &cfg, &fleet);
+    let exec = fedat::core::exec::ExecCtx::resolve(&cfg);
+    let _overlay = exec.enter();
+    let mut strategy = build_strategy(Arc::new(task), &cfg, &fleet, exec);
     {
         let handler: &mut dyn EventHandler = &mut *strategy;
         run(handler, &fleet, cfg.seed, RunLimits::default());
     }
+    strategy.flush_evals();
     let _ = Strategy::global_updates(&*strategy);
     // Downcast-free check via the trace: updates happened.
     assert!(strategy.global_updates() >= 60);
